@@ -1,0 +1,48 @@
+"""Eqs. (8)–(12) — analytic characteristic delays vs exact crossings.
+
+Benchmarks the closed-form evaluation speed (the reason the paper
+derives these formulas at all: model parametrization needs cheap
+characteristic-delay evaluation) and records the accuracy table.
+"""
+
+from repro.analysis.experiments import experiment_analytic
+from repro.core.analytic import (delta_falling_minus_inf,
+                                 delta_falling_plus_inf,
+                                 delta_falling_zero, delta_rising)
+from repro.core.hybrid_model import HybridNorModel
+from repro.core.parameters import PAPER_TABLE_I
+from repro.units import PS, to_ps
+
+
+def test_analytic_formulas(benchmark, write_result):
+    params = PAPER_TABLE_I
+
+    def kernel():
+        total = delta_falling_zero(params)
+        total += delta_falling_minus_inf(params)
+        total += delta_falling_plus_inf(params)
+        for delta in (-30 * PS, 0.0, 30 * PS):
+            total += delta_rising(params, delta, 0.0)
+        return total
+
+    benchmark(kernel)
+
+    result = experiment_analytic(params)
+    write_result("analytic", result.text)
+
+    worst = max(abs(a - b) for _n, a, b in result.rows)
+    benchmark.extra_info["worst_error_fs"] = round(to_ps(worst) * 1e3,
+                                                   3)
+    assert worst < 0.05 * PS
+
+
+def test_exact_crossing_solver(benchmark):
+    """Reference cost of the exact trajectory-based computation."""
+    model = HybridNorModel(PAPER_TABLE_I)
+
+    def kernel():
+        total = model.delay_falling(10 * PS)
+        total += model.delay_rising(10 * PS, 0.0)
+        return total
+
+    benchmark(kernel)

@@ -1,0 +1,46 @@
+"""Fig. 4 — temporal evolution of all four mode systems.
+
+Benchmarks the closed-form trajectory evaluation (the inner loop of
+every delay computation) and records the Fig. 4 table.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import experiment_fig4
+from repro.core.modes import Mode
+from repro.core.parameters import PAPER_TABLE_I
+from repro.core.solutions import solve_mode
+from repro.units import PS
+
+
+def test_fig4_trajectories(benchmark, write_result):
+    params = PAPER_TABLE_I
+    times = np.linspace(0.0, 150 * PS, 64)
+
+    def kernel():
+        total = 0.0
+        for mode, (vn0, vo0) in (
+                (Mode.BOTH_LOW, (0.0, 0.0)),
+                (Mode.A_LOW_B_HIGH, (params.vdd, params.vdd)),
+                (Mode.A_HIGH_B_LOW, (params.vdd, params.vdd)),
+                (Mode.BOTH_HIGH, (params.vdd / 2, params.vdd))):
+            solution = solve_mode(mode, params, vn0, vo0)
+            total += float(np.sum(solution.states_at(times)))
+        return total
+
+    benchmark(kernel)
+
+    result = experiment_fig4(params)
+    write_result("fig4", result.text)
+
+    # Paper's observation: the (1,1) output trajectory is much steeper
+    # than the single-nMOS cases.
+    vo_11 = result.trajectories["VO(1, 1)"]
+    vo_01 = result.trajectories["VO(0, 1)"]
+    vo_10 = result.trajectories["VO(1, 0)"]
+    quarter = len(result.times) // 4
+    assert vo_11[quarter] < vo_01[quarter]
+    assert vo_11[quarter] < vo_10[quarter]
+    # VN is invariant in (1,1).
+    vn_11 = result.trajectories["VN(1, 1)"]
+    assert np.allclose(vn_11, vn_11[0])

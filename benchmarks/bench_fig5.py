@@ -1,0 +1,40 @@
+"""Fig. 5 — hybrid-model falling MIS delays vs the analog golden curve.
+
+Benchmarks the model's MIS sweep and asserts the paper's "very good
+fit" claim for falling output transitions.
+"""
+
+import pytest
+
+from repro.analysis.experiments import experiment_fig5
+from repro.core.hybrid_model import HybridNorModel
+from repro.units import PS, to_ps
+
+
+def test_fig5_falling_match(benchmark, write_result, characterization,
+                            delta_fit):
+    deltas = characterization.falling.deltas
+    model = HybridNorModel(delta_fit.params)
+
+    curve = benchmark(lambda: model.falling_curve(deltas))
+
+    result = experiment_fig5(delta_fit.params,
+                             characterization=characterization,
+                             deltas=deltas)
+    error = curve.mean_abs_difference(characterization.falling)
+    text = (result.text
+            + f"\n\nmean |model - analog| = {to_ps(error):.3f} ps"
+            + "\n(paper Fig. 5: near-perfect overlay)")
+    write_result("fig5", text)
+
+    benchmark.extra_info["mean_error_ps"] = round(to_ps(error), 3)
+    benchmark.extra_info["delta_min_ps"] = round(
+        to_ps(delta_fit.params.delta_min), 2)
+
+    # The paper's claim: the falling MIS effect is captured well.
+    assert error < 2.5 * PS
+    model_ch = curve.characteristic()
+    analog_ch = characterization.falling.characteristic()
+    assert model_ch.zero == pytest.approx(analog_ch.zero,
+                                          abs=1.5 * PS)
+    assert model_ch.is_speedup

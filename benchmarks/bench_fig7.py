@@ -1,0 +1,82 @@
+"""Fig. 7 — normalized deviation areas of four delay models.
+
+The paper's headline accuracy result: on random traces the hybrid model
+with δ_min clearly beats inertial delay and the Exp-Channel for short
+pulses (0.52/0.47 normalized) and stays comparable for broad pulses;
+the variant without δ_min and the Exp-Channel degrade.
+
+The workload is scaled by REPRO_BENCH_TRANSITIONS/REPRO_BENCH_REPETITIONS
+(defaults 60/2; the paper uses 500/20 — set the variables to reproduce
+the full-size study).
+"""
+
+from conftest import BENCH_REPETITIONS, BENCH_TRANSITIONS
+
+from repro.analysis.experiments import experiment_fig7
+from repro.spice.technology import FINFET15
+
+
+def test_fig7_accuracy_study(benchmark, write_result, characterization,
+                             toggle_fit):
+    def kernel():
+        return experiment_fig7(FINFET15,
+                               repetitions=BENCH_REPETITIONS,
+                               transitions=BENCH_TRANSITIONS,
+                               seed=1,
+                               characterization=characterization,
+                               fit=toggle_fit)
+
+    result = benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    paper = {
+        "100/50 - LOCAL": {"exp": 0.71, "hm_no_dmin": 1.44,
+                           "hm": 0.52},
+        "200/100 - LOCAL": {"exp": 0.72, "hm_no_dmin": 1.96,
+                            "hm": 0.47},
+        "2000/1000 - GLOBAL": {"exp": 1.60, "hm_no_dmin": 1.15,
+                               "hm": 0.97},
+        "5000/5 - GLOBAL": {"exp": 1.65, "hm_no_dmin": 1.01,
+                            "hm": 1.01},
+    }
+    lines = [result.text, "", "paper Fig. 7 values:"]
+    for label, values in paper.items():
+        lines.append(f"  {label}: inertial 1.00, exp {values['exp']}, "
+                     f"HM w/o {values['hm_no_dmin']}, "
+                     f"HM w/ {values['hm']}")
+    write_result("fig7", "\n".join(lines))
+
+    for accuracy in result.results:
+        benchmark.extra_info[accuracy.config.label] = {
+            key: round(value, 3)
+            for key, value in accuracy.normalized.items()}
+
+    by_label = {acc.config.label: acc.normalized
+                for acc in result.results}
+
+    def mean_over_configs(key):
+        return sum(norm[key] for norm in by_label.values()) \
+            / len(by_label)
+
+    # Headline claims (shape, not absolute numbers; at the reduced
+    # default workload individual configs carry sampling noise, so the
+    # per-config claims use generous margins and the strict ordering is
+    # asserted on the across-config mean):
+    # 1. HM with δ_min beats the inertial baseline on short pulses
+    #    (paper: 0.52 / 0.47).
+    assert by_label["100/50 - LOCAL"]["hm"] < 1.0
+    assert by_label["200/100 - LOCAL"]["hm"] < 1.0
+    # 2. Without δ_min the hybrid model is worse than with it where the
+    #    delay matching matters (paper Fig. 8 / Fig. 7).
+    for label in ("2000/1000 - GLOBAL", "5000/5 - GLOBAL"):
+        assert by_label[label]["hm_no_dmin"] > by_label[label]["hm"]
+    assert mean_over_configs("hm_no_dmin") > mean_over_configs("hm")
+    # 3. The Exp-Channel degrades on broad pulses (paper: 1.60/1.65) —
+    #    the single-history channel cannot know which input switched.
+    assert by_label["5000/5 - GLOBAL"]["exp"] > 1.2
+    # 4. HM with δ_min never degrades badly vs inertial on broad pulses
+    #    (paper: 0.97/1.01).
+    assert by_label["5000/5 - GLOBAL"]["hm"] < 1.3
+    # 5. Overall, HM with δ_min is the most accurate model.
+    assert mean_over_configs("hm") == min(
+        mean_over_configs(key) for key in ("inertial", "exp",
+                                           "hm_no_dmin", "hm"))

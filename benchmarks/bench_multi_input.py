@@ -1,0 +1,71 @@
+"""n-input NOR generalization — paper Section VII future work.
+
+Benchmarks the generalized (eigendecomposition-based) model, verifies
+the exact n = 2 reduction to the paper's closed-form model, and probes
+the 3-input MIS landscape: the falling speed-up deepens with every
+additional simultaneously-switching input.
+"""
+
+import math
+
+import pytest
+
+from repro.core import HybridNorModel, PAPER_TABLE_I
+from repro.core.multi_input import (GeneralizedNorModel,
+                                    GeneralizedNorParameters)
+from repro.units import PS, to_ps
+
+
+def test_generalized_model(benchmark, write_result):
+    gen3 = GeneralizedNorModel(GeneralizedNorParameters(
+        r_pullup=(37e3, 45e3, 45e3),
+        r_pulldown=(45e3, 47e3, 49e3),
+        c_internal=(60e-18, 60e-18),
+        co=617e-18, vdd=0.8, delta_min=18 * PS))
+
+    def kernel():
+        total = gen3.delay_falling([0.0, 0.0, 0.0])
+        total += gen3.delay_falling([0.0, 600 * PS, 600 * PS])
+        total += gen3.delay_rising([0.0, 300 * PS, 600 * PS])
+        return total
+
+    benchmark(kernel)
+
+    far = 600 * PS
+    one = gen3.delay_falling([0.0, far, far])
+    two = gen3.delay_falling([0.0, 0.0, far])
+    three = gen3.delay_falling([0.0, 0.0, 0.0])
+    rail_first = gen3.delay_rising([0.0, 300 * PS, far])
+    rail_last = gen3.delay_rising([far, 300 * PS, 0.0])
+
+    # n = 2 reduction check against the closed-form paper model.
+    gen2 = GeneralizedNorModel(
+        GeneralizedNorParameters.from_two_input(PAPER_TABLE_I))
+    ref2 = HybridNorModel(PAPER_TABLE_I)
+    reduction_err = abs(gen2.delay_falling([0.0, 10 * PS])
+                        - ref2.delay_falling(10 * PS))
+
+    parallel = 1.0 / (1 / 45e3 + 1 / 47e3 + 1 / 49e3)
+    closed_form = math.log(2.0) * 617e-18 * parallel + 18 * PS
+    lines = [
+        "3-input NOR MIS landscape (generalized hybrid model)",
+        f"falling, 1 input switching : {to_ps(one):.2f} ps",
+        f"falling, 2 inputs together : {to_ps(two):.2f} ps",
+        f"falling, 3 inputs together : {to_ps(three):.2f} ps "
+        f"(closed form {to_ps(closed_form):.2f} ps)",
+        f"rising, rail-side first    : {to_ps(rail_first):.2f} ps",
+        f"rising, rail-side last     : {to_ps(rail_last):.2f} ps",
+        f"n=2 reduction error vs closed-form model: "
+        f"{reduction_err / PS:.2e} ps",
+    ]
+    write_result("multi_input", "\n".join(lines))
+
+    benchmark.extra_info.update({
+        "fall_1_ps": round(to_ps(one), 2),
+        "fall_2_ps": round(to_ps(two), 2),
+        "fall_3_ps": round(to_ps(three), 2),
+    })
+    assert three < two < one
+    assert three == pytest.approx(closed_form, rel=1e-6)
+    assert rail_first < rail_last
+    assert reduction_err < 1e-5 * PS

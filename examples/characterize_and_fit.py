@@ -1,0 +1,65 @@
+"""Full characterization-and-fit loop on the analog reference.
+
+Reproduces the paper's workflow end to end on this repository's
+substrate:
+
+1. sweep the analog NOR gate (15 nm card) over input separations Δ and
+   extract the MIS delay curves — Fig. 2;
+2. infer the pure delay δ_min from the falling values (ratio-2 rule) and
+   least-squares fit the hybrid model — Section V / Table I;
+3. compare the fitted model's curves against the analog golden curves —
+   Figs. 5 and 8.
+
+Run:  python examples/characterize_and_fit.py
+(takes ~20 s: it runs a few dozen analog transient simulations)
+"""
+
+from repro.analysis import characterize_nor, fit_from_characterization
+from repro.analysis.reporting import ascii_table, format_curves
+from repro.core import HybridNorModel, infer_delta_min
+from repro.spice import FINFET15
+from repro.units import to_ps
+
+
+def main() -> None:
+    tech = FINFET15
+    print(f"Characterizing the analog NOR gate ({tech.name}, "
+          f"VDD = {tech.vdd} V) ...")
+    ch = characterize_nor(tech)
+
+    fall_m, fall_p = ch.falling_mis_percent
+    print(f"  falling: {ch.sis_falling.describe('d_fall')}")
+    print(f"           MIS speed-up {fall_m:+.1f} % / {fall_p:+.1f} % "
+          "(paper: -28.01 % / -28.43 %)")
+    print(f"  rising:  {ch.sis_rising.describe('d_rise')}")
+    rise_m, rise_p = ch.rising_peak_percent
+    print(f"           MIS slow-down peak {rise_m:+.1f} % / "
+          f"{rise_p:+.1f} % (paper: +2.08 % / +7.26 %)")
+    print()
+
+    delta_min = infer_delta_min(ch.targets.falling)
+    print(f"Inferred pure delay delta_min = {to_ps(delta_min):.2f} ps "
+          "(2*d(0) - d(-inf); the paper gets 18 ps)")
+    fit = fit_from_characterization(ch)
+    print(f"Fit max target error: {to_ps(fit.max_error):.3f} ps")
+    rows = [(name, f"{t:.2f}", f"{a:.2f}") for name, t, a in fit.table()]
+    print(ascii_table(["characteristic", "analog [ps]", "model [ps]"],
+                      rows))
+    print()
+
+    model = HybridNorModel(fit.params)
+    model_curve = model.falling_curve(ch.falling.deltas)
+    print(format_curves([model_curve, ch.falling],
+                        title="Fig. 5: falling MIS delay — fitted model "
+                              "vs analog"))
+    print()
+    no_dmin = HybridNorModel(
+        fit_from_characterization(ch, delta_min=0.0).params)
+    print(format_curves([model_curve,
+                         no_dmin.falling_curve(ch.falling.deltas),
+                         ch.falling],
+                        title="Fig. 8: with vs without pure delay"))
+
+
+if __name__ == "__main__":
+    main()

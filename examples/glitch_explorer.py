@@ -1,0 +1,69 @@
+"""Glitch behaviour of delay models (short-pulse filtration).
+
+The key structural advantage of the hybrid (and involution) channels
+over inertial delay is *continuous* glitch handling: as the input pulse
+shrinks, the output pulse shrinks continuously to zero instead of being
+cut off at a hard threshold.  This example sweeps pulse widths through
+a NOR gate under three delay models and prints the output pulse widths
+(paper Section VII future-work probe; see also
+``repro.analysis.faithfulness``).
+
+Run:  python examples/glitch_explorer.py
+"""
+
+from repro import PAPER_TABLE_I
+from repro.analysis.faithfulness import short_pulse_filtration
+from repro.analysis.reporting import ascii_table
+from repro.timing import (DigitalTrace, HybridNorChannel,
+                          InertialDelayChannel, ExpChannel,
+                          gate_function, zero_time_gate)
+from repro.units import PS, to_ps
+
+
+def single_channel_model(channel):
+    """Wrap a single-input channel as a two-input NOR model."""
+    nor = gate_function("nor")
+
+    def run(trace_a: DigitalTrace, trace_b: DigitalTrace) -> DigitalTrace:
+        return channel.apply(zero_time_gate(nor, [trace_a, trace_b]))
+
+    return run
+
+
+def main() -> None:
+    params = PAPER_TABLE_I
+    hybrid = HybridNorChannel(params)
+    inertial = InertialDelayChannel(delay_up=54 * PS, delay_down=38 * PS)
+    exp = ExpChannel(delay_up_inf=54 * PS, delay_down_inf=38 * PS,
+                     pure_delay=18 * PS)
+
+    widths = [w * PS for w in (120, 90, 70, 55, 45, 38, 32, 27, 23, 20,
+                               17, 14, 11, 8, 5)]
+    models = {
+        "hybrid": hybrid.simulate,
+        "inertial": single_channel_model(inertial),
+        "exp": single_channel_model(exp),
+    }
+    responses = {name: short_pulse_filtration(model, widths)
+                 for name, model in models.items()}
+
+    rows = []
+    for i, width in enumerate(widths):
+        rows.append([f"{to_ps(width):6.1f}"]
+                    + [f"{to_ps(responses[name][i].output_width):6.2f}"
+                       for name in models])
+    print(ascii_table(["input pulse [ps]"] + [f"{name} out [ps]"
+                                              for name in models], rows,
+                      title="Output pulse width vs input pulse width "
+                            "(NOR gate)"))
+    print()
+    print("Note the inertial column: constant-width output until the "
+          "hard cutoff, then nothing —")
+    print("the discontinuity that makes inertial delays unfaithful for "
+          "glitch propagation.")
+    print("The hybrid channel's output width shrinks continuously to "
+          "zero instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-build-isolation`` in offline environments
+whose setuptools predates bundled PEP 660 editable-wheel support (no
+``wheel`` package available).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""repro — reproduction of "A Simple Hybrid Model for Accurate Delay
+Modeling of a Multi-Input Gate" (Ferdowsi, Maier, Öhlinger, Schmid;
+DATE 2022, arXiv:2111.11182).
+
+Package layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the hybrid four-mode ODE model of a CMOS NOR gate,
+  its closed-form solutions, MIS delay functions, the analytic
+  characteristic-delay formulas (paper eqs. 8–12) and the δ_min-based
+  parametrization (Table I).
+* :mod:`repro.spice` — an MNA-based analog transient simulator with a
+  square-law MOSFET model and synthetic 15 nm / 65 nm technology cards;
+  the golden reference replacing the paper's Spectre setup.
+* :mod:`repro.timing` — digital traces, delay channels (pure, inertial,
+  IDM involution, hybrid NOR), deviation-area metrics, random trace
+  generation and a timing simulator; the Involution Tool replacement.
+* :mod:`repro.models` — literature curve-fitting MIS baselines.
+* :mod:`repro.analysis` — experiment pipelines regenerating every
+  figure and table of the paper.
+
+Quickstart::
+
+    from repro import HybridNorModel, PAPER_TABLE_I
+    model = HybridNorModel(PAPER_TABLE_I)
+    print(model.delay_falling(10e-12))   # MIS delay at Δ = 10 ps
+"""
+
+from .core import (
+    PAPER_DELTA_MIN,
+    PAPER_TABLE_I,
+    CharacteristicDelays,
+    CharacteristicTargets,
+    HybridNorModel,
+    MisCurve,
+    Mode,
+    NorGateParameters,
+    PiecewiseTrajectory,
+    fit_nor_parameters,
+    infer_delta_min,
+    solve_mode,
+)
+from .errors import (
+    ConvergenceError,
+    FittingError,
+    NetlistError,
+    NoCrossingError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CharacteristicDelays",
+    "CharacteristicTargets",
+    "ConvergenceError",
+    "FittingError",
+    "HybridNorModel",
+    "MisCurve",
+    "Mode",
+    "NetlistError",
+    "NoCrossingError",
+    "NorGateParameters",
+    "PAPER_DELTA_MIN",
+    "PAPER_TABLE_I",
+    "ParameterError",
+    "PiecewiseTrajectory",
+    "ReproError",
+    "SimulationError",
+    "TraceError",
+    "fit_nor_parameters",
+    "infer_delta_min",
+    "solve_mode",
+    "__version__",
+]

@@ -1,0 +1,324 @@
+"""MIS characterization of the analog NOR gate (paper Section II).
+
+Runs the analog reference simulator over a sweep of input separation
+times ``Δ = t_B − t_A`` and extracts the MIS delay curves
+
+* ``δ↓_S(Δ) = t_O − min(t_A, t_B)`` for falling output transitions
+  (both inputs rise), and
+* ``δ↑_S(Δ) = t_O − max(t_A, t_B)`` for rising output transitions
+  (both inputs fall),
+
+reproducing the data behind the paper's Fig. 2 (and the golden curves in
+Figs. 5, 6 and 8).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.charlie import CharacteristicDelays, MisCurve
+from ..core.parametrization import CharacteristicTargets
+from ..errors import ParameterError
+from ..spice.measure import crossing_after
+from ..spice.technology import TechnologyCard, build_nand2, build_nor2
+from ..spice.transient import (TransientOptions, TransientResult,
+                               transient_analysis)
+from ..spice.waveforms import EdgeTrain
+from ..units import PS
+
+__all__ = [
+    "DEFAULT_DELTAS",
+    "SIS_SEPARATION",
+    "NorCharacterization",
+    "toggle_sis_delays",
+    "nor_mis_waveforms",
+    "nor_mis_delay",
+    "nand_mis_delay",
+    "characterize_direction",
+    "characterize_nor",
+]
+
+#: Default Δ sweep (seconds) — the paper's Fig. 2 range.
+DEFAULT_DELTAS = tuple(float(d) * PS for d in
+                       (-60, -45, -30, -20, -12, -6, 0, 6, 12, 20, 30,
+                        45, 60))
+
+#: Separation treated as "single input switching" (|Δ| = ∞ in the paper).
+SIS_SEPARATION = 400.0 * PS
+
+#: Settling margin before the first input edge.
+_LEAD_TIME = 250.0 * PS
+#: Post-crossing margin in the simulation window.
+_TAIL_TIME = 300.0 * PS
+
+
+def _transient_options(tech: TechnologyCard,
+                       overrides: TransientOptions | None
+                       ) -> TransientOptions:
+    if overrides is not None:
+        return overrides
+    return TransientOptions(v_scale=tech.vdd)
+
+
+def nor_mis_waveforms(tech: TechnologyCard, delta: float,
+                      direction: str,
+                      options: TransientOptions | None = None,
+                      output_load: float | None = None
+                      ) -> tuple[TransientResult, float, float]:
+    """Simulate one MIS event on the analog NOR.
+
+    Args:
+        tech: technology card.
+        delta: input separation ``t_B − t_A``, seconds.
+        direction: ``'falling'`` (inputs rise) or ``'rising'``
+            (inputs fall) output transition.
+        options: transient options override.
+        output_load: output load override.
+
+    Returns:
+        ``(result, t_a, t_b)`` — waveforms plus the input threshold
+        crossing times.
+    """
+    if direction not in ("falling", "rising"):
+        raise ParameterError("direction must be 'falling' or 'rising'")
+    t_a = _LEAD_TIME + max(0.0, -delta) + tech.input_edge_time
+    t_b = t_a + delta
+    if direction == "falling":
+        wave_a = EdgeTrain([(t_a, 1)], tech.vdd, tech.input_edge_time)
+        wave_b = EdgeTrain([(t_b, 1)], tech.vdd, tech.input_edge_time)
+    else:
+        wave_a = EdgeTrain([(t_a, 0)], tech.vdd, tech.input_edge_time,
+                           initial=1)
+        wave_b = EdgeTrain([(t_b, 0)], tech.vdd, tech.input_edge_time,
+                           initial=1)
+    circuit = build_nor2(tech, wave_a, wave_b, output_load=output_load)
+    t_stop = max(t_a, t_b) + _TAIL_TIME
+    result = transient_analysis(circuit, t_stop,
+                                _transient_options(tech, options))
+    return result, t_a, t_b
+
+
+def nor_mis_delay(tech: TechnologyCard, delta: float, direction: str,
+                  options: TransientOptions | None = None,
+                  output_load: float | None = None) -> float:
+    """Single MIS gate delay of the analog NOR (paper's δ_S).
+
+    Falling delays are referenced to the *earlier* input, rising delays
+    to the *later* input, per Section II.
+    """
+    result, t_a, t_b = nor_mis_waveforms(tech, delta, direction,
+                                         options, output_load)
+    if direction == "falling":
+        reference = min(t_a, t_b)
+        edge = -1
+    else:
+        reference = max(t_a, t_b)
+        edge = +1
+    search_from = min(t_a, t_b) - 2.0 * tech.input_edge_time
+    t_out = crossing_after(result, "o", tech.vth, search_from, edge)
+    return t_out - reference
+
+
+def nand_mis_delay(tech: TechnologyCard, delta: float, direction: str,
+                   options: TransientOptions | None = None,
+                   output_load: float | None = None) -> float:
+    """MIS gate delay of the analog NAND2 (mirror of the NOR, extension).
+
+    Conventions follow the duality: the *falling* NAND output (both
+    inputs rise, series stack) only switches after the later input —
+    delay referenced to ``max(t_A, t_B)``; the *rising* output (parallel
+    pMOS) is triggered by the earlier input — referenced to
+    ``min(t_A, t_B)``.
+    """
+    if direction not in ("falling", "rising"):
+        raise ParameterError("direction must be 'falling' or 'rising'")
+    t_a = _LEAD_TIME + max(0.0, -delta) + tech.input_edge_time
+    t_b = t_a + delta
+    if direction == "falling":
+        wave_a = EdgeTrain([(t_a, 1)], tech.vdd, tech.input_edge_time)
+        wave_b = EdgeTrain([(t_b, 1)], tech.vdd, tech.input_edge_time)
+        reference = max(t_a, t_b)
+        edge = -1
+    else:
+        wave_a = EdgeTrain([(t_a, 0)], tech.vdd, tech.input_edge_time,
+                           initial=1)
+        wave_b = EdgeTrain([(t_b, 0)], tech.vdd, tech.input_edge_time,
+                           initial=1)
+        reference = min(t_a, t_b)
+        edge = +1
+    circuit = build_nand2(tech, wave_a, wave_b,
+                          output_load=output_load)
+    t_stop = max(t_a, t_b) + _TAIL_TIME
+    result = transient_analysis(circuit, t_stop,
+                                _transient_options(tech, options))
+    search_from = min(t_a, t_b) - 2.0 * tech.input_edge_time
+    t_out = crossing_after(result, "o", tech.vth, search_from, edge)
+    return t_out - reference
+
+
+def characterize_direction(tech: TechnologyCard, direction: str,
+                           deltas=DEFAULT_DELTAS,
+                           options: TransientOptions | None = None,
+                           output_load: float | None = None) -> MisCurve:
+    """Sweep Δ and return the analog MIS delay curve."""
+    deltas = sorted(float(d) for d in deltas)
+    delays = [nor_mis_delay(tech, d, direction, options, output_load)
+              for d in deltas]
+    return MisCurve.from_arrays(deltas, delays, direction,
+                                label=f"analog ({tech.name})")
+
+
+def toggle_sis_delays(tech: TechnologyCard, input_name: str,
+                      options: TransientOptions | None = None,
+                      output_load: float | None = None,
+                      dwell: float = 1000.0 * PS) -> tuple[float, float]:
+    """SIS delays via the *toggle* protocol (state-history aware).
+
+    Starting from the ``(0, 0)`` resting state, one input rises, the
+    gate settles for *dwell*, then the same input falls.  Unlike the
+    Δ-protocol (which parks the gate in (1,1) before rising
+    transitions), this visits the internal-node states a gate actually
+    sees in single-input traces — e.g. the p-stack node parking at
+    ``|Vt_p|`` instead of GND after a ``(0,0) → (1,0)`` history.  The
+    difference is a real switching-history effect the ideal-switch
+    model cannot represent (paper Sections II and IV).
+
+    Returns:
+        ``(falling_delay, rising_delay)`` for the toggled input.
+    """
+    if input_name not in ("a", "b"):
+        raise ParameterError("input_name must be 'a' or 'b'")
+    t_up = _LEAD_TIME + tech.input_edge_time
+    t_down = t_up + dwell
+    toggled = EdgeTrain([(t_up, 1), (t_down, 0)], tech.vdd,
+                        tech.input_edge_time)
+    if input_name == "a":
+        circuit = build_nor2(tech, toggled, 0.0, output_load=output_load)
+    else:
+        circuit = build_nor2(tech, 0.0, toggled, output_load=output_load)
+    result = transient_analysis(circuit, t_down + _TAIL_TIME,
+                                _transient_options(tech, options))
+    t_fall = crossing_after(result, "o", tech.vth,
+                            t_up - tech.input_edge_time, -1)
+    t_rise = crossing_after(result, "o", tech.vth,
+                            t_down - tech.input_edge_time, +1)
+    return (t_fall - t_up, t_rise - t_down)
+
+
+@dataclasses.dataclass(frozen=True)
+class NorCharacterization:
+    """Full MIS characterization of one NOR gate (Fig. 2 content).
+
+    Attributes:
+        falling: ``δ↓_S(Δ)`` curve.
+        rising: ``δ↑_S(Δ)`` curve.
+        sis_falling / sis_rising: characteristic triples measured with
+            the paper's Δ-protocol (``Δ = ±SIS_SEPARATION`` and
+            ``Δ = 0``).
+        sis_falling_toggle / sis_rising_toggle: characteristic triples
+            from the toggle protocol (see :func:`toggle_sis_delays`);
+            the MIS value ``zero`` of the falling triple still comes
+            from the Δ-protocol (it requires both inputs to switch).
+        tech_name: technology card used.
+        vdd: supply voltage.
+    """
+
+    falling: MisCurve
+    rising: MisCurve
+    sis_falling: CharacteristicDelays
+    sis_rising: CharacteristicDelays
+    sis_falling_toggle: CharacteristicDelays
+    sis_rising_toggle: CharacteristicDelays
+    tech_name: str
+    vdd: float
+
+    @property
+    def targets(self) -> CharacteristicTargets:
+        """Δ-protocol fitting targets.
+
+        The rising MIS value is replaced by ``δ↑(−∞)``: with the
+        paper's worst-case convention ``V_N(0) = GND`` the model
+        satisfies ``δ↑(0) ≡ δ↑(−∞)`` identically, and the analog peak
+        is exactly what it cannot express (Section IV) — feeding the
+        peak to the optimizer would just corrupt the SIS match.
+        """
+        rising = CharacteristicDelays(
+            minus_inf=self.sis_rising.minus_inf,
+            zero=self.sis_rising.minus_inf,
+            plus_inf=self.sis_rising.plus_inf,
+        )
+        return CharacteristicTargets(falling=self.sis_falling,
+                                     rising=rising, vdd=self.vdd)
+
+    @property
+    def targets_toggle(self) -> CharacteristicTargets:
+        """Toggle-protocol fitting targets (trace-representative).
+
+        This is the "empirically optimal parametrization" route the
+        paper mentions for Section VI: SIS values measured with the
+        switching histories that dominate random traces.
+        """
+        rising = CharacteristicDelays(
+            minus_inf=self.sis_rising_toggle.minus_inf,
+            zero=self.sis_rising_toggle.minus_inf,
+            plus_inf=self.sis_rising_toggle.plus_inf,
+        )
+        return CharacteristicTargets(falling=self.sis_falling_toggle,
+                                     rising=rising, vdd=self.vdd)
+
+    @property
+    def falling_mis_percent(self) -> tuple[float, float]:
+        """Fig. 2b annotations: δ↓(0) vs δ↓(−∞) and vs δ↓(∞), percent."""
+        return (self.sis_falling.mis_effect_vs_minus_inf,
+                self.sis_falling.mis_effect_vs_plus_inf)
+
+    @property
+    def rising_peak_percent(self) -> tuple[float, float]:
+        """Fig. 2d annotations: peak vs δ↑(−∞) and vs δ↑(∞), percent."""
+        peak = max(self.rising.delays)
+        return (100.0 * (peak / self.sis_rising.minus_inf - 1.0),
+                100.0 * (peak / self.sis_rising.plus_inf - 1.0))
+
+
+def characterize_nor(tech: TechnologyCard,
+                     deltas=DEFAULT_DELTAS,
+                     options: TransientOptions | None = None,
+                     output_load: float | None = None
+                     ) -> NorCharacterization:
+    """Characterize a NOR gate in both output directions (Fig. 2).
+
+    The SIS values are measured separately at ``Δ = ±SIS_SEPARATION``
+    so the sweep grid itself can stay narrow.
+    """
+    falling = characterize_direction(tech, "falling", deltas, options,
+                                     output_load)
+    rising = characterize_direction(tech, "rising", deltas, options,
+                                    output_load)
+
+    def triple(direction: str) -> CharacteristicDelays:
+        minus = nor_mis_delay(tech, -SIS_SEPARATION, direction, options,
+                              output_load)
+        zero = nor_mis_delay(tech, 0.0, direction, options, output_load)
+        plus = nor_mis_delay(tech, SIS_SEPARATION, direction, options,
+                             output_load)
+        return CharacteristicDelays(minus_inf=minus, zero=zero,
+                                    plus_inf=plus)
+
+    sis_falling = triple("falling")
+    fall_a, rise_a = toggle_sis_delays(tech, "a", options, output_load)
+    fall_b, rise_b = toggle_sis_delays(tech, "b", options, output_load)
+
+    return NorCharacterization(
+        falling=falling,
+        rising=rising,
+        sis_falling=sis_falling,
+        sis_rising=triple("rising"),
+        sis_falling_toggle=CharacteristicDelays(
+            minus_inf=fall_b, zero=sis_falling.zero, plus_inf=fall_a),
+        sis_rising_toggle=CharacteristicDelays(
+            minus_inf=rise_a, zero=rise_a, plus_inf=rise_b),
+        tech_name=tech.name,
+        vdd=tech.vdd,
+    )

@@ -1,0 +1,509 @@
+"""Experiment registry: one entry per table/figure of the paper.
+
+Every experiment returns a structured result object together with a
+plain-text rendering whose rows correspond to what the paper's figure
+shows.  The benchmark harness (``benchmarks/``) times the heavy kernel
+of each experiment and prints this rendering; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+
+All experiments accept effort-scaling arguments so the test-suite can
+run them in seconds while benchmarks use fuller settings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.analytic import (delta_falling_minus_inf, delta_falling_plus_inf,
+                             delta_falling_zero, delta_rising)
+from ..core.charlie import MisCurve
+from ..core.hybrid_model import HybridNorModel
+from ..core.modes import Mode
+from ..core.parameters import PAPER_TABLE_I, NorGateParameters
+from ..core.parametrization import FitResult
+from ..core.solutions import solve_mode
+from ..models.fitted import FinitePointMisModel, QuadraticMisModel
+from ..spice.technology import BULK65, FINFET15, TechnologyCard
+from ..spice.transient import TransientOptions
+from ..timing.channels import HybridNorChannel
+from ..timing.trace import DigitalTrace
+from ..timing.tracegen import PAPER_CONFIGS, WaveformConfig
+from ..units import PS, to_ps
+from .accuracy import (MODEL_LABELS, ConfigAccuracy, build_model_suite,
+                       run_accuracy_study)
+from .characterization import (DEFAULT_DELTAS, NorCharacterization,
+                               characterize_nor)
+from .faithfulness import short_pulse_filtration
+from .fitting import fit_from_characterization, fit_from_paper_values
+from .reporting import ascii_table, format_bar_chart, format_curves
+
+__all__ = [
+    "experiment_fig2",
+    "experiment_fig4",
+    "experiment_fig5",
+    "experiment_fig6",
+    "experiment_fig7",
+    "experiment_fig8",
+    "experiment_table1",
+    "experiment_analytic",
+    "experiment_runtime",
+    "experiment_ablation_delta_min",
+    "experiment_baseline_fits",
+    "experiment_faithfulness",
+    "EXPERIMENTS",
+]
+
+
+# ----------------------------------------------------------------------
+# Fig. 2 — analog characterization
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class Fig2Result:
+    characterization: NorCharacterization
+    text: str
+
+
+def experiment_fig2(tech: TechnologyCard = FINFET15,
+                    deltas: Sequence[float] = DEFAULT_DELTAS,
+                    options: TransientOptions | None = None
+                    ) -> Fig2Result:
+    """Fig. 2: analog MIS delay curves and their annotations."""
+    ch = characterize_nor(tech, deltas=deltas, options=options)
+    fall_m, fall_p = ch.falling_mis_percent
+    rise_m, rise_p = ch.rising_peak_percent
+    lines = [
+        format_curves([ch.falling], title=f"Fig. 2b: falling output "
+                                          f"delay ({tech.name})"),
+        f"  MIS effect at delta=0: {fall_m:+.2f} % vs delta=-inf, "
+        f"{fall_p:+.2f} % vs delta=+inf  (paper: -28.01 % / -28.43 %)",
+        "",
+        format_curves([ch.rising], title=f"Fig. 2d: rising output "
+                                         f"delay ({tech.name})"),
+        f"  MIS peak: {rise_m:+.2f} % vs delta=-inf, {rise_p:+.2f} % vs "
+        f"delta=+inf  (paper: +2.08 % / +7.26 %)",
+    ]
+    return Fig2Result(characterization=ch, text="\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 — mode trajectories
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class Fig4Result:
+    times: np.ndarray
+    trajectories: dict[str, np.ndarray]
+    text: str
+
+
+def experiment_fig4(params: NorGateParameters = PAPER_TABLE_I,
+                    t_stop: float = 150.0 * PS,
+                    points: int = 16) -> Fig4Result:
+    """Fig. 4: temporal evolution of all four mode systems.
+
+    Initial values follow the paper: ``V_N(0) = V_O(0) = VDD`` except
+    for system (0,0) (both GND) and ``V_N = VDD/2`` for system (1,1).
+    """
+    vdd = params.vdd
+    initial = {
+        Mode.BOTH_LOW: (0.0, 0.0),
+        Mode.A_LOW_B_HIGH: (vdd, vdd),
+        Mode.A_HIGH_B_LOW: (vdd, vdd),
+        Mode.BOTH_HIGH: (vdd / 2.0, vdd),
+    }
+    times = np.linspace(0.0, t_stop, points)
+    trajectories: dict[str, np.ndarray] = {}
+    for mode, (vn0, vo0) in initial.items():
+        solution = solve_mode(mode, params, vn0, vo0)
+        trajectories[f"VN{mode}"] = np.array([solution.vn(t)
+                                              for t in times])
+        trajectories[f"VO{mode}"] = np.array([solution.vo(t)
+                                              for t in times])
+    headers = ["t [ps]"] + list(trajectories)
+    rows = []
+    for i, t in enumerate(times):
+        rows.append([f"{to_ps(t):6.1f}"]
+                    + [f"{trajectories[key][i]:.3f}"
+                       for key in trajectories])
+    text = ascii_table(headers, rows,
+                       title="Fig. 4: mode trajectories [V]")
+    return Fig4Result(times=times, trajectories=trajectories, text=text)
+
+
+# ----------------------------------------------------------------------
+# Fig. 5 / Fig. 6 / Fig. 8 — model MIS curves vs analog
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class CurveComparisonResult:
+    curves: list[MisCurve]
+    text: str
+
+
+def experiment_fig5(params: NorGateParameters = PAPER_TABLE_I,
+                    characterization: NorCharacterization | None = None,
+                    deltas: Sequence[float] = DEFAULT_DELTAS
+                    ) -> CurveComparisonResult:
+    """Fig. 5: hybrid-model falling MIS delays (vs analog if given)."""
+    model = HybridNorModel(params)
+    curves = [model.falling_curve(deltas)]
+    if characterization is not None:
+        curves.append(characterization.falling)
+    text = format_curves(curves,
+                         title="Fig. 5: falling MIS delay, model vs "
+                               "analog")
+    return CurveComparisonResult(curves=curves, text=text)
+
+
+def experiment_fig6(params: NorGateParameters = PAPER_TABLE_I,
+                    characterization: NorCharacterization | None = None,
+                    deltas: Sequence[float] | None = None
+                    ) -> CurveComparisonResult:
+    """Fig. 6: rising MIS delays for ``V_N(0) ∈ {GND, VDD/2, VDD}``."""
+    if deltas is None:
+        deltas = tuple(float(d) * PS for d in
+                       (-90, -60, -40, -25, -12, 0, 12, 25, 40, 60, 90))
+    model = HybridNorModel(params)
+    vdd = params.vdd
+    curves = [model.rising_curve(deltas, vn_init=x)
+              for x in (0.0, vdd / 2.0, vdd)]
+    if characterization is not None:
+        curves.append(characterization.rising)
+    text = format_curves(curves,
+                         title="Fig. 6: rising MIS delay for VN in "
+                               "{GND, VDD/2, VDD} (vs analog)")
+    return CurveComparisonResult(curves=curves, text=text)
+
+
+def experiment_fig8(params: NorGateParameters = PAPER_TABLE_I,
+                    characterization: NorCharacterization | None = None,
+                    deltas: Sequence[float] = DEFAULT_DELTAS
+                    ) -> CurveComparisonResult:
+    """Fig. 8: falling matching with and without the pure delay."""
+    with_dmin = HybridNorModel(params).falling_curve(deltas)
+    without = HybridNorModel(
+        params.without_delta_min()).falling_curve(deltas)
+    with_dmin = MisCurve(with_dmin.deltas, with_dmin.delays, "falling",
+                         label="HM with dmin")
+    without = MisCurve(without.deltas, without.delays, "falling",
+                       label="HM without dmin")
+    curves = [with_dmin, without]
+    if characterization is not None:
+        curves.append(characterization.falling)
+    text = format_curves(curves,
+                         title="Fig. 8: falling delay, hybrid model "
+                               "with/without pure delay")
+    return CurveComparisonResult(curves=curves, text=text)
+
+
+# ----------------------------------------------------------------------
+# Table I — parametrization
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class Table1Result:
+    fit: FitResult
+    text: str
+
+
+def experiment_table1(co: float | None = PAPER_TABLE_I.co
+                      ) -> Table1Result:
+    """Table I: fit the hybrid model to the paper's Fig. 2 values.
+
+    ``C_O`` is pinned to the paper's value by default because the fit
+    manifold is one-dimensional (see
+    :mod:`repro.core.parametrization`); pass ``co=None`` to fit it too.
+    """
+    fit = fit_from_paper_values(co=co)
+    rows = []
+    for name in ("r1", "r2", "r3", "r4", "cn", "co"):
+        fitted = getattr(fit.params, name)
+        paper = getattr(PAPER_TABLE_I, name)
+        rows.append([name.upper(), f"{fitted:.4g}", f"{paper:.4g}",
+                     f"{fitted / paper:.3f}"])
+    header = ascii_table(["param", "fitted [SI]", "paper [SI]",
+                          "ratio"], rows,
+                         title="Table I: fitted parameters vs paper")
+    target_rows = [(name, f"{t:.2f}", f"{a:.2f}")
+                   for name, t, a in fit.table()]
+    targets = ascii_table(["characteristic", "target [ps]",
+                           "achieved [ps]"], target_rows)
+    dmin = fit.params.delta_min
+    text = "\n".join([header, "",
+                      f"delta_min = {to_ps(dmin):.2f} ps "
+                      "(paper: 18 ps)", targets])
+    return Table1Result(fit=fit, text=text)
+
+
+# ----------------------------------------------------------------------
+# Eqs. (8)-(12) — analytic approximations
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class AnalyticResult:
+    rows: list[tuple[str, float, float]]
+    text: str
+
+
+def experiment_analytic(params: NorGateParameters = PAPER_TABLE_I
+                        ) -> AnalyticResult:
+    """Eqs. (8)-(12) against the exact crossing solver."""
+    model = HybridNorModel(params)
+    rows: list[tuple[str, float, float]] = [
+        ("eq (8)  falling(0)", delta_falling_zero(params),
+         model.delay_falling_zero()),
+        ("eq (9)  falling(-inf)", delta_falling_minus_inf(params),
+         model.delay_falling_minus_inf()),
+        ("eq (10) falling(+inf)", delta_falling_plus_inf(params),
+         model.delay_falling_plus_inf()),
+    ]
+    for delta in (-40e-12, -10e-12, 0.0, 10e-12, 40e-12):
+        rows.append((f"eq (11/12) rising({to_ps(delta):+.0f} ps)",
+                     delta_rising(params, delta, vn_init=0.0),
+                     model.delay_rising(delta, vn_init=0.0)))
+    table_rows = [(name, f"{to_ps(a):.3f}", f"{to_ps(b):.3f}",
+                   f"{to_ps(abs(a - b)) * 1000.0:.2f}")
+                  for name, a, b in rows]
+    text = ascii_table(["formula", "approx [ps]", "exact [ps]",
+                        "error [fs]"], table_rows,
+                       title="Analytic characteristic delays "
+                             "(eqs. 8-12) vs exact")
+    return AnalyticResult(rows=rows, text=text)
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — modeling accuracy
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class Fig7Result:
+    results: list[ConfigAccuracy]
+    fit: FitResult
+    characterization: NorCharacterization
+    text: str
+
+
+def _scaled_config(config: WaveformConfig,
+                   transitions: int | None) -> WaveformConfig:
+    if transitions is None:
+        return config
+    scaled = min(config.transitions, transitions)
+    return WaveformConfig(mu=config.mu, sigma=config.sigma,
+                          mode=config.mode, transitions=scaled)
+
+
+def experiment_fig7(tech: TechnologyCard = FINFET15,
+                    configs: Sequence[WaveformConfig] = PAPER_CONFIGS,
+                    repetitions: int = 3,
+                    transitions: int | None = 100,
+                    seed: int = 0,
+                    exp_pure_delay: float = 20.0 * PS,
+                    protocol: str = "toggle",
+                    characterization: NorCharacterization | None = None,
+                    fit: FitResult | None = None) -> Fig7Result:
+    """Fig. 7: normalized deviation areas of the four delay models.
+
+    Args:
+        transitions: per-configuration transition-count cap (the paper
+            uses 500/250; the default keeps runtimes sensible — pass
+            ``None`` for full size).
+        protocol: SIS characterization protocol for the parametrization
+            (``'toggle'`` is the paper's "empirically optimal" route,
+            see :mod:`repro.analysis.characterization`).
+    """
+    if characterization is None:
+        characterization = characterize_nor(tech)
+    if fit is None:
+        fit = fit_from_characterization(characterization,
+                                        protocol=protocol)
+    # The no-pure-delay variant is its own least-squares fit: without
+    # δ_min the falling ratio-2 theorem makes the targets infeasible and
+    # the optimizer must spread the error across the curve — cf. the
+    # systematic mismatch of Fig. 8's lower curve.
+    fit_no_dmin = fit_from_characterization(characterization,
+                                            delta_min=0.0,
+                                            protocol=protocol)
+    targets = (characterization.targets_toggle if protocol == "toggle"
+               else characterization.targets)
+    # The Exp-Channel is parametrized from the textbook Δ-protocol SIS
+    # characterization (Fig. 2 convention): being a single-history
+    # output channel it has no trace-representative calibration path —
+    # its degradation on broad pulses in Fig. 7 follows exactly from
+    # this (paper Section VI).
+    delta_targets = characterization.targets
+    exp_delays = (delta_targets.rising.minus_inf,
+                  delta_targets.falling.plus_inf)
+    suite = build_model_suite(targets, fit.params,
+                              hybrid_params_no_dmin=fit_no_dmin.params,
+                              exp_pure_delay=exp_pure_delay,
+                              exp_delays=exp_delays)
+    scaled = [_scaled_config(config, transitions) for config in configs]
+    results = run_accuracy_study(tech, suite, scaled,
+                                 repetitions=repetitions, seed=seed)
+    blocks = []
+    for accuracy in results:
+        norm = accuracy.normalized
+        labels = [MODEL_LABELS[key] for key in norm]
+        blocks.append(format_bar_chart(
+            labels, list(norm.values()),
+            title=f"{accuracy.config.label} (normalized deviation "
+                  f"area, lower is better)"))
+    text = "\n\n".join(blocks)
+    return Fig7Result(results=results, fit=fit,
+                      characterization=characterization, text=text)
+
+
+# ----------------------------------------------------------------------
+# Section VI — runtime overhead
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeResult:
+    seconds: dict[str, float]
+    overhead_vs_inertial: dict[str, float]
+    text: str
+
+
+def experiment_runtime(tech: TechnologyCard = FINFET15,
+                       transitions: int = 200,
+                       repeats: int = 5,
+                       characterization: NorCharacterization | None = None,
+                       fit: FitResult | None = None,
+                       seed: int = 0) -> RuntimeResult:
+    """Section VI: digital-simulation runtime of the channel models."""
+    from ..timing.tracegen import generate_traces  # local: avoid cycle
+    if characterization is None:
+        characterization = characterize_nor(tech)
+    if fit is None:
+        fit = fit_from_characterization(characterization)
+    suite = build_model_suite(characterization.targets, fit.params)
+    config = WaveformConfig(mu=100 * PS, sigma=50 * PS, mode="local",
+                            transitions=transitions)
+    traces = generate_traces(config, ["a", "b"], seed=seed,
+                             t_start=300 * PS)
+    seconds: dict[str, float] = {}
+    for key, runner in suite.items():
+        start = time.perf_counter()
+        for _ in range(repeats):
+            runner(traces["a"], traces["b"])
+        seconds[key] = (time.perf_counter() - start) / repeats
+    base = seconds["inertial"]
+    overhead = {key: value / base - 1.0 for key, value in seconds.items()}
+    rows = [(MODEL_LABELS[key], f"{seconds[key] * 1e3:.3f}",
+             f"{overhead[key] * 100.0:+.1f}")
+            for key in seconds]
+    text = ascii_table(["model", "runtime [ms]", "overhead [%]"], rows,
+                       title=f"Digital simulation runtime "
+                             f"({transitions} transitions; paper "
+                             "reports ~6 % hybrid overhead)")
+    return RuntimeResult(seconds=seconds,
+                         overhead_vs_inertial=overhead, text=text)
+
+
+# ----------------------------------------------------------------------
+# Ablations
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class AblationResult:
+    rows: list[tuple[str, float]]
+    text: str
+
+
+def experiment_ablation_delta_min(
+        characterization: NorCharacterization,
+        delta_mins: Sequence[float] | None = None) -> AblationResult:
+    """How the choice of ``δ_min`` affects the falling-curve match.
+
+    For each candidate pure delay the model is re-fitted and the mean
+    absolute error against the analog falling curve is reported.  The
+    ratio-2 value (paper's 18 ps recipe) should be at/near the optimum.
+    """
+    from ..core.parametrization import infer_delta_min
+    inferred = infer_delta_min(characterization.targets.falling)
+    if delta_mins is None:
+        delta_mins = [0.0, 0.5 * inferred, inferred, 1.25 * inferred]
+    rows: list[tuple[str, float]] = []
+    for dmin in delta_mins:
+        fit = fit_from_characterization(characterization,
+                                        delta_min=dmin)
+        curve = HybridNorModel(fit.params).falling_curve(
+            characterization.falling.deltas)
+        error = curve.mean_abs_difference(characterization.falling)
+        tag = f"delta_min={to_ps(dmin):5.1f} ps"
+        if math.isclose(dmin, inferred, rel_tol=1e-9):
+            tag += " (ratio-2 rule)"
+        rows.append((tag, error))
+    table_rows = [(tag, f"{to_ps(err):.3f}") for tag, err in rows]
+    text = ascii_table(["configuration", "mean |model-analog| [ps]"],
+                       table_rows,
+                       title="Ablation: pure delay choice vs falling "
+                             "curve match")
+    return AblationResult(rows=rows, text=text)
+
+
+def experiment_baseline_fits(characterization: NorCharacterization
+                             ) -> AblationResult:
+    """Literature curve-fit baselines vs the hybrid model (falling).
+
+    All models are granted the same characterization data; the table
+    reports the mean absolute error on the analog curve.
+    """
+    curve = characterization.falling
+    fit = fit_from_characterization(characterization)
+    hybrid_curve = HybridNorModel(fit.params).falling_curve(curve.deltas)
+    finite = FinitePointMisModel.fit(curve, num_points=5)
+    quad = QuadraticMisModel.fit(curve)
+    rows = [
+        ("hybrid ODE model (ours)",
+         hybrid_curve.mean_abs_difference(curve)),
+        ("finite-point linear fit [7]",
+         finite.curve(curve.deltas).mean_abs_difference(curve)),
+        ("quadratic fit [8]",
+         quad.curve(curve.deltas).mean_abs_difference(curve)),
+    ]
+    table_rows = [(tag, f"{to_ps(err):.3f}") for tag, err in rows]
+    text = ascii_table(["model", "mean |model-analog| [ps]"], table_rows,
+                       title="Baselines: curve-fitting models vs "
+                             "hybrid ODE model (falling)")
+    return AblationResult(rows=rows, text=text)
+
+
+def experiment_faithfulness(params: NorGateParameters = PAPER_TABLE_I,
+                            widths: Sequence[float] | None = None
+                            ) -> AblationResult:
+    """Short-pulse filtration behaviour of the hybrid channel."""
+    if widths is None:
+        widths = [float(w) * PS for w in (200, 100, 60, 40, 30, 25, 20,
+                                          15, 10, 5)]
+    channel = HybridNorChannel(params)
+    responses = short_pulse_filtration(channel.simulate, widths)
+    rows = [(f"input {to_ps(r.input_width):6.1f} ps",
+             r.output_width) for r in responses]
+    table_rows = [(tag, f"{to_ps(w):.3f}") for tag, w in rows]
+    text = ascii_table(["stimulus", "output pulse width [ps]"],
+                       table_rows,
+                       title="Short-pulse filtration of the hybrid "
+                             "channel (continuous shrink-to-zero)")
+    return AblationResult(rows=rows, text=text)
+
+
+#: Registry used by benches and the examples.
+EXPERIMENTS = {
+    "fig2": experiment_fig2,
+    "fig4": experiment_fig4,
+    "fig5": experiment_fig5,
+    "fig6": experiment_fig6,
+    "fig7": experiment_fig7,
+    "fig8": experiment_fig8,
+    "table1": experiment_table1,
+    "analytic": experiment_analytic,
+    "runtime": experiment_runtime,
+    "faithfulness": experiment_faithfulness,
+}

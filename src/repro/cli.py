@@ -1,0 +1,110 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Runs one of the paper's experiments and prints its rendered rows.
+``python -m repro list`` enumerates the registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .analysis import experiments as exp
+from .spice.technology import BULK65, FINFET15, TechnologyCard
+
+__all__ = ["main", "build_parser"]
+
+_TECH_CARDS: dict[str, TechnologyCard] = {
+    "finfet15": FINFET15,
+    "bulk65": BULK65,
+}
+
+_DESCRIPTIONS = {
+    "fig2": "analog MIS characterization (delay vs input separation)",
+    "fig4": "mode-system trajectories",
+    "fig5": "model vs analog falling MIS delays",
+    "fig6": "model rising MIS delays for VN in {GND, VDD/2, VDD}",
+    "fig7": "normalized deviation areas on random traces",
+    "fig8": "falling matching with/without the pure delay",
+    "table1": "least-squares parametrization (Table I)",
+    "analytic": "eqs. (8)-(12) vs exact crossings",
+    "runtime": "digital-simulation runtime comparison",
+    "faithfulness": "short-pulse filtration probe",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction experiments for 'A Simple Hybrid "
+                    "Model for Accurate Delay Modeling of a "
+                    "Multi-Input Gate' (DATE 2022)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    for name, description in _DESCRIPTIONS.items():
+        cmd = sub.add_parser(name, help=description)
+        cmd.add_argument("--tech", choices=sorted(_TECH_CARDS),
+                         default="finfet15",
+                         help="technology card (analog experiments)")
+        if name in ("fig5", "fig6", "fig8"):
+            cmd.add_argument("--with-analog", action="store_true",
+                             help="also run the analog golden sweep "
+                                  "(slower)")
+        if name == "fig7":
+            cmd.add_argument("--transitions", type=int, default=60,
+                             help="transitions per configuration "
+                                  "(paper: 500/250)")
+            cmd.add_argument("--repetitions", type=int, default=2,
+                             help="random repetitions (paper: 20)")
+            cmd.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_experiment(args: argparse.Namespace) -> str:
+    tech = _TECH_CARDS[getattr(args, "tech", "finfet15")]
+    name = args.command
+    if name == "fig2":
+        return exp.experiment_fig2(tech).text
+    if name == "fig4":
+        return exp.experiment_fig4().text
+    if name in ("fig5", "fig6", "fig8"):
+        characterization = (exp.characterize_nor(tech)
+                            if args.with_analog else None)
+        runner = {"fig5": exp.experiment_fig5,
+                  "fig6": exp.experiment_fig6,
+                  "fig8": exp.experiment_fig8}[name]
+        return runner(characterization=characterization).text
+    if name == "fig7":
+        return exp.experiment_fig7(tech,
+                                   transitions=args.transitions,
+                                   repetitions=args.repetitions,
+                                   seed=args.seed).text
+    if name == "table1":
+        return exp.experiment_table1().text
+    if name == "analytic":
+        return exp.experiment_analytic().text
+    if name == "runtime":
+        return exp.experiment_runtime(tech).text
+    if name == "faithfulness":
+        return exp.experiment_faithfulness().text
+    raise SystemExit(f"unknown experiment {name!r}")  # pragma: no cover
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in _DESCRIPTIONS)
+        for name, description in _DESCRIPTIONS.items():
+            print(f"{name:<{width}}  {description}")
+        return 0
+    print(_run_experiment(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The paper's primary contribution: the hybrid ODE NOR-gate delay model.
+
+Public surface:
+
+* :class:`~repro.core.parameters.NorGateParameters` and the paper's
+  Table I values :data:`~repro.core.parameters.PAPER_TABLE_I`;
+* :class:`~repro.core.hybrid_model.HybridNorModel` — MIS delays;
+* :mod:`~repro.core.analytic` — paper eqs. (8)–(12);
+* :func:`~repro.core.parametrization.fit_nor_parameters` — Table I fit;
+* :class:`~repro.core.charlie.CharacteristicDelays` /
+  :class:`~repro.core.charlie.MisCurve` — Charlie-effect containers.
+"""
+
+from .charlie import CharacteristicDelays, MisCurve
+from .duality import HybridNandModel
+from .hybrid_model import DelayComputation, HybridNorModel
+from .modes import Mode, mode_system
+from .multi_input import GeneralizedNorModel, GeneralizedNorParameters
+from .parameters import PAPER_DELTA_MIN, PAPER_TABLE_I, NorGateParameters
+from .parametrization import (
+    CharacteristicTargets,
+    FitResult,
+    falling_feasible_without_pure_delay,
+    fit_nor_parameters,
+    infer_delta_min,
+)
+from .solutions import ModeSolution, solve_mode
+from .trajectory import PiecewiseTrajectory
+
+__all__ = [
+    "CharacteristicDelays",
+    "CharacteristicTargets",
+    "DelayComputation",
+    "FitResult",
+    "GeneralizedNorModel",
+    "GeneralizedNorParameters",
+    "HybridNandModel",
+    "HybridNorModel",
+    "MisCurve",
+    "Mode",
+    "ModeSolution",
+    "NorGateParameters",
+    "PAPER_DELTA_MIN",
+    "PAPER_TABLE_I",
+    "PiecewiseTrajectory",
+    "falling_feasible_without_pure_delay",
+    "fit_nor_parameters",
+    "infer_delta_min",
+    "mode_system",
+    "solve_mode",
+]

@@ -1,0 +1,204 @@
+"""Characteristic Charlie delays and MIS delay curves.
+
+The paper characterizes the multiple-input-switching (MIS, "Charlie")
+behaviour of a gate by three values per output transition direction:
+
+* ``δ(−∞)`` — single-input-switching (SIS) delay when input B switches
+  long before input A,
+* ``δ(∞)``  — SIS delay when input A switches long before input B,
+* ``δ(0)``  — MIS delay for simultaneous transitions.
+
+(Recall ``Δ = t_B − t_A``: large *positive* Δ means B switches long
+*after* A, i.e. A alone determines a falling output transition.)
+
+This module provides containers for these values, extraction of the
+values and the paper's Fig. 2 percentage annotations from sampled delay
+curves, and a :class:`MisCurve` helper used by sweeps, plots and benches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..units import percent_change, to_ps
+
+__all__ = ["CharacteristicDelays", "MisCurve"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CharacteristicDelays:
+    """The three characteristic Charlie delays of one output direction.
+
+    Attributes:
+        minus_inf: SIS delay ``δ(−∞)`` (input B switched first), seconds.
+        zero: MIS delay ``δ(0)`` (simultaneous switching), seconds.
+        plus_inf: SIS delay ``δ(∞)`` (input A switched first), seconds.
+    """
+
+    minus_inf: float
+    zero: float
+    plus_inf: float
+
+    @property
+    def mis_effect_vs_minus_inf(self) -> float:
+        """Percent change of ``δ(0)`` vs ``δ(−∞)`` (Fig. 2 annotation)."""
+        return percent_change(self.zero, self.minus_inf)
+
+    @property
+    def mis_effect_vs_plus_inf(self) -> float:
+        """Percent change of ``δ(0)`` vs ``δ(∞)`` (Fig. 2 annotation)."""
+        return percent_change(self.zero, self.plus_inf)
+
+    @property
+    def is_speedup(self) -> bool:
+        """True if simultaneous switching is faster than both SIS cases."""
+        return self.zero < min(self.minus_inf, self.plus_inf)
+
+    @property
+    def is_slowdown(self) -> bool:
+        """True if simultaneous switching is slower than both SIS cases."""
+        return self.zero > max(self.minus_inf, self.plus_inf)
+
+    def shifted(self, delta: float) -> "CharacteristicDelays":
+        """Return a copy with *delta* added to every value.
+
+        Used for moving a pure delay ``δ_min`` in and out of the
+        characteristic values during parametrization (paper Section V).
+        """
+        return CharacteristicDelays(
+            minus_inf=self.minus_inf + delta,
+            zero=self.zero + delta,
+            plus_inf=self.plus_inf + delta,
+        )
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        """Return ``(δ(−∞), δ(0), δ(∞))``."""
+        return (self.minus_inf, self.zero, self.plus_inf)
+
+    def describe(self, label: str = "delta") -> str:
+        """One-line human-readable summary in picoseconds."""
+        return (f"{label}(-inf) = {to_ps(self.minus_inf):.2f} ps, "
+                f"{label}(0) = {to_ps(self.zero):.2f} ps, "
+                f"{label}(+inf) = {to_ps(self.plus_inf):.2f} ps")
+
+
+@dataclasses.dataclass(frozen=True)
+class MisCurve:
+    """A sampled MIS delay curve ``δ(Δ)``.
+
+    Attributes:
+        deltas: input separation times ``Δ = t_B − t_A`` in seconds.
+        delays: gate delays in seconds, one per Δ.
+        direction: ``'falling'`` or ``'rising'`` (output transition).
+        label: free-form label for reporting.
+    """
+
+    deltas: tuple[float, ...]
+    delays: tuple[float, ...]
+    direction: str
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.deltas) != len(self.delays):
+            raise ParameterError("deltas and delays must have equal length")
+        if self.direction not in ("falling", "rising"):
+            raise ParameterError("direction must be 'falling' or 'rising'")
+        if any(d2 <= d1 for d1, d2 in zip(self.deltas, self.deltas[1:])):
+            raise ParameterError("deltas must be strictly increasing")
+
+    @classmethod
+    def from_arrays(cls, deltas, delays, direction: str,
+                    label: str = "") -> "MisCurve":
+        """Build from any float sequences/arrays."""
+        return cls(tuple(float(d) for d in deltas),
+                   tuple(float(d) for d in delays),
+                   direction, label)
+
+    def __len__(self) -> int:
+        return len(self.deltas)
+
+    @property
+    def deltas_array(self) -> np.ndarray:
+        return np.asarray(self.deltas)
+
+    @property
+    def delays_array(self) -> np.ndarray:
+        return np.asarray(self.delays)
+
+    def delay_at(self, delta: float) -> float:
+        """Linearly interpolated delay at separation *delta*."""
+        return float(np.interp(delta, self.deltas, self.delays))
+
+    def extreme_near_zero(self) -> tuple[float, float]:
+        """Return ``(Δ*, δ(Δ*))`` of the most extreme delay of the curve.
+
+        For a speed-up curve this is the minimum, for a slow-down curve
+        the maximum — decided by comparing against the curve edges.
+        """
+        delays = self.delays_array
+        edge = 0.5 * (delays[0] + delays[-1])
+        idx_min = int(np.argmin(delays))
+        idx_max = int(np.argmax(delays))
+        if edge - delays[idx_min] >= delays[idx_max] - edge:
+            idx = idx_min
+        else:
+            idx = idx_max
+        return (self.deltas[idx], self.delays[idx])
+
+    def characteristic(self) -> CharacteristicDelays:
+        """Extract the characteristic delays from the sampled curve.
+
+        ``δ(±∞)`` are taken from the curve edges (which is valid as long
+        as the sweep extends past the settling region) and ``δ(0)`` is
+        interpolated at ``Δ = 0``.
+        """
+        return CharacteristicDelays(
+            minus_inf=self.delays[0],
+            zero=self.delay_at(0.0),
+            plus_inf=self.delays[-1],
+        )
+
+    def max_abs_difference(self, other: "MisCurve") -> float:
+        """Maximum |δ_self(Δ) − δ_other(Δ)| on the overlap of supports."""
+        lo = max(self.deltas[0], other.deltas[0])
+        hi = min(self.deltas[-1], other.deltas[-1])
+        if hi < lo:
+            raise ParameterError("curves do not overlap")
+        grid = np.linspace(lo, hi, 512)
+        mine = np.interp(grid, self.deltas, self.delays)
+        theirs = np.interp(grid, other.deltas, other.delays)
+        return float(np.max(np.abs(mine - theirs)))
+
+    def mean_abs_difference(self, other: "MisCurve") -> float:
+        """Mean |δ_self(Δ) − δ_other(Δ)| on the overlap of supports."""
+        lo = max(self.deltas[0], other.deltas[0])
+        hi = min(self.deltas[-1], other.deltas[-1])
+        if hi < lo:
+            raise ParameterError("curves do not overlap")
+        grid = np.linspace(lo, hi, 512)
+        mine = np.interp(grid, self.deltas, self.delays)
+        theirs = np.interp(grid, other.deltas, other.delays)
+        return float(np.mean(np.abs(mine - theirs)))
+
+    def shifted(self, delta: float) -> "MisCurve":
+        """Return a copy with *delta* added to every delay value."""
+        return MisCurve(self.deltas,
+                        tuple(d + delta for d in self.delays),
+                        self.direction, self.label)
+
+    def rows(self) -> list[tuple[float, float]]:
+        """``(Δ [ps], δ [ps])`` rows for reporting."""
+        return [(to_ps(d), to_ps(v))
+                for d, v in zip(self.deltas, self.delays)]
+
+
+def characteristic_from_samples(deltas: Sequence[float],
+                                delays: Sequence[float],
+                                direction: str) -> CharacteristicDelays:
+    """Convenience wrapper: build a curve and extract its characteristics."""
+    return MisCurve.from_arrays(deltas, delays, direction).characteristic()

@@ -1,0 +1,392 @@
+"""Generalized n-input NOR hybrid model (paper Section VII future work).
+
+The paper's model is a 2-input NOR; its construction generalizes
+directly to n inputs:
+
+* the pull-up network is a *series chain* of n pMOS switches from VDD
+  to the output with n−1 internal nodes (each with a parasitic
+  capacitance),
+* the pull-down network is n *parallel* nMOS switches,
+* every input state selects one linear RC network, i.e. one
+  n-dimensional ODE system ``C V' = −G V + b``.
+
+For n = 2 this reduces — exactly, as the test-suite verifies — to the
+closed-form model of :mod:`repro.core.hybrid_model`.  For general n the
+per-mode systems are solved by eigendecomposition of the augmented
+system matrix (RC networks have real, non-positive eigenvalues), giving
+each node voltage as a sum of up to n real exponentials; output
+threshold crossings are located by dense sampling plus Brent refinement.
+
+Conventions mirror the 2-input model: input ``i`` gates the i-th pMOS
+of the chain counted *from the rail* and the i-th parallel nMOS;
+``delta_min`` defers mode switches; internal nodes rest at the paper's
+worst case (GND) when their analog history is unknown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import math
+from collections.abc import Sequence
+
+import numpy as np
+from scipy.optimize import brentq
+
+from ..errors import NoCrossingError, ParameterError
+from .parameters import NorGateParameters
+from .solutions import ExpSum
+
+__all__ = ["GeneralizedNorParameters", "GeneralizedNorModel"]
+
+#: Relative eigenvalue imaginary part treated as numerical noise.
+_IMAG_TOL = 1e-8
+#: Samples used to bracket output crossings per segment.
+_CROSSING_SAMPLES = 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneralizedNorParameters:
+    """Electrical parameters of an n-input NOR (SI units).
+
+    Attributes:
+        r_pullup: on-resistances of the series pMOS chain, rail side
+            first (length n).
+        r_pulldown: on-resistances of the parallel nMOS (length n).
+        c_internal: capacitances of the n−1 internal chain nodes.
+        co: output capacitance.
+        vdd: supply voltage.
+        delta_min: pure delay deferring mode switches.
+    """
+
+    r_pullup: tuple[float, ...]
+    r_pulldown: tuple[float, ...]
+    c_internal: tuple[float, ...]
+    co: float
+    vdd: float = 0.8
+    delta_min: float = 0.0
+
+    def __post_init__(self) -> None:
+        n = len(self.r_pullup)
+        if n < 2:
+            raise ParameterError("need at least two inputs")
+        if len(self.r_pulldown) != n:
+            raise ParameterError("r_pulldown must match r_pullup")
+        if len(self.c_internal) != n - 1:
+            raise ParameterError("need exactly n-1 internal "
+                                 "capacitances")
+        for value in (*self.r_pullup, *self.r_pulldown,
+                      *self.c_internal, self.co, self.vdd):
+            if not math.isfinite(value) or value <= 0.0:
+                raise ParameterError("all electrical parameters must "
+                                     "be positive and finite")
+        if self.delta_min < 0.0:
+            raise ParameterError("delta_min must be non-negative")
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.r_pullup)
+
+    @property
+    def vth(self) -> float:
+        return self.vdd / 2.0
+
+    @classmethod
+    def from_two_input(cls, params: NorGateParameters
+                       ) -> "GeneralizedNorParameters":
+        """Map the paper's 2-input parameters onto the general form."""
+        return cls(r_pullup=(params.r1, params.r2),
+                   r_pulldown=(params.r3, params.r4),
+                   c_internal=(params.cn,),
+                   co=params.co, vdd=params.vdd,
+                   delta_min=params.delta_min)
+
+
+@dataclasses.dataclass(frozen=True)
+class _SegmentSolution:
+    """Node voltages of one mode segment as per-node ExpSums."""
+
+    nodes: tuple[ExpSum, ...]
+    slowest_tau: float
+
+    @property
+    def output(self) -> ExpSum:
+        return self.nodes[-1]
+
+    def state_at(self, t: float) -> np.ndarray:
+        return np.array([node(t) for node in self.nodes])
+
+
+class GeneralizedNorModel:
+    """MIS-aware delay model of an n-input CMOS NOR gate."""
+
+    def __init__(self, params: GeneralizedNorParameters):
+        self.params = params
+        self._n = params.num_inputs
+
+    # ------------------------------------------------------------------
+    # per-mode linear systems
+    # ------------------------------------------------------------------
+
+    @functools.lru_cache(maxsize=64)
+    def _mode_matrices(self, inputs: tuple[int, ...]
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """System matrix ``A = −C⁻¹G`` and forcing ``f = C⁻¹b``.
+
+        States are the chain nodes rail-side first, output last.
+        """
+        p = self.params
+        n = self._n
+        g = np.zeros((n, n))
+        b = np.zeros(n)
+        # Series pMOS chain: resistor i connects node i-1 to node i
+        # (node -1 is the VDD rail, node n-1 is the output), present
+        # when input i is low.
+        for i, (resistance, value) in enumerate(zip(p.r_pullup, inputs)):
+            if value:
+                continue
+            conductance = 1.0 / resistance
+            if i == 0:
+                g[0, 0] += conductance
+                b[0] += conductance * p.vdd
+            else:
+                g[i - 1, i - 1] += conductance
+                g[i, i] += conductance
+                g[i - 1, i] -= conductance
+                g[i, i - 1] -= conductance
+        # Parallel nMOS on the output node, present when the input is
+        # high.
+        for resistance, value in zip(p.r_pulldown, inputs):
+            if value:
+                g[n - 1, n - 1] += 1.0 / resistance
+        caps = np.array(list(p.c_internal) + [p.co])
+        a = -g / caps[:, None]
+        f = b / caps
+        return a, f
+
+    def _solve_segment(self, inputs: tuple[int, ...],
+                       state0: np.ndarray) -> _SegmentSolution:
+        """Eigen-solve one mode from the given initial state."""
+        a, f = self._mode_matrices(inputs)
+        n = self._n
+        # Augmented autonomous system d/dt [V; 1] = M [V; 1].
+        m = np.zeros((n + 1, n + 1))
+        m[:n, :n] = a
+        m[:n, n] = f
+        eigenvalues, eigenvectors = np.linalg.eig(m)
+        if np.max(np.abs(eigenvalues.imag)) > _IMAG_TOL * max(
+                1.0, float(np.max(np.abs(eigenvalues.real)))):
+            raise ParameterError("complex eigenvalues in RC network")
+        eigenvalues = eigenvalues.real
+        eigenvectors = eigenvectors.real
+        extended = np.append(state0, 1.0)
+        coefficients = np.linalg.solve(eigenvectors, extended)
+
+        nodes: list[ExpSum] = []
+        rates = eigenvalues
+        slowest = 0.0
+        for rate in rates:
+            if rate < -1e-30:
+                slowest = max(slowest, 1.0 / abs(rate))
+        for node in range(n):
+            terms = []
+            offset = 0.0
+            for k, rate in enumerate(rates):
+                weight = coefficients[k] * eigenvectors[node, k]
+                if abs(weight) < 1e-15:
+                    continue
+                if abs(rate) < 1e-6 / max(slowest, 1e-12):
+                    offset += weight
+                else:
+                    terms.append((weight, rate))
+            nodes.append(ExpSum.build(offset, terms))
+        return _SegmentSolution(nodes=tuple(nodes),
+                                slowest_tau=slowest or 1e-12)
+
+    # ------------------------------------------------------------------
+    # resting states
+    # ------------------------------------------------------------------
+
+    def resting_state(self, inputs: Sequence[int],
+                      floating_value: float = 0.0) -> np.ndarray:
+        """Steady-state node voltages for a held input combination.
+
+        Floating internal nodes (cut off by conducting-side switches)
+        have no defined equilibrium; they take *floating_value* — GND by
+        default, the paper's worst case.
+        """
+        inputs = tuple(int(bool(v)) for v in inputs)
+        a, f = self._mode_matrices(inputs)
+        n = self._n
+        state = np.full(n, float(floating_value))
+        # Nodes that participate in dynamics reach A V + f = 0 on their
+        # connected component; lstsq handles the singular (floating)
+        # directions, which we then overwrite explicitly.
+        solution, *_ = np.linalg.lstsq(a, -f, rcond=None)
+        for node in range(n):
+            if np.any(np.abs(a[node]) > 0.0):
+                state[node] = solution[node]
+            else:
+                state[node] = float(floating_value)
+        return state
+
+    # ------------------------------------------------------------------
+    # crossings
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _segment_crossings(expsum: ExpSum, threshold: float,
+                           t_end: float) -> list[float]:
+        """Crossings of a many-exponential sum via sampling + Brent."""
+        if not expsum.coeffs:
+            return []
+        grid = np.linspace(0.0, t_end, _CROSSING_SAMPLES)
+        values = expsum(grid) - threshold
+        crossings: list[float] = []
+        signs = np.sign(values)
+        for i in np.nonzero(signs[1:] * signs[:-1] < 0)[0]:
+            root = brentq(lambda t: expsum(t) - threshold,
+                          grid[i], grid[i + 1], xtol=1e-20)
+            crossings.append(float(root))
+        for i in np.nonzero(signs == 0)[0]:
+            crossings.append(float(grid[i]))
+        return sorted(crossings)
+
+    # ------------------------------------------------------------------
+    # trace-level interface
+    # ------------------------------------------------------------------
+
+    def output_crossings_for_inputs(
+            self, events_by_input: Sequence[Sequence[tuple[float, int]]],
+            initial_inputs: Sequence[int] | None = None,
+            initial_state: np.ndarray | None = None,
+            t_max: float | None = None) -> list[tuple[float, int]]:
+        """Digitized output for per-input transition streams.
+
+        Args:
+            events_by_input: one sorted ``(time, value)`` list per input.
+            initial_inputs: input values before the first events
+                (inferred from the first transitions by default).
+            initial_state: node voltages at ``t = 0`` (resting state of
+                the initial mode by default).
+            t_max: stop searching for crossings at this time.
+        """
+        if len(events_by_input) != self._n:
+            raise ParameterError(f"expected {self._n} input event "
+                                 "streams")
+        p = self.params
+        if initial_inputs is None:
+            initial_inputs = [1 - events[0][1] if events else 0
+                              for events in events_by_input]
+        values = [int(bool(v)) for v in initial_inputs]
+
+        merged: list[tuple[float, int, int]] = []
+        for index, events in enumerate(events_by_input):
+            for t, v in events:
+                if t < 0.0:
+                    raise ParameterError("input events must have "
+                                         "t >= 0")
+                merged.append((t, index, int(v)))
+        merged.sort()
+
+        switches: list[tuple[float, tuple[int, ...]]] = []
+        for t, index, value in merged:
+            values[index] = value
+            switches.append((t + p.delta_min, tuple(values)))
+
+        mode = tuple(int(bool(v)) for v in initial_inputs)
+        if initial_state is None:
+            state = self.resting_state(mode)
+        else:
+            state = np.asarray(initial_state, dtype=float)
+
+        crossings: list[tuple[float, int]] = []
+        t_now = 0.0
+        segment = self._solve_segment(mode, state)
+        horizon = t_max if t_max is not None else math.inf
+        pending = switches + [(None, None)]
+        for switch_time, next_mode in pending:
+            t_end = (switch_time if switch_time is not None
+                     else min(horizon, t_now + 60.0 *
+                              segment.slowest_tau + 1e-15))
+            local_end = max(t_end - t_now, 0.0)
+            vo = segment.output
+            derivative = vo.derivative()
+            for local_t in self._segment_crossings(vo, p.vth,
+                                                   local_end):
+                t_cross = t_now + local_t
+                if t_cross > horizon:
+                    continue
+                direction = 1 if derivative(local_t) > 0 else 0
+                if crossings and math.isclose(crossings[-1][0], t_cross,
+                                              rel_tol=1e-9,
+                                              abs_tol=1e-18):
+                    continue
+                crossings.append((t_cross, direction))
+            if switch_time is None:
+                break
+            state = segment.state_at(switch_time - t_now)
+            segment = self._solve_segment(next_mode, state)
+            t_now = switch_time
+
+        # Enforce alternation against the initial logical output.
+        initial_output = int(not any(mode))
+        cleaned: list[tuple[float, int]] = []
+        current = initial_output
+        for t, v in crossings:
+            if v == current:
+                continue
+            cleaned.append((t, v))
+            current = v
+        return cleaned
+
+    # ------------------------------------------------------------------
+    # delays
+    # ------------------------------------------------------------------
+
+    def delay_falling(self, rise_times: Sequence[float]) -> float:
+        """Falling-output MIS delay for per-input rise times.
+
+        All inputs start low (gate resting high); input ``i`` rises at
+        ``rise_times[i]``.  The delay is referenced to the earliest
+        input, per the paper's convention.
+        """
+        if len(rise_times) != self._n:
+            raise ParameterError(f"expected {self._n} rise times")
+        earliest = min(rise_times)
+        shift = -earliest if earliest < 0 else 0.0
+        events = [[(t + shift, 1)] for t in rise_times]
+        crossings = self.output_crossings_for_inputs(
+            events, initial_inputs=[0] * self._n)
+        # Mode switches are δ_min-deferred inside the crossing engine,
+        # so the returned delay includes the pure delay already.
+        for t, value in crossings:
+            if value == 0:
+                return t - (earliest + shift)
+        raise NoCrossingError("output never falls")
+
+    def delay_rising(self, fall_times: Sequence[float],
+                     internal_init: Sequence[float] | None = None
+                     ) -> float:
+        """Rising-output MIS delay for per-input fall times.
+
+        All inputs start high (gate resting low); input ``i`` falls at
+        ``fall_times[i]``.  Referenced to the latest input.  Internal
+        chain nodes rest at *internal_init* (GND worst case).
+        """
+        if len(fall_times) != self._n:
+            raise ParameterError(f"expected {self._n} fall times")
+        earliest = min(fall_times)
+        shift = -earliest if earliest < 0 else 0.0
+        events = [[(t + shift, 0)] for t in fall_times]
+        if internal_init is None:
+            internal_init = [0.0] * (self._n - 1)
+        state0 = np.array(list(internal_init) + [0.0])
+        crossings = self.output_crossings_for_inputs(
+            events, initial_inputs=[1] * self._n,
+            initial_state=state0)
+        latest = max(fall_times) + shift
+        for t, value in crossings:
+            if value == 1:
+                return t - latest
+        raise NoCrossingError("output never rises")

@@ -1,0 +1,222 @@
+"""Closed-form trajectories of the four NOR-gate modes.
+
+Every mode of the hybrid model is a 2-dimensional linear ODE with constant
+coefficients, so both voltages are *sums of at most two real exponentials
+plus a constant*:
+
+.. math::  v(t) = K_0 + K_1 e^{\\lambda_1 t} + K_2 e^{\\lambda_2 t}
+
+This module computes the coefficients from an arbitrary initial state
+``(V_N(0), V_O(0))`` using the eigen-decompositions of
+:mod:`repro.core.modes`, and packages them as :class:`ExpSum` objects that
+support evaluation, differentiation and exact/bracketed threshold
+inversion (the inversion itself lives in :mod:`repro.core.trajectory`).
+
+A generic numeric LTI propagator (:func:`propagate_numeric`) based on the
+matrix exponential is provided for cross-validation in the test-suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Sequence
+
+import numpy as np
+from scipy.linalg import expm
+
+from ..errors import ParameterError
+from .modes import (Mode, ModeSystem, mode_00_constants,
+                    mode_10_constants, mode_system)
+from .parameters import NorGateParameters
+
+__all__ = ["ExpSum", "ModeSolution", "solve_mode", "propagate_numeric"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExpSum:
+    """A function ``t -> offset + sum_i coeffs[i] * exp(rates[i] * t)``.
+
+    The representation is canonical enough for our purposes: terms with a
+    zero coefficient are dropped at construction, and a zero-rate term is
+    folded into the offset.
+    """
+
+    offset: float
+    coeffs: tuple[float, ...]
+    rates: tuple[float, ...]
+
+    @classmethod
+    def build(cls, offset: float,
+              terms: Sequence[tuple[float, float]]) -> "ExpSum":
+        """Create an :class:`ExpSum` from ``(coefficient, rate)`` pairs."""
+        total_offset = float(offset)
+        coeffs: list[float] = []
+        rates: list[float] = []
+        for coeff, rate in terms:
+            if coeff == 0.0:
+                continue
+            if rate == 0.0:
+                total_offset += coeff
+                continue
+            coeffs.append(float(coeff))
+            rates.append(float(rate))
+        return cls(total_offset, tuple(coeffs), tuple(rates))
+
+    def __call__(self, t):
+        """Evaluate at scalar or array ``t``."""
+        if isinstance(t, (float, int)):
+            # Scalar fast path — this is the innermost loop of every
+            # delay computation.
+            result = self.offset
+            for coeff, rate in zip(self.coeffs, self.rates):
+                result += coeff * math.exp(rate * t)
+            return result
+        t = np.asarray(t, dtype=float)
+        result = np.full_like(t, self.offset, dtype=float)
+        for coeff, rate in zip(self.coeffs, self.rates):
+            result = result + coeff * np.exp(rate * t)
+        if result.ndim == 0:
+            return float(result)
+        return result
+
+    def derivative(self) -> "ExpSum":
+        """Return the time-derivative as another :class:`ExpSum`."""
+        cached = object.__getattribute__(self, "__dict__").get("_deriv")
+        if cached is None:
+            cached = ExpSum.build(0.0, [(coeff * rate, rate)
+                                        for coeff, rate in
+                                        zip(self.coeffs, self.rates)])
+            object.__setattr__(self, "_deriv", cached)
+        return cached
+
+    @property
+    def limit(self) -> float:
+        """Value for ``t -> +inf`` (assumes all rates are negative)."""
+        if any(rate > 0.0 for rate in self.rates):
+            raise ParameterError("ExpSum diverges for t -> inf")
+        return self.offset
+
+    @property
+    def slowest_rate(self) -> float:
+        """The rate closest to zero (dominant long-term behaviour)."""
+        if not self.rates:
+            return 0.0
+        return max(self.rates, key=lambda r: r if r < 0 else -math.inf)
+
+    def shifted(self, dt: float) -> "ExpSum":
+        """Return ``s`` with ``s(t) = self(t + dt)`` (time re-basing)."""
+        return ExpSum.build(
+            self.offset,
+            [(coeff * math.exp(rate * dt), rate)
+             for coeff, rate in zip(self.coeffs, self.rates)],
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ModeSolution:
+    """Closed-form solution of one mode from a given initial state.
+
+    ``t`` is measured from the moment the mode was entered.
+    """
+
+    mode: Mode
+    vn: ExpSum
+    vo: ExpSum
+    initial_state: tuple[float, float]
+
+    def state_at(self, t: float) -> tuple[float, float]:
+        """Return ``(V_N(t), V_O(t))``."""
+        return (self.vn(t), self.vo(t))
+
+    def states_at(self, times) -> np.ndarray:
+        """Vectorized evaluation, returns shape ``(len(times), 2)``."""
+        times = np.asarray(times, dtype=float)
+        return np.stack([self.vn(times), self.vo(times)], axis=-1)
+
+
+def _solve_coupled(constants, offset_vn: float, offset_vo: float,
+                   vn0: float, vo0: float) -> tuple[ExpSum, ExpSum]:
+    """Common solver for the coupled modes (1,0) and (0,0).
+
+    The general solution (paper Sections III-C and III-E) is::
+
+        VN(t) = offset_vn + (c1 e^{λ1 t} + c2 e^{λ2 t}) / (CN R2)
+        VO(t) = offset_vo + c1 (α+β) e^{λ1 t} + c2 (α−β) e^{λ2 t}
+
+    with ``c1, c2`` fixed by the initial conditions.
+    """
+    alpha, beta = constants.alpha, constants.beta
+    lambda1, lambda2 = constants.lambda1, constants.lambda2
+    vn_comp = constants.vn_component  # 1 / (CN R2)
+
+    dn0 = vn0 - offset_vn
+    do0 = vo0 - offset_vo
+    # c1 + c2 = dn0 / vn_comp ; c1 (α+β) + c2 (α−β) = do0
+    total = dn0 / vn_comp
+    c1 = (do0 - total * (alpha - beta)) / (2.0 * beta)
+    c2 = total - c1
+
+    vn = ExpSum.build(offset_vn,
+                      [(c1 * vn_comp, lambda1), (c2 * vn_comp, lambda2)])
+    vo = ExpSum.build(offset_vo,
+                      [(c1 * (alpha + beta), lambda1),
+                       (c2 * (alpha - beta), lambda2)])
+    return vn, vo
+
+
+def solve_mode(mode: Mode, params: NorGateParameters,
+               vn0: float, vo0: float) -> ModeSolution:
+    """Solve one mode analytically from the initial state ``(vn0, vo0)``.
+
+    Args:
+        mode: input state of the gate during this mode.
+        params: electrical parameters.
+        vn0: internal node voltage when the mode is entered.
+        vo0: output voltage when the mode is entered.
+
+    Returns:
+        The closed-form :class:`ModeSolution`.
+    """
+    if mode is Mode.BOTH_HIGH:  # (1, 1): VN frozen, VO drains in parallel
+        rate = -(1.0 / params.tau_r3 + 1.0 / params.tau_r4)
+        vn = ExpSum.build(vn0, [])
+        vo = ExpSum.build(0.0, [(vo0, rate)])
+    elif mode is Mode.A_LOW_B_HIGH:  # (0, 1): decoupled charge/drain
+        vn = ExpSum.build(params.vdd,
+                          [(vn0 - params.vdd, -1.0 / params.tau_n_charge)])
+        vo = ExpSum.build(0.0, [(vo0, -1.0 / params.tau_r4)])
+    elif mode is Mode.A_HIGH_B_LOW:  # (1, 0): coupled drain through R3
+        vn, vo = _solve_coupled(mode_10_constants(params), 0.0, 0.0,
+                                vn0, vo0)
+    elif mode is Mode.BOTH_LOW:  # (0, 0): coupled charge from VDD
+        vn, vo = _solve_coupled(mode_00_constants(params), params.vdd,
+                                params.vdd, vn0, vo0)
+    else:  # pragma: no cover - exhaustive enum
+        raise ParameterError(f"unknown mode {mode!r}")
+    return ModeSolution(mode=mode, vn=vn, vo=vo,
+                        initial_state=(float(vn0), float(vo0)))
+
+
+def propagate_numeric(system: ModeSystem, state0, times) -> np.ndarray:
+    """Numerically exact LTI propagation via the matrix exponential.
+
+    Solves ``V' = A V + g`` from ``state0`` and returns the states at the
+    requested ``times`` (shape ``(len(times), 2)``).  Used to cross-check
+    the closed forms; the matrix of mode (1,1) is singular, so the affine
+    part is handled through the standard augmented-matrix trick::
+
+        d/dt [V; 1] = [[A, g], [0, 0]] [V; 1]
+    """
+    a = system.matrix
+    g = system.forcing
+    augmented = np.zeros((3, 3))
+    augmented[:2, :2] = a
+    augmented[:2, 2] = g
+    state0 = np.asarray(state0, dtype=float)
+    times = np.asarray(times, dtype=float)
+    out = np.empty((times.size, 2))
+    extended = np.append(state0, 1.0)
+    for i, t in enumerate(np.ravel(times)):
+        out[i] = (expm(augmented * t) @ extended)[:2]
+    return out

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+applications can catch the whole family with one ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model or device parameter is invalid (non-positive R/C, bad VDD...)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """A Newton iteration or optimizer failed to converge."""
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class NoCrossingError(ReproError, RuntimeError):
+    """A trajectory never crosses the requested threshold."""
+
+
+class NetlistError(ReproError, ValueError):
+    """A circuit netlist is malformed (unknown node, dangling pin...)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A simulation could not be carried out."""
+
+
+class TraceError(ReproError, ValueError):
+    """A digital trace violates its invariants (ordering, alternation)."""
+
+
+class FittingError(ReproError, RuntimeError):
+    """Model parametrization failed (infeasible targets, optimizer failure)."""

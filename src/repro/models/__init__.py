@@ -1,0 +1,5 @@
+"""Literature baseline MIS delay models (curve-fitting approaches)."""
+
+from .fitted import FinitePointMisModel, QuadraticMisModel
+
+__all__ = ["FinitePointMisModel", "QuadraticMisModel"]

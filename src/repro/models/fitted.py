@@ -1,0 +1,118 @@
+"""Literature-baseline MIS delay models (curve fitting over Δ).
+
+The paper's related work covers MIS modeling by direct fitting of the
+delay-vs-separation curve: linear fitting from a few characterization
+points (Subramaniam et al., "finite-point method" [7]) and quadratic
+fitting of the MIS region (Shin et al. [8]).  These baselines are
+implemented here for the ablation benchmarks: they interpolate the
+characterized curve well but — unlike the hybrid ODE model — carry no
+state, cannot extrapolate across load/parameter changes, and provide no
+trajectory information.
+
+Both models are pure functions ``δ(Δ)`` fitted per output-transition
+direction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.charlie import MisCurve
+from ..errors import FittingError, ParameterError
+
+__all__ = ["FinitePointMisModel", "QuadraticMisModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FinitePointMisModel:
+    """Piece-wise linear MIS delay from a handful of support points.
+
+    Mirrors the finite-point characterization approach of [7]: the delay
+    curve is sampled at a few separations and linearly interpolated in
+    between; outside the sampled window the SIS plateaus are used.
+    """
+
+    direction: str
+    knots: tuple[float, ...]
+    delays: tuple[float, ...]
+
+    @classmethod
+    def fit(cls, curve: MisCurve,
+            num_points: int = 5) -> "FinitePointMisModel":
+        """Pick *num_points* evenly spread support points from a curve."""
+        if num_points < 2:
+            raise ParameterError("need at least two support points")
+        if len(curve) < num_points:
+            raise FittingError("curve has fewer samples than requested "
+                               "support points")
+        indices = np.linspace(0, len(curve) - 1, num_points).round()
+        indices = sorted(set(int(i) for i in indices))
+        knots = tuple(curve.deltas[i] for i in indices)
+        delays = tuple(curve.delays[i] for i in indices)
+        return cls(direction=curve.direction, knots=knots, delays=delays)
+
+    def delay(self, delta: float) -> float:
+        """Interpolated MIS delay at separation *delta*."""
+        return float(np.interp(delta, self.knots, self.delays))
+
+    def curve(self, deltas) -> MisCurve:
+        """Evaluate on a grid (for plotting/benching)."""
+        deltas = np.asarray(deltas, dtype=float)
+        return MisCurve.from_arrays(
+            deltas, [self.delay(float(d)) for d in deltas],
+            self.direction, label="finite-point fit")
+
+
+@dataclasses.dataclass(frozen=True)
+class QuadraticMisModel:
+    """Quadratic-in-Δ MIS delay fit with SIS plateaus outside a window.
+
+    Mirrors the temporal-proximity model of [8]: within the MIS window
+    the delay is ``a Δ² + b Δ + c`` (least squares); outside, the SIS
+    plateau values apply, with continuity enforced at the window edges
+    by clamping.
+    """
+
+    direction: str
+    window: float
+    coefficients: tuple[float, float, float]
+    plateau_neg: float
+    plateau_pos: float
+
+    @classmethod
+    def fit(cls, curve: MisCurve,
+            window: float | None = None) -> "QuadraticMisModel":
+        """Least-squares quadratic over ``|Δ| <= window``."""
+        deltas = curve.deltas_array
+        delays = curve.delays_array
+        if window is None:
+            window = 0.5 * float(min(abs(deltas[0]), abs(deltas[-1])))
+        if window <= 0.0:
+            raise ParameterError("window must be positive")
+        mask = np.abs(deltas) <= window
+        if int(mask.sum()) < 3:
+            raise FittingError("fewer than three samples inside the MIS "
+                               "window")
+        coeffs = np.polyfit(deltas[mask], delays[mask], deg=2)
+        return cls(direction=curve.direction, window=float(window),
+                   coefficients=tuple(float(c) for c in coeffs),
+                   plateau_neg=float(delays[0]),
+                   plateau_pos=float(delays[-1]))
+
+    def delay(self, delta: float) -> float:
+        """MIS delay at separation *delta*."""
+        if delta < -self.window:
+            return self.plateau_neg
+        if delta > self.window:
+            return self.plateau_pos
+        a, b, c = self.coefficients
+        return a * delta * delta + b * delta + c
+
+    def curve(self, deltas) -> MisCurve:
+        """Evaluate on a grid (for plotting/benching)."""
+        deltas = np.asarray(deltas, dtype=float)
+        return MisCurve.from_arrays(
+            deltas, [self.delay(float(d)) for d in deltas],
+            self.direction, label="quadratic fit")

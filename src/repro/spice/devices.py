@@ -1,0 +1,225 @@
+"""Circuit devices for the MNA analog simulator.
+
+Devices fall into four stamp categories, mirroring how they enter the
+modified-nodal-analysis equations:
+
+* **linear conductances** (:class:`Resistor`) — stamped once into the
+  constant conductance matrix ``G0``;
+* **linear capacitances** (:class:`Capacitor`) — stamped once into the
+  constant capacitance matrix ``C``;
+* **voltage sources** (:class:`VoltageSource`) — one extra MNA branch row
+  each, with a time-dependent right-hand side;
+* **nonlinear elements** (:class:`Mosfet`) — re-evaluated each Newton
+  iteration, contributing currents and Jacobian (``gm``, ``gds``)
+  entries.
+
+The MOSFET is the classic Shichman–Hodges (SPICE level 1) square-law
+model with channel-length modulation and symmetric drain/source reversal.
+Device capacitances (Cgs/Cgd/Cdb) are *not* part of the MOSFET device:
+cell builders add them as explicit linear :class:`Capacitor` instances
+(see :mod:`repro.spice.technology`), which keeps the dynamic part of the
+system linear — exactly the structure the paper's hybrid model
+approximates with its fixed C_N and C_O.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..errors import ParameterError
+from .waveforms import Dc, Waveform
+
+__all__ = ["Device", "Resistor", "Capacitor", "VoltageSource",
+           "MosfetModel", "Mosfet"]
+
+
+class Device:
+    """Base class: every device knows its terminal node names."""
+
+    name: str
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+
+class Resistor(Device):
+    """A linear resistor between two nodes."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 resistance: float):
+        if resistance <= 0.0 or not math.isfinite(resistance):
+            raise ParameterError(f"resistance must be positive, got "
+                                 f"{resistance!r}")
+        self.name = name
+        self.node_pos = node_pos
+        self.node_neg = node_neg
+        self.resistance = float(resistance)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.node_pos, self.node_neg)
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+
+class Capacitor(Device):
+    """A linear capacitor between two nodes."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 capacitance: float):
+        if capacitance < 0.0 or not math.isfinite(capacitance):
+            raise ParameterError(f"capacitance must be non-negative, got "
+                                 f"{capacitance!r}")
+        self.name = name
+        self.node_pos = node_pos
+        self.node_neg = node_neg
+        self.capacitance = float(capacitance)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.node_pos, self.node_neg)
+
+
+class VoltageSource(Device):
+    """An ideal voltage source (MNA branch element).
+
+    ``waveform`` may be a float (treated as DC) or a
+    :class:`~repro.spice.waveforms.Waveform`.
+    """
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 waveform: Waveform | float):
+        self.name = name
+        self.node_pos = node_pos
+        self.node_neg = node_neg
+        if isinstance(waveform, (int, float)):
+            waveform = Dc(float(waveform))
+        self.waveform = waveform
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.node_pos, self.node_neg)
+
+    def value(self, t: float) -> float:
+        return self.waveform(t)
+
+
+@dataclasses.dataclass(frozen=True)
+class MosfetModel:
+    """Square-law MOSFET model card.
+
+    Attributes:
+        polarity: ``'n'`` or ``'p'``.
+        vt: threshold voltage magnitude, volts (positive for both types).
+        k: transconductance factor ``µ Cox W/L``, A/V².
+        lam: channel-length modulation, 1/V.
+        cgs: gate-source capacitance, farads (used by cell builders).
+        cgd: gate-drain (overlap/Miller) capacitance, farads.
+        cdb: drain-bulk junction capacitance, farads.
+    """
+
+    polarity: str
+    vt: float
+    k: float
+    lam: float = 0.0
+    cgs: float = 0.0
+    cgd: float = 0.0
+    cdb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("n", "p"):
+            raise ParameterError("polarity must be 'n' or 'p'")
+        if self.vt <= 0.0 or self.k <= 0.0:
+            raise ParameterError("vt and k must be positive")
+        if self.lam < 0.0 or min(self.cgs, self.cgd, self.cdb) < 0.0:
+            raise ParameterError("lam and capacitances must be >= 0")
+
+    def scaled(self, width_factor: float) -> "MosfetModel":
+        """Return a copy with ``k`` and capacitances scaled by width."""
+        if width_factor <= 0.0:
+            raise ParameterError("width_factor must be positive")
+        return dataclasses.replace(
+            self,
+            k=self.k * width_factor,
+            cgs=self.cgs * width_factor,
+            cgd=self.cgd * width_factor,
+            cdb=self.cdb * width_factor,
+        )
+
+
+def _square_law(vgs: float, vds: float, vt: float, k: float,
+                lam: float) -> tuple[float, float, float]:
+    """Drain current and derivatives for ``vds >= 0`` (NMOS convention).
+
+    Returns:
+        ``(id, gm, gds)`` with ``gm = ∂id/∂vgs`` and ``gds = ∂id/∂vds``.
+    """
+    vov = vgs - vt
+    if vov <= 0.0:
+        return (0.0, 0.0, 0.0)
+    clm = 1.0 + lam * vds
+    if vds < vov:  # triode / linear region
+        ids = k * (vov * vds - 0.5 * vds * vds) * clm
+        gm = k * vds * clm
+        gds = (k * (vov - vds) * clm
+               + k * (vov * vds - 0.5 * vds * vds) * lam)
+    else:  # saturation
+        ids = 0.5 * k * vov * vov * clm
+        gm = k * vov * clm
+        gds = 0.5 * k * vov * vov * lam
+    return (ids, gm, gds)
+
+
+class Mosfet(Device):
+    """A MOSFET instance (drain, gate, source terminals).
+
+    The bulk is implicitly tied to the source rail; body effect is not
+    modeled (the paper's RC abstraction has none either).  The device is
+    symmetric: for reversed ``vds`` the terminal roles swap.
+    """
+
+    def __init__(self, name: str, drain: str, gate: str, source: str,
+                 model: MosfetModel, width_factor: float = 1.0):
+        self.name = name
+        self.drain = drain
+        self.gate = gate
+        self.source = source
+        self.model = (model if width_factor == 1.0
+                      else model.scaled(width_factor))
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.drain, self.gate, self.source)
+
+    def evaluate(self, vd: float, vg: float,
+                 vs: float) -> tuple[float, float, float, float]:
+        """Current into the drain terminal and its derivatives.
+
+        Returns:
+            ``(id, d_id/d_vd, d_id/d_vg, d_id/d_vs)`` — the current
+            flowing *into* the drain node (out of the source node).
+        """
+        model = self.model
+        if model.polarity == "n":
+            if vd >= vs:
+                ids, gm, gds = _square_law(vg - vs, vd - vs,
+                                           model.vt, model.k, model.lam)
+                # id flows drain->source; derivative bookkeeping:
+                return (ids, gds, gm, -gm - gds)
+            ids, gm, gds = _square_law(vg - vd, vs - vd,
+                                       model.vt, model.k, model.lam)
+            # Roles swapped: current flows source->drain.
+            return (-ids, gm + gds, -gm, -gds)
+        # PMOS: mirror all voltages.
+        if vd <= vs:
+            ids, gm, gds = _square_law(vs - vg, vs - vd,
+                                       model.vt, model.k, model.lam)
+            # Current flows source->drain internally; into drain: -(-ids)
+            return (-ids, gds, gm, -gm - gds)
+        ids, gm, gds = _square_law(vd - vg, vd - vs,
+                                   model.vt, model.k, model.lam)
+        return (ids, gm + gds, -gm, -gds)

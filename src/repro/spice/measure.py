@@ -1,0 +1,70 @@
+"""Measurement helpers on transient waveforms.
+
+Small, composable utilities that turn :class:`TransientResult` waveforms
+into the quantities the paper reports: threshold-crossing times, gate
+delays between an input and an output crossing, and slew times.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from .transient import TransientResult
+
+__all__ = ["crossing_after", "gate_delay", "slew_time"]
+
+
+def crossing_after(result: TransientResult, node: str, threshold: float,
+                   after: float, direction: int | None = None) -> float:
+    """First crossing of *node* through *threshold* at time > *after*.
+
+    Raises:
+        SimulationError: if no such crossing exists in the waveform.
+    """
+    for t in result.crossings(node, threshold, direction):
+        if t > after:
+            return t
+    raise SimulationError(
+        f"node {node!r} never crosses {threshold} V after {after} s")
+
+
+def gate_delay(result: TransientResult, node_in: str, node_out: str,
+               threshold: float, edge_out: int,
+               t_in: float | None = None,
+               edge_in: int | None = None) -> float:
+    """Delay from an input crossing to the next output crossing.
+
+    Args:
+        result: the simulated waveforms.
+        node_in: input node name (ignored when *t_in* is given).
+        node_out: output node name.
+        threshold: measurement threshold (``VDD/2`` in the paper).
+        edge_out: output edge direction, +1 rising / -1 falling.
+        t_in: explicit input reference time; if ``None``, the first
+            *edge_in* crossing of *node_in* is used.
+        edge_in: input edge direction (defaults to the opposite of
+            *edge_out*, the usual single-input case).
+
+    Returns:
+        ``t_out − t_in`` in seconds.
+    """
+    if t_in is None:
+        if edge_in is None:
+            edge_in = -edge_out
+        t_in = crossing_after(result, node_in, threshold, 0.0, edge_in)
+    t_out = crossing_after(result, node_out, threshold, t_in, edge_out)
+    return t_out - t_in
+
+
+def slew_time(result: TransientResult, node: str, v_low: float,
+              v_high: float, after: float = 0.0,
+              rising: bool = True) -> float:
+    """Transition time between two voltage levels on one edge."""
+    if v_low >= v_high:
+        raise SimulationError("need v_low < v_high")
+    if rising:
+        t0 = crossing_after(result, node, v_low, after, +1)
+        t1 = crossing_after(result, node, v_high, t0, +1)
+    else:
+        t0 = crossing_after(result, node, v_high, after, -1)
+        t1 = crossing_after(result, node, v_low, t0, -1)
+    return t1 - t0

@@ -1,0 +1,174 @@
+"""Modified nodal analysis (MNA) assembly.
+
+Unknown vector ``x = [v_1 .. v_n, i_1 .. i_m]``: the ``n`` non-ground
+node voltages followed by the ``m`` voltage-source branch currents.
+
+The static KCL/branch residual is::
+
+    f(x, t) = [ G0 v + I_mos(v) + A i ]   (node rows)
+              [ Aᵀ v − V_src(t)       ]   (branch rows)
+
+with ``G0`` the constant conductance matrix (resistors + gmin), ``A``
+the source incidence matrix and ``I_mos`` the nonlinear MOSFET currents.
+Linear capacitors live in the constant matrix ``C`` (node rows only);
+the transient integrator adds the appropriate companion terms.
+
+Everything is dense numpy — the circuits of this study have fewer than
+ten nodes, where dense assembly beats any sparse machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NetlistError
+from .devices import Capacitor, Mosfet, Resistor, VoltageSource
+from .netlist import GROUND_NAMES, Circuit
+
+__all__ = ["MnaSystem"]
+
+#: Conductance from every node to ground, for numerical robustness.
+DEFAULT_GMIN = 1e-12
+
+
+class MnaSystem:
+    """Compiled MNA representation of a :class:`Circuit`.
+
+    Attributes:
+        circuit: the source netlist.
+        node_index: mapping node name -> row index (ground absent).
+        n: number of node unknowns.
+        m: number of voltage-source branch unknowns.
+        g0: constant conductance matrix, shape ``(n, n)``.
+        c: constant capacitance matrix, shape ``(n, n)``.
+    """
+
+    def __init__(self, circuit: Circuit, gmin: float = DEFAULT_GMIN):
+        circuit.validate()
+        self.circuit = circuit
+        self.gmin = float(gmin)
+
+        names = circuit.node_names
+        self.node_index: dict[str, int] = {name: i
+                                           for i, name in enumerate(names)}
+        self.n = len(names)
+        self.sources: list[VoltageSource] = circuit.devices_of_type(
+            VoltageSource)
+        self.m = len(self.sources)
+        self.size = self.n + self.m
+
+        self.g0 = np.zeros((self.n, self.n))
+        self.c = np.zeros((self.n, self.n))
+        self._incidence = np.zeros((self.n, self.m))
+        self._stamp_constants()
+
+        self.mosfets: list[Mosfet] = circuit.devices_of_type(Mosfet)
+        self._mosfet_nodes = [
+            tuple(self._index_or_ground(node) for node in
+                  (fet.drain, fet.gate, fet.source))
+            for fet in self.mosfets
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _index_or_ground(self, node: str) -> int:
+        """Node row index, or -1 for ground."""
+        if node in GROUND_NAMES:
+            return -1
+        try:
+            return self.node_index[node]
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise NetlistError(f"unknown node {node!r}") from exc
+
+    def _stamp_two_terminal(self, matrix: np.ndarray, i: int, j: int,
+                            value: float) -> None:
+        """Standard two-terminal stamp between node rows *i* and *j*."""
+        if i >= 0:
+            matrix[i, i] += value
+        if j >= 0:
+            matrix[j, j] += value
+        if i >= 0 and j >= 0:
+            matrix[i, j] -= value
+            matrix[j, i] -= value
+
+    def _stamp_constants(self) -> None:
+        for device in self.circuit.devices:
+            if isinstance(device, Resistor):
+                i = self._index_or_ground(device.node_pos)
+                j = self._index_or_ground(device.node_neg)
+                self._stamp_two_terminal(self.g0, i, j, device.conductance)
+            elif isinstance(device, Capacitor):
+                i = self._index_or_ground(device.node_pos)
+                j = self._index_or_ground(device.node_neg)
+                self._stamp_two_terminal(self.c, i, j, device.capacitance)
+        self.g0[np.diag_indices(self.n)] += self.gmin
+        for k, source in enumerate(self.sources):
+            i = self._index_or_ground(source.node_pos)
+            j = self._index_or_ground(source.node_neg)
+            if i >= 0:
+                self._incidence[i, k] = 1.0
+            if j >= 0:
+                self._incidence[j, k] = -1.0
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def source_values(self, t: float) -> np.ndarray:
+        """Voltage source values at time *t*, shape ``(m,)``."""
+        return np.array([src.value(t) for src in self.sources])
+
+    def static_residual_jacobian(
+            self, x: np.ndarray,
+            t: float) -> tuple[np.ndarray, np.ndarray]:
+        """Residual ``f(x, t)`` and Jacobian of the static system.
+
+        Capacitor currents are *not* included; the integrator adds them.
+        """
+        v = x[:self.n]
+        i_src = x[self.n:]
+
+        residual = np.zeros(self.size)
+        jacobian = np.zeros((self.size, self.size))
+
+        residual[:self.n] = self.g0 @ v + self._incidence @ i_src
+        jacobian[:self.n, :self.n] = self.g0
+        jacobian[:self.n, self.n:] = self._incidence
+        jacobian[self.n:, :self.n] = self._incidence.T
+        residual[self.n:] = self._incidence.T @ v - self.source_values(t)
+
+        for fet, (d, g, s) in zip(self.mosfets, self._mosfet_nodes):
+            vd = v[d] if d >= 0 else 0.0
+            vg = v[g] if g >= 0 else 0.0
+            vs = v[s] if s >= 0 else 0.0
+            ids, did_dvd, did_dvg, did_dvs = fet.evaluate(vd, vg, vs)
+            if d >= 0:
+                residual[d] += ids
+                for col, deriv in ((d, did_dvd), (g, did_dvg),
+                                   (s, did_dvs)):
+                    if col >= 0:
+                        jacobian[d, col] += deriv
+            if s >= 0:
+                residual[s] -= ids
+                for col, deriv in ((d, did_dvd), (g, did_dvg),
+                                   (s, did_dvs)):
+                    if col >= 0:
+                        jacobian[s, col] -= deriv
+        return residual, jacobian
+
+    def capacitor_current(self, dv_dt: np.ndarray) -> np.ndarray:
+        """Capacitor node currents for a voltage slew ``dv/dt``."""
+        return self.c @ dv_dt
+
+    def breakpoints(self, t_stop: float) -> list[float]:
+        """Merged, sorted source breakpoints within ``(0, t_stop)``."""
+        points: set[float] = set()
+        for source in self.sources:
+            for point in source.waveform.breakpoints():
+                if 0.0 < point < t_stop:
+                    points.add(float(point))
+        return sorted(points)
+
+    def voltages(self, x: np.ndarray) -> dict[str, float]:
+        """Node-name -> voltage mapping from a solution vector."""
+        return {name: float(x[i]) for name, i in self.node_index.items()}

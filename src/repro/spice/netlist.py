@@ -1,0 +1,115 @@
+"""Circuit container for the analog simulator.
+
+A :class:`Circuit` is a flat netlist: named nodes plus devices from
+:mod:`repro.spice.devices`.  Node ``'0'`` (alias ``'gnd'``) is ground.
+The circuit is *compiled* (node indices assigned, constant matrices
+stamped) by :class:`repro.spice.mna.MnaSystem`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..errors import NetlistError
+from .devices import (Capacitor, Device, Mosfet, Resistor, VoltageSource)
+from .waveforms import Waveform
+
+__all__ = ["GROUND_NAMES", "Circuit"]
+
+GROUND_NAMES = ("0", "gnd", "GND")
+
+
+class Circuit:
+    """A named collection of devices.
+
+    Example:
+        >>> circuit = Circuit("divider")
+        >>> circuit.voltage_source("Vin", "in", "0", 1.0)
+        >>> circuit.resistor("R1", "in", "out", 1e3)
+        >>> circuit.resistor("R2", "out", "0", 1e3)
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.devices: list[Device] = []
+        self._names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def add(self, device: Device) -> Device:
+        """Add a pre-built device (unique name enforced)."""
+        if device.name in self._names:
+            raise NetlistError(f"duplicate device name {device.name!r}")
+        self._names.add(device.name)
+        self.devices.append(device)
+        return device
+
+    def resistor(self, name: str, node_pos: str, node_neg: str,
+                 resistance: float) -> Resistor:
+        """Add a resistor and return it."""
+        return self.add(Resistor(name, node_pos, node_neg, resistance))
+
+    def capacitor(self, name: str, node_pos: str, node_neg: str,
+                  capacitance: float) -> Capacitor:
+        """Add a capacitor and return it."""
+        return self.add(Capacitor(name, node_pos, node_neg, capacitance))
+
+    def voltage_source(self, name: str, node_pos: str, node_neg: str,
+                       waveform: Waveform | float) -> VoltageSource:
+        """Add an ideal voltage source and return it."""
+        return self.add(VoltageSource(name, node_pos, node_neg, waveform))
+
+    def mosfet(self, name: str, drain: str, gate: str, source: str,
+               model, width_factor: float = 1.0) -> Mosfet:
+        """Add a MOSFET and return it."""
+        return self.add(Mosfet(name, drain, gate, source, model,
+                               width_factor))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def node_names(self) -> list[str]:
+        """All non-ground node names in first-use order."""
+        seen: list[str] = []
+        for device in self.devices:
+            for node in device.nodes:
+                if node in GROUND_NAMES or node in seen:
+                    continue
+                seen.append(node)
+        return seen
+
+    def devices_of_type(self, kind: type) -> list[Device]:
+        """All devices that are instances of *kind*."""
+        return [d for d in self.devices if isinstance(d, kind)]
+
+    def validate(self) -> None:
+        """Check structural sanity of the netlist.
+
+        Raises :class:`NetlistError` for a circuit without devices, a
+        node that appears on only one device terminal (dangling), or a
+        circuit with no ground reference.
+        """
+        if not self.devices:
+            raise NetlistError(f"circuit {self.name!r} has no devices")
+        grounded = any(node in GROUND_NAMES
+                       for device in self.devices
+                       for node in device.nodes)
+        if not grounded:
+            raise NetlistError(f"circuit {self.name!r} has no ground node")
+        counts: Counter[str] = Counter()
+        for device in self.devices:
+            for node in set(device.nodes):
+                counts[node] += 1
+        dangling = [node for node, count in counts.items()
+                    if count < 2 and node not in GROUND_NAMES]
+        if dangling:
+            raise NetlistError(
+                f"dangling nodes in {self.name!r}: {sorted(dangling)}")
+
+    def __repr__(self) -> str:
+        return (f"Circuit({self.name!r}, {len(self.devices)} devices, "
+                f"{len(self.node_names)} nodes)")

@@ -1,0 +1,67 @@
+"""Digital timing framework (the Involution Tool substitute).
+
+Traces, digitization, deviation-area metrics, delay channels, random
+trace generation and the topological timing simulator — see DESIGN.md §2
+for the mapping to the paper's toolchain.
+"""
+
+from .channels import (
+    Channel,
+    ExpChannel,
+    HybridNorChannel,
+    InertialDelayChannel,
+    PureDelayChannel,
+    SingleInputChannel,
+    SumExpChannel,
+    WaveformChannel,
+)
+from .circuit import GateInstance, HybridInstance, TimingCircuit
+from .digitize import digitize, digitize_result
+from .event_simulator import EventDrivenSimulator, simulate_events
+from .events import Event, EventQueue
+from .power import (PowerReport, dynamic_energy, glitch_count,
+                    power_report, transition_count,
+                    transition_count_error)
+from .gates import GATE_FUNCTIONS, gate_function, zero_time_gate
+from .metrics import AccuracyReport, deviation_area, normalized_deviation
+from .simulator import simulate, simulate_single_channel
+from .trace import DigitalTrace
+from .tracegen import PAPER_CONFIGS, WaveformConfig, generate_traces
+
+__all__ = [
+    "AccuracyReport",
+    "Channel",
+    "DigitalTrace",
+    "Event",
+    "EventDrivenSimulator",
+    "EventQueue",
+    "ExpChannel",
+    "GATE_FUNCTIONS",
+    "GateInstance",
+    "HybridInstance",
+    "HybridNorChannel",
+    "InertialDelayChannel",
+    "PAPER_CONFIGS",
+    "PowerReport",
+    "PureDelayChannel",
+    "SingleInputChannel",
+    "SumExpChannel",
+    "TimingCircuit",
+    "WaveformChannel",
+    "WaveformConfig",
+    "deviation_area",
+    "digitize",
+    "digitize_result",
+    "gate_function",
+    "generate_traces",
+    "dynamic_energy",
+    "glitch_count",
+    "normalized_deviation",
+    "power_report",
+    "simulate",
+    "simulate_events",
+    "transition_count",
+    "transition_count_error",
+    "simulate_single_channel",
+    "zero_time_gate",
+]

@@ -1,0 +1,18 @@
+"""Delay channels: pure, inertial, IDM involution, and the hybrid NOR."""
+
+from .base import Channel, SingleInputChannel
+from .hybrid import HybridNorChannel
+from .inertial import InertialDelayChannel
+from .involution import ExpChannel, SumExpChannel, WaveformChannel
+from .pure import PureDelayChannel
+
+__all__ = [
+    "Channel",
+    "ExpChannel",
+    "HybridNorChannel",
+    "InertialDelayChannel",
+    "PureDelayChannel",
+    "SingleInputChannel",
+    "SumExpChannel",
+    "WaveformChannel",
+]

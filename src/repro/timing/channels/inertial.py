@@ -1,0 +1,46 @@
+"""Inertial delay channel.
+
+Constant delay plus short-pulse removal: an input pulse shorter than the
+channel delay produces no output at all.  This is the classic delay
+model of digital simulators (and the *baseline* of the paper's Fig. 7 —
+all deviation areas are normalized to the inertial channel's).
+
+The cancellation trigger differs from the IDM rule: a pulse is removed
+when the *input* reverses before the pending output transition has
+fired, i.e. when the input pulse is shorter than the delay.
+"""
+
+from __future__ import annotations
+
+from ...errors import ParameterError
+from .base import SingleInputChannel
+
+__all__ = ["InertialDelayChannel"]
+
+
+class InertialDelayChannel(SingleInputChannel):
+    """Constant delay + suppression of pulses shorter than the delay.
+
+    Args:
+        delay_up: delay of transitions to 1, seconds.
+        delay_down: delay of transitions to 0 (defaults to *delay_up*).
+    """
+
+    def __init__(self, delay_up: float, delay_down: float | None = None,
+                 label: str = "inertial"):
+        if delay_down is None:
+            delay_down = delay_up
+        if delay_up < 0.0 or delay_down < 0.0:
+            raise ParameterError("inertial delays must be non-negative")
+        self.delay_up = float(delay_up)
+        self.delay_down = float(delay_down)
+        self.label = label
+
+    def delay(self, value: int, history: float) -> float:
+        return self.delay_up if value == 1 else self.delay_down
+
+    def cancels(self, candidate_time: float, input_time: float,
+                pending_time: float) -> bool:
+        # Input reversed before the pending output fired (short pulse),
+        # or the candidate would reorder outputs (unequal delays).
+        return input_time < pending_time or candidate_time <= pending_time

@@ -1,0 +1,36 @@
+"""Pure (constant) delay channel.
+
+The simplest delay model: every transition is shifted by a constant
+delay; no pulses are ever removed (as long as the rise and fall delays
+are equal — unequal delays can make transitions collide, in which case
+the standard annihilation applies).
+"""
+
+from __future__ import annotations
+
+from ...errors import ParameterError
+from .base import SingleInputChannel
+
+__all__ = ["PureDelayChannel"]
+
+
+class PureDelayChannel(SingleInputChannel):
+    """Constant input-to-output delay.
+
+    Args:
+        delay_up: delay of transitions to 1, seconds.
+        delay_down: delay of transitions to 0 (defaults to *delay_up*).
+    """
+
+    def __init__(self, delay_up: float, delay_down: float | None = None,
+                 label: str = "pure"):
+        if delay_down is None:
+            delay_down = delay_up
+        if delay_up < 0.0 or delay_down < 0.0:
+            raise ParameterError("pure delays must be non-negative")
+        self.delay_up = float(delay_up)
+        self.delay_down = float(delay_down)
+        self.label = label
+
+    def delay(self, value: int, history: float) -> float:
+        return self.delay_up if value == 1 else self.delay_down

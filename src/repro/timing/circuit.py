@@ -1,0 +1,138 @@
+"""Gate-level timing circuits.
+
+A :class:`TimingCircuit` is a feed-forward netlist of zero-time boolean
+gates, each followed by a delay channel (the involution-model circuit
+structure), plus the paper's two-input hybrid NOR instances which fuse
+gate and channel into one element.
+
+Feed-forward is all the paper's evaluation needs (a single NOR gate in
+Section VI; inverter chains and trees in the Involution Tool paper), and
+it admits an exact topological-order simulation — every signal's full
+trace is computed before its consumers run (:mod:`.simulator`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Sequence
+
+import networkx as nx
+
+from ..errors import NetlistError
+from .channels.base import SingleInputChannel
+from .channels.hybrid import HybridNorChannel
+from .gates import gate_function
+
+__all__ = ["GateInstance", "HybridInstance", "TimingCircuit"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GateInstance:
+    """A zero-time gate plus its output channel."""
+
+    name: str
+    function: Callable[..., int]
+    inputs: tuple[str, ...]
+    output: str
+    channel: SingleInputChannel
+
+
+@dataclasses.dataclass(frozen=True)
+class HybridInstance:
+    """A two-input hybrid NOR element (gate and channel fused)."""
+
+    name: str
+    input_a: str
+    input_b: str
+    output: str
+    channel: HybridNorChannel
+
+
+class TimingCircuit:
+    """A feed-forward circuit of channels and gates.
+
+    Args:
+        inputs: names of the primary input signals.
+    """
+
+    def __init__(self, inputs: Sequence[str]):
+        self.inputs: tuple[str, ...] = tuple(inputs)
+        if len(set(self.inputs)) != len(self.inputs):
+            raise NetlistError("duplicate primary input names")
+        self.instances: list[GateInstance | HybridInstance] = []
+        self._drivers: dict[str, GateInstance | HybridInstance] = {}
+
+    # ------------------------------------------------------------------
+
+    def _register(self, instance: GateInstance | HybridInstance) -> None:
+        if instance.output in self._drivers or \
+                instance.output in self.inputs:
+            raise NetlistError(f"signal {instance.output!r} has multiple "
+                               "drivers")
+        if any(inst.name == instance.name for inst in self.instances):
+            raise NetlistError(f"duplicate instance name "
+                               f"{instance.name!r}")
+        self.instances.append(instance)
+        self._drivers[instance.output] = instance
+
+    def add_gate(self, name: str, gate: str | Callable[..., int],
+                 inputs: Sequence[str], output: str,
+                 channel: SingleInputChannel) -> GateInstance:
+        """Add a zero-time gate followed by a single-input channel."""
+        function = gate_function(gate) if isinstance(gate, str) else gate
+        instance = GateInstance(name=name, function=function,
+                                inputs=tuple(inputs), output=output,
+                                channel=channel)
+        self._register(instance)
+        return instance
+
+    def add_hybrid_nor(self, name: str, input_a: str, input_b: str,
+                       output: str,
+                       channel: HybridNorChannel) -> HybridInstance:
+        """Add a two-input hybrid NOR element."""
+        instance = HybridInstance(name=name, input_a=input_a,
+                                  input_b=input_b, output=output,
+                                  channel=channel)
+        self._register(instance)
+        return instance
+
+    # ------------------------------------------------------------------
+
+    @property
+    def signals(self) -> list[str]:
+        """All signal names (inputs + gate outputs)."""
+        return list(self.inputs) + [inst.output for inst in self.instances]
+
+    def instance_inputs(self,
+                        instance: GateInstance | HybridInstance
+                        ) -> tuple[str, ...]:
+        if isinstance(instance, HybridInstance):
+            return (instance.input_a, instance.input_b)
+        return instance.inputs
+
+    def topological_order(self) -> list[GateInstance | HybridInstance]:
+        """Instances sorted so that drivers precede consumers.
+
+        Raises:
+            NetlistError: on combinational loops or undriven signals.
+        """
+        graph = nx.DiGraph()
+        for instance in self.instances:
+            graph.add_node(instance.name)
+        by_output = {inst.output: inst for inst in self.instances}
+        known = set(self.inputs) | set(by_output)
+        for instance in self.instances:
+            for signal in self.instance_inputs(instance):
+                if signal not in known:
+                    raise NetlistError(
+                        f"signal {signal!r} used by {instance.name!r} "
+                        "has no driver")
+                if signal in by_output:
+                    graph.add_edge(by_output[signal].name, instance.name)
+        try:
+            order = list(nx.topological_sort(graph))
+        except nx.NetworkXUnfeasible as exc:
+            raise NetlistError("combinational loop in timing circuit") \
+                from exc
+        by_name = {inst.name: inst for inst in self.instances}
+        return [by_name[name] for name in order]

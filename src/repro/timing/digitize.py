@@ -1,0 +1,78 @@
+"""Digitization of analog waveforms (the Involution Tool's front-end).
+
+The paper compares digital delay models against *digitized* SPICE
+traces: the analog output is reduced to the times it crosses
+``Vth = VDD/2``.  :func:`digitize` performs this reduction, with an
+optional hysteresis band to suppress chattering on noisy waveforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TraceError
+from ..spice.transient import TransientResult
+from .trace import DigitalTrace
+
+__all__ = ["digitize", "digitize_result"]
+
+
+def digitize(times, volts, threshold: float,
+             hysteresis: float = 0.0) -> DigitalTrace:
+    """Reduce an analog waveform to a digital trace.
+
+    Args:
+        times: sample times, strictly increasing.
+        volts: voltages at the sample times.
+        threshold: logic threshold (``VDD/2``).
+        hysteresis: full width of the hysteresis band; a transition to 1
+            requires crossing ``threshold + hysteresis/2``, a transition
+            to 0 crossing ``threshold − hysteresis/2``.  Zero gives
+            plain threshold crossings.
+
+    Returns:
+        The digitized :class:`DigitalTrace`; crossing times are linearly
+        interpolated between samples.
+    """
+    times = np.asarray(times, dtype=float)
+    volts = np.asarray(volts, dtype=float)
+    if times.shape != volts.shape or times.ndim != 1:
+        raise TraceError("times and volts must be 1-D arrays of equal "
+                         "length")
+    if times.size == 0:
+        raise TraceError("cannot digitize an empty waveform")
+    if hysteresis < 0.0:
+        raise TraceError("hysteresis must be non-negative")
+
+    high = threshold + hysteresis / 2.0
+    low = threshold - hysteresis / 2.0
+    state = 1 if volts[0] >= threshold else 0
+    initial = state
+    transitions: list[tuple[float, int]] = []
+    for i in range(times.size - 1):
+        v0, v1 = volts[i], volts[i + 1]
+        if state == 0 and v1 >= high and v0 < high:
+            t = times[i] + (high - v0) / (v1 - v0) * (times[i + 1]
+                                                      - times[i])
+            state = 1
+            transitions.append((float(t), 1))
+        elif state == 1 and v1 <= low and v0 > low:
+            t = times[i] + (low - v0) / (v1 - v0) * (times[i + 1]
+                                                     - times[i])
+            state = 0
+            transitions.append((float(t), 0))
+    # Guard against numerically coincident crossing times.
+    cleaned: list[tuple[float, int]] = []
+    for t, v in transitions:
+        if cleaned and t <= cleaned[-1][0]:
+            t = np.nextafter(cleaned[-1][0], np.inf)
+        cleaned.append((t, v))
+    return DigitalTrace(initial, cleaned)
+
+
+def digitize_result(result: TransientResult, node: str,
+                    threshold: float,
+                    hysteresis: float = 0.0) -> DigitalTrace:
+    """Digitize one node of a transient simulation result."""
+    return digitize(result.times, result.voltage(node), threshold,
+                    hysteresis)

@@ -1,0 +1,117 @@
+"""Event queue for the discrete-event timing simulator.
+
+A thin, deterministic wrapper around :mod:`heapq`: events carry a
+monotonically increasing sequence number so simultaneous events fire in
+scheduling order, and cancellation is handled with the standard
+tombstone technique (events are flagged and skipped at pop time — the
+pattern every event-driven circuit simulator uses for transaction
+preemption).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from collections.abc import Callable
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclasses.dataclass(order=False)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: firing time, seconds.
+        seq: tie-breaking sequence number (scheduling order).
+        action: callable invoked with the firing time.
+        cancelled: tombstone flag; cancelled events are skipped.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[float], None]
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled (O(1), lazily removed)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventQueue:
+    """A time-ordered queue of cancellable events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Time of the most recently popped event."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, time: float,
+                 action: Callable[[float], None]) -> Event:
+        """Schedule *action* at *time* and return a cancellable handle.
+
+        Scheduling into the past (before the last popped event) is an
+        error — it would violate causality.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time "
+                f"{self._now}")
+        event = Event(time=float(time), seq=next(self._counter),
+                      action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the next live event (None when empty)."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            return event
+        return None
+
+    def run_until(self, t_stop: float,
+                  max_events: int | None = None) -> int:
+        """Fire events up to and including ``t_stop``.
+
+        Args:
+            t_stop: simulation end time.
+            max_events: safety valve against runaway oscillation.
+
+        Returns:
+            The number of events fired.
+        """
+        fired = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > t_stop:
+                break
+            event = self.pop()
+            if event is None:  # pragma: no cover - race-free here
+                break
+            event.action(event.time)
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted ({max_events} events "
+                    f"before t = {t_stop}); oscillating circuit?")
+        return fired

@@ -1,0 +1,96 @@
+"""Zero-time boolean gates.
+
+In the involution delay model all logic is instantaneous; delays live
+exclusively in the channels.  A gate is just a boolean function applied
+transition-by-transition to its input traces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from ..errors import TraceError
+from .trace import DigitalTrace
+
+__all__ = ["GATE_FUNCTIONS", "zero_time_gate", "gate_function"]
+
+
+def _nor(*inputs: int) -> int:
+    return int(not any(inputs))
+
+
+def _nand(*inputs: int) -> int:
+    return int(not all(inputs))
+
+
+def _and(*inputs: int) -> int:
+    return int(all(inputs))
+
+
+def _or(*inputs: int) -> int:
+    return int(any(inputs))
+
+
+def _xor(*inputs: int) -> int:
+    return int(sum(inputs) % 2)
+
+
+def _not(value: int) -> int:
+    return int(not value)
+
+
+def _buf(value: int) -> int:
+    return int(value)
+
+
+#: Registry of named gate functions.
+GATE_FUNCTIONS: dict[str, Callable[..., int]] = {
+    "nor": _nor,
+    "nand": _nand,
+    "and": _and,
+    "or": _or,
+    "xor": _xor,
+    "not": _not,
+    "inv": _not,
+    "buf": _buf,
+}
+
+
+def gate_function(name: str) -> Callable[..., int]:
+    """Look up a gate function by name."""
+    try:
+        return GATE_FUNCTIONS[name]
+    except KeyError as exc:
+        raise TraceError(f"unknown gate {name!r}; available: "
+                         f"{sorted(GATE_FUNCTIONS)}") from exc
+
+
+def zero_time_gate(function: Callable[..., int],
+                   inputs: Sequence[DigitalTrace]) -> DigitalTrace:
+    """Apply a boolean function to input traces with zero delay.
+
+    The output trace switches exactly at input transition times (where
+    the function value changes).  Simultaneous input transitions are
+    evaluated atomically — a NOR whose inputs swap 01 -> 10 at the same
+    instant produces no glitch.
+    """
+    if not inputs:
+        raise TraceError("gate needs at least one input")
+    values = [trace.initial for trace in inputs]
+    initial = function(*values)
+
+    merged: dict[float, list[tuple[int, int]]] = {}
+    for index, trace in enumerate(inputs):
+        for t, v in trace.transitions:
+            merged.setdefault(t, []).append((index, v))
+
+    transitions: list[tuple[float, int]] = []
+    current = initial
+    for t in sorted(merged):
+        for index, v in merged[t]:
+            values[index] = v
+        new_value = function(*values)
+        if new_value != current:
+            transitions.append((t, new_value))
+            current = new_value
+    return DigitalTrace(initial, transitions)

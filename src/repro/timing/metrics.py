@@ -1,0 +1,81 @@
+"""Trace-comparison metrics — the paper's "deviation area".
+
+Section VI of the paper scores a digital delay model by the *deviation
+area*: the digitized reference (SPICE) trace is subtracted from the
+model's output trace and the absolute difference is integrated over the
+simulation window.  Since both traces are 0/1-valued, the deviation area
+equals the total time during which the two traces disagree.  Absolute
+areas are meaningless on their own, so they are normalized against a
+baseline model (inertial delay in the paper, Fig. 7).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import TraceError
+from .trace import DigitalTrace
+
+__all__ = ["deviation_area", "normalized_deviation", "AccuracyReport"]
+
+
+def deviation_area(a: DigitalTrace, b: DigitalTrace,
+                   t_start: float, t_end: float) -> float:
+    """Integral of ``|a(t) − b(t)|`` over ``[t_start, t_end]``.
+
+    For 0/1 traces this is the total disagreement time, in seconds.
+    """
+    if t_end < t_start:
+        raise TraceError("need t_start <= t_end")
+
+    events = sorted(
+        {t_start, t_end}
+        | {t for t in a.times if t_start < t < t_end}
+        | {t for t in b.times if t_start < t < t_end})
+    area = 0.0
+    for left, right in zip(events, events[1:]):
+        if a.value_at(left) != b.value_at(left):
+            area += right - left
+    return area
+
+
+def normalized_deviation(model: DigitalTrace, reference: DigitalTrace,
+                         baseline: DigitalTrace,
+                         t_start: float, t_end: float) -> float:
+    """Deviation area of *model*, normalized by that of *baseline*.
+
+    This is the quantity plotted in the paper's Fig. 7 (inertial delay
+    as baseline; lower is better, 1.0 means "as good as the baseline").
+    """
+    model_area = deviation_area(model, reference, t_start, t_end)
+    baseline_area = deviation_area(baseline, reference, t_start, t_end)
+    if baseline_area == 0.0:
+        raise TraceError("baseline deviation area is zero; "
+                         "normalization undefined")
+    return model_area / baseline_area
+
+
+@dataclasses.dataclass(frozen=True)
+class AccuracyReport:
+    """Deviation areas of several models against one reference.
+
+    Attributes:
+        areas: model label -> absolute deviation area, seconds.
+        t_start: window start.
+        t_end: window end.
+    """
+
+    areas: dict[str, float]
+    t_start: float
+    t_end: float
+
+    def normalized(self, baseline: str) -> dict[str, float]:
+        """Areas divided by the *baseline* model's area."""
+        base = self.areas[baseline]
+        if base == 0.0:
+            raise TraceError(f"baseline {baseline!r} has zero area")
+        return {label: area / base for label, area in self.areas.items()}
+
+    def best(self) -> str:
+        """Label of the most accurate model."""
+        return min(self.areas, key=self.areas.get)

@@ -1,0 +1,147 @@
+"""Switching-activity and dynamic-power metrics.
+
+The Involution Tool's second application (beyond timing accuracy) is
+power estimation: a delay model that predicts transitions faithfully —
+including glitches — also predicts dynamic power, since every output
+transition (dis)charges the load.  This module provides the standard
+activity metrics:
+
+* transition counts per signal/window,
+* glitch counts (pulses narrower than a threshold),
+* dynamic switching energy ``E = N · ½ C V²``,
+* a per-signal :class:`PowerReport` and the *transition-count error* of
+  a delay model against a golden reference — the power-oriented
+  counterpart of the deviation-area metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ParameterError, TraceError
+from .trace import DigitalTrace
+
+__all__ = [
+    "transition_count",
+    "glitch_count",
+    "dynamic_energy",
+    "PowerReport",
+    "power_report",
+    "transition_count_error",
+]
+
+
+def transition_count(trace: DigitalTrace,
+                     t_start: float = float("-inf"),
+                     t_end: float = float("inf")) -> int:
+    """Number of transitions in ``[t_start, t_end)``."""
+    if t_end < t_start:
+        raise TraceError("need t_start <= t_end")
+    return sum(1 for t in trace.times if t_start <= t < t_end)
+
+
+def glitch_count(trace: DigitalTrace, min_width: float) -> int:
+    """Number of pulses narrower than *min_width*.
+
+    Counts both polarities; the trailing (unterminated) level is not a
+    pulse.
+    """
+    if min_width <= 0.0:
+        raise ParameterError("min_width must be positive")
+    return sum(1 for start, end, _v in trace.pulses()
+               if end - start < min_width)
+
+
+def dynamic_energy(trace: DigitalTrace, capacitance: float,
+                   vdd: float,
+                   t_start: float = float("-inf"),
+                   t_end: float = float("inf")) -> float:
+    """Dynamic switching energy ``N · ½ C V²`` in joules.
+
+    Every output transition moves ``C·VDD`` of charge through half the
+    supply swing on average — the textbook CV² accounting with the ½
+    factor per edge.
+    """
+    if capacitance < 0.0 or vdd <= 0.0:
+        raise ParameterError("need capacitance >= 0 and vdd > 0")
+    count = transition_count(trace, t_start, t_end)
+    return 0.5 * count * capacitance * vdd * vdd
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerReport:
+    """Activity summary of a set of signals.
+
+    Attributes:
+        counts: signal -> transition count.
+        glitches: signal -> glitch count.
+        energies: signal -> switching energy, joules.
+        window: accounted time window ``(t_start, t_end)``.
+    """
+
+    counts: dict[str, int]
+    glitches: dict[str, int]
+    energies: dict[str, float]
+    window: tuple[float, float]
+
+    @property
+    def total_energy(self) -> float:
+        """Total switching energy, joules."""
+        return sum(self.energies.values())
+
+    @property
+    def total_transitions(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def average_power(self) -> float:
+        """Mean dynamic power over the window, watts."""
+        span = self.window[1] - self.window[0]
+        if span <= 0.0:
+            raise ParameterError("window has zero length")
+        return self.total_energy / span
+
+
+def power_report(traces: dict[str, DigitalTrace],
+                 capacitances: dict[str, float],
+                 vdd: float,
+                 t_start: float, t_end: float,
+                 glitch_width: float | None = None) -> PowerReport:
+    """Build a :class:`PowerReport` for the given signals.
+
+    Args:
+        traces: signal traces (only those with a capacitance entry are
+            accounted).
+        capacitances: signal -> switched load capacitance.
+        vdd: supply voltage.
+        t_start / t_end: accounting window.
+        glitch_width: pulses narrower than this count as glitches
+            (default: no glitch accounting).
+    """
+    counts: dict[str, int] = {}
+    glitches: dict[str, int] = {}
+    energies: dict[str, float] = {}
+    for name, capacitance in capacitances.items():
+        if name not in traces:
+            raise TraceError(f"no trace for signal {name!r}")
+        trace = traces[name]
+        counts[name] = transition_count(trace, t_start, t_end)
+        energies[name] = dynamic_energy(trace, capacitance, vdd,
+                                        t_start, t_end)
+        glitches[name] = (glitch_count(trace, glitch_width)
+                          if glitch_width is not None else 0)
+    return PowerReport(counts=counts, glitches=glitches,
+                       energies=energies, window=(t_start, t_end))
+
+
+def transition_count_error(model: DigitalTrace,
+                           reference: DigitalTrace,
+                           t_start: float, t_end: float) -> int:
+    """Signed transition-count difference of a model vs the reference.
+
+    Positive: the model predicts spurious transitions (over-counts
+    power); negative: it swallows real ones (e.g. inertial filtering of
+    glitches that the analog gate does produce).
+    """
+    return (transition_count(model, t_start, t_end)
+            - transition_count(reference, t_start, t_end))

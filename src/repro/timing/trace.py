@@ -1,0 +1,171 @@
+"""Digital signal traces.
+
+A :class:`DigitalTrace` is the digital-timing twin of an analog
+waveform: an initial logic value plus a strictly-increasing sequence of
+``(time, value)`` transitions with alternating values.  All delay models
+in :mod:`repro.timing.channels` consume and produce these traces, and
+the deviation-area metric of the paper's Section VI is defined on them.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections.abc import Iterable, Sequence
+
+from ..errors import TraceError
+
+__all__ = ["DigitalTrace"]
+
+
+class DigitalTrace:
+    """An immutable digital waveform.
+
+    Args:
+        initial: logic value (0/1) before the first transition.
+        transitions: ``(time, value)`` pairs; times strictly increasing,
+            values alternating and starting with ``1 - initial``.
+    """
+
+    __slots__ = ("initial", "times", "values")
+
+    def __init__(self, initial: int,
+                 transitions: Iterable[tuple[float, int]] = ()):
+        if initial not in (0, 1):
+            raise TraceError(f"initial value must be 0 or 1, got "
+                             f"{initial!r}")
+        times: list[float] = []
+        values: list[int] = []
+        previous = initial
+        for time, value in transitions:
+            time = float(time)
+            value = int(value)
+            if value not in (0, 1):
+                raise TraceError(f"transition value must be 0 or 1, got "
+                                 f"{value!r}")
+            if value == previous:
+                raise TraceError(
+                    f"non-alternating transition to {value} at {time}")
+            if times and time <= times[-1]:
+                raise TraceError(
+                    f"transition times must increase: {time} after "
+                    f"{times[-1]}")
+            if not math.isfinite(time):
+                raise TraceError("transition times must be finite")
+            times.append(time)
+            values.append(value)
+            previous = value
+        self.initial = int(initial)
+        self.times: tuple[float, ...] = tuple(times)
+        self.values: tuple[int, ...] = tuple(values)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def constant(cls, value: int) -> "DigitalTrace":
+        """A trace that never switches."""
+        return cls(value, ())
+
+    @classmethod
+    def from_transitions(cls, transitions: Sequence[tuple[float, int]],
+                         initial: int | None = None) -> "DigitalTrace":
+        """Build a trace, inferring the initial value if not given."""
+        if initial is None:
+            initial = 1 - int(transitions[0][1]) if transitions else 0
+        return cls(initial, transitions)
+
+    @classmethod
+    def from_edges(cls, initial: int,
+                   times: Sequence[float]) -> "DigitalTrace":
+        """Build from toggle times only (values alternate from initial)."""
+        value = initial
+        transitions = []
+        for time in times:
+            value = 1 - value
+            transitions.append((time, value))
+        return cls(initial, transitions)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DigitalTrace):
+            return NotImplemented
+        return (self.initial == other.initial
+                and self.times == other.times
+                and self.values == other.values)
+
+    def __hash__(self) -> int:
+        return hash((self.initial, self.times, self.values))
+
+    @property
+    def transitions(self) -> list[tuple[float, int]]:
+        """``(time, value)`` pairs as a list."""
+        return list(zip(self.times, self.values))
+
+    @property
+    def final_value(self) -> int:
+        """Logic value after the last transition."""
+        return self.values[-1] if self.values else self.initial
+
+    def value_at(self, t: float) -> int:
+        """Logic value at time *t* (right-continuous convention)."""
+        index = bisect.bisect_right(self.times, t)
+        if index == 0:
+            return self.initial
+        return self.values[index - 1]
+
+    def value_before(self, t: float) -> int:
+        """Logic value immediately before time *t*."""
+        index = bisect.bisect_left(self.times, t)
+        if index == 0:
+            return self.initial
+        return self.values[index - 1]
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+
+    def shifted(self, dt: float) -> "DigitalTrace":
+        """Return a copy with all transition times shifted by *dt*."""
+        return DigitalTrace(self.initial,
+                            [(t + dt, v) for t, v in self.transitions])
+
+    def windowed(self, t_start: float, t_end: float) -> "DigitalTrace":
+        """Restrict to ``[t_start, t_end)``, re-anchoring the initial value."""
+        if t_end < t_start:
+            raise TraceError("need t_start <= t_end")
+        initial = self.value_before(t_start)
+        kept = [(t, v) for t, v in self.transitions
+                if t_start <= t < t_end]
+        return DigitalTrace(initial, kept)
+
+    def inverted(self) -> "DigitalTrace":
+        """Logical complement of the trace."""
+        return DigitalTrace(1 - self.initial,
+                            [(t, 1 - v) for t, v in self.transitions])
+
+    def pulses(self) -> list[tuple[float, float, int]]:
+        """``(start, end, value)`` intervals between transitions.
+
+        The leading (from −inf) and trailing (to +inf) intervals are not
+        included.
+        """
+        out = []
+        for (t0, v0), (t1, _v1) in zip(self.transitions,
+                                       self.transitions[1:]):
+            out.append((t0, t1, v0))
+        return out
+
+    def __repr__(self) -> str:
+        return (f"DigitalTrace(initial={self.initial}, "
+                f"{len(self.times)} transitions)")

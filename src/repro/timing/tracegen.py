@@ -1,0 +1,138 @@
+"""Random input-trace generation (paper Section VI).
+
+The paper evaluates delay models on randomly generated input traces with
+two configurations:
+
+* **LOCAL** — "transitions are created individually for each input,
+  according to a normal distribution with µ and σ": every input gets its
+  own independent stream of inter-transition times ``~ N(µ, σ)``.
+  Different inputs therefore switch in close temporal proximity often,
+  exercising the MIS region.
+* **GLOBAL** — "transitions are not calculated separately for each input
+  but rather for all inputs together": a single global stream of
+  transition instants is generated and each instant is assigned to one
+  input (uniformly at random).  Concurrent transitions on different
+  inputs become unlikely, probing the large-|Δ| regime.
+
+Waveform configurations are written ``µ/σ`` in ps in the paper, e.g.
+``100/50 - LOCAL`` or ``5000/5 - GLOBAL``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..units import PS
+from .trace import DigitalTrace
+
+__all__ = ["WaveformConfig", "PAPER_CONFIGS", "generate_traces"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WaveformConfig:
+    """One random-trace configuration of the paper's Fig. 7.
+
+    Attributes:
+        mu: mean inter-transition time, seconds.
+        sigma: standard deviation of the inter-transition time, seconds.
+        mode: ``'local'`` or ``'global'``.
+        transitions: total number of transitions to generate (the paper
+            uses 500, and 250 for the 5000/5 configuration).
+    """
+
+    mu: float
+    sigma: float
+    mode: str
+    transitions: int = 500
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("local", "global"):
+            raise ParameterError("mode must be 'local' or 'global'")
+        if self.mu <= 0.0 or self.sigma < 0.0:
+            raise ParameterError("need mu > 0 and sigma >= 0")
+        if self.transitions < 1:
+            raise ParameterError("need at least one transition")
+
+    @property
+    def label(self) -> str:
+        """Paper-style label like ``'100/50 - LOCAL'``."""
+        return (f"{self.mu / PS:.0f}/{self.sigma / PS:.0f} - "
+                f"{self.mode.upper()}")
+
+
+#: The four waveform configurations of the paper's Fig. 7.
+PAPER_CONFIGS: tuple[WaveformConfig, ...] = (
+    WaveformConfig(mu=100 * PS, sigma=50 * PS, mode="local",
+                   transitions=500),
+    WaveformConfig(mu=200 * PS, sigma=100 * PS, mode="local",
+                   transitions=500),
+    WaveformConfig(mu=2000 * PS, sigma=1000 * PS, mode="global",
+                   transitions=500),
+    WaveformConfig(mu=5000 * PS, sigma=5 * PS, mode="global",
+                   transitions=250),
+)
+
+
+def _intervals(config: WaveformConfig, count: int,
+               rng: np.random.Generator, min_gap: float) -> np.ndarray:
+    """Positive inter-transition intervals ~ N(µ, σ), floored."""
+    draws = rng.normal(config.mu, config.sigma, size=count)
+    return np.maximum(draws, min_gap)
+
+
+def generate_traces(config: WaveformConfig,
+                    input_names: Sequence[str],
+                    seed: int | np.random.Generator = 0,
+                    t_start: float = 0.0,
+                    initial_values: dict[str, int] | None = None,
+                    min_gap: float = 1.0 * PS
+                    ) -> dict[str, DigitalTrace]:
+    """Generate random input traces for the given configuration.
+
+    Args:
+        config: the waveform configuration.
+        input_names: signals to drive.
+        seed: RNG seed or generator.
+        t_start: time of the earliest possible transition.
+        initial_values: starting logic value per input (default all 0).
+        min_gap: floor on inter-transition intervals (normal draws can
+            be negative; the paper's generator has the same need).
+
+    Returns:
+        A trace per input with ``config.transitions`` transitions in
+        total (split across inputs as per the mode).
+    """
+    if not input_names:
+        raise ParameterError("need at least one input name")
+    rng = (seed if isinstance(seed, np.random.Generator)
+           else np.random.default_rng(seed))
+    if initial_values is None:
+        initial_values = {}
+
+    names = list(input_names)
+    per_input_events: dict[str, list[float]] = {name: [] for name in names}
+
+    if config.mode == "local":
+        base, remainder = divmod(config.transitions, len(names))
+        for index, name in enumerate(names):
+            count = base + (1 if index < remainder else 0)
+            gaps = _intervals(config, count, rng, min_gap)
+            times = t_start + np.cumsum(gaps)
+            per_input_events[name] = [float(t) for t in times]
+    else:
+        gaps = _intervals(config, config.transitions, rng, min_gap)
+        times = t_start + np.cumsum(gaps)
+        owners = rng.integers(0, len(names), size=config.transitions)
+        for t, owner in zip(times, owners):
+            per_input_events[names[owner]].append(float(t))
+
+    traces: dict[str, DigitalTrace] = {}
+    for name in names:
+        initial = int(initial_values.get(name, 0))
+        traces[name] = DigitalTrace.from_edges(initial,
+                                               per_input_events[name])
+    return traces

@@ -1,0 +1,98 @@
+"""Unit helpers.
+
+All quantities inside the package are plain SI floats: seconds, volts,
+ohms, farads, amperes.  The constants and helpers in this module exist so
+that code and tests can say ``38 * PICO`` or ``format_time(delay)`` instead
+of sprinkling ``1e-12`` literals around.  Conversion to "nice" engineering
+strings happens only at the reporting boundary.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: SI prefixes as multiplicative factors.
+ATTO = 1e-18
+FEMTO = 1e-15
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+#: Common derived shorthands used throughout the paper.
+PS = PICO
+NS = NANO
+FF = FEMTO
+AF = ATTO
+KOHM = KILO
+
+_PREFIXES = [
+    (1e-18, "a"),
+    (1e-15, "f"),
+    (1e-12, "p"),
+    (1e-9, "n"),
+    (1e-6, "u"),
+    (1e-3, "m"),
+    (1.0, ""),
+    (1e3, "k"),
+    (1e6, "M"),
+    (1e9, "G"),
+]
+
+
+def to_ps(seconds: float) -> float:
+    """Convert seconds to picoseconds."""
+    return seconds / PICO
+
+
+def from_ps(picoseconds: float) -> float:
+    """Convert picoseconds to seconds."""
+    return picoseconds * PICO
+
+
+def eng_format(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format *value* with an engineering SI prefix.
+
+    >>> eng_format(38e-12, 's')
+    '38.0 ps'
+    >>> eng_format(617.259e-18, 'F')
+    '617.259 aF'
+    """
+    if value == 0.0:
+        return f"0 {unit}".rstrip()
+    if math.isnan(value):
+        return f"nan {unit}".rstrip()
+    if math.isinf(value):
+        sign = "-" if value < 0 else ""
+        return f"{sign}inf {unit}".rstrip()
+    magnitude = abs(value)
+    factor, prefix = _PREFIXES[-1]
+    for fac, pre in _PREFIXES:
+        if magnitude < fac * 1000.0:
+            factor, prefix = fac, pre
+            break
+    scaled = value / factor
+    text = f"{scaled:.{digits}f}".rstrip("0").rstrip(".")
+    # Keep at least one decimal digit for readability of times like '38.0 ps'.
+    if "." not in text and unit == "s":
+        text += ".0"
+    return f"{text} {prefix}{unit}".rstrip()
+
+
+def format_time(seconds: float, digits: int = 2) -> str:
+    """Format a time quantity in picoseconds (the paper's unit of choice)."""
+    return f"{to_ps(seconds):.{digits}f} ps"
+
+
+def percent_change(value: float, reference: float) -> float:
+    """Signed percent change of *value* relative to *reference*.
+
+    This matches the annotations in the paper's Fig. 2 ("−28.01 %" is the
+    change of the MIS delay at ``Δ = 0`` relative to the SIS delay).
+    """
+    if reference == 0.0:
+        raise ZeroDivisionError("percent change relative to zero reference")
+    return (value - reference) / reference * 100.0

@@ -1,0 +1,101 @@
+"""Tests for repro.analysis.characterization (uses the shared cache)."""
+
+import pytest
+
+from repro.analysis.characterization import (SIS_SEPARATION,
+                                             nor_mis_delay,
+                                             nor_mis_waveforms,
+                                             toggle_sis_delays)
+from repro.errors import ParameterError
+from repro.spice.technology import FINFET15
+from repro.units import PS
+
+
+class TestSingleMisMeasurements:
+    def test_direction_validation(self, fast_transient_options):
+        with pytest.raises(ParameterError):
+            nor_mis_delay(FINFET15, 0.0, "diagonal",
+                          fast_transient_options)
+
+    def test_waveforms_return_input_times(self, fast_transient_options):
+        result, t_a, t_b = nor_mis_waveforms(FINFET15, 10 * PS,
+                                             "falling",
+                                             fast_transient_options)
+        assert t_b - t_a == pytest.approx(10 * PS)
+        assert result.value_at("a", 0.0) == pytest.approx(0.0,
+                                                          abs=1e-3)
+
+    def test_negative_delta_keeps_first_edge_late(
+            self, fast_transient_options):
+        _result, t_a, t_b = nor_mis_waveforms(FINFET15, -100 * PS,
+                                              "rising",
+                                              fast_transient_options)
+        assert min(t_a, t_b) > 200 * PS
+
+    def test_toggle_input_validation(self, fast_transient_options):
+        with pytest.raises(ParameterError):
+            toggle_sis_delays(FINFET15, "c", fast_transient_options)
+
+
+class TestCharacterizationResults:
+    """Structural properties of the shared coarse characterization."""
+
+    def test_falling_is_speedup(self, characterization_cache):
+        assert characterization_cache.sis_falling.is_speedup
+
+    def test_falling_mis_magnitude_matches_paper(
+            self, characterization_cache):
+        mis_minus, mis_plus = \
+            characterization_cache.falling_mis_percent
+        # Paper: -28.01 % / -28.43 %; our substrate: about -30 %.
+        assert -36.0 < mis_minus < -22.0
+        assert -36.0 < mis_plus < -22.0
+
+    def test_rising_peak_exists(self, characterization_cache):
+        peak_minus, peak_plus = \
+            characterization_cache.rising_peak_percent
+        # Paper: +2.08 % / +7.26 %; shape requires both positive.
+        assert peak_minus > 0.5
+        assert peak_plus > 2.0
+
+    def test_rising_order_dependence(self, characterization_cache):
+        sis = characterization_cache.sis_rising
+        assert sis.minus_inf > sis.plus_inf  # early A helps
+
+    def test_falling_order_dependence(self, characterization_cache):
+        sis = characterization_cache.sis_falling
+        assert sis.plus_inf > sis.minus_inf  # T2 slows the A-first case
+
+    def test_delay_magnitudes_in_paper_ballpark(
+            self, characterization_cache):
+        sis_fall = characterization_cache.sis_falling
+        sis_rise = characterization_cache.sis_rising
+        assert 20 * PS < sis_fall.zero < 35 * PS
+        assert 30 * PS < sis_fall.minus_inf < 45 * PS
+        assert 45 * PS < sis_rise.plus_inf < 65 * PS
+
+    def test_curve_edges_close_to_sis_values(self,
+                                             characterization_cache):
+        ch = characterization_cache
+        assert ch.falling.delays[0] == pytest.approx(
+            ch.sis_falling.minus_inf, abs=1.0 * PS)
+        assert ch.falling.delays[-1] == pytest.approx(
+            ch.sis_falling.plus_inf, abs=1.0 * PS)
+
+    def test_targets_use_model_consistent_rising_zero(
+            self, characterization_cache):
+        targets = characterization_cache.targets
+        assert targets.rising.zero == targets.rising.minus_inf
+
+    def test_toggle_targets_shape(self, characterization_cache):
+        toggle = characterization_cache.targets_toggle
+        # Toggle rising delays are within a few ps of each other and
+        # lower than the Δ-protocol value (the parked-node effect).
+        assert toggle.rising.minus_inf <= \
+            characterization_cache.sis_rising.minus_inf
+        assert toggle.falling.zero == \
+            characterization_cache.sis_falling.zero
+
+    def test_vdd_recorded(self, characterization_cache):
+        assert characterization_cache.vdd == pytest.approx(0.8)
+        assert characterization_cache.tech_name == "finfet15"

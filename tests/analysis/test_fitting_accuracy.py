@@ -1,0 +1,142 @@
+"""Tests for the fitting pipeline and the Fig. 7 accuracy machinery."""
+
+import pytest
+
+from repro.analysis.accuracy import (MODEL_LABELS, build_model_suite,
+                                     evaluate_config, reference_output)
+from repro.analysis.fitting import (PAPER_FIG2_TARGETS,
+                                    fit_from_characterization,
+                                    fit_from_paper_values)
+from repro.core.parameters import PAPER_TABLE_I
+from repro.errors import ParameterError
+from repro.spice.technology import FINFET15
+from repro.timing.trace import DigitalTrace
+from repro.timing.tracegen import WaveformConfig
+from repro.units import PS
+
+
+class TestPaperValueFit:
+    def test_delta_min_is_18ps(self):
+        fit = fit_from_paper_values(co=PAPER_TABLE_I.co)
+        assert fit.params.delta_min == pytest.approx(18 * PS)
+
+    def test_targets_matched(self):
+        fit = fit_from_paper_values(co=PAPER_TABLE_I.co)
+        assert fit.max_error < 0.25 * PS
+
+    def test_r3_r4_near_table1(self):
+        fit = fit_from_paper_values(co=PAPER_TABLE_I.co)
+        assert fit.params.r3 == pytest.approx(PAPER_TABLE_I.r3,
+                                              rel=0.10)
+        assert fit.params.r4 == pytest.approx(PAPER_TABLE_I.r4,
+                                              rel=0.10)
+
+    def test_paper_targets_sane(self):
+        assert PAPER_FIG2_TARGETS.falling.zero == pytest.approx(28 * PS)
+        assert PAPER_FIG2_TARGETS.rising.zero == \
+            PAPER_FIG2_TARGETS.rising.minus_inf
+
+
+class TestCharacterizationFit:
+    def test_delta_protocol(self, characterization_cache):
+        fit = fit_from_characterization(characterization_cache)
+        assert fit.max_error < 0.6 * PS
+        assert fit.params.delta_min > 5 * PS
+
+    def test_toggle_protocol(self, characterization_cache):
+        fit = fit_from_characterization(characterization_cache,
+                                        protocol="toggle")
+        assert fit.max_error < 0.6 * PS
+
+    def test_unknown_protocol(self, characterization_cache):
+        with pytest.raises(ValueError):
+            fit_from_characterization(characterization_cache,
+                                      protocol="sideways")
+
+    def test_no_dmin_fit_worse(self, characterization_cache):
+        with_dmin = fit_from_characterization(characterization_cache)
+        without = fit_from_characterization(characterization_cache,
+                                            delta_min=0.0)
+        assert without.max_error > 2.0 * with_dmin.max_error
+
+
+class TestModelSuite:
+    def test_structure(self, characterization_cache):
+        fit = fit_from_characterization(characterization_cache)
+        suite = build_model_suite(characterization_cache.targets,
+                                  fit.params)
+        assert set(suite) == {"inertial", "exp", "hm_no_dmin", "hm"}
+        assert set(MODEL_LABELS) == set(suite)
+
+    def test_runners_produce_traces(self, characterization_cache):
+        fit = fit_from_characterization(characterization_cache)
+        suite = build_model_suite(characterization_cache.targets,
+                                  fit.params)
+        a = DigitalTrace.from_edges(0, [300 * PS])
+        b = DigitalTrace.constant(0)
+        for runner in suite.values():
+            out = runner(a, b)
+            assert out.initial == 1
+            assert out.values == (0,)
+
+    def test_hm_runner_matches_fit_delay(self, characterization_cache):
+        from repro.core import HybridNorModel
+        fit = fit_from_characterization(characterization_cache)
+        suite = build_model_suite(characterization_cache.targets,
+                                  fit.params)
+        a = DigitalTrace.from_edges(0, [300 * PS])
+        out = suite["hm"](a, DigitalTrace.constant(0))
+        expected = HybridNorModel(fit.params).delay_falling_plus_inf()
+        assert out.times[0] - 300 * PS == pytest.approx(expected,
+                                                        rel=1e-9)
+
+
+class TestAccuracyPipeline:
+    @pytest.fixture(scope="class")
+    def tiny_accuracy(self, characterization_cache,
+                      fast_transient_options):
+        fit = fit_from_characterization(characterization_cache,
+                                        protocol="toggle")
+        suite = build_model_suite(
+            characterization_cache.targets_toggle, fit.params)
+        config = WaveformConfig(mu=150 * PS, sigma=60 * PS,
+                                mode="local", transitions=16)
+        return evaluate_config(FINFET15, suite, config, repetitions=1,
+                               seed=11,
+                               options=fast_transient_options)
+
+    def test_inertial_normalizes_to_one(self, tiny_accuracy):
+        assert tiny_accuracy.normalized["inertial"] == pytest.approx(
+            1.0)
+
+    def test_areas_non_negative(self, tiny_accuracy):
+        assert all(area >= 0.0 for area in tiny_accuracy.areas.values())
+
+    def test_hybrid_beats_or_matches_inertial(self, tiny_accuracy):
+        assert tiny_accuracy.normalized["hm"] < 1.3
+
+    def test_rows_labelled(self, tiny_accuracy):
+        labels = [row[0] for row in tiny_accuracy.rows()]
+        assert "inertial delay" in labels
+        assert "HM with dmin" in labels
+
+    def test_repetitions_validated(self, characterization_cache):
+        fit = fit_from_characterization(characterization_cache)
+        suite = build_model_suite(characterization_cache.targets,
+                                  fit.params)
+        config = WaveformConfig(mu=150 * PS, sigma=60 * PS,
+                                mode="local", transitions=4)
+        with pytest.raises(ParameterError):
+            evaluate_config(FINFET15, suite, config, repetitions=0)
+
+
+class TestReferenceOutput:
+    def test_single_pulse_reference(self, fast_transient_options):
+        a = DigitalTrace.from_edges(0, [300 * PS, 1200 * PS])
+        b = DigitalTrace.constant(0)
+        out = reference_output(FINFET15, a, b, 2000 * PS,
+                               fast_transient_options)
+        assert out.initial == 1
+        assert out.values == (0, 1)
+        fall_delay = out.times[0] - 300 * PS
+        assert 25 * PS < fall_delay < 50 * PS

@@ -1,0 +1,94 @@
+"""Tests for repro.models.fitted — literature curve-fit baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.charlie import MisCurve
+from repro.errors import FittingError, ParameterError
+from repro.models.fitted import FinitePointMisModel, QuadraticMisModel
+from repro.units import PS
+
+
+@pytest.fixture()
+def falling_curve():
+    deltas = np.linspace(-60 * PS, 60 * PS, 25)
+    delays = 38 * PS - 10 * PS * np.exp(-(deltas / (18 * PS)) ** 2)
+    return MisCurve.from_arrays(deltas, delays, "falling")
+
+
+class TestFinitePointModel:
+    def test_fit_and_interpolate(self, falling_curve):
+        model = FinitePointMisModel.fit(falling_curve, num_points=5)
+        assert model.direction == "falling"
+        assert len(model.knots) == 5
+        # Exact at the support points.
+        for knot, delay in zip(model.knots, model.delays):
+            assert model.delay(knot) == pytest.approx(delay)
+
+    def test_plateaus_outside_window(self, falling_curve):
+        model = FinitePointMisModel.fit(falling_curve)
+        assert model.delay(-1e-9) == pytest.approx(
+            falling_curve.delays[0])
+        assert model.delay(1e-9) == pytest.approx(
+            falling_curve.delays[-1])
+
+    def test_reasonable_accuracy_on_smooth_curve(self, falling_curve):
+        model = FinitePointMisModel.fit(falling_curve, num_points=9)
+        fitted = model.curve(falling_curve.deltas)
+        assert fitted.mean_abs_difference(falling_curve) < 1.5 * PS
+
+    def test_more_points_more_accurate(self, falling_curve):
+        coarse = FinitePointMisModel.fit(falling_curve, num_points=3)
+        fine = FinitePointMisModel.fit(falling_curve, num_points=13)
+        err_coarse = coarse.curve(falling_curve.deltas) \
+            .mean_abs_difference(falling_curve)
+        err_fine = fine.curve(falling_curve.deltas) \
+            .mean_abs_difference(falling_curve)
+        assert err_fine < err_coarse
+
+    def test_too_few_points(self, falling_curve):
+        with pytest.raises(ParameterError):
+            FinitePointMisModel.fit(falling_curve, num_points=1)
+
+    def test_more_points_than_samples(self):
+        curve = MisCurve.from_arrays([0.0, 1e-12], [1e-12, 1e-12],
+                                     "falling")
+        with pytest.raises(FittingError):
+            FinitePointMisModel.fit(curve, num_points=5)
+
+
+class TestQuadraticModel:
+    def test_fit_basics(self, falling_curve):
+        model = QuadraticMisModel.fit(falling_curve, window=30 * PS)
+        assert model.window == pytest.approx(30 * PS)
+        a, _b, _c = model.coefficients
+        assert a > 0.0  # opens upward for a speed-up valley
+
+    def test_plateaus(self, falling_curve):
+        model = QuadraticMisModel.fit(falling_curve, window=30 * PS)
+        assert model.delay(-50 * PS) == pytest.approx(
+            falling_curve.delays[0])
+        assert model.delay(50 * PS) == pytest.approx(
+            falling_curve.delays[-1])
+
+    def test_captures_valley(self, falling_curve):
+        model = QuadraticMisModel.fit(falling_curve, window=25 * PS)
+        assert model.delay(0.0) == pytest.approx(28 * PS, abs=1.5 * PS)
+
+    def test_default_window(self, falling_curve):
+        model = QuadraticMisModel.fit(falling_curve)
+        assert model.window == pytest.approx(30 * PS)
+
+    def test_bad_window(self, falling_curve):
+        with pytest.raises(ParameterError):
+            QuadraticMisModel.fit(falling_curve, window=-1.0)
+
+    def test_window_without_samples(self, falling_curve):
+        with pytest.raises(FittingError):
+            QuadraticMisModel.fit(falling_curve, window=1e-15)
+
+    def test_curve_evaluation(self, falling_curve):
+        model = QuadraticMisModel.fit(falling_curve)
+        fitted = model.curve(falling_curve.deltas)
+        assert len(fitted) == len(falling_curve)
+        assert fitted.direction == "falling"

@@ -1,0 +1,62 @@
+"""Shared fixtures and hypothesis configuration for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.parameters import PAPER_TABLE_I, NorGateParameters
+from repro.spice.transient import TransientOptions
+
+# Keep property-based tests snappy; the strategies exercise wide
+# parameter ranges, not huge example counts.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.function_scoped_fixture],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def paper_params() -> NorGateParameters:
+    """The paper's Table I parameters (with delta_min = 18 ps)."""
+    return PAPER_TABLE_I
+
+
+@pytest.fixture(scope="session")
+def bare_params() -> NorGateParameters:
+    """Table I parameters without the pure delay."""
+    return PAPER_TABLE_I.without_delta_min()
+
+
+@pytest.fixture(scope="session")
+def fast_transient_options() -> TransientOptions:
+    """Looser transient tolerances for spice-heavy tests."""
+    return TransientOptions(v_scale=0.8, reltol=5e-4,
+                            dt_initial=0.1e-12, dt_max=100e-12)
+
+
+@pytest.fixture(scope="session")
+def characterization_cache(fast_transient_options):
+    """One shared (coarse) analog characterization of the 15 nm NOR.
+
+    Several analysis tests need a characterization; running it once per
+    session keeps the suite fast.  The grid is deliberately small.
+    """
+    from repro.analysis.characterization import characterize_nor
+    from repro.spice.technology import FINFET15
+    from repro.units import PS
+
+    deltas = tuple(float(d) * PS for d in (-60, -30, -12, 0, 12, 30, 60))
+    return characterize_nor(FINFET15, deltas=deltas,
+                            options=fast_transient_options)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests that need randomness."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,145 @@
+"""Tests for repro.core.charlie — characteristic delays and MIS curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.charlie import (CharacteristicDelays, MisCurve,
+                                characteristic_from_samples)
+from repro.errors import ParameterError
+from repro.units import PS
+
+
+class TestCharacteristicDelays:
+    def test_percent_annotations_match_paper(self):
+        """Fig. 2b: 28 ps at Δ=0 vs plateaus gives ~ -28 %."""
+        ch = CharacteristicDelays(minus_inf=38.9 * PS, zero=28.0 * PS,
+                                  plus_inf=39.12 * PS)
+        assert ch.mis_effect_vs_minus_inf == pytest.approx(-28.01,
+                                                           abs=0.05)
+        assert ch.mis_effect_vs_plus_inf == pytest.approx(-28.43,
+                                                          abs=0.05)
+
+    def test_speedup_detection(self):
+        ch = CharacteristicDelays(38 * PS, 28 * PS, 39 * PS)
+        assert ch.is_speedup
+        assert not ch.is_slowdown
+
+    def test_slowdown_detection(self):
+        ch = CharacteristicDelays(54 * PS, 57 * PS, 53 * PS)
+        assert ch.is_slowdown
+        assert not ch.is_speedup
+
+    def test_neither(self):
+        ch = CharacteristicDelays(50 * PS, 52 * PS, 54 * PS)
+        assert not ch.is_speedup
+        assert not ch.is_slowdown
+
+    def test_shifted(self):
+        ch = CharacteristicDelays(38 * PS, 28 * PS, 39 * PS)
+        shifted = ch.shifted(-18 * PS)
+        assert shifted.as_tuple() == pytest.approx(
+            (20 * PS, 10 * PS, 21 * PS))
+
+    def test_as_tuple_order(self):
+        ch = CharacteristicDelays(1.0, 2.0, 3.0)
+        assert ch.as_tuple() == (1.0, 2.0, 3.0)
+
+    def test_describe(self):
+        text = CharacteristicDelays(38 * PS, 28 * PS,
+                                    39 * PS).describe("d")
+        assert "38.00 ps" in text
+        assert "28.00 ps" in text
+
+
+class TestMisCurveConstruction:
+    def test_basic(self):
+        curve = MisCurve.from_arrays([-1e-12, 0.0, 1e-12],
+                                     [3e-12, 2e-12, 3e-12], "falling")
+        assert len(curve) == 3
+        assert curve.direction == "falling"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            MisCurve.from_arrays([0.0, 1.0], [1.0], "falling")
+
+    def test_bad_direction(self):
+        with pytest.raises(ParameterError):
+            MisCurve.from_arrays([0.0], [1.0], "sideways")
+
+    def test_non_increasing_deltas(self):
+        with pytest.raises(ParameterError):
+            MisCurve.from_arrays([0.0, 0.0], [1.0, 1.0], "rising")
+
+
+@pytest.fixture()
+def vee_curve():
+    """A V-shaped falling MIS curve like Fig. 2b."""
+    deltas = np.linspace(-60 * PS, 60 * PS, 13)
+    delays = 38 * PS - 10 * PS * np.exp(-np.abs(deltas) / (15 * PS))
+    return MisCurve.from_arrays(deltas, delays, "falling", label="vee")
+
+
+class TestMisCurveQueries:
+    def test_delay_at_interpolates(self, vee_curve):
+        mid = vee_curve.delay_at(5 * PS)
+        assert vee_curve.delays[6] <= mid <= vee_curve.delays[-1]
+
+    def test_characteristic_extraction(self, vee_curve):
+        ch = vee_curve.characteristic()
+        assert ch.zero == pytest.approx(28 * PS, rel=1e-6)
+        assert ch.minus_inf == pytest.approx(vee_curve.delays[0])
+        assert ch.plus_inf == pytest.approx(vee_curve.delays[-1])
+
+    def test_extreme_near_zero_finds_minimum(self, vee_curve):
+        delta, delay = vee_curve.extreme_near_zero()
+        assert delta == pytest.approx(0.0)
+        assert delay == pytest.approx(28 * PS, rel=1e-6)
+
+    def test_extreme_near_zero_finds_maximum(self):
+        deltas = np.linspace(-60 * PS, 60 * PS, 13)
+        delays = 54 * PS + 3 * PS * np.exp(-np.abs(deltas) / (15 * PS))
+        curve = MisCurve.from_arrays(deltas, delays, "rising")
+        _, delay = curve.extreme_near_zero()
+        assert delay == pytest.approx(57 * PS, rel=1e-6)
+
+    def test_rows_in_ps(self, vee_curve):
+        rows = vee_curve.rows()
+        assert rows[0][0] == pytest.approx(-60.0)
+        assert rows[6][1] == pytest.approx(28.0, rel=1e-6)
+
+    def test_helper_characteristic_from_samples(self):
+        ch = characteristic_from_samples(
+            [-1e-12, 0.0, 1e-12], [3e-12, 2e-12, 3e-12], "falling")
+        assert ch.zero == pytest.approx(2e-12)
+
+
+class TestMisCurveComparison:
+    def test_identical_curves_zero_difference(self, vee_curve):
+        assert vee_curve.max_abs_difference(vee_curve) == 0.0
+        assert vee_curve.mean_abs_difference(vee_curve) == 0.0
+
+    def test_shifted_difference(self, vee_curve):
+        shifted = vee_curve.shifted(2 * PS)
+        assert vee_curve.max_abs_difference(shifted) == pytest.approx(
+            2 * PS, rel=1e-9)
+        assert vee_curve.mean_abs_difference(shifted) == pytest.approx(
+            2 * PS, rel=1e-9)
+
+    def test_non_overlapping_raises(self, vee_curve):
+        other = MisCurve.from_arrays([100 * PS, 200 * PS],
+                                     [1 * PS, 1 * PS], "falling")
+        with pytest.raises(ParameterError):
+            vee_curve.max_abs_difference(other)
+
+    @given(st.floats(min_value=-5 * PS, max_value=5 * PS))
+    def test_shift_is_exact_offset(self, vee_curve, offset):
+        shifted = vee_curve.shifted(offset)
+        assert vee_curve.max_abs_difference(shifted) == pytest.approx(
+            abs(offset), rel=1e-9, abs=1e-20)
+
+    def test_symmetry(self, vee_curve):
+        other = vee_curve.shifted(1 * PS)
+        assert vee_curve.mean_abs_difference(other) == pytest.approx(
+            other.mean_abs_difference(vee_curve), rel=1e-12)

@@ -1,0 +1,283 @@
+"""Tests for repro.core.hybrid_model — the paper's delay functions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.hybrid_model import HybridNorModel
+from repro.core.parameters import PAPER_TABLE_I, NorGateParameters
+from repro.units import PS
+
+deltas_st = st.floats(min_value=-80 * PS, max_value=80 * PS)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return HybridNorModel(PAPER_TABLE_I)
+
+
+@pytest.fixture(scope="module")
+def bare_model():
+    return HybridNorModel(PAPER_TABLE_I.without_delta_min())
+
+
+class TestClosedFormSisDelays:
+    """Paper eqs. (8) and (9) versus the trajectory computation."""
+
+    def test_falling_zero_matches_eq8(self, model):
+        p = PAPER_TABLE_I
+        expected = math.log(2.0) * p.tau_parallel + p.delta_min
+        assert model.delay_falling_zero() == pytest.approx(expected)
+        assert model.delay_falling(0.0) == pytest.approx(expected,
+                                                         rel=1e-9)
+
+    def test_falling_minus_inf_matches_eq9(self, model):
+        p = PAPER_TABLE_I
+        expected = math.log(2.0) * p.tau_r4 + p.delta_min
+        assert model.delay_falling_minus_inf() == pytest.approx(expected)
+        assert model.delay_falling(-math.inf) == pytest.approx(
+            expected, rel=1e-9)
+
+    def test_paper_28ps_and_39ps(self, model):
+        assert model.delay_falling_zero() == pytest.approx(28.0 * PS,
+                                                           abs=0.1 * PS)
+        assert model.delay_falling_minus_inf() == pytest.approx(
+            38.9 * PS, abs=0.1 * PS)
+
+    def test_falling_plus_inf_exceeds_minus_inf(self, model):
+        # T2 couples C_N into the discharge path when A switches first.
+        assert model.delay_falling_plus_inf() > \
+            model.delay_falling_minus_inf()
+
+    def test_rising_order_dependence(self, model):
+        # Early A transition charges N -> faster rising output.
+        assert model.delay_rising_plus_inf() < \
+            model.delay_rising_minus_inf()
+
+
+class TestMisBehaviour:
+    def test_falling_mis_is_speedup(self, model):
+        characteristic = model.characteristic_falling()
+        assert characteristic.is_speedup
+
+    def test_falling_minimum_at_zero(self, model):
+        deltas = np.linspace(-60 * PS, 60 * PS, 25)
+        delays = [model.delay_falling(float(d)) for d in deltas]
+        assert min(delays) == pytest.approx(model.delay_falling(0.0))
+
+    def test_falling_monotone_away_from_zero(self, model):
+        deltas = np.linspace(0.0, 60 * PS, 15)
+        delays = [model.delay_falling(float(d)) for d in deltas]
+        assert all(d2 >= d1 - 1e-18 for d1, d2 in zip(delays,
+                                                      delays[1:]))
+        deltas = np.linspace(-60 * PS, 0.0, 15)
+        delays = [model.delay_falling(float(d)) for d in deltas]
+        assert all(d2 <= d1 + 1e-18 for d1, d2 in zip(delays,
+                                                      delays[1:]))
+
+    def test_falling_limits_settle(self, model):
+        assert model.delay_falling(300 * PS) == pytest.approx(
+            model.delay_falling_plus_inf(), rel=1e-6)
+        assert model.delay_falling(-300 * PS) == pytest.approx(
+            model.delay_falling_minus_inf(), rel=1e-6)
+
+    def test_rising_limits_settle(self, model):
+        assert model.delay_rising(900 * PS) == pytest.approx(
+            model.delay_rising_plus_inf(), rel=1e-6)
+        assert model.delay_rising(-900 * PS) == pytest.approx(
+            model.delay_rising_minus_inf(), rel=1e-6)
+
+    def test_rising_zero_with_ground_equals_minus_inf(self, model):
+        """The identity that breaks peak fitting (paper Section IV)."""
+        assert model.delay_rising_zero(0.0) == pytest.approx(
+            model.delay_rising_minus_inf(), rel=1e-9)
+
+    def test_rising_zero_with_vdd_equals_plus_inf(self, model):
+        """X = VDD makes (0,0) start from a fully charged node."""
+        assert model.delay_rising_zero(PAPER_TABLE_I.vdd) == \
+            pytest.approx(model.delay_rising_plus_inf(), rel=1e-9)
+
+    def test_rising_flat_for_negative_delta_with_ground(self, model):
+        """With X = GND the (1,0) intermediate mode changes nothing."""
+        values = [model.delay_rising(d, 0.0)
+                  for d in (-5 * PS, -20 * PS, -60 * PS)]
+        assert max(values) - min(values) < 1e-15
+
+    def test_rising_decreasing_in_positive_delta(self, model):
+        deltas = np.linspace(0.0, 40 * PS, 12)
+        delays = [model.delay_rising(float(d), 0.0) for d in deltas]
+        assert all(d2 <= d1 + 1e-18 for d1, d2 in zip(delays,
+                                                      delays[1:]))
+
+    def test_rising_vn_init_monotone(self, model):
+        """Higher initial V_N -> faster rising transition."""
+        delays = [model.delay_rising(0.0, x)
+                  for x in (0.0, 0.2, 0.4, 0.6, 0.8)]
+        assert all(d2 <= d1 + 1e-18 for d1, d2 in zip(delays,
+                                                      delays[1:]))
+
+    @given(deltas_st)
+    def test_falling_bounded_by_characteristics(self, model, delta):
+        delay = model.delay_falling(delta)
+        low = model.delay_falling_zero() - 1e-15
+        high = model.delay_falling_plus_inf() + 1e-15
+        assert low <= delay <= high
+
+
+class TestDeltaMinHandling:
+    def test_delta_min_shifts_all_falling_delays(self, model,
+                                                 bare_model):
+        for delta in (-40 * PS, 0.0, 15 * PS, math.inf):
+            assert model.delay_falling(delta) == pytest.approx(
+                bare_model.delay_falling(delta) + 18 * PS, rel=1e-9)
+
+    def test_delta_min_shifts_all_rising_delays(self, model,
+                                                bare_model):
+        for delta in (-40 * PS, 0.0, 15 * PS):
+            assert model.delay_rising(delta) == pytest.approx(
+                bare_model.delay_rising(delta) + 18 * PS, rel=1e-9)
+
+
+class TestDelayComputationObjects:
+    def test_falling_computation_contents(self, model):
+        comp = model.falling_computation(10 * PS)
+        assert comp.delta == 10 * PS
+        assert comp.delay == pytest.approx(comp.crossing_time + 18 * PS)
+        assert comp.trajectory.vo_at(0.0) == pytest.approx(0.8)
+
+    def test_rising_computation_reference(self, model):
+        comp = model.rising_computation(10 * PS)
+        assert comp.delay == pytest.approx(
+            comp.crossing_time - 10 * PS + 18 * PS)
+
+    def test_trajectory_modes_falling_positive(self, model):
+        comp = model.falling_computation(10 * PS)
+        modes = [s.mode.value for s in comp.trajectory.segments]
+        assert modes == [(1, 0), (1, 1)]
+
+    def test_trajectory_modes_falling_negative(self, model):
+        comp = model.falling_computation(-10 * PS)
+        modes = [s.mode.value for s in comp.trajectory.segments]
+        assert modes == [(0, 1), (1, 1)]
+
+    def test_trajectory_modes_rising(self, model):
+        comp = model.rising_computation(10 * PS)
+        modes = [s.mode.value for s in comp.trajectory.segments]
+        assert modes == [(0, 1), (0, 0)]
+        comp = model.rising_computation(-10 * PS)
+        modes = [s.mode.value for s in comp.trajectory.segments]
+        assert modes == [(1, 0), (0, 0)]
+
+
+class TestCurves:
+    def test_falling_curve(self, model):
+        deltas = [d * PS for d in (-40, -20, 0, 20, 40)]
+        curve = model.falling_curve(deltas)
+        assert curve.direction == "falling"
+        assert len(curve) == 5
+        assert curve.delay_at(0.0) == pytest.approx(
+            model.delay_falling(0.0))
+
+    def test_rising_curve_label_mentions_vn(self, model):
+        curve = model.rising_curve([0.0, 10 * PS], vn_init=0.4)
+        assert "0.4" in curve.label
+
+    def test_characteristic_falling(self, model):
+        ch = model.characteristic_falling()
+        assert ch.zero == pytest.approx(model.delay_falling_zero())
+        assert ch.minus_inf == pytest.approx(
+            model.delay_falling_minus_inf())
+
+    def test_characteristic_rising(self, model):
+        ch = model.characteristic_rising(vn_init=0.0)
+        assert ch.zero == pytest.approx(ch.minus_inf)
+
+
+class TestOutputCrossingsForInputs:
+    def test_single_falling_event(self, model):
+        crossings = model.output_crossings_for_inputs(
+            [(100 * PS, 1)], [], a_initial=0, b_initial=0)
+        assert len(crossings) == 1
+        t, value = crossings[0]
+        assert value == 0
+        assert t - 100 * PS == pytest.approx(
+            model.delay_falling_plus_inf(), rel=1e-9)
+
+    def test_pulse_round_trip(self, model):
+        crossings = model.output_crossings_for_inputs(
+            [(100 * PS, 1), (1500 * PS, 0)], [],
+            a_initial=0, b_initial=0)
+        assert [v for _, v in crossings] == [0, 1]
+        rising = crossings[1][0] - 1500 * PS
+        assert rising == pytest.approx(model.delay_rising_minus_inf(),
+                                       rel=1e-6)
+
+    def test_mis_delay_matches_direct_computation(self, model):
+        delta = 12 * PS
+        crossings = model.output_crossings_for_inputs(
+            [(200 * PS, 1)], [(200 * PS + delta, 1)],
+            a_initial=0, b_initial=0)
+        delay = crossings[0][0] - 200 * PS
+        assert delay == pytest.approx(model.delay_falling(delta),
+                                      rel=1e-9)
+
+    def test_constant_high_input_blocks_output(self, model):
+        crossings = model.output_crossings_for_inputs(
+            [(100 * PS, 1), (400 * PS, 0)], [],
+            a_initial=0, b_initial=1)
+        # B stuck high -> output stays low forever.
+        assert crossings == []
+
+    def test_short_glitch_produces_no_output(self, model):
+        crossings = model.output_crossings_for_inputs(
+            [(100 * PS, 1), (102 * PS, 0)], [],
+            a_initial=0, b_initial=0)
+        assert crossings == []
+
+    def test_negative_event_time_rejected(self, model):
+        from repro.errors import ParameterError
+        with pytest.raises(ParameterError):
+            model.output_crossings_for_inputs([(-1 * PS, 1)], [],
+                                              a_initial=0, b_initial=0)
+
+    def test_t_max_truncates(self, model):
+        crossings = model.output_crossings_for_inputs(
+            [(100 * PS, 1)], [], a_initial=0, b_initial=0,
+            t_max=50 * PS)
+        assert crossings == []
+
+
+class TestParameterSensitivity:
+    """Physical sanity of the delay functions under parameter changes."""
+
+    def test_larger_co_slows_everything(self):
+        base = HybridNorModel(PAPER_TABLE_I)
+        heavy = HybridNorModel(PAPER_TABLE_I.replace(
+            co=2 * PAPER_TABLE_I.co))
+        assert heavy.delay_falling(0.0) > base.delay_falling(0.0)
+        assert heavy.delay_rising_plus_inf() > \
+            base.delay_rising_plus_inf()
+
+    def test_r4_only_affects_minus_inf_falling(self):
+        base = HybridNorModel(PAPER_TABLE_I)
+        changed = HybridNorModel(PAPER_TABLE_I.replace(
+            r4=1.5 * PAPER_TABLE_I.r4))
+        # δ↓(−∞) scales with R4 ...
+        assert changed.delay_falling_minus_inf() > \
+            base.delay_falling_minus_inf()
+        # ... while δ↑(∞) is R4-independent (paper Section V).
+        assert changed.delay_rising_plus_inf() == pytest.approx(
+            base.delay_rising_plus_inf(), rel=1e-9)
+
+    def test_r1_does_not_affect_falling(self):
+        """Paper: 'characteristic Charlie delays in Fig. 5 are not
+        affected by R1 at all'."""
+        base = HybridNorModel(PAPER_TABLE_I)
+        changed = HybridNorModel(PAPER_TABLE_I.replace(
+            r1=3 * PAPER_TABLE_I.r1))
+        for delta in (-20 * PS, 0.0, 20 * PS, math.inf, -math.inf):
+            assert changed.delay_falling(delta) == pytest.approx(
+                base.delay_falling(delta), rel=1e-9)

@@ -1,0 +1,122 @@
+"""Tests for repro.core.parameters."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import (PAPER_DELTA_MIN, PAPER_TABLE_I,
+                                   NorGateParameters)
+from repro.errors import ParameterError
+from repro.units import AF, KOHM, PS
+
+
+def make(**overrides):
+    values = dict(r1=37e3, r2=45e3, r3=45e3, r4=49e3, cn=60e-18,
+                  co=617e-18, vdd=0.8, delta_min=0.0)
+    values.update(overrides)
+    return NorGateParameters(**values)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["r1", "r2", "r3", "r4", "cn",
+                                       "co", "vdd"])
+    def test_rejects_non_positive(self, field):
+        with pytest.raises(ParameterError):
+            make(**{field: 0.0})
+        with pytest.raises(ParameterError):
+            make(**{field: -1.0})
+
+    @pytest.mark.parametrize("field", ["r1", "co", "vdd"])
+    def test_rejects_non_finite(self, field):
+        with pytest.raises(ParameterError):
+            make(**{field: math.inf})
+        with pytest.raises(ParameterError):
+            make(**{field: math.nan})
+
+    def test_rejects_negative_delta_min(self):
+        with pytest.raises(ParameterError):
+            make(delta_min=-1e-12)
+
+    def test_zero_delta_min_allowed(self):
+        assert make(delta_min=0.0).delta_min == 0.0
+
+
+class TestDerivedQuantities:
+    def test_vth_is_half_vdd(self):
+        assert make(vdd=0.8).vth == pytest.approx(0.4)
+
+    def test_tau_parallel(self):
+        p = make(r3=40e3, r4=40e3, co=1e-15)
+        assert p.tau_parallel == pytest.approx(1e-15 * 20e3)
+
+    def test_tau_parallel_smaller_than_each(self):
+        p = make()
+        assert p.tau_parallel < min(p.tau_r3, p.tau_r4)
+
+    def test_tau_r3_r4(self):
+        p = make(r3=45e3, r4=49e3, co=617e-18)
+        assert p.tau_r3 == pytest.approx(617e-18 * 45e3)
+        assert p.tau_r4 == pytest.approx(617e-18 * 49e3)
+
+    def test_tau_n_charge(self):
+        p = make(r1=37e3, cn=60e-18)
+        assert p.tau_n_charge == pytest.approx(37e3 * 60e-18)
+
+
+class TestTransforms:
+    def test_replace(self):
+        p = make().replace(r1=99e3)
+        assert p.r1 == 99e3
+        assert p.r2 == 45e3
+
+    def test_replace_does_not_mutate(self):
+        p = make()
+        p.replace(r1=99e3)
+        assert p.r1 == 37e3
+
+    def test_without_delta_min(self):
+        p = make(delta_min=18 * PS).without_delta_min()
+        assert p.delta_min == 0.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            make().r1 = 1.0
+
+    def test_as_dict(self):
+        d = make().as_dict()
+        assert d["r1"] == 37e3
+        assert set(d) == {"r1", "r2", "r3", "r4", "cn", "co", "vdd",
+                          "delta_min"}
+
+    def test_describe_mentions_all_fields(self):
+        text = make().describe()
+        for token in ("R1", "R4", "CN", "CO", "VDD", "delta_min"):
+            assert token in text
+
+
+class TestPaperTableI:
+    def test_exact_values(self):
+        assert PAPER_TABLE_I.r1 == pytest.approx(37.088 * KOHM)
+        assert PAPER_TABLE_I.r2 == pytest.approx(44.926 * KOHM)
+        assert PAPER_TABLE_I.r3 == pytest.approx(45.150 * KOHM)
+        assert PAPER_TABLE_I.r4 == pytest.approx(48.761 * KOHM)
+        assert PAPER_TABLE_I.cn == pytest.approx(59.486 * AF)
+        assert PAPER_TABLE_I.co == pytest.approx(617.259 * AF)
+
+    def test_vdd_is_15nm_supply(self):
+        assert PAPER_TABLE_I.vdd == pytest.approx(0.8)
+
+    def test_delta_min(self):
+        assert PAPER_DELTA_MIN == pytest.approx(18 * PS)
+        assert PAPER_TABLE_I.delta_min == pytest.approx(18 * PS)
+
+    def test_implied_falling_zero_delay(self):
+        # ln2 * CO * (R3 || R4) + 18 ps should be the paper's 28 ps.
+        delay = (math.log(2.0) * PAPER_TABLE_I.tau_parallel
+                 + PAPER_TABLE_I.delta_min)
+        assert delay == pytest.approx(28.0 * PS, abs=0.1 * PS)
+
+    def test_implied_falling_minus_inf_delay(self):
+        delay = (math.log(2.0) * PAPER_TABLE_I.tau_r4
+                 + PAPER_TABLE_I.delta_min)
+        assert delay == pytest.approx(38.9 * PS, abs=0.1 * PS)

@@ -1,0 +1,196 @@
+"""Tests for repro.core.parametrization — Section V / Table I."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.charlie import CharacteristicDelays
+from repro.core.hybrid_model import HybridNorModel
+from repro.core.parameters import PAPER_TABLE_I, NorGateParameters
+from repro.core.parametrization import (CharacteristicTargets,
+                                        falling_feasible_without_pure_delay,
+                                        falling_ratio, fit_nor_parameters,
+                                        infer_delta_min, seed_parameters)
+from repro.errors import FittingError, ParameterError
+from repro.units import PS
+
+
+def paper_like_targets() -> CharacteristicTargets:
+    return CharacteristicTargets(
+        falling=CharacteristicDelays(38.0 * PS, 28.0 * PS, 39.1 * PS),
+        rising=CharacteristicDelays(55.3 * PS, 55.3 * PS, 52.7 * PS),
+        vdd=0.8,
+    )
+
+
+class TestInferDeltaMin:
+    def test_paper_18ps(self):
+        """2*28 − 38 = 18 ps — the paper's value, exactly."""
+        falling = CharacteristicDelays(38.0 * PS, 28.0 * PS, 39.1 * PS)
+        assert infer_delta_min(falling) == pytest.approx(18.0 * PS)
+
+    def test_makes_ratio_exactly_two(self):
+        falling = CharacteristicDelays(38.0 * PS, 28.0 * PS, 39.1 * PS)
+        dm = infer_delta_min(falling)
+        assert falling_ratio(falling, dm) == pytest.approx(2.0)
+
+    def test_ratio_already_two_gives_zero(self):
+        falling = CharacteristicDelays(40.0 * PS, 20.0 * PS, 41.0 * PS)
+        assert infer_delta_min(falling) == pytest.approx(0.0)
+
+    def test_ratio_above_two_raises(self):
+        falling = CharacteristicDelays(50.0 * PS, 20.0 * PS, 51.0 * PS)
+        with pytest.raises(FittingError):
+            infer_delta_min(falling)
+
+    @given(st.floats(min_value=20 * PS, max_value=60 * PS),
+           st.floats(min_value=1.05, max_value=1.95))
+    def test_inferred_value_always_valid(self, zero, ratio):
+        falling = CharacteristicDelays(zero * ratio, zero,
+                                       zero * ratio * 1.02)
+        dm = infer_delta_min(falling)
+        assert 0.0 <= dm < zero
+        assert falling_ratio(falling, dm) == pytest.approx(2.0)
+
+
+class TestFeasibility:
+    def test_paper_values_infeasible(self):
+        """38/28 ≈ 1.36 is far from the required ratio 2."""
+        falling = CharacteristicDelays(38.0 * PS, 28.0 * PS, 39.1 * PS)
+        assert not falling_feasible_without_pure_delay(falling)
+
+    def test_ratio_two_feasible(self):
+        falling = CharacteristicDelays(40.0 * PS, 20.0 * PS, 41.0 * PS)
+        assert falling_feasible_without_pure_delay(falling)
+
+    def test_delta_min_exceeding_zero_raises(self):
+        falling = CharacteristicDelays(38.0 * PS, 28.0 * PS, 39.1 * PS)
+        with pytest.raises(FittingError):
+            falling_ratio(falling, 30.0 * PS)
+
+
+class TestSeedParameters:
+    def test_seed_matches_closed_forms(self):
+        targets = paper_like_targets()
+        seed = seed_parameters(targets, 18.0 * PS, co=PAPER_TABLE_I.co)
+        # Seeded R4 reproduces eq. (9) exactly.
+        assert math.log(2.0) * seed.co * seed.r4 == pytest.approx(
+            (38.0 - 18.0) * PS, rel=1e-9)
+        # Seeded R3 || R4 reproduces eq. (8) exactly.
+        parallel = seed.r3 * seed.r4 / (seed.r3 + seed.r4)
+        assert math.log(2.0) * seed.co * parallel == pytest.approx(
+            (28.0 - 18.0) * PS, rel=1e-9)
+
+    def test_seed_near_paper_table1(self):
+        """The closed-form seed already lands near Table I."""
+        targets = paper_like_targets()
+        seed = seed_parameters(targets, 18.0 * PS, co=PAPER_TABLE_I.co)
+        assert seed.r4 == pytest.approx(PAPER_TABLE_I.r4, rel=0.05)
+        assert seed.r3 == pytest.approx(PAPER_TABLE_I.r3, rel=0.05)
+        assert seed.r1 == pytest.approx(PAPER_TABLE_I.r1, rel=0.25)
+
+    def test_seed_without_co(self):
+        seed = seed_parameters(paper_like_targets(), 18.0 * PS)
+        assert seed.r4 == pytest.approx(45e3, rel=1e-6)
+
+    def test_invalid_order_raises(self):
+        targets = CharacteristicTargets(
+            falling=CharacteristicDelays(28.0 * PS, 38.0 * PS,
+                                         39.0 * PS),
+            rising=CharacteristicDelays(55.0 * PS, 55.0 * PS,
+                                        52.0 * PS))
+        with pytest.raises(FittingError):
+            seed_parameters(targets, 0.0)
+
+    def test_excessive_delta_min_raises(self):
+        with pytest.raises(FittingError):
+            seed_parameters(paper_like_targets(), 29.0 * PS)
+
+
+class TestFitNorParameters:
+    def test_paper_targets_reach_table1_characteristics(self):
+        fit = fit_nor_parameters(paper_like_targets(),
+                                 co=PAPER_TABLE_I.co)
+        assert fit.params.delta_min == pytest.approx(18.0 * PS)
+        assert fit.max_error < 0.25 * PS
+        assert fit.success
+
+    def test_fitted_r3_r4_near_paper(self):
+        fit = fit_nor_parameters(paper_like_targets(),
+                                 co=PAPER_TABLE_I.co)
+        assert fit.params.r3 == pytest.approx(PAPER_TABLE_I.r3,
+                                              rel=0.10)
+        assert fit.params.r4 == pytest.approx(PAPER_TABLE_I.r4,
+                                              rel=0.10)
+
+    def test_round_trip_recovers_characteristics(self):
+        """Targets generated from known parameters are matched."""
+        truth = PAPER_TABLE_I
+        model = HybridNorModel(truth)
+        targets = CharacteristicTargets(
+            falling=model.characteristic_falling(),
+            rising=model.characteristic_rising(0.0),
+            vdd=truth.vdd)
+        fit = fit_nor_parameters(targets, delta_min=truth.delta_min,
+                                 co=truth.co)
+        assert fit.max_error < 0.05 * PS
+
+    def test_fit_all_six_parameters(self):
+        fit = fit_nor_parameters(paper_like_targets())
+        assert fit.max_error < 0.3 * PS
+
+    def test_no_delta_min_compromise(self):
+        """Without the pure delay the targets are infeasible; LS must
+        still converge to a compromise with a visible error."""
+        fit = fit_nor_parameters(paper_like_targets(), delta_min=0.0,
+                                 co=PAPER_TABLE_I.co)
+        assert fit.params.delta_min == 0.0
+        assert fit.max_error > 1.0 * PS  # the ratio-2 theorem bites
+
+    def test_weights_shift_compromise(self):
+        targets = paper_like_targets()
+        balanced = fit_nor_parameters(targets, delta_min=0.0,
+                                      co=PAPER_TABLE_I.co)
+        sis_weighted = fit_nor_parameters(
+            targets, delta_min=0.0, co=PAPER_TABLE_I.co,
+            weights=np.array([5.0, 0.1, 5.0, 5.0, 0.1, 5.0]))
+        # SIS-weighted fit matches δ↓(−∞) better than the balanced one.
+        err_balanced = abs(balanced.achieved.falling.minus_inf
+                           - targets.falling.minus_inf)
+        err_weighted = abs(sis_weighted.achieved.falling.minus_inf
+                           - targets.falling.minus_inf)
+        assert err_weighted < err_balanced
+
+    def test_invalid_weights_shape(self):
+        with pytest.raises(ParameterError):
+            fit_nor_parameters(paper_like_targets(),
+                               weights=np.ones(3))
+
+    def test_negative_regularization_rejected(self):
+        with pytest.raises(ParameterError):
+            fit_nor_parameters(paper_like_targets(), regularization=-1.0)
+
+    def test_fit_result_table(self):
+        fit = fit_nor_parameters(paper_like_targets(),
+                                 co=PAPER_TABLE_I.co)
+        table = fit.table()
+        assert len(table) == 6
+        assert table[0][0] == "falling(-inf)"
+        assert table[0][1] == pytest.approx(38.0, abs=0.01)
+
+
+class TestCharacteristicTargets:
+    def test_shift(self):
+        targets = paper_like_targets()
+        shifted = targets.shifted(-18.0 * PS)
+        assert shifted.falling.zero == pytest.approx(10.0 * PS)
+        assert shifted.rising.plus_inf == pytest.approx(34.7 * PS)
+
+    def test_as_array_order(self):
+        arr = paper_like_targets().as_array()
+        assert arr[0] == pytest.approx(38.0 * PS)
+        assert arr[1] == pytest.approx(28.0 * PS)
+        assert arr[5] == pytest.approx(52.7 * PS)

@@ -1,0 +1,172 @@
+"""Tests for repro.core.solutions — closed forms vs numeric propagation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.modes import Mode, mode_system
+from repro.core.parameters import NorGateParameters
+from repro.core.solutions import ExpSum, propagate_numeric, solve_mode
+from repro.errors import ParameterError
+
+positive = st.floats(min_value=1e3, max_value=1e6)
+caps = st.floats(min_value=1e-18, max_value=1e-14)
+voltages = st.floats(min_value=-0.4, max_value=1.6)
+
+
+@st.composite
+def parameter_sets(draw):
+    return NorGateParameters(
+        r1=draw(positive), r2=draw(positive), r3=draw(positive),
+        r4=draw(positive), cn=draw(caps), co=draw(caps), vdd=0.8)
+
+
+class TestExpSum:
+    def test_constant(self):
+        f = ExpSum.build(2.0, [])
+        assert f(0.0) == 2.0
+        assert f(1.0) == 2.0
+
+    def test_single_exponential(self):
+        f = ExpSum.build(1.0, [(2.0, -3.0)])
+        assert f(0.0) == pytest.approx(3.0)
+        assert f(1.0) == pytest.approx(1.0 + 2.0 * math.exp(-3.0))
+
+    def test_zero_coefficients_dropped(self):
+        f = ExpSum.build(1.0, [(0.0, -3.0), (2.0, -1.0)])
+        assert len(f.coeffs) == 1
+
+    def test_zero_rate_folded_into_offset(self):
+        f = ExpSum.build(1.0, [(2.0, 0.0)])
+        assert f.offset == 3.0
+        assert not f.coeffs
+
+    def test_vectorized_evaluation(self):
+        f = ExpSum.build(0.0, [(1.0, -1.0)])
+        values = f(np.array([0.0, 1.0, 2.0]))
+        assert values.shape == (3,)
+        assert values[0] == pytest.approx(1.0)
+
+    def test_derivative(self):
+        f = ExpSum.build(1.0, [(2.0, -3.0)])
+        df = f.derivative()
+        assert df(0.0) == pytest.approx(-6.0)
+        # numeric check
+        h = 1e-8
+        assert df(0.5) == pytest.approx((f(0.5 + h) - f(0.5 - h))
+                                        / (2 * h), rel=1e-5)
+
+    def test_limit(self):
+        f = ExpSum.build(1.5, [(2.0, -3.0), (-1.0, -0.1)])
+        assert f.limit == pytest.approx(1.5)
+
+    def test_limit_diverging_raises(self):
+        f = ExpSum.build(0.0, [(1.0, 2.0)])
+        with pytest.raises(ParameterError):
+            _ = f.limit
+
+    def test_slowest_rate(self):
+        f = ExpSum.build(0.0, [(1.0, -5.0), (1.0, -0.5)])
+        assert f.slowest_rate == pytest.approx(-0.5)
+
+    def test_slowest_rate_constant(self):
+        assert ExpSum.build(1.0, []).slowest_rate == 0.0
+
+    def test_shifted(self):
+        f = ExpSum.build(1.0, [(2.0, -3.0)])
+        g = f.shifted(0.7)
+        for t in (0.0, 0.3, 1.1):
+            assert g(t) == pytest.approx(f(t + 0.7))
+
+    @given(st.floats(min_value=-2, max_value=2),
+           st.floats(min_value=-5, max_value=-0.01),
+           st.floats(min_value=-2, max_value=2),
+           st.floats(min_value=0, max_value=3))
+    def test_shift_property(self, coeff, rate, offset, dt):
+        f = ExpSum.build(offset, [(coeff, rate)])
+        g = f.shifted(dt)
+        assert g(1.0) == pytest.approx(f(1.0 + dt), abs=1e-12)
+
+
+class TestSolveModeAgainstNumeric:
+    """Closed forms must agree with the matrix-exponential propagator."""
+
+    @pytest.mark.parametrize("mode", list(Mode))
+    def test_paper_params_all_modes(self, paper_params, mode):
+        vn0, vo0 = 0.55, 0.8
+        solution = solve_mode(mode, paper_params, vn0, vo0)
+        system = mode_system(mode, paper_params)
+        times = np.linspace(0.0, 200e-12, 7)
+        numeric = propagate_numeric(system, [vn0, vo0], times)
+        analytic = solution.states_at(times)
+        assert np.allclose(analytic, numeric, atol=1e-9)
+
+    @given(parameter_sets(), voltages, voltages,
+           st.sampled_from(list(Mode)))
+    def test_random_params_and_initial_conditions(self, params, vn0,
+                                                  vo0, mode):
+        solution = solve_mode(mode, params, vn0, vo0)
+        system = mode_system(mode, params)
+        tau = max(params.cn, params.co) * max(params.r1, params.r2,
+                                              params.r3, params.r4)
+        times = np.array([0.0, 0.1 * tau, tau, 5 * tau])
+        numeric = propagate_numeric(system, [vn0, vo0], times)
+        analytic = solution.states_at(times)
+        assert np.allclose(analytic, numeric, rtol=1e-7, atol=1e-9)
+
+    @pytest.mark.parametrize("mode", list(Mode))
+    def test_initial_condition_exact(self, paper_params, mode):
+        solution = solve_mode(mode, paper_params, 0.3, 0.7)
+        vn, vo = solution.state_at(0.0)
+        assert vn == pytest.approx(0.3, abs=1e-12)
+        assert vo == pytest.approx(0.7, abs=1e-12)
+
+
+class TestModePhysics:
+    def test_mode_11_freezes_vn(self, paper_params):
+        solution = solve_mode(Mode.BOTH_HIGH, paper_params, 0.37, 0.8)
+        for t in (0.0, 10e-12, 1e-9):
+            assert solution.vn(t) == pytest.approx(0.37)
+
+    def test_mode_11_drains_output(self, paper_params):
+        solution = solve_mode(Mode.BOTH_HIGH, paper_params, 0.0, 0.8)
+        assert solution.vo(1e-9) < 1e-6
+
+    def test_mode_11_parallel_faster_than_single(self, paper_params):
+        both = solve_mode(Mode.BOTH_HIGH, paper_params, 0.8, 0.8)
+        single = solve_mode(Mode.A_LOW_B_HIGH, paper_params, 0.8, 0.8)
+        t = 20e-12
+        assert both.vo(t) < single.vo(t)
+
+    def test_mode_00_charges_to_vdd(self, paper_params):
+        solution = solve_mode(Mode.BOTH_LOW, paper_params, 0.0, 0.0)
+        vn, vo = solution.state_at(2e-9)
+        assert vn == pytest.approx(paper_params.vdd, abs=1e-6)
+        assert vo == pytest.approx(paper_params.vdd, abs=1e-6)
+
+    def test_mode_01_charges_vn_drains_vo(self, paper_params):
+        solution = solve_mode(Mode.A_LOW_B_HIGH, paper_params, 0.0, 0.8)
+        vn, vo = solution.state_at(2e-9)
+        assert vn == pytest.approx(paper_params.vdd, abs=1e-6)
+        assert vo == pytest.approx(0.0, abs=1e-6)
+
+    def test_mode_10_output_monotone_from_rest(self, paper_params):
+        """From (VDD, VDD) the output drains monotonically."""
+        solution = solve_mode(Mode.A_HIGH_B_LOW, paper_params, 0.8, 0.8)
+        times = np.linspace(0.0, 300e-12, 50)
+        vo = solution.vo(times)
+        assert np.all(np.diff(vo) < 0.0)
+
+    def test_mode_10_charge_sharing_bumps_output(self, paper_params):
+        """With VN charged and VO at 0, charge sharing lifts VO first."""
+        solution = solve_mode(Mode.A_HIGH_B_LOW, paper_params, 0.8, 0.0)
+        assert solution.vo(2e-12) > 0.0
+        assert solution.vo(1e-9) == pytest.approx(0.0, abs=1e-6)
+
+    def test_states_at_shape(self, paper_params):
+        solution = solve_mode(Mode.BOTH_LOW, paper_params, 0.0, 0.0)
+        out = solution.states_at(np.linspace(0, 1e-10, 5))
+        assert out.shape == (5, 2)

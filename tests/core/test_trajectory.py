@@ -1,0 +1,228 @@
+"""Tests for repro.core.trajectory — crossing finder and mode chaining."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.modes import Mode
+from repro.core.solutions import ExpSum
+from repro.core.trajectory import (PiecewiseTrajectory, all_crossings,
+                                   first_crossing, trajectory_from_modes)
+from repro.errors import NoCrossingError, ParameterError
+from repro.units import PS
+
+
+class TestFirstCrossingSingleExponential:
+    def test_exact_log_inversion(self):
+        # f(t) = e^{-t}; crosses 0.5 at ln 2.
+        f = ExpSum.build(0.0, [(1.0, -1.0)])
+        assert first_crossing(f, 0.5) == pytest.approx(math.log(2.0),
+                                                       rel=1e-14)
+
+    def test_with_offset(self):
+        # f(t) = 1 - e^{-t}; crosses 0.5 at ln 2.
+        f = ExpSum.build(1.0, [(-1.0, -1.0)])
+        assert first_crossing(f, 0.5) == pytest.approx(math.log(2.0),
+                                                       rel=1e-14)
+
+    def test_unreachable_threshold(self):
+        f = ExpSum.build(0.0, [(1.0, -1.0)])  # range (0, 1]
+        assert first_crossing(f, 1.5) is None
+        assert first_crossing(f, -0.5) is None
+
+    def test_respects_t_lo(self):
+        f = ExpSum.build(0.0, [(1.0, -1.0)])
+        assert first_crossing(f, 0.5, t_lo=1.0) is None
+
+    def test_respects_t_hi(self):
+        f = ExpSum.build(0.0, [(1.0, -1.0)])
+        assert first_crossing(f, 0.5, t_hi=0.5) is None
+        assert first_crossing(f, 0.5, t_hi=1.0) == pytest.approx(
+            math.log(2.0))
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    def test_inverse_property(self, threshold):
+        f = ExpSum.build(0.0, [(1.0, -2.0)])
+        t = first_crossing(f, threshold)
+        assert f(t) == pytest.approx(threshold, rel=1e-12)
+
+
+class TestFirstCrossingTwoExponentials:
+    def test_monotone_sum(self):
+        f = ExpSum.build(0.0, [(0.6, -1.0), (0.4, -3.0)])
+        t = first_crossing(f, 0.5)
+        assert f(t) == pytest.approx(0.5, abs=1e-12)
+
+    def test_non_monotone_overshoot(self):
+        # f(t) = -e^{-5t} + e^{-0.2t}: rises above then decays; crosses
+        # 0.5 twice.
+        f = ExpSum.build(0.0, [(-1.0, -5.0), (1.0, -0.2)])
+        crossings = all_crossings(f, 0.5)
+        assert len(crossings) == 2
+        for t in crossings:
+            assert f(t) == pytest.approx(0.5, abs=1e-10)
+        assert crossings[0] < crossings[1]
+
+    def test_first_returns_earliest(self):
+        f = ExpSum.build(0.0, [(-1.0, -5.0), (1.0, -0.2)])
+        t = first_crossing(f, 0.5)
+        assert t == pytest.approx(all_crossings(f, 0.5)[0])
+
+    def test_no_crossing_below_peak(self):
+        f = ExpSum.build(0.0, [(-1.0, -5.0), (1.0, -0.2)])
+        peak = max(f(np.linspace(0, 30, 5000)))
+        assert first_crossing(f, peak + 0.05) is None
+
+    def test_constant_has_no_crossing(self):
+        f = ExpSum.build(1.0, [])
+        assert first_crossing(f, 0.5) is None
+        assert all_crossings(f, 0.5) == []
+
+    def test_invalid_interval(self):
+        f = ExpSum.build(0.0, [(1.0, -1.0), (0.5, -2.0)])
+        with pytest.raises(ParameterError):
+            all_crossings(f, 0.5, t_lo=1.0, t_hi=0.5)
+
+    @given(st.floats(min_value=0.05, max_value=0.9),
+           st.floats(min_value=-4.0, max_value=-0.5),
+           st.floats(min_value=-0.4, max_value=-0.05),
+           st.floats(min_value=0.1, max_value=0.9))
+    def test_crossings_are_roots(self, k1, l1, l2, threshold):
+        f = ExpSum.build(0.0, [(k1, l1), (1.0 - k1, l2)])
+        for t in all_crossings(f, threshold):
+            assert f(t) == pytest.approx(threshold, abs=1e-9)
+
+
+class TestPiecewiseTrajectory:
+    def test_single_mode(self, paper_params):
+        traj = PiecewiseTrajectory(paper_params, Mode.BOTH_HIGH,
+                                   (0.4, 0.8))
+        assert traj.vo_at(0.0) == pytest.approx(0.8)
+        assert traj.vn_at(50 * PS) == pytest.approx(0.4)
+        assert traj.final_mode is Mode.BOTH_HIGH
+
+    def test_state_continuity_at_switch(self, paper_params):
+        switch = 20 * PS
+        traj = PiecewiseTrajectory(paper_params, Mode.A_HIGH_B_LOW,
+                                   (0.8, 0.8),
+                                   [(switch, Mode.BOTH_HIGH)])
+        eps = 1e-18
+        before = traj.state_at(switch - eps)
+        after = traj.state_at(switch + eps)
+        # Different closed-form representations on either side; only
+        # double-precision exp noise (~1e-8 relative) may remain.
+        assert before[0] == pytest.approx(after[0], abs=1e-6)
+        assert before[1] == pytest.approx(after[1], abs=1e-6)
+
+    def test_multiple_switches(self, paper_params):
+        traj = PiecewiseTrajectory(
+            paper_params, Mode.BOTH_LOW, (0.8, 0.8),
+            [(10 * PS, Mode.A_HIGH_B_LOW), (30 * PS, Mode.BOTH_HIGH)])
+        assert len(traj.segments) == 3
+        assert traj.final_mode is Mode.BOTH_HIGH
+        # Output eventually drains to ground.
+        assert traj.vo_at(2000 * PS) < 1e-3
+
+    def test_negative_switch_time_rejected(self, paper_params):
+        with pytest.raises(ParameterError):
+            PiecewiseTrajectory(paper_params, Mode.BOTH_LOW, (0.8, 0.8),
+                                [(-1 * PS, Mode.BOTH_HIGH)])
+
+    def test_negative_query_rejected(self, paper_params):
+        traj = PiecewiseTrajectory(paper_params, Mode.BOTH_LOW,
+                                   (0.8, 0.8))
+        with pytest.raises(ParameterError):
+            traj.state_at(-1 * PS)
+
+    def test_switches_sorted_automatically(self, paper_params):
+        traj = PiecewiseTrajectory(
+            paper_params, Mode.BOTH_LOW, (0.8, 0.8),
+            [(30 * PS, Mode.BOTH_HIGH), (10 * PS, Mode.A_HIGH_B_LOW)])
+        modes = [segment.mode for segment in traj.segments]
+        assert modes == [Mode.BOTH_LOW, Mode.A_HIGH_B_LOW,
+                         Mode.BOTH_HIGH]
+
+    def test_sample_shape(self, paper_params):
+        traj = PiecewiseTrajectory(paper_params, Mode.BOTH_LOW,
+                                   (0.0, 0.0))
+        out = traj.sample(np.linspace(0, 100 * PS, 7))
+        assert out.shape == (7, 2)
+
+
+class TestOutputCrossings:
+    def test_falling_crossing(self, paper_params):
+        traj = PiecewiseTrajectory(paper_params, Mode.BOTH_HIGH,
+                                   (0.0, 0.8))
+        crossings = traj.output_crossings()
+        assert len(crossings) == 1
+        assert crossings[0].direction == -1
+        tau = paper_params.tau_parallel
+        assert crossings[0].time == pytest.approx(math.log(2.0) * tau,
+                                                  rel=1e-10)
+
+    def test_rising_crossing(self, paper_params):
+        traj = PiecewiseTrajectory(paper_params, Mode.BOTH_LOW,
+                                   (0.8, 0.0))
+        crossings = traj.output_crossings()
+        assert len(crossings) == 1
+        assert crossings[0].direction == +1
+
+    def test_pulse_generates_two_crossings(self, paper_params):
+        # Output falls in (1,1), then recovers in (0,0).
+        traj = PiecewiseTrajectory(paper_params, Mode.BOTH_HIGH,
+                                   (0.0, 0.8),
+                                   [(100 * PS, Mode.BOTH_LOW)])
+        crossings = traj.output_crossings()
+        assert [c.direction for c in crossings] == [-1, +1]
+
+    def test_short_pulse_filtered(self, paper_params):
+        # Switch back before the output reached Vth: no crossing at all.
+        traj = PiecewiseTrajectory(paper_params, Mode.BOTH_HIGH,
+                                   (0.0, 0.8),
+                                   [(2 * PS, Mode.BOTH_LOW)])
+        assert traj.output_crossings() == []
+
+    def test_t_max_cuts_search(self, paper_params):
+        traj = PiecewiseTrajectory(paper_params, Mode.BOTH_HIGH,
+                                   (0.0, 0.8))
+        full = traj.output_crossings()
+        assert traj.output_crossings(t_max=full[0].time / 2.0) == []
+
+    def test_first_output_crossing_direction_filter(self, paper_params):
+        traj = PiecewiseTrajectory(paper_params, Mode.BOTH_HIGH,
+                                   (0.0, 0.8),
+                                   [(100 * PS, Mode.BOTH_LOW)])
+        t_up = traj.first_output_crossing(direction=+1)
+        t_down = traj.first_output_crossing(direction=-1)
+        assert t_down < t_up
+
+    def test_no_crossing_raises(self, paper_params):
+        traj = PiecewiseTrajectory(paper_params, Mode.BOTH_LOW,
+                                   (0.8, 0.8))
+        with pytest.raises(NoCrossingError):
+            traj.first_output_crossing()
+
+    def test_custom_threshold(self, paper_params):
+        traj = PiecewiseTrajectory(paper_params, Mode.BOTH_HIGH,
+                                   (0.0, 0.8))
+        t_low = traj.first_output_crossing(threshold=0.1)
+        t_high = traj.first_output_crossing(threshold=0.7)
+        assert t_high < t_low
+
+
+class TestTrajectoryFromModes:
+    def test_convenience_constructor(self, paper_params):
+        traj = trajectory_from_modes(
+            paper_params,
+            [Mode.BOTH_LOW, Mode.A_HIGH_B_LOW, Mode.BOTH_HIGH],
+            [10 * PS, 30 * PS], (0.8, 0.8))
+        assert len(traj.segments) == 3
+
+    def test_length_mismatch(self, paper_params):
+        with pytest.raises(ParameterError):
+            trajectory_from_modes(paper_params,
+                                  [Mode.BOTH_LOW, Mode.BOTH_HIGH],
+                                  [], (0.8, 0.8))

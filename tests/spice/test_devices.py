@@ -1,0 +1,183 @@
+"""Tests for repro.spice.devices — especially the MOSFET model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.spice.devices import (Capacitor, Mosfet, MosfetModel,
+                                 Resistor, VoltageSource)
+from repro.spice.waveforms import Dc
+
+NMOS = MosfetModel(polarity="n", vt=0.3, k=200e-6, lam=0.05)
+PMOS = MosfetModel(polarity="p", vt=0.3, k=200e-6, lam=0.05)
+
+node_voltages = st.floats(min_value=-0.2, max_value=1.0)
+
+
+class TestPassives:
+    def test_resistor_conductance(self):
+        r = Resistor("R1", "a", "b", 2e3)
+        assert r.conductance == pytest.approx(5e-4)
+        assert r.nodes == ("a", "b")
+
+    def test_resistor_validation(self):
+        with pytest.raises(ParameterError):
+            Resistor("R1", "a", "b", 0.0)
+        with pytest.raises(ParameterError):
+            Resistor("R1", "a", "b", -5.0)
+
+    def test_capacitor(self):
+        c = Capacitor("C1", "a", "0", 1e-15)
+        assert c.capacitance == 1e-15
+
+    def test_capacitor_zero_allowed(self):
+        assert Capacitor("C1", "a", "0", 0.0).capacitance == 0.0
+
+    def test_capacitor_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            Capacitor("C1", "a", "0", -1e-15)
+
+    def test_voltage_source_float(self):
+        v = VoltageSource("V1", "a", "0", 0.8)
+        assert v.value(0.0) == 0.8
+        assert v.value(1.0) == 0.8
+
+    def test_voltage_source_waveform(self):
+        v = VoltageSource("V1", "a", "0", Dc(0.5))
+        assert v.value(0.0) == 0.5
+
+
+class TestMosfetModelCard:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MosfetModel(polarity="x", vt=0.3, k=1e-4)
+        with pytest.raises(ParameterError):
+            MosfetModel(polarity="n", vt=-0.3, k=1e-4)
+        with pytest.raises(ParameterError):
+            MosfetModel(polarity="n", vt=0.3, k=1e-4, lam=-0.1)
+
+    def test_scaling(self):
+        scaled = NMOS.scaled(2.0)
+        assert scaled.k == pytest.approx(2 * NMOS.k)
+        assert scaled.vt == NMOS.vt
+
+    def test_scaling_caps(self):
+        model = MosfetModel(polarity="n", vt=0.3, k=1e-4, cgd=1e-16)
+        assert model.scaled(3.0).cgd == pytest.approx(3e-16)
+
+    def test_bad_scale(self):
+        with pytest.raises(ParameterError):
+            NMOS.scaled(0.0)
+
+    def test_width_factor_in_device(self):
+        fet = Mosfet("M1", "d", "g", "s", NMOS, width_factor=2.0)
+        assert fet.model.k == pytest.approx(2 * NMOS.k)
+
+
+class TestNmosRegions:
+    def fet(self):
+        return Mosfet("M1", "d", "g", "s", NMOS)
+
+    def test_cutoff(self):
+        ids, *_ = self.fet().evaluate(vd=0.8, vg=0.2, vs=0.0)
+        assert ids == 0.0
+
+    def test_saturation_current(self):
+        # vgs=0.8, vds=0.8 > vov=0.5 -> saturation.
+        ids, *_ = self.fet().evaluate(vd=0.8, vg=0.8, vs=0.0)
+        expected = 0.5 * NMOS.k * 0.5 ** 2 * (1 + NMOS.lam * 0.8)
+        assert ids == pytest.approx(expected)
+
+    def test_triode_current(self):
+        # vgs=0.8, vds=0.1 < vov=0.5 -> triode.
+        ids, *_ = self.fet().evaluate(vd=0.1, vg=0.8, vs=0.0)
+        expected = NMOS.k * (0.5 * 0.1 - 0.5 * 0.01) * (1
+                                                        + NMOS.lam * 0.1)
+        assert ids == pytest.approx(expected)
+
+    def test_zero_vds_zero_current(self):
+        ids, *_ = self.fet().evaluate(vd=0.0, vg=0.8, vs=0.0)
+        assert ids == 0.0
+
+    def test_current_increases_with_vgs(self):
+        currents = [self.fet().evaluate(0.8, vg, 0.0)[0]
+                    for vg in (0.4, 0.6, 0.8)]
+        assert currents[0] < currents[1] < currents[2]
+
+    def test_reversal_antisymmetry(self):
+        """Swapping drain and source negates the current."""
+        fwd, *_ = self.fet().evaluate(vd=0.3, vg=0.8, vs=0.0)
+        rev, *_ = self.fet().evaluate(vd=0.0, vg=0.8, vs=0.3)
+        assert rev == pytest.approx(-fwd)
+
+    def test_continuity_at_saturation_boundary(self):
+        f = self.fet()
+        vov = 0.5
+        below, *_ = f.evaluate(vd=vov - 1e-9, vg=0.8, vs=0.0)
+        above, *_ = f.evaluate(vd=vov + 1e-9, vg=0.8, vs=0.0)
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_continuity_at_cutoff_boundary(self):
+        f = self.fet()
+        below, *_ = f.evaluate(vd=0.8, vg=0.3 - 1e-9, vs=0.0)
+        above, *_ = f.evaluate(vd=0.8, vg=0.3 + 1e-9, vs=0.0)
+        assert below == 0.0
+        assert above == pytest.approx(0.0, abs=1e-12)
+
+
+class TestPmosMirror:
+    def fet(self):
+        return Mosfet("M1", "d", "g", "s", PMOS)
+
+    def test_off_when_gate_high(self):
+        ids, *_ = self.fet().evaluate(vd=0.0, vg=0.8, vs=0.8)
+        assert ids == 0.0
+
+    def test_conducts_when_gate_low(self):
+        """PMOS with source at VDD sources current into the drain."""
+        ids, *_ = self.fet().evaluate(vd=0.0, vg=0.0, vs=0.8)
+        assert ids < 0.0  # current flows out of the device drain
+
+    def test_mirror_symmetry_with_nmos(self):
+        n_ids, *_ = Mosfet("Mn", "d", "g", "s", NMOS).evaluate(
+            vd=0.5, vg=0.8, vs=0.0)
+        p_ids, *_ = self.fet().evaluate(vd=0.3, vg=0.0, vs=0.8)
+        assert p_ids == pytest.approx(-n_ids)
+
+    def test_reversal(self):
+        fwd, *_ = self.fet().evaluate(vd=0.2, vg=0.0, vs=0.8)
+        rev, *_ = self.fet().evaluate(vd=0.8, vg=0.0, vs=0.2)
+        assert rev == pytest.approx(-fwd)
+
+
+class TestJacobianAgainstNumericDifferences:
+    """The analytic derivatives must match finite differences."""
+
+    @given(node_voltages, node_voltages, node_voltages,
+           st.sampled_from(["n", "p"]))
+    def test_derivatives(self, vd, vg, vs, polarity):
+        model = NMOS if polarity == "n" else PMOS
+        fet = Mosfet("M1", "d", "g", "s", model)
+        ids, did_dvd, did_dvg, did_dvs = fet.evaluate(vd, vg, vs)
+        h = 1e-7
+
+        def num(dvd=0.0, dvg=0.0, dvs=0.0):
+            up = fet.evaluate(vd + dvd * h, vg + dvg * h,
+                              vs + dvs * h)[0]
+            down = fet.evaluate(vd - dvd * h, vg - dvg * h,
+                                vs - dvs * h)[0]
+            return (up - down) / (2 * h)
+
+        tol = dict(rel=5e-3, abs=5e-9)
+        assert did_dvd == pytest.approx(num(dvd=1.0), **tol)
+        assert did_dvg == pytest.approx(num(dvg=1.0), **tol)
+        assert did_dvs == pytest.approx(num(dvs=1.0), **tol)
+
+    @given(node_voltages, node_voltages, node_voltages)
+    def test_derivative_sum_is_zero(self, vd, vg, vs):
+        """Currents depend only on voltage differences."""
+        fet = Mosfet("M1", "d", "g", "s", NMOS)
+        _, did_dvd, did_dvg, did_dvs = fet.evaluate(vd, vg, vs)
+        assert did_dvd + did_dvg + did_dvs == pytest.approx(0.0,
+                                                            abs=1e-12)

@@ -1,0 +1,156 @@
+"""Tests for repro.spice.netlist and repro.spice.mna."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice.devices import MosfetModel
+from repro.spice.mna import MnaSystem
+from repro.spice.netlist import Circuit
+from repro.spice.waveforms import Pwl
+
+NMOS = MosfetModel(polarity="n", vt=0.3, k=200e-6)
+
+
+def divider() -> Circuit:
+    circuit = Circuit("divider")
+    circuit.voltage_source("Vin", "in", "0", 1.0)
+    circuit.resistor("R1", "in", "mid", 1e3)
+    circuit.resistor("R2", "mid", "0", 3e3)
+    return circuit
+
+
+class TestCircuit:
+    def test_node_names_in_order(self):
+        assert divider().node_names == ["in", "mid"]
+
+    def test_duplicate_device_name_rejected(self):
+        circuit = divider()
+        with pytest.raises(NetlistError):
+            circuit.resistor("R1", "a", "0", 1.0)
+
+    def test_validate_ok(self):
+        divider().validate()
+
+    def test_validate_empty(self):
+        with pytest.raises(NetlistError):
+            Circuit("empty").validate()
+
+    def test_validate_no_ground(self):
+        circuit = Circuit("floating")
+        circuit.resistor("R1", "a", "b", 1e3)
+        circuit.resistor("R2", "b", "a", 1e3)
+        with pytest.raises(NetlistError):
+            circuit.validate()
+
+    def test_validate_dangling_node(self):
+        circuit = Circuit("dangling")
+        circuit.voltage_source("V1", "a", "0", 1.0)
+        circuit.resistor("R1", "a", "b", 1e3)  # b dangles
+        with pytest.raises(NetlistError):
+            circuit.validate()
+
+    def test_devices_of_type(self):
+        from repro.spice.devices import Resistor
+        assert len(divider().devices_of_type(Resistor)) == 2
+
+    def test_repr(self):
+        assert "divider" in repr(divider())
+
+    def test_gnd_aliases(self):
+        circuit = Circuit("alias")
+        circuit.voltage_source("V1", "a", "gnd", 1.0)
+        circuit.resistor("R1", "a", "GND", 1e3)
+        circuit.validate()
+        assert circuit.node_names == ["a"]
+
+
+class TestMnaAssembly:
+    def test_dimensions(self):
+        system = MnaSystem(divider())
+        assert system.n == 2
+        assert system.m == 1
+        assert system.size == 3
+
+    def test_conductance_stamps(self):
+        system = MnaSystem(divider(), gmin=0.0)
+        g1, g2 = 1e-3, 1.0 / 3e3
+        index = system.node_index
+        i, m = index["in"], index["mid"]
+        assert system.g0[i, i] == pytest.approx(g1)
+        assert system.g0[m, m] == pytest.approx(g1 + g2)
+        assert system.g0[i, m] == pytest.approx(-g1)
+        assert system.g0[m, i] == pytest.approx(-g1)
+
+    def test_gmin_on_diagonal(self):
+        system = MnaSystem(divider(), gmin=1e-9)
+        assert system.g0[0, 0] == pytest.approx(1e-3 + 1e-9)
+
+    def test_capacitance_stamps(self):
+        circuit = divider()
+        circuit.capacitor("C1", "mid", "0", 2e-15)
+        system = MnaSystem(circuit)
+        m = system.node_index["mid"]
+        assert system.c[m, m] == pytest.approx(2e-15)
+
+    def test_coupling_capacitance_stamps(self):
+        circuit = divider()
+        circuit.capacitor("C1", "in", "mid", 1e-15)
+        system = MnaSystem(circuit)
+        i, m = system.node_index["in"], system.node_index["mid"]
+        assert system.c[i, m] == pytest.approx(-1e-15)
+        assert system.c[m, m] == pytest.approx(1e-15)
+
+    def test_source_values(self):
+        circuit = Circuit("pwl")
+        circuit.voltage_source("V1", "a", "0",
+                               Pwl([(0.0, 0.0), (1.0, 2.0)]))
+        circuit.resistor("R1", "a", "0", 1e3)
+        system = MnaSystem(circuit)
+        assert system.source_values(0.5)[0] == pytest.approx(1.0)
+
+    def test_breakpoints_filtered_to_window(self):
+        circuit = Circuit("pwl")
+        circuit.voltage_source("V1", "a", "0",
+                               Pwl([(0.0, 0.0), (0.5, 1.0),
+                                    (2.0, 0.0)]))
+        circuit.resistor("R1", "a", "0", 1e3)
+        system = MnaSystem(circuit)
+        assert system.breakpoints(1.0) == [0.5]
+
+    def test_static_residual_at_solution(self):
+        """The exact divider solution zeroes the residual."""
+        system = MnaSystem(divider(), gmin=0.0)
+        x = np.zeros(3)
+        x[system.node_index["in"]] = 1.0
+        x[system.node_index["mid"]] = 0.75
+        x[2] = -(1.0 - 0.75) / 1e3  # branch current (into + terminal)
+        residual, _ = system.static_residual_jacobian(x, 0.0)
+        assert np.allclose(residual, 0.0, atol=1e-12)
+
+    def test_mosfet_jacobian_matches_numeric(self):
+        circuit = Circuit("nmos")
+        circuit.voltage_source("Vd", "d", "0", 0.6)
+        circuit.voltage_source("Vg", "g", "0", 0.8)
+        circuit.mosfet("M1", "d", "g", "0", NMOS)
+        circuit.resistor("Rload", "d", "0", 1e5)
+        system = MnaSystem(circuit)
+        x = np.array([0.6, 0.8, 0.0, 0.0])
+        residual, jacobian = system.static_residual_jacobian(x, 0.0)
+        h = 1e-7
+        for col in range(system.size):
+            xp = x.copy()
+            xp[col] += h
+            rp, _ = system.static_residual_jacobian(xp, 0.0)
+            xm = x.copy()
+            xm[col] -= h
+            rm, _ = system.static_residual_jacobian(xm, 0.0)
+            numeric = (rp - rm) / (2 * h)
+            assert np.allclose(jacobian[:, col], numeric, rtol=1e-4,
+                               atol=1e-8)
+
+    def test_voltages_mapping(self):
+        system = MnaSystem(divider())
+        x = np.array([1.0, 0.75, 0.0])
+        voltages = system.voltages(x)
+        assert voltages == {"in": 1.0, "mid": 0.75}

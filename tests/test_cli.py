@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_tech_choices(self):
+        args = build_parser().parse_args(["fig2", "--tech", "bulk65"])
+        assert args.tech == "bulk65"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--tech", "tsmc3"])
+
+    def test_fig7_options(self):
+        args = build_parser().parse_args(
+            ["fig7", "--transitions", "10", "--repetitions", "1"])
+        assert args.transitions == 10
+        assert args.repetitions == 1
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig2", "fig7", "table1", "faithfulness"):
+            assert name in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "VO(1, 1)" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "delta_min = 18.00 ps" in out
+
+    def test_analytic(self, capsys):
+        assert main(["analytic"]) == 0
+        assert "eq (8)" in capsys.readouterr().out
+
+    def test_fig5_model_only(self, capsys):
+        assert main(["fig5"]) == 0
+        assert "Fig. 5" in capsys.readouterr().out
+
+    def test_faithfulness(self, capsys):
+        assert main(["faithfulness"]) == 0
+        assert "Short-pulse" in capsys.readouterr().out

@@ -1,0 +1,100 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConstants:
+    def test_prefix_values(self):
+        assert units.PICO == 1e-12
+        assert units.FEMTO == 1e-15
+        assert units.ATTO == 1e-18
+        assert units.KILO == 1e3
+
+    def test_shorthands(self):
+        assert units.PS == units.PICO
+        assert units.NS == units.NANO
+        assert units.FF == units.FEMTO
+        assert units.AF == units.ATTO
+        assert units.KOHM == units.KILO
+
+
+class TestConversions:
+    def test_to_ps(self):
+        assert units.to_ps(38e-12) == pytest.approx(38.0)
+
+    def test_from_ps(self):
+        assert units.from_ps(38.0) == pytest.approx(38e-12)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6,
+                     allow_nan=False, allow_infinity=False))
+    def test_round_trip(self, value):
+        assert units.to_ps(units.from_ps(value)) == pytest.approx(
+            value, rel=1e-12, abs=1e-12)
+
+
+class TestEngFormat:
+    def test_picoseconds(self):
+        assert units.eng_format(38e-12, "s") == "38.0 ps"
+
+    def test_attofarads(self):
+        assert units.eng_format(617.259e-18, "F") == "617.259 aF"
+
+    def test_kilo_ohms(self):
+        assert units.eng_format(45.15e3, "Ohm") == "45.15 kOhm"
+
+    def test_zero(self):
+        assert units.eng_format(0.0, "V") == "0 V"
+
+    def test_zero_without_unit(self):
+        assert units.eng_format(0.0) == "0"
+
+    def test_nan(self):
+        assert units.eng_format(float("nan"), "V") == "nan V"
+
+    def test_infinity(self):
+        assert units.eng_format(math.inf, "s") == "inf s"
+        assert units.eng_format(-math.inf, "s") == "-inf s"
+
+    def test_negative_value(self):
+        text = units.eng_format(-1.5e-9, "s")
+        assert text.startswith("-1.5")
+        assert text.endswith("ns")
+
+    def test_plain_units_range(self):
+        assert units.eng_format(2.5, "V") == "2.5 V"
+
+    def test_format_time(self):
+        assert units.format_time(38.125e-12) == "38.12 ps"
+        assert units.format_time(38.125e-12, digits=1) == "38.1 ps"
+
+
+class TestPercentChange:
+    def test_paper_annotation(self):
+        # Fig. 2b: 28 ps vs ~38.9 ps is about -28 %.
+        assert units.percent_change(28.0, 38.9) == pytest.approx(
+            -28.0, abs=0.1)
+
+    def test_positive(self):
+        assert units.percent_change(56.5, 52.7) == pytest.approx(
+            7.21, abs=0.01)
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            units.percent_change(1.0, 0.0)
+
+    @given(st.floats(min_value=0.1, max_value=1e3),
+           st.floats(min_value=0.1, max_value=1e3))
+    def test_sign_convention(self, value, reference):
+        change = units.percent_change(value, reference)
+        if value > reference:
+            assert change > 0
+        elif value < reference:
+            assert change < 0
+        else:
+            assert change == 0

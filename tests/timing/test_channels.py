@@ -1,0 +1,246 @@
+"""Tests for the pure, inertial and involution delay channels."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.timing.channels import (ExpChannel, InertialDelayChannel,
+                                   PureDelayChannel, SumExpChannel,
+                                   WaveformChannel)
+from repro.timing.trace import DigitalTrace
+from repro.units import PS
+
+histories = st.floats(min_value=-10 * PS, max_value=500 * PS)
+
+
+class TestPureDelayChannel:
+    def test_shifts_all_transitions(self):
+        channel = PureDelayChannel(10 * PS)
+        trace = DigitalTrace.from_edges(0, [100 * PS, 105 * PS,
+                                            200 * PS])
+        out = channel.apply(trace)
+        assert out.times == pytest.approx((110 * PS, 115 * PS,
+                                           210 * PS))
+        assert out.values == trace.values
+
+    def test_preserves_short_pulses(self):
+        channel = PureDelayChannel(50 * PS)
+        trace = DigitalTrace.from_edges(0, [100 * PS, 101 * PS])
+        assert len(channel.apply(trace)) == 2
+
+    def test_separate_rise_fall(self):
+        channel = PureDelayChannel(delay_up=10 * PS,
+                                   delay_down=20 * PS)
+        trace = DigitalTrace.from_edges(0, [100 * PS, 200 * PS])
+        out = channel.apply(trace)
+        assert out.times[0] == pytest.approx(110 * PS)
+        assert out.times[1] == pytest.approx(220 * PS)
+
+    def test_unequal_delays_cancel_reordered_pulse(self):
+        """Rise delay >> fall delay: a narrow high pulse annihilates."""
+        channel = PureDelayChannel(delay_up=30 * PS, delay_down=1 * PS)
+        trace = DigitalTrace.from_edges(0, [100 * PS, 105 * PS])
+        out = channel.apply(trace)
+        assert len(out) == 0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ParameterError):
+            PureDelayChannel(-1 * PS)
+
+    def test_empty_trace(self):
+        channel = PureDelayChannel(10 * PS)
+        out = channel.apply(DigitalTrace.constant(1))
+        assert out == DigitalTrace.constant(1)
+
+
+class TestInertialDelayChannel:
+    def test_long_pulse_passes(self):
+        channel = InertialDelayChannel(30 * PS)
+        trace = DigitalTrace.from_edges(0, [100 * PS, 200 * PS])
+        out = channel.apply(trace)
+        assert out.times == pytest.approx((130 * PS, 230 * PS))
+
+    def test_short_pulse_removed(self):
+        channel = InertialDelayChannel(30 * PS)
+        trace = DigitalTrace.from_edges(0, [100 * PS, 120 * PS])
+        assert len(channel.apply(trace)) == 0
+
+    def test_boundary_pulse_passes(self):
+        """A pulse just longer than the delay survives.
+
+        (The exact-equality boundary is not tested: it sits on a float
+        comparison and is ambiguous in every simulator.)"""
+        channel = InertialDelayChannel(30 * PS)
+        trace = DigitalTrace.from_edges(0, [100 * PS, 131 * PS])
+        assert len(channel.apply(trace)) == 2
+
+    def test_filtering_is_cascaded(self):
+        """Pulse train with alternating widths filters pairwise."""
+        channel = InertialDelayChannel(30 * PS)
+        trace = DigitalTrace.from_edges(
+            0, [100 * PS, 110 * PS,      # 10 ps pulse: dropped
+                200 * PS, 260 * PS,      # 60 ps pulse: kept
+                300 * PS, 305 * PS])     # 5 ps pulse: dropped
+        out = channel.apply(trace)
+        assert out.times == pytest.approx((230 * PS, 290 * PS))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ParameterError):
+            InertialDelayChannel(-1 * PS)
+
+
+class TestExpChannel:
+    def test_sis_delays(self):
+        channel = ExpChannel(delay_up_inf=40 * PS,
+                             delay_down_inf=30 * PS,
+                             pure_delay=10 * PS)
+        assert channel.delay(1, math.inf) == pytest.approx(40 * PS)
+        assert channel.delay(0, math.inf) == pytest.approx(30 * PS)
+
+    def test_delay_increases_with_history(self):
+        channel = ExpChannel(delay_up_inf=40 * PS,
+                             delay_down_inf=30 * PS)
+        d_short = channel.delay_up(5 * PS)
+        d_long = channel.delay_up(200 * PS)
+        assert d_short < d_long
+
+    @given(histories)
+    def test_involution_property_up(self, history):
+        """−δ↓(−δ↑(T)) = T — the defining IDM axiom."""
+        channel = ExpChannel(delay_up_inf=40 * PS,
+                             delay_down_inf=30 * PS,
+                             pure_delay=8 * PS)
+        d_up = channel.delay_up(history)
+        if d_up is None:
+            return
+        back = channel.delay_down(-d_up)
+        if back is None:
+            return
+        assert -back == pytest.approx(history, rel=1e-9, abs=1e-18)
+
+    @given(histories)
+    def test_involution_property_down(self, history):
+        channel = ExpChannel(delay_up_inf=35 * PS,
+                             delay_down_inf=55 * PS,
+                             pure_delay=5 * PS)
+        d_down = channel.delay_down(history)
+        if d_down is None:
+            return
+        back = channel.delay_up(-d_down)
+        if back is None:
+            return
+        assert -back == pytest.approx(history, rel=1e-9, abs=1e-18)
+
+    def test_out_of_domain_returns_none(self):
+        channel = ExpChannel(delay_up_inf=40 * PS,
+                             delay_down_inf=30 * PS)
+        assert channel.delay_up(-100 * PS) is None
+
+    def test_pure_delay_exceeding_delay_rejected(self):
+        with pytest.raises(ParameterError):
+            ExpChannel(delay_up_inf=10 * PS, pure_delay=15 * PS)
+
+    def test_glitch_filtering_in_apply(self):
+        channel = ExpChannel(delay_up_inf=40 * PS,
+                             delay_down_inf=40 * PS)
+        wide = DigitalTrace.from_edges(0, [100 * PS, 400 * PS])
+        narrow = DigitalTrace.from_edges(0, [100 * PS, 101 * PS])
+        assert len(channel.apply(wide)) == 2
+        assert len(channel.apply(narrow)) == 0
+
+    def test_output_pulse_shrinks_continuously(self):
+        """Unlike inertial delay, pulse width decays gradually."""
+        channel = ExpChannel(delay_up_inf=40 * PS,
+                             delay_down_inf=40 * PS)
+        widths = []
+        for w in (200, 100, 60, 45):
+            trace = DigitalTrace.from_edges(0, [100 * PS,
+                                                (100 + w) * PS])
+            out = channel.apply(trace)
+            widths.append(out.times[1] - out.times[0]
+                          if len(out) == 2 else 0.0)
+        assert widths[0] > widths[1] > widths[2] > widths[3] > 0.0
+
+
+class TestWaveformChannel:
+    def exp_waveforms(self, tau):
+        return (lambda t: 1.0 - math.exp(-t / tau),
+                lambda t: math.exp(-t / tau))
+
+    def test_matches_exp_channel(self):
+        tau = 30 * PS / math.log(2.0)
+        f_up, f_down = self.exp_waveforms(tau)
+        generic = WaveformChannel(f_up, f_down, horizon=100 * tau)
+        closed = ExpChannel(delay_up_inf=30 * PS,
+                            delay_down_inf=30 * PS)
+        for history in (5 * PS, 20 * PS, 100 * PS, math.inf):
+            assert generic.delay(1, history) == pytest.approx(
+                closed.delay(1, history), rel=1e-6)
+            assert generic.delay(0, history) == pytest.approx(
+                closed.delay(0, history), rel=1e-6)
+
+    def test_matches_exp_channel_with_pure_delay(self):
+        tau = 30 * PS / math.log(2.0)
+        f_up, f_down = self.exp_waveforms(tau)
+        generic = WaveformChannel(f_up, f_down, pure_delay=7 * PS,
+                                  horizon=100 * tau)
+        closed = ExpChannel(delay_up_inf=37 * PS,
+                            delay_down_inf=37 * PS, pure_delay=7 * PS)
+        for history in (5 * PS, 50 * PS, math.inf):
+            assert generic.delay(1, history) == pytest.approx(
+                closed.delay(1, history), rel=1e-6)
+
+    def test_unreachable_threshold_raises(self):
+        with pytest.raises(ParameterError):
+            WaveformChannel(lambda t: 0.1, lambda t: 0.9, horizon=1.0)
+
+
+class TestSumExpChannel:
+    def test_single_tau_equals_exp(self):
+        tau = 30 * PS / math.log(2.0)
+        sumexp = SumExpChannel([tau])
+        exp = ExpChannel(delay_up_inf=30 * PS, delay_down_inf=30 * PS)
+        for history in (5 * PS, 50 * PS, math.inf):
+            assert sumexp.delay(1, history) == pytest.approx(
+                exp.delay(1, history), rel=1e-6)
+
+    def test_weights_normalized(self):
+        channel = SumExpChannel([10 * PS, 40 * PS],
+                                weights_up=[2.0, 6.0])
+        assert sum(channel.weights_up) == pytest.approx(1.0)
+
+    def test_sis_delay_positive(self):
+        channel = SumExpChannel([10 * PS, 40 * PS])
+        assert channel.delay(1, math.inf) > 0.0
+
+    @given(st.floats(min_value=-4 * PS, max_value=250 * PS))
+    def test_involution_property_numeric(self, history):
+        channel = SumExpChannel([12 * PS, 35 * PS],
+                                weights_up=[1.0, 2.0])
+        d_up = channel.delay(1, history)
+        if d_up is None:
+            return
+        back = channel.delay(0, -d_up)
+        if back is None:
+            return
+        # Numeric inversion noise grows as the waveforms saturate.
+        assert -back == pytest.approx(history, rel=2e-4, abs=1e-14)
+
+    def test_asymmetric_waveforms(self):
+        channel = SumExpChannel([10 * PS], taus_down=[30 * PS])
+        assert channel.delay(0, math.inf) > channel.delay(1, math.inf)
+
+    def test_bad_taus(self):
+        with pytest.raises(ParameterError):
+            SumExpChannel([])
+        with pytest.raises(ParameterError):
+            SumExpChannel([-1 * PS])
+
+    def test_bad_weights(self):
+        with pytest.raises(ParameterError):
+            SumExpChannel([10 * PS], weights_up=[1.0, 2.0])
+        with pytest.raises(ParameterError):
+            SumExpChannel([10 * PS], weights_up=[-1.0])

@@ -1,0 +1,152 @@
+"""Tests for repro.timing.circuit and repro.timing.simulator."""
+
+import pytest
+
+from repro.core import PAPER_TABLE_I
+from repro.errors import NetlistError
+from repro.timing.channels import (HybridNorChannel,
+                                   InertialDelayChannel,
+                                   PureDelayChannel)
+from repro.timing.circuit import TimingCircuit
+from repro.timing.simulator import simulate, simulate_single_channel
+from repro.timing.trace import DigitalTrace
+from repro.units import PS
+
+
+class TestCircuitConstruction:
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(NetlistError):
+            TimingCircuit(["a", "a"])
+
+    def test_multiple_drivers_rejected(self):
+        circuit = TimingCircuit(["a"])
+        circuit.add_gate("g1", "inv", ["a"], "y",
+                         PureDelayChannel(1 * PS))
+        with pytest.raises(NetlistError):
+            circuit.add_gate("g2", "buf", ["a"], "y",
+                             PureDelayChannel(1 * PS))
+
+    def test_driving_an_input_rejected(self):
+        circuit = TimingCircuit(["a", "b"])
+        with pytest.raises(NetlistError):
+            circuit.add_gate("g1", "inv", ["a"], "b",
+                             PureDelayChannel(1 * PS))
+
+    def test_duplicate_instance_name_rejected(self):
+        circuit = TimingCircuit(["a"])
+        circuit.add_gate("g1", "inv", ["a"], "x",
+                         PureDelayChannel(1 * PS))
+        with pytest.raises(NetlistError):
+            circuit.add_gate("g1", "inv", ["x"], "y",
+                             PureDelayChannel(1 * PS))
+
+    def test_signals_listing(self):
+        circuit = TimingCircuit(["a"])
+        circuit.add_gate("g1", "inv", ["a"], "x",
+                         PureDelayChannel(1 * PS))
+        assert circuit.signals == ["a", "x"]
+
+    def test_undriven_signal_detected(self):
+        circuit = TimingCircuit(["a"])
+        circuit.add_gate("g1", "and", ["a", "ghost"], "y",
+                         PureDelayChannel(1 * PS))
+        with pytest.raises(NetlistError):
+            circuit.topological_order()
+
+    def test_loop_detected(self):
+        circuit = TimingCircuit(["a"])
+        circuit.add_gate("g1", "and", ["a", "y2"], "y1",
+                         PureDelayChannel(1 * PS))
+        circuit.add_gate("g2", "buf", ["y1"], "y2",
+                         PureDelayChannel(1 * PS))
+        with pytest.raises(NetlistError):
+            circuit.topological_order()
+
+    def test_topological_order(self):
+        circuit = TimingCircuit(["a"])
+        circuit.add_gate("late", "inv", ["mid"], "out",
+                         PureDelayChannel(1 * PS))
+        circuit.add_gate("early", "inv", ["a"], "mid",
+                         PureDelayChannel(1 * PS))
+        order = [inst.name for inst in circuit.topological_order()]
+        assert order == ["early", "late"]
+
+
+class TestSimulation:
+    def test_inverter_chain_delays_accumulate(self):
+        circuit = TimingCircuit(["a"])
+        circuit.add_gate("g1", "inv", ["a"], "x",
+                         PureDelayChannel(5 * PS))
+        circuit.add_gate("g2", "inv", ["x"], "y",
+                         PureDelayChannel(7 * PS))
+        traces = simulate(circuit, {
+            "a": DigitalTrace.from_edges(0, [100 * PS])})
+        assert traces["x"].transitions == [(105 * PS, 0)]
+        assert traces["y"].transitions == [(112 * PS, 1)]
+        assert traces["y"].initial == 0
+
+    def test_missing_input_trace(self):
+        circuit = TimingCircuit(["a", "b"])
+        with pytest.raises(NetlistError):
+            simulate(circuit, {"a": DigitalTrace.constant(0)})
+
+    def test_extra_trace_rejected(self):
+        circuit = TimingCircuit(["a"])
+        with pytest.raises(NetlistError):
+            simulate(circuit, {"a": DigitalTrace.constant(0),
+                               "zz": DigitalTrace.constant(0)})
+
+    def test_hand_computed_nor_inv_circuit(self):
+        """NOR feeding an inverter, all pure delays."""
+        circuit = TimingCircuit(["a", "b"])
+        circuit.add_gate("nor", "nor", ["a", "b"], "n1",
+                         PureDelayChannel(10 * PS))
+        circuit.add_gate("inv", "inv", ["n1"], "out",
+                         PureDelayChannel(5 * PS))
+        traces = simulate(circuit, {
+            "a": DigitalTrace.from_edges(0, [100 * PS]),
+            "b": DigitalTrace.from_edges(0, [300 * PS, 400 * PS]),
+        })
+        # n1: falls 10 ps after a rises; stays low (a stays high).
+        assert traces["n1"].values == (0,)
+        assert traces["n1"].times == pytest.approx((110 * PS,))
+        assert traces["out"].values == (1,)
+        assert traces["out"].times == pytest.approx((115 * PS,))
+
+    def test_inertial_channel_filters_in_circuit(self):
+        circuit = TimingCircuit(["a"])
+        circuit.add_gate("buf", "buf", ["a"], "y",
+                         InertialDelayChannel(50 * PS))
+        traces = simulate(circuit, {
+            "a": DigitalTrace.from_edges(0, [100 * PS, 120 * PS])})
+        assert len(traces["y"]) == 0
+
+    def test_hybrid_instance_in_circuit(self):
+        circuit = TimingCircuit(["a", "b"])
+        channel = HybridNorChannel(PAPER_TABLE_I)
+        circuit.add_hybrid_nor("nor", "a", "b", "y", channel)
+        circuit.add_gate("inv", "inv", ["y"], "z",
+                         PureDelayChannel(5 * PS))
+        traces = simulate(circuit, {
+            "a": DigitalTrace.from_edges(0, [100 * PS]),
+            "b": DigitalTrace.constant(0)})
+        direct = channel.simulate(
+            DigitalTrace.from_edges(0, [100 * PS]),
+            DigitalTrace.constant(0))
+        assert traces["y"] == direct
+        assert traces["z"].times[0] == pytest.approx(
+            direct.times[0] + 5 * PS)
+
+    def test_inputs_passed_through_unchanged(self):
+        circuit = TimingCircuit(["a"])
+        circuit.add_gate("g", "buf", ["a"], "y",
+                         PureDelayChannel(1 * PS))
+        trace = DigitalTrace.from_edges(0, [10 * PS])
+        traces = simulate(circuit, {"a": trace})
+        assert traces["a"] is trace
+
+    def test_simulate_single_channel_helper(self):
+        channel = PureDelayChannel(3 * PS)
+        trace = DigitalTrace.from_edges(0, [10 * PS])
+        out = simulate_single_channel(channel, trace)
+        assert out.times[0] == pytest.approx(13 * PS)

@@ -1,0 +1,163 @@
+"""Tests for repro.timing.digitize and repro.timing.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.timing.digitize import digitize
+from repro.timing.metrics import (AccuracyReport, deviation_area,
+                                  normalized_deviation)
+from repro.timing.trace import DigitalTrace
+from repro.units import PS
+
+edge_times = st.lists(
+    st.floats(min_value=1e-12, max_value=9e-10), min_size=0,
+    max_size=10).map(lambda xs: sorted(set(xs)))
+
+
+class TestDigitize:
+    def test_simple_ramp(self):
+        times = np.linspace(0.0, 1.0, 11)
+        volts = times.copy()  # 0 -> 1 ramp
+        trace = digitize(times, volts, threshold=0.5)
+        assert trace.initial == 0
+        assert len(trace) == 1
+        assert trace.times[0] == pytest.approx(0.5)
+        assert trace.values[0] == 1
+
+    def test_interpolated_crossing(self):
+        trace = digitize([0.0, 1.0], [0.0, 1.0], threshold=0.25)
+        assert trace.times[0] == pytest.approx(0.25)
+
+    def test_initial_value_above_threshold(self):
+        trace = digitize([0.0, 1.0], [1.0, 0.0], threshold=0.5)
+        assert trace.initial == 1
+        assert trace.values[0] == 0
+
+    def test_pulse(self):
+        times = np.array([0.0, 1.0, 2.0])
+        volts = np.array([0.0, 1.0, 0.0])
+        trace = digitize(times, volts, threshold=0.5)
+        assert trace.values == (1, 0)
+
+    def test_hysteresis_suppresses_chatter(self):
+        times = np.linspace(0.0, 1.0, 9)
+        # Noise oscillating +-0.06 V around the 0.5 V threshold.
+        volts = 0.5 + 0.06 * np.array([-1, 1, -1, 1, -1, 1, -1, 1, -1])
+        noisy = digitize(times, volts, threshold=0.5)
+        clean = digitize(times, volts, threshold=0.5, hysteresis=0.3)
+        assert len(noisy) >= 4
+        assert len(clean) == 0
+
+    def test_hysteresis_keeps_real_transitions(self):
+        times = np.linspace(0.0, 1.0, 11)
+        volts = times.copy()
+        trace = digitize(times, volts, threshold=0.5, hysteresis=0.2)
+        assert len(trace) == 1
+        assert trace.times[0] == pytest.approx(0.6)  # upper band edge
+
+    def test_shape_validation(self):
+        with pytest.raises(TraceError):
+            digitize([0.0, 1.0], [0.0], 0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            digitize([], [], 0.5)
+
+    def test_negative_hysteresis_rejected(self):
+        with pytest.raises(TraceError):
+            digitize([0.0, 1.0], [0.0, 1.0], 0.5, hysteresis=-0.1)
+
+
+class TestDeviationArea:
+    def test_identical_traces(self):
+        trace = DigitalTrace.from_edges(0, [10 * PS, 20 * PS])
+        assert deviation_area(trace, trace, 0.0, 100 * PS) == 0.0
+
+    def test_hand_computed(self):
+        a = DigitalTrace.from_edges(0, [10 * PS])
+        b = DigitalTrace.from_edges(0, [15 * PS])
+        # Disagreement exactly on [10, 15] ps.
+        assert deviation_area(a, b, 0.0, 100 * PS) == pytest.approx(
+            5 * PS)
+
+    def test_constant_difference(self):
+        a = DigitalTrace.constant(0)
+        b = DigitalTrace.constant(1)
+        assert deviation_area(a, b, 0.0, 50 * PS) == pytest.approx(
+            50 * PS)
+
+    def test_window_clipping(self):
+        a = DigitalTrace.from_edges(0, [10 * PS])
+        b = DigitalTrace.constant(0)
+        assert deviation_area(a, b, 0.0, 30 * PS) == pytest.approx(
+            20 * PS)
+        assert deviation_area(a, b, 20 * PS, 30 * PS) == pytest.approx(
+            10 * PS)
+
+    def test_invalid_window(self):
+        a = DigitalTrace.constant(0)
+        with pytest.raises(TraceError):
+            deviation_area(a, a, 10.0, 0.0)
+
+    @given(edge_times, edge_times)
+    def test_symmetry(self, times_a, times_b):
+        a = DigitalTrace.from_edges(0, times_a)
+        b = DigitalTrace.from_edges(0, times_b)
+        t_end = 1e-9
+        assert deviation_area(a, b, 0.0, t_end) == pytest.approx(
+            deviation_area(b, a, 0.0, t_end))
+
+    @given(edge_times, edge_times)
+    def test_bounded_by_window(self, times_a, times_b):
+        a = DigitalTrace.from_edges(0, times_a)
+        b = DigitalTrace.from_edges(1, times_b)
+        t_end = 1e-9
+        area = deviation_area(a, b, 0.0, t_end)
+        assert 0.0 <= area <= t_end
+
+    @given(edge_times, edge_times, edge_times)
+    def test_triangle_inequality(self, ta, tb, tc):
+        a = DigitalTrace.from_edges(0, ta)
+        b = DigitalTrace.from_edges(0, tb)
+        c = DigitalTrace.from_edges(0, tc)
+        t_end = 1e-9
+        ab = deviation_area(a, b, 0.0, t_end)
+        bc = deviation_area(b, c, 0.0, t_end)
+        ac = deviation_area(a, c, 0.0, t_end)
+        assert ac <= ab + bc + 1e-24
+
+    def test_identity_of_indiscernibles(self):
+        a = DigitalTrace.from_edges(0, [10 * PS, 20 * PS])
+        b = DigitalTrace.from_edges(0, [10 * PS, 20 * PS])
+        assert deviation_area(a, b, 0.0, 100 * PS) == 0.0
+
+
+class TestNormalization:
+    def test_normalized_deviation(self):
+        ref = DigitalTrace.from_edges(0, [10 * PS])
+        model = DigitalTrace.from_edges(0, [12 * PS])
+        baseline = DigitalTrace.from_edges(0, [14 * PS])
+        value = normalized_deviation(model, ref, baseline, 0.0,
+                                     100 * PS)
+        assert value == pytest.approx(0.5)
+
+    def test_zero_baseline_raises(self):
+        ref = DigitalTrace.from_edges(0, [10 * PS])
+        with pytest.raises(TraceError):
+            normalized_deviation(ref, ref, ref, 0.0, 100 * PS)
+
+    def test_accuracy_report(self):
+        report = AccuracyReport(areas={"inertial": 4.0, "hm": 1.0},
+                                t_start=0.0, t_end=1.0)
+        assert report.normalized("inertial") == {"inertial": 1.0,
+                                                 "hm": 0.25}
+        assert report.best() == "hm"
+
+    def test_accuracy_report_zero_baseline(self):
+        report = AccuracyReport(areas={"inertial": 0.0}, t_start=0.0,
+                                t_end=1.0)
+        with pytest.raises(TraceError):
+            report.normalized("inertial")

@@ -1,0 +1,187 @@
+"""Tests for the discrete-event engine (repro.timing.event_simulator)."""
+
+import pytest
+
+from repro.core import PAPER_TABLE_I
+from repro.errors import SimulationError
+from repro.timing.channels import (ExpChannel, HybridNorChannel,
+                                   InertialDelayChannel,
+                                   PureDelayChannel)
+from repro.timing.circuit import TimingCircuit
+from repro.timing.event_simulator import (EventDrivenSimulator,
+                                          simulate_events)
+from repro.timing.events import EventQueue
+from repro.timing.simulator import simulate
+from repro.timing.trace import DigitalTrace
+from repro.timing.tracegen import WaveformConfig, generate_traces
+from repro.units import PS
+
+
+class TestEventQueue:
+    def test_fires_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, lambda t: fired.append(("b", t)))
+        queue.schedule(1.0, lambda t: fired.append(("a", t)))
+        queue.run_until(10.0)
+        assert fired == [("a", 1.0), ("b", 2.0)]
+
+    def test_simultaneous_events_in_schedule_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda t: fired.append("first"))
+        queue.schedule(1.0, lambda t: fired.append("second"))
+        queue.run_until(10.0)
+        assert fired == ["first", "second"]
+
+    def test_cancellation(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(1.0, lambda t: fired.append("x"))
+        event.cancel()
+        queue.run_until(10.0)
+        assert fired == []
+
+    def test_run_until_stops_at_t_stop(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda t: fired.append(1))
+        queue.schedule(5.0, lambda t: fired.append(5))
+        assert queue.run_until(2.0) == 1
+        assert fired == [1]
+
+    def test_scheduling_into_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda t: None)
+        queue.run_until(10.0)
+        with pytest.raises(SimulationError):
+            queue.schedule(0.5, lambda t: None)
+
+    def test_event_budget(self):
+        queue = EventQueue()
+
+        def reschedule(t):
+            queue.schedule(t + 1.0, reschedule)
+
+        queue.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            queue.run_until(1e9, max_events=50)
+
+    def test_len_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda t: None)
+        queue.schedule(2.0, lambda t: None)
+        event.cancel()
+        assert len(queue) == 1
+
+
+class TestFeedForwardEquivalence:
+    """The event engine must agree with the topological engine."""
+
+    def build_circuit(self):
+        circuit = TimingCircuit(["a", "b"])
+        circuit.add_gate("nor", "nor", ["a", "b"], "n1",
+                         PureDelayChannel(10 * PS))
+        circuit.add_gate("inv", "inv", ["n1"], "n2",
+                         InertialDelayChannel(25 * PS))
+        circuit.add_gate("exp", "buf", ["n2"], "out",
+                         ExpChannel(delay_up_inf=30 * PS,
+                                    delay_down_inf=20 * PS,
+                                    pure_delay=5 * PS))
+        return circuit
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_traces_match(self, seed):
+        circuit = self.build_circuit()
+        config = WaveformConfig(mu=120 * PS, sigma=60 * PS,
+                                mode="local", transitions=30)
+        traces_in = generate_traces(config, ["a", "b"], seed=seed,
+                                    t_start=200 * PS)
+        topo = simulate(circuit, traces_in)
+        event = simulate_events(circuit, traces_in, 1.0)
+        for signal in ("n1", "n2", "out"):
+            assert topo[signal] == event[signal], signal
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_hybrid_channel_matches(self, seed):
+        circuit = TimingCircuit(["a", "b"])
+        circuit.add_hybrid_nor("g", "a", "b", "y",
+                               HybridNorChannel(PAPER_TABLE_I))
+        config = WaveformConfig(mu=150 * PS, sigma=70 * PS,
+                                mode="local", transitions=20)
+        traces_in = generate_traces(config, ["a", "b"], seed=seed,
+                                    t_start=300 * PS)
+        topo = simulate(circuit, traces_in)
+        event = simulate_events(circuit, traces_in, 1.0)
+        assert topo["y"].values == event["y"].values
+        for t_topo, t_event in zip(topo["y"].times, event["y"].times):
+            assert t_event == pytest.approx(t_topo, abs=1e-16)
+
+    def test_missing_inputs(self):
+        circuit = self.build_circuit()
+        with pytest.raises(SimulationError):
+            simulate_events(circuit, {"a": DigitalTrace.constant(0)},
+                            1.0)
+
+
+class TestFeedbackCircuits:
+    def test_ring_oscillator(self):
+        circuit = TimingCircuit([])
+        circuit.add_gate("inv", "inv", ["r"], "r",
+                         PureDelayChannel(50 * PS))
+        out = simulate_events(circuit, {}, 1000 * PS)
+        # Period = 2 * 50 ps; ~19-20 transitions in 1 ns.
+        assert 18 <= len(out["r"]) <= 21
+        gaps = [t2 - t1 for t1, t2 in zip(out["r"].times,
+                                          out["r"].times[1:])]
+        assert all(g == pytest.approx(50 * PS) for g in gaps)
+
+    def test_sr_latch_from_hybrid_nors(self):
+        """Cross-coupled hybrid NOR gates implement a working latch."""
+        circuit = TimingCircuit(["s", "r"])
+        circuit.add_hybrid_nor("n1", "r", "qb", "q",
+                               HybridNorChannel(PAPER_TABLE_I))
+        circuit.add_hybrid_nor("n2", "s", "q", "qb",
+                               HybridNorChannel(PAPER_TABLE_I))
+        traces = {
+            "s": DigitalTrace.from_edges(0, [500 * PS, 700 * PS]),
+            "r": DigitalTrace.from_edges(0, [1500 * PS, 1700 * PS]),
+        }
+        out = simulate_events(circuit, traces, 3000 * PS,
+                              initial_values={"q": 0, "qb": 1})
+        # Set pulse stores q = 1; reset pulse clears it.
+        assert out["q"].values == (1, 0)
+        assert out["qb"].values == (0, 1)
+        assert 500 * PS < out["q"].times[0] < 700 * PS
+        assert 1500 * PS < out["q"].times[1] < 1800 * PS
+        # The latch *holds* after the set pulse ends.
+        assert out["q"].value_at(1200 * PS) == 1
+
+    def test_sr_latch_ignores_glitch(self):
+        """A too-short set pulse does not flip the hybrid latch."""
+        circuit = TimingCircuit(["s", "r"])
+        circuit.add_hybrid_nor("n1", "r", "qb", "q",
+                               HybridNorChannel(PAPER_TABLE_I))
+        circuit.add_hybrid_nor("n2", "s", "q", "qb",
+                               HybridNorChannel(PAPER_TABLE_I))
+        traces = {
+            "s": DigitalTrace.from_edges(0, [500 * PS, 503 * PS]),
+            "r": DigitalTrace.constant(0),
+        }
+        out = simulate_events(circuit, traces, 2000 * PS,
+                              initial_values={"q": 0, "qb": 1})
+        assert len(out["q"]) == 0
+        assert len(out["qb"]) == 0
+
+    def test_relaxation_initializes_consistent_logic(self):
+        """Feed-forward initial values need no explicit overrides."""
+        circuit = TimingCircuit(["a"])
+        circuit.add_gate("i1", "inv", ["a"], "x",
+                         PureDelayChannel(5 * PS))
+        circuit.add_gate("i2", "inv", ["x"], "y",
+                         PureDelayChannel(5 * PS))
+        simulator = EventDrivenSimulator(circuit)
+        out = simulator.run({"a": DigitalTrace.constant(1)}, 100 * PS)
+        assert out["x"].initial == 0
+        assert out["y"].initial == 1
+        assert len(out["y"]) == 0

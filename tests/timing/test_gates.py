@@ -1,0 +1,93 @@
+"""Tests for repro.timing.gates."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.timing.gates import GATE_FUNCTIONS, gate_function, zero_time_gate
+from repro.timing.trace import DigitalTrace
+from repro.units import PS
+
+
+class TestGateFunctions:
+    def test_nor_truth_table(self):
+        nor = gate_function("nor")
+        assert nor(0, 0) == 1
+        assert nor(0, 1) == 0
+        assert nor(1, 0) == 0
+        assert nor(1, 1) == 0
+
+    def test_nand(self):
+        nand = gate_function("nand")
+        assert nand(1, 1) == 0
+        assert nand(0, 1) == 1
+
+    def test_and_or_xor(self):
+        assert gate_function("and")(1, 1, 1) == 1
+        assert gate_function("and")(1, 0, 1) == 0
+        assert gate_function("or")(0, 0, 1) == 1
+        assert gate_function("xor")(1, 1) == 0
+        assert gate_function("xor")(1, 0, 1) == 0
+        assert gate_function("xor")(1, 0, 0) == 1
+
+    def test_inverter_aliases(self):
+        assert gate_function("not")(1) == 0
+        assert gate_function("inv")(0) == 1
+        assert gate_function("buf")(1) == 1
+
+    def test_unknown_gate(self):
+        with pytest.raises(TraceError):
+            gate_function("mux")
+
+    def test_registry_complete(self):
+        assert {"nor", "nand", "and", "or", "xor", "not", "inv",
+                "buf"} <= set(GATE_FUNCTIONS)
+
+
+class TestZeroTimeGate:
+    def test_inverter(self):
+        trace = DigitalTrace.from_edges(0, [10 * PS, 20 * PS])
+        out = zero_time_gate(gate_function("inv"), [trace])
+        assert out.initial == 1
+        assert out.transitions == [(10 * PS, 0), (20 * PS, 1)]
+
+    def test_nor_of_two_traces(self):
+        a = DigitalTrace.from_edges(0, [10 * PS, 40 * PS])
+        b = DigitalTrace.from_edges(0, [20 * PS, 30 * PS])
+        out = zero_time_gate(gate_function("nor"), [a, b])
+        assert out.initial == 1
+        # Output: 1 until a rises (10), 0 until a falls at 40 with b
+        # already low again.
+        assert out.transitions == [(10 * PS, 0), (40 * PS, 1)]
+
+    def test_no_spurious_transitions(self):
+        a = DigitalTrace.from_edges(0, [10 * PS])
+        b = DigitalTrace.from_edges(0, [20 * PS])
+        out = zero_time_gate(gate_function("or"), [a, b])
+        # OR already 1 after a rises; b rising changes nothing.
+        assert out.transitions == [(10 * PS, 1)]
+
+    def test_simultaneous_transitions_atomic(self):
+        """Inputs swapping 01 -> 10 at the same instant: no glitch."""
+        a = DigitalTrace.from_edges(0, [10 * PS])
+        b = DigitalTrace.from_edges(1, [10 * PS])
+        out = zero_time_gate(gate_function("nor"), [a, b])
+        assert out.initial == 0
+        assert out.transitions == []
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(TraceError):
+            zero_time_gate(gate_function("nor"), [])
+
+    def test_constant_inputs(self):
+        a = DigitalTrace.constant(0)
+        b = DigitalTrace.constant(0)
+        out = zero_time_gate(gate_function("nor"), [a, b])
+        assert out.initial == 1
+        assert len(out) == 0
+
+    def test_three_input_gate(self):
+        a = DigitalTrace.from_edges(0, [10 * PS])
+        b = DigitalTrace.from_edges(0, [20 * PS])
+        c = DigitalTrace.from_edges(0, [30 * PS])
+        out = zero_time_gate(gate_function("and"), [a, b, c])
+        assert out.transitions == [(30 * PS, 1)]

@@ -1,0 +1,117 @@
+"""Tests for repro.timing.power — switching activity metrics."""
+
+import pytest
+
+from repro.errors import ParameterError, TraceError
+from repro.timing.power import (PowerReport, dynamic_energy,
+                                glitch_count, power_report,
+                                transition_count,
+                                transition_count_error)
+from repro.timing.trace import DigitalTrace
+from repro.units import FF, PS
+
+
+@pytest.fixture()
+def busy_trace():
+    return DigitalTrace.from_edges(
+        0, [100 * PS, 110 * PS, 300 * PS, 500 * PS, 505 * PS,
+            800 * PS])
+
+
+class TestTransitionCount:
+    def test_full_trace(self, busy_trace):
+        assert transition_count(busy_trace) == 6
+
+    def test_window(self, busy_trace):
+        assert transition_count(busy_trace, 200 * PS, 600 * PS) == 3
+
+    def test_window_half_open(self, busy_trace):
+        assert transition_count(busy_trace, 100 * PS, 110 * PS) == 1
+
+    def test_empty_trace(self):
+        assert transition_count(DigitalTrace.constant(1)) == 0
+
+    def test_bad_window(self, busy_trace):
+        with pytest.raises(TraceError):
+            transition_count(busy_trace, 1.0, 0.0)
+
+
+class TestGlitchCount:
+    def test_counts_narrow_pulses(self, busy_trace):
+        # 10 ps and 5 ps pulses are narrower than 20 ps.
+        assert glitch_count(busy_trace, 20 * PS) == 2
+
+    def test_threshold_excludes_wide(self, busy_trace):
+        assert glitch_count(busy_trace, 7 * PS) == 1
+
+    def test_no_glitches(self):
+        trace = DigitalTrace.from_edges(0, [100 * PS, 400 * PS])
+        assert glitch_count(trace, 50 * PS) == 0
+
+    def test_bad_width(self, busy_trace):
+        with pytest.raises(ParameterError):
+            glitch_count(busy_trace, 0.0)
+
+
+class TestDynamicEnergy:
+    def test_half_cv2_per_transition(self):
+        trace = DigitalTrace.from_edges(0, [1e-10, 2e-10])
+        energy = dynamic_energy(trace, capacitance=1 * FF, vdd=0.8)
+        assert energy == pytest.approx(2 * 0.5 * 1e-15 * 0.64)
+
+    def test_windowed(self, busy_trace):
+        full = dynamic_energy(busy_trace, 1 * FF, 0.8)
+        half = dynamic_energy(busy_trace, 1 * FF, 0.8,
+                              t_start=0.0, t_end=400 * PS)
+        assert half == pytest.approx(full / 2.0)
+
+    def test_validation(self, busy_trace):
+        with pytest.raises(ParameterError):
+            dynamic_energy(busy_trace, -1 * FF, 0.8)
+        with pytest.raises(ParameterError):
+            dynamic_energy(busy_trace, 1 * FF, 0.0)
+
+
+class TestPowerReport:
+    def test_report_contents(self, busy_trace):
+        report = power_report({"o": busy_trace}, {"o": 1.5 * FF},
+                              vdd=0.8, t_start=0.0, t_end=1000 * PS,
+                              glitch_width=20 * PS)
+        assert report.counts["o"] == 6
+        assert report.glitches["o"] == 2
+        assert report.total_transitions == 6
+        assert report.total_energy == pytest.approx(
+            6 * 0.5 * 1.5e-15 * 0.64)
+
+    def test_average_power(self, busy_trace):
+        report = power_report({"o": busy_trace}, {"o": 1 * FF},
+                              vdd=0.8, t_start=0.0, t_end=1000 * PS)
+        assert report.average_power == pytest.approx(
+            report.total_energy / (1000 * PS))
+
+    def test_zero_window_rejected(self, busy_trace):
+        report = PowerReport(counts={}, glitches={}, energies={},
+                             window=(1.0, 1.0))
+        with pytest.raises(ParameterError):
+            _ = report.average_power
+
+    def test_missing_trace(self, busy_trace):
+        with pytest.raises(TraceError):
+            power_report({"o": busy_trace}, {"zz": 1 * FF}, vdd=0.8,
+                         t_start=0.0, t_end=1.0)
+
+
+class TestTransitionCountError:
+    def test_inertial_swallows_glitches(self, busy_trace):
+        """The power-relevant failure mode of inertial delay."""
+        from repro.timing.channels import InertialDelayChannel
+        filtered = InertialDelayChannel(30 * PS).apply(busy_trace)
+        error = transition_count_error(filtered, busy_trace, 0.0,
+                                       1200 * PS)
+        assert error == -4  # both narrow pulses vanished
+
+    def test_exact_model_has_zero_error(self, busy_trace):
+        from repro.timing.channels import PureDelayChannel
+        shifted = PureDelayChannel(10 * PS).apply(busy_trace)
+        assert transition_count_error(shifted, busy_trace, 0.0,
+                                      1200 * PS) == 0

@@ -1,0 +1,172 @@
+"""Tests for repro.timing.trace."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.timing.trace import DigitalTrace
+from repro.units import PS
+
+def _well_separated(times, min_gap=1e-14):
+    """Drop entries closer than *min_gap* to their predecessor."""
+    out = []
+    for t in sorted(times):
+        if not out or t - out[-1] >= min_gap:
+            out.append(t)
+    return out
+
+
+edge_times = st.lists(
+    st.floats(min_value=1e-12, max_value=1e-8), min_size=0,
+    max_size=12).map(_well_separated)
+
+
+class TestConstruction:
+    def test_constant(self):
+        trace = DigitalTrace.constant(1)
+        assert trace.initial == 1
+        assert len(trace) == 0
+        assert trace.final_value == 1
+
+    def test_basic(self):
+        trace = DigitalTrace(0, [(1e-12, 1), (2e-12, 0)])
+        assert trace.times == (1e-12, 2e-12)
+        assert trace.values == (1, 0)
+
+    def test_bad_initial(self):
+        with pytest.raises(TraceError):
+            DigitalTrace(2, [])
+
+    def test_bad_value(self):
+        with pytest.raises(TraceError):
+            DigitalTrace(0, [(1e-12, 5)])
+
+    def test_non_alternating(self):
+        with pytest.raises(TraceError):
+            DigitalTrace(0, [(1e-12, 1), (2e-12, 1)])
+
+    def test_first_must_differ_from_initial(self):
+        with pytest.raises(TraceError):
+            DigitalTrace(1, [(1e-12, 1)])
+
+    def test_non_increasing_times(self):
+        with pytest.raises(TraceError):
+            DigitalTrace(0, [(2e-12, 1), (1e-12, 0)])
+
+    def test_infinite_time_rejected(self):
+        with pytest.raises(TraceError):
+            DigitalTrace(0, [(float("inf"), 1)])
+
+    def test_from_transitions_inferred_initial(self):
+        trace = DigitalTrace.from_transitions([(1e-12, 0)])
+        assert trace.initial == 1
+
+    def test_from_transitions_empty(self):
+        trace = DigitalTrace.from_transitions([])
+        assert trace.initial == 0
+
+    def test_from_edges(self):
+        trace = DigitalTrace.from_edges(0, [1e-12, 3e-12, 7e-12])
+        assert trace.values == (1, 0, 1)
+
+    @given(edge_times, st.integers(min_value=0, max_value=1))
+    def test_from_edges_always_valid(self, times, initial):
+        trace = DigitalTrace.from_edges(initial, times)
+        assert len(trace) == len(times)
+        if times:
+            assert trace.values[0] == 1 - initial
+
+
+class TestQueries:
+    @pytest.fixture()
+    def trace(self):
+        return DigitalTrace(0, [(10 * PS, 1), (30 * PS, 0),
+                                (70 * PS, 1)])
+
+    def test_value_at(self, trace):
+        assert trace.value_at(0.0) == 0
+        assert trace.value_at(10 * PS) == 1  # right-continuous
+        assert trace.value_at(20 * PS) == 1
+        assert trace.value_at(30 * PS) == 0
+        assert trace.value_at(100 * PS) == 1
+
+    def test_value_before(self, trace):
+        assert trace.value_before(10 * PS) == 0
+        assert trace.value_before(30 * PS) == 1
+        assert trace.value_before(5 * PS) == 0
+
+    def test_final_value(self, trace):
+        assert trace.final_value == 1
+
+    def test_transitions_property(self, trace):
+        assert trace.transitions == [(10 * PS, 1), (30 * PS, 0),
+                                     (70 * PS, 1)]
+
+    def test_pulses(self, trace):
+        pulses = trace.pulses()
+        assert pulses == [(10 * PS, 30 * PS, 1), (30 * PS, 70 * PS, 0)]
+
+    def test_equality_and_hash(self, trace):
+        same = DigitalTrace(0, [(10 * PS, 1), (30 * PS, 0),
+                                (70 * PS, 1)])
+        assert trace == same
+        assert hash(trace) == hash(same)
+        assert trace != DigitalTrace.constant(0)
+
+    def test_eq_other_type(self, trace):
+        assert trace != 42
+
+    def test_repr(self, trace):
+        assert "3 transitions" in repr(trace)
+
+
+class TestTransforms:
+    @pytest.fixture()
+    def trace(self):
+        return DigitalTrace(0, [(10 * PS, 1), (30 * PS, 0)])
+
+    def test_shifted(self, trace):
+        shifted = trace.shifted(5 * PS)
+        assert shifted.times == (15 * PS, 35 * PS)
+        assert shifted.initial == 0
+
+    def test_inverted(self, trace):
+        inv = trace.inverted()
+        assert inv.initial == 1
+        assert inv.values == (0, 1)
+
+    def test_double_inversion_is_identity(self, trace):
+        assert trace.inverted().inverted() == trace
+
+    def test_windowed_keeps_interior(self, trace):
+        window = trace.windowed(5 * PS, 20 * PS)
+        assert window.transitions == [(10 * PS, 1)]
+        assert window.initial == 0
+
+    def test_windowed_reanchors_initial(self, trace):
+        window = trace.windowed(20 * PS, 50 * PS)
+        assert window.initial == 1
+        assert window.transitions == [(30 * PS, 0)]
+
+    def test_windowed_invalid(self, trace):
+        with pytest.raises(TraceError):
+            trace.windowed(10 * PS, 5 * PS)
+
+    @given(edge_times, st.integers(min_value=0, max_value=1),
+           st.floats(min_value=-1e-9, max_value=1e-9))
+    def test_shift_preserves_values(self, times, initial, dt):
+        trace = DigitalTrace.from_edges(initial, times)
+        shifted = trace.shifted(dt)
+        assert shifted.values == trace.values
+        assert shifted.initial == trace.initial
+
+    @given(edge_times, st.integers(min_value=0, max_value=1))
+    def test_value_at_matches_manual_walk(self, times, initial):
+        trace = DigitalTrace.from_edges(initial, times)
+        probe = 5e-10
+        expected = initial
+        for t in times:
+            if t <= probe:
+                expected = 1 - expected
+        assert trace.value_at(probe) == expected

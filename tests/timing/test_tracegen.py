@@ -1,0 +1,119 @@
+"""Tests for repro.timing.tracegen — Section VI workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.timing.tracegen import (PAPER_CONFIGS, WaveformConfig,
+                                   generate_traces)
+from repro.units import PS
+
+
+class TestWaveformConfig:
+    def test_paper_configs(self):
+        labels = [config.label for config in PAPER_CONFIGS]
+        assert labels == ["100/50 - LOCAL", "200/100 - LOCAL",
+                          "2000/1000 - GLOBAL", "5000/5 - GLOBAL"]
+
+    def test_paper_transition_counts(self):
+        counts = [config.transitions for config in PAPER_CONFIGS]
+        assert counts == [500, 500, 500, 250]
+
+    def test_bad_mode(self):
+        with pytest.raises(ParameterError):
+            WaveformConfig(mu=1e-10, sigma=1e-11, mode="hybrid")
+
+    def test_bad_mu(self):
+        with pytest.raises(ParameterError):
+            WaveformConfig(mu=0.0, sigma=1e-11, mode="local")
+
+    def test_bad_transitions(self):
+        with pytest.raises(ParameterError):
+            WaveformConfig(mu=1e-10, sigma=0.0, mode="local",
+                           transitions=0)
+
+
+class TestGeneration:
+    def config(self, mode="local", transitions=100):
+        return WaveformConfig(mu=100 * PS, sigma=50 * PS, mode=mode,
+                              transitions=transitions)
+
+    def test_total_transition_count_local(self):
+        traces = generate_traces(self.config("local", 101), ["a", "b"],
+                                 seed=0)
+        assert len(traces["a"]) + len(traces["b"]) == 101
+
+    def test_total_transition_count_global(self):
+        traces = generate_traces(self.config("global", 100),
+                                 ["a", "b"], seed=0)
+        assert len(traces["a"]) + len(traces["b"]) == 100
+
+    def test_deterministic_with_seed(self):
+        one = generate_traces(self.config(), ["a", "b"], seed=7)
+        two = generate_traces(self.config(), ["a", "b"], seed=7)
+        assert one["a"] == two["a"]
+        assert one["b"] == two["b"]
+
+    def test_different_seeds_differ(self):
+        one = generate_traces(self.config(), ["a"], seed=1)
+        two = generate_traces(self.config(), ["a"], seed=2)
+        assert one["a"] != two["a"]
+
+    def test_t_start_respected(self):
+        traces = generate_traces(self.config(), ["a"], seed=0,
+                                 t_start=1000 * PS)
+        assert traces["a"].times[0] >= 1000 * PS
+
+    def test_min_gap_enforced(self):
+        config = WaveformConfig(mu=5 * PS, sigma=100 * PS,
+                                mode="local", transitions=200)
+        traces = generate_traces(config, ["a"], seed=0,
+                                 min_gap=2 * PS)
+        gaps = np.diff(traces["a"].times)
+        assert np.all(gaps >= 2 * PS - 1e-18)
+
+    def test_initial_values(self):
+        traces = generate_traces(self.config(), ["a", "b"], seed=0,
+                                 initial_values={"a": 1})
+        assert traces["a"].initial == 1
+        assert traces["b"].initial == 0
+
+    def test_local_mean_interval(self):
+        """LOCAL inter-transition times average to roughly mu."""
+        config = WaveformConfig(mu=100 * PS, sigma=10 * PS,
+                                mode="local", transitions=2000)
+        traces = generate_traces(config, ["a"], seed=0)
+        gaps = np.diff(traces["a"].times)
+        assert np.mean(gaps) == pytest.approx(100 * PS, rel=0.05)
+
+    def test_global_spreads_over_inputs(self):
+        traces = generate_traces(self.config("global", 400),
+                                 ["a", "b"], seed=0)
+        assert len(traces["a"]) > 100
+        assert len(traces["b"]) > 100
+
+    def test_global_interleaves_more_sparsely_than_local(self):
+        """GLOBAL: consecutive cross-input separations follow the
+        global stream, so near-coincident transitions are rare."""
+        local = generate_traces(self.config("local", 400), ["a", "b"],
+                                seed=0)
+        global_ = generate_traces(self.config("global", 400),
+                                  ["a", "b"], seed=0)
+
+        def min_cross_separation(traces):
+            a = np.asarray(traces["a"].times)
+            b = np.asarray(traces["b"].times)
+            return min(float(np.min(np.abs(a[:, None] - b[None, :])))
+                       for _ in [0])
+
+        assert min_cross_separation(global_) > \
+            min_cross_separation(local) * 0.5
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ParameterError):
+            generate_traces(self.config(), [], seed=0)
+
+    def test_generator_object_accepted(self):
+        rng = np.random.default_rng(3)
+        traces = generate_traces(self.config(), ["a"], seed=rng)
+        assert len(traces["a"]) == 100
