@@ -46,3 +46,38 @@ def test_exact_crossing_solver(benchmark):
         return total
 
     benchmark(kernel)
+
+
+def test_vectorized_curve_evaluation(benchmark):
+    """Batched closed-form sweep vs the scalar reference path.
+
+    The analytic formulas exist because parametrization needs cheap
+    characteristic-delay evaluation; the vectorized engine extends
+    that economy to whole MIS curves.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.engine import get_engine
+
+    deltas = np.linspace(-80 * PS, 80 * PS, 2048)
+    vectorized = get_engine("vectorized")
+    reference = get_engine("reference")
+    for engine in (vectorized, reference):
+        engine.delays_falling(PAPER_TABLE_I, deltas[:2])  # warm caches
+
+    curve = benchmark(
+        lambda: vectorized.delays_falling(PAPER_TABLE_I, deltas))
+    start = time.perf_counter()
+    vectorized.delays_falling(PAPER_TABLE_I, deltas)
+    vectorized_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    exact = reference.delays_falling(PAPER_TABLE_I, deltas)
+    reference_seconds = time.perf_counter() - start
+
+    benchmark.extra_info["reference_seconds"] = round(
+        reference_seconds, 4)
+    benchmark.extra_info["speedup_vs_reference"] = round(
+        reference_seconds / max(vectorized_seconds, 1e-12), 1)
+    assert float(np.max(np.abs(curve - exact))) <= 1e-12

@@ -1,22 +1,70 @@
-"""Section VI runtime comparison — hybrid channel vs simpler channels.
+"""Runtime benchmarks: engine sweep throughput + channel overhead.
 
-The paper reports ~6 % digital-simulation overhead of the hybrid model
-relative to inertial delay / Exp-Channel.  pytest-benchmark times each
-channel on the same random trace; compare the means in the report.
-(The absolute ratio differs from the paper's — their channels ran
-inside QuestaSim via FLI; ours are native Python — but the point is the
-same: the hybrid channel's cost stays in the same league.)
+Two workloads live here:
+
+* **Engine throughput** — a 10k-point falling+rising MIS sweep through
+  every registered delay engine (:mod:`repro.engine`).  The measured
+  points/second per backend are written to ``BENCH_runtime.json`` at
+  the repository root so the perf trajectory can be tracked across
+  PRs; the vectorized backend must stay ≥10× faster than the scalar
+  reference while agreeing to ≤1e-12 s.
+
+* **Channel overhead** (paper Section VI) — the hybrid channel vs the
+  simpler channels on the same random trace.  The paper reports ~6 %
+  overhead inside QuestaSim; our native-Python inertial baseline is a
+  bare add-a-constant pass, so the fair statement is "same league, not
+  orders of magnitude".
 """
 
+import json
+import pathlib
+
+import numpy as np
 import pytest
 
 from repro.analysis.accuracy import build_model_suite
-from repro.analysis.experiments import experiment_runtime
+from repro.analysis.experiments import (experiment_engines,
+                                        experiment_runtime)
 from repro.spice.technology import FINFET15
 from repro.timing.tracegen import WaveformConfig, generate_traces
 from repro.units import PS
 
 _TRANSITIONS = 300
+#: Δ grid size of the engine-throughput sweep (per direction).
+_SWEEP_POINTS = 10_000
+#: Machine-readable throughput record tracked across PRs.
+_JSON_PATH = pathlib.Path(__file__).parents[1] / "BENCH_runtime.json"
+
+
+def test_engine_sweep_throughput(benchmark, write_result):
+    """10k-point MIS sweep: reference vs vectorized, JSON record."""
+    result = benchmark.pedantic(
+        lambda: experiment_engines(points=_SWEEP_POINTS, repeats=3),
+        rounds=1, iterations=1)
+    write_result("engines", result.text)
+
+    payload = {
+        "workload": "falling+rising MIS sweep",
+        "sweep_points": result.points,
+        "backends": {
+            name: {
+                "sweep_seconds": result.seconds[name],
+                "points_per_second": result.points_per_second[name],
+            }
+            for name in sorted(result.seconds)
+        },
+        "speedup_vectorized_vs_reference": result.speedup,
+        "max_abs_difference_seconds": result.max_abs_difference,
+    }
+    _JSON_PATH.write_text(json.dumps(payload, indent=2,
+                                     sort_keys=True) + "\n")
+
+    benchmark.extra_info["speedup"] = round(result.speedup, 1)
+    benchmark.extra_info["vectorized_pps"] = round(
+        result.points_per_second["vectorized"])
+    # Acceptance: ≥10× on the 10k-point sweep, bit-tight parity.
+    assert result.speedup >= 10.0
+    assert result.max_abs_difference <= 1e-12
 
 
 @pytest.fixture(scope="module")

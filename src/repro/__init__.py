@@ -8,6 +8,10 @@ Package layout (see DESIGN.md for the full inventory):
   its closed-form solutions, MIS delay functions, the analytic
   characteristic-delay formulas (paper eqs. 8–12) and the δ_min-based
   parametrization (Table I).
+* :mod:`repro.engine` — pluggable array-native evaluation backends for
+  MIS delay sweeps: a scalar ``reference`` backend and a NumPy
+  ``vectorized`` backend (the default), selected with the ``engine=``
+  keyword of every sweep API or the CLI's ``--engine`` flag.
 * :mod:`repro.spice` — an MNA-based analog transient simulator with a
   square-law MOSFET model and synthetic 15 nm / 65 nm technology cards;
   the golden reference replacing the paper's Spectre setup.
@@ -39,6 +43,13 @@ from .core import (
     infer_delta_min,
     solve_mode,
 )
+from .engine import (
+    DEFAULT_ENGINE,
+    DelayEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 from .errors import (
     ConvergenceError,
     FittingError,
@@ -50,12 +61,14 @@ from .errors import (
     TraceError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CharacteristicDelays",
     "CharacteristicTargets",
     "ConvergenceError",
+    "DEFAULT_ENGINE",
+    "DelayEngine",
     "FittingError",
     "HybridNorModel",
     "MisCurve",
@@ -70,8 +83,11 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "TraceError",
+    "available_engines",
     "fit_nor_parameters",
+    "get_engine",
     "infer_delta_min",
+    "register_engine",
     "solve_mode",
     "__version__",
 ]

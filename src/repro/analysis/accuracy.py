@@ -24,6 +24,8 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
+from ..core.charlie import MisCurve
+from ..core.hybrid_model import HybridNorModel
 from ..core.parameters import NorGateParameters
 from ..core.parametrization import CharacteristicTargets
 from ..errors import ParameterError
@@ -42,7 +44,9 @@ from ..units import PS
 __all__ = [
     "MODEL_LABELS",
     "ModelRunner",
+    "CurveErrors",
     "build_model_suite",
+    "model_curve_errors",
     "reference_output",
     "ConfigAccuracy",
     "evaluate_config",
@@ -121,6 +125,43 @@ def build_model_suite(targets: CharacteristicTargets,
         "hm_no_dmin": hm_no.simulate,
         "hm": hm.simulate,
     }
+
+
+@dataclasses.dataclass(frozen=True)
+class CurveErrors:
+    """Curve-level model-vs-reference errors on a shared Δ grid.
+
+    Attributes:
+        mean: mean absolute delay difference, seconds.
+        max: maximum absolute delay difference, seconds.
+        model_curve: the engine-evaluated hybrid-model curve.
+    """
+
+    mean: float
+    max: float
+    model_curve: MisCurve
+
+
+def model_curve_errors(reference: MisCurve,
+                       params: NorGateParameters,
+                       vn_init: float = 0.0,
+                       engine=None) -> CurveErrors:
+    """Hybrid-model curve errors against a reference MIS curve.
+
+    Evaluates the hybrid model on the reference grid through a batch
+    delay engine (:mod:`repro.engine`) and integrates the pointwise
+    difference — the curve-level half of the paper's accuracy story
+    (Figs. 5/6/8), shared by the ablation and baseline experiments.
+    """
+    model = HybridNorModel(params)
+    if reference.direction == "falling":
+        curve = model.falling_curve(reference.deltas, engine=engine)
+    else:
+        curve = model.rising_curve(reference.deltas, vn_init,
+                                   engine=engine)
+    return CurveErrors(mean=curve.mean_abs_difference(reference),
+                       max=curve.max_abs_difference(reference),
+                       model_curve=curve)
 
 
 def reference_output(tech: TechnologyCard, trace_a: DigitalTrace,

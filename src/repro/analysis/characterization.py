@@ -38,6 +38,7 @@ __all__ = [
     "nand_mis_delay",
     "characterize_direction",
     "characterize_nor",
+    "characterize_model",
 ]
 
 #: Default Δ sweep (seconds) — the paper's Fig. 2 range.
@@ -280,6 +281,55 @@ class NorCharacterization:
         peak = max(self.rising.delays)
         return (100.0 * (peak / self.sis_rising.minus_inf - 1.0),
                 100.0 * (peak / self.sis_rising.plus_inf - 1.0))
+
+
+def characterize_model(params, deltas=DEFAULT_DELTAS,
+                       vn_init: float = 0.0,
+                       engine=None) -> NorCharacterization:
+    """Characterize the *hybrid model* itself through a delay engine.
+
+    The engine-evaluated counterpart of :func:`characterize_nor`: the
+    Δ sweep, the ``Δ = ±∞`` SIS limits and the ``Δ = 0`` MIS values
+    are all computed in one batched call per direction, so a dense
+    characterization costs milliseconds instead of an analog sweep.
+
+    The ideal-switch model is history-free, therefore the toggle-
+    protocol triples coincide with the Δ-protocol triples (the real
+    gate's switching-history effect is exactly what the model cannot
+    represent — paper Sections II and IV).
+
+    Args:
+        params: :class:`~repro.core.parameters.NorGateParameters`.
+        deltas: sweep grid, seconds.
+        vn_init: internal-node voltage ``X`` for rising transitions.
+        engine: evaluation backend (name, instance, or ``None`` for
+            the vectorized default).
+    """
+    from ..core.hybrid_model import HybridNorModel
+    from ..engine import get_engine
+
+    backend = get_engine(engine)
+    model = HybridNorModel(params)
+    grid = np.sort(np.asarray(deltas, dtype=float))
+    falling = model.falling_curve(grid, engine=backend)
+    rising = model.rising_curve(grid, vn_init, engine=backend)
+
+    probes = np.array([-np.inf, 0.0, np.inf])
+    fall_probe = backend.delays_falling(params, probes)
+    rise_probe = backend.delays_rising(params, probes, vn_init)
+    sis_falling = CharacteristicDelays(*map(float, fall_probe))
+    sis_rising = CharacteristicDelays(*map(float, rise_probe))
+
+    return NorCharacterization(
+        falling=falling,
+        rising=rising,
+        sis_falling=sis_falling,
+        sis_rising=sis_rising,
+        sis_falling_toggle=sis_falling,
+        sis_rising_toggle=sis_rising,
+        tech_name=f"hybrid model/{backend.name}",
+        vdd=params.vdd,
+    )
 
 
 def characterize_nor(tech: TechnologyCard,

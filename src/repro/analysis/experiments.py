@@ -35,7 +35,7 @@ from ..timing.trace import DigitalTrace
 from ..timing.tracegen import PAPER_CONFIGS, WaveformConfig
 from ..units import PS, to_ps
 from .accuracy import (MODEL_LABELS, ConfigAccuracy, build_model_suite,
-                       run_accuracy_study)
+                       model_curve_errors, run_accuracy_study)
 from .characterization import (DEFAULT_DELTAS, NorCharacterization,
                                characterize_nor)
 from .faithfulness import short_pulse_filtration
@@ -51,6 +51,7 @@ __all__ = [
     "experiment_fig8",
     "experiment_table1",
     "experiment_analytic",
+    "experiment_engines",
     "experiment_runtime",
     "experiment_ablation_delta_min",
     "experiment_baseline_fits",
@@ -148,11 +149,11 @@ class CurveComparisonResult:
 
 def experiment_fig5(params: NorGateParameters = PAPER_TABLE_I,
                     characterization: NorCharacterization | None = None,
-                    deltas: Sequence[float] = DEFAULT_DELTAS
-                    ) -> CurveComparisonResult:
+                    deltas: Sequence[float] = DEFAULT_DELTAS,
+                    engine=None) -> CurveComparisonResult:
     """Fig. 5: hybrid-model falling MIS delays (vs analog if given)."""
     model = HybridNorModel(params)
-    curves = [model.falling_curve(deltas)]
+    curves = [model.falling_curve(deltas, engine=engine)]
     if characterization is not None:
         curves.append(characterization.falling)
     text = format_curves(curves,
@@ -163,15 +164,15 @@ def experiment_fig5(params: NorGateParameters = PAPER_TABLE_I,
 
 def experiment_fig6(params: NorGateParameters = PAPER_TABLE_I,
                     characterization: NorCharacterization | None = None,
-                    deltas: Sequence[float] | None = None
-                    ) -> CurveComparisonResult:
+                    deltas: Sequence[float] | None = None,
+                    engine=None) -> CurveComparisonResult:
     """Fig. 6: rising MIS delays for ``V_N(0) ∈ {GND, VDD/2, VDD}``."""
     if deltas is None:
         deltas = tuple(float(d) * PS for d in
                        (-90, -60, -40, -25, -12, 0, 12, 25, 40, 60, 90))
     model = HybridNorModel(params)
     vdd = params.vdd
-    curves = [model.rising_curve(deltas, vn_init=x)
+    curves = [model.rising_curve(deltas, vn_init=x, engine=engine)
               for x in (0.0, vdd / 2.0, vdd)]
     if characterization is not None:
         curves.append(characterization.rising)
@@ -183,12 +184,13 @@ def experiment_fig6(params: NorGateParameters = PAPER_TABLE_I,
 
 def experiment_fig8(params: NorGateParameters = PAPER_TABLE_I,
                     characterization: NorCharacterization | None = None,
-                    deltas: Sequence[float] = DEFAULT_DELTAS
-                    ) -> CurveComparisonResult:
+                    deltas: Sequence[float] = DEFAULT_DELTAS,
+                    engine=None) -> CurveComparisonResult:
     """Fig. 8: falling matching with and without the pure delay."""
-    with_dmin = HybridNorModel(params).falling_curve(deltas)
+    with_dmin = HybridNorModel(params).falling_curve(deltas,
+                                                     engine=engine)
     without = HybridNorModel(
-        params.without_delta_min()).falling_curve(deltas)
+        params.without_delta_min()).falling_curve(deltas, engine=engine)
     with_dmin = MisCurve(with_dmin.deltas, with_dmin.delays, "falling",
                          label="HM with dmin")
     without = MisCurve(without.deltas, without.delays, "falling",
@@ -407,6 +409,91 @@ def experiment_runtime(tech: TechnologyCard = FINFET15,
 
 
 # ----------------------------------------------------------------------
+# Delay-engine backends (batched sweep evaluation)
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class EngineComparisonResult:
+    """Backend parity and throughput of one MIS-sweep workload.
+
+    Attributes:
+        points: Δ grid size per direction.
+        seconds: backend name -> wall time of a falling+rising sweep.
+        points_per_second: backend name -> sweep throughput.
+        speedup: reference time / vectorized time.
+        max_abs_difference: worst |vectorized − reference| delay, s.
+        text: rendered table.
+    """
+
+    points: int
+    seconds: dict[str, float]
+    points_per_second: dict[str, float]
+    speedup: float
+    max_abs_difference: float
+    text: str
+
+
+def experiment_engines(params: NorGateParameters = PAPER_TABLE_I,
+                       points: int = 4096,
+                       span: float = 80.0 * PS,
+                       repeats: int = 1) -> EngineComparisonResult:
+    """Reference-vs-vectorized engine parity and throughput.
+
+    Runs the same falling+rising Δ sweep through every registered
+    backend, checks the results against the scalar reference and
+    reports points/second — the workload behind the ROADMAP's "as fast
+    as the hardware allows" goal (10k-point MIS curves, parameter-grid
+    studies, Monte-Carlo sweeps).
+    """
+    from ..engine import available_engines, get_engine
+    from ..errors import ParameterError
+
+    if points < 1:
+        raise ParameterError("points must be >= 1")
+    deltas = np.linspace(-span, span, points)
+    delays: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    seconds: dict[str, float] = {}
+    for name in available_engines():
+        backend = get_engine(name)
+        # Warm the per-parameter-set caches: steady-state throughput is
+        # the quantity of interest, not one-off context construction.
+        backend.delays_falling(params, deltas[:2])
+        backend.delays_rising(params, deltas[:2])
+        start = time.perf_counter()
+        for _ in range(max(1, repeats)):
+            falling = backend.delays_falling(params, deltas)
+            rising = backend.delays_rising(params, deltas)
+        seconds[name] = ((time.perf_counter() - start)
+                         / max(1, repeats))
+        delays[name] = (falling, rising)
+
+    reference = delays["reference"]
+    worst = 0.0
+    for name, (falling, rising) in delays.items():
+        worst = max(worst,
+                    float(np.max(np.abs(falling - reference[0]))),
+                    float(np.max(np.abs(rising - reference[1]))))
+    pps = {name: 2.0 * points / s for name, s in seconds.items()}
+    speedup = seconds["reference"] / seconds["vectorized"]
+
+    rows = [(name, f"{seconds[name] * 1e3:.2f}", f"{pps[name]:,.0f}",
+             f"{seconds['reference'] / seconds[name]:.1f}x")
+            for name in sorted(seconds)]
+    table = ascii_table(
+        ["backend", "sweep [ms]", "points/s", "vs reference"], rows,
+        title=f"Delay engines: {points}-point falling+rising MIS "
+              "sweep")
+    text = "\n".join([
+        table,
+        f"max |vectorized - reference| = {worst:.3e} s "
+        "(parity bound: 1e-12 s)",
+    ])
+    return EngineComparisonResult(
+        points=points, seconds=seconds, points_per_second=pps,
+        speedup=speedup, max_abs_difference=worst, text=text)
+
+
+# ----------------------------------------------------------------------
 # Ablations
 # ----------------------------------------------------------------------
 
@@ -433,9 +520,8 @@ def experiment_ablation_delta_min(
     for dmin in delta_mins:
         fit = fit_from_characterization(characterization,
                                         delta_min=dmin)
-        curve = HybridNorModel(fit.params).falling_curve(
-            characterization.falling.deltas)
-        error = curve.mean_abs_difference(characterization.falling)
+        error = model_curve_errors(characterization.falling,
+                                   fit.params).mean
         tag = f"delta_min={to_ps(dmin):5.1f} ps"
         if math.isclose(dmin, inferred, rel_tol=1e-9):
             tag += " (ratio-2 rule)"
@@ -457,12 +543,11 @@ def experiment_baseline_fits(characterization: NorCharacterization
     """
     curve = characterization.falling
     fit = fit_from_characterization(characterization)
-    hybrid_curve = HybridNorModel(fit.params).falling_curve(curve.deltas)
     finite = FinitePointMisModel.fit(curve, num_points=5)
     quad = QuadraticMisModel.fit(curve)
     rows = [
         ("hybrid ODE model (ours)",
-         hybrid_curve.mean_abs_difference(curve)),
+         model_curve_errors(curve, fit.params).mean),
         ("finite-point linear fit [7]",
          finite.curve(curve.deltas).mean_abs_difference(curve)),
         ("quadratic fit [8]",
@@ -504,6 +589,7 @@ EXPERIMENTS = {
     "fig8": experiment_fig8,
     "table1": experiment_table1,
     "analytic": experiment_analytic,
+    "engines": experiment_engines,
     "runtime": experiment_runtime,
     "faithfulness": experiment_faithfulness,
 }

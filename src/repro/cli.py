@@ -11,6 +11,7 @@ import sys
 from collections.abc import Sequence
 
 from .analysis import experiments as exp
+from .engine import DEFAULT_ENGINE, available_engines
 from .spice.technology import BULK65, FINFET15, TechnologyCard
 
 __all__ = ["main", "build_parser"]
@@ -29,9 +30,20 @@ _DESCRIPTIONS = {
     "fig8": "falling matching with/without the pure delay",
     "table1": "least-squares parametrization (Table I)",
     "analytic": "eqs. (8)-(12) vs exact crossings",
+    "engines": "delay-engine backends: parity and sweep throughput",
     "runtime": "digital-simulation runtime comparison",
     "faithfulness": "short-pulse filtration probe",
 }
+
+#: Experiments whose model sweeps route through a delay engine.
+_ENGINE_COMMANDS = ("fig5", "fig6", "fig8")
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,10 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--tech", choices=sorted(_TECH_CARDS),
                          default="finfet15",
                          help="technology card (analog experiments)")
-        if name in ("fig5", "fig6", "fig8"):
+        if name in _ENGINE_COMMANDS:
             cmd.add_argument("--with-analog", action="store_true",
                              help="also run the analog golden sweep "
                                   "(slower)")
+            cmd.add_argument("--engine", choices=available_engines(),
+                             default=DEFAULT_ENGINE,
+                             help="delay evaluation backend for the "
+                                  "model sweeps")
+        if name == "engines":
+            cmd.add_argument("--points", type=_positive_int,
+                             default=4096,
+                             help="Δ grid size per direction")
         if name == "fig7":
             cmd.add_argument("--transitions", type=int, default=60,
                              help="transitions per configuration "
@@ -70,13 +90,16 @@ def _run_experiment(args: argparse.Namespace) -> str:
         return exp.experiment_fig2(tech).text
     if name == "fig4":
         return exp.experiment_fig4().text
-    if name in ("fig5", "fig6", "fig8"):
+    if name in _ENGINE_COMMANDS:
         characterization = (exp.characterize_nor(tech)
                             if args.with_analog else None)
         runner = {"fig5": exp.experiment_fig5,
                   "fig6": exp.experiment_fig6,
                   "fig8": exp.experiment_fig8}[name]
-        return runner(characterization=characterization).text
+        return runner(characterization=characterization,
+                      engine=args.engine).text
+    if name == "engines":
+        return exp.experiment_engines(points=args.points).text
     if name == "fig7":
         return exp.experiment_fig7(tech,
                                    transitions=args.transitions,

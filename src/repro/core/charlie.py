@@ -108,15 +108,19 @@ class MisCurve:
             raise ParameterError("deltas and delays must have equal length")
         if self.direction not in ("falling", "rising"):
             raise ParameterError("direction must be 'falling' or 'rising'")
-        if any(d2 <= d1 for d1, d2 in zip(self.deltas, self.deltas[1:])):
+        if len(self.deltas) > 1 and not np.all(
+                np.diff(np.asarray(self.deltas)) > 0.0):
             raise ParameterError("deltas must be strictly increasing")
 
     @classmethod
     def from_arrays(cls, deltas, delays, direction: str,
                     label: str = "") -> "MisCurve":
-        """Build from any float sequences/arrays."""
-        return cls(tuple(float(d) for d in deltas),
-                   tuple(float(d) for d in delays),
+        """Build from any 1-D float sequences/arrays (no Python loop)."""
+        deltas = np.asarray(deltas, dtype=float)
+        delays = np.asarray(delays, dtype=float)
+        if deltas.ndim > 1 or delays.ndim > 1:
+            raise ParameterError("curve samples must be 1-dimensional")
+        return cls(tuple(deltas.tolist()), tuple(delays.tolist()),
                    direction, label)
 
     def __len__(self) -> int:
@@ -131,7 +135,18 @@ class MisCurve:
         return np.asarray(self.delays)
 
     def delay_at(self, delta: float) -> float:
-        """Linearly interpolated delay at separation *delta*."""
+        """Linearly interpolated delay at separation *delta*.
+
+        Raises:
+            ValueError: if *delta* lies outside the sampled range —
+                ``np.interp`` would otherwise clamp to the edge values
+                and silently report a plateau that was never measured.
+        """
+        if not self.deltas[0] <= delta <= self.deltas[-1]:
+            raise ValueError(
+                f"delta {delta!r} s is outside the sampled range "
+                f"[{self.deltas[0]!r}, {self.deltas[-1]!r}] s; "
+                "resample the curve instead of extrapolating")
         return float(np.interp(delta, self.deltas, self.delays))
 
     def extreme_near_zero(self) -> tuple[float, float]:

@@ -110,18 +110,21 @@ class HybridNandModel:
     # curves and characteristics
     # ------------------------------------------------------------------
 
-    def rising_curve(self, deltas) -> MisCurve:
+    def rising_curve(self, deltas, engine=None) -> MisCurve:
         """Rising MIS curve — exhibits the parallel-pair speed-up."""
         deltas = np.asarray(deltas, dtype=float)
-        delays = [self.delay_rising(float(d)) for d in deltas]
+        delays = self._nor.delays_falling(deltas, engine=engine)
         return MisCurve.from_arrays(deltas, delays, "rising",
                                     label="hybrid NAND model")
 
-    def falling_curve(self, deltas,
-                      vm_init: float | None = None) -> MisCurve:
+    def falling_curve(self, deltas, vm_init: float | None = None,
+                      engine=None) -> MisCurve:
         """Falling MIS curve — exhibits the series-stack asymmetry."""
+        if vm_init is None:
+            vm_init = self.params.vdd
         deltas = np.asarray(deltas, dtype=float)
-        delays = [self.delay_falling(float(d), vm_init) for d in deltas]
+        delays = self._nor.delays_rising(
+            deltas, self._mirror_voltage(vm_init), engine=engine)
         return MisCurve.from_arrays(deltas, delays, "falling",
                                     label="hybrid NAND model")
 

@@ -40,10 +40,23 @@ from .modes import Mode
 from .parameters import NorGateParameters
 from .trajectory import PiecewiseTrajectory
 
-__all__ = ["HybridNorModel", "DelayComputation"]
+__all__ = ["HybridNorModel", "DelayComputation", "settle_time"]
 
 #: Multiple of the slowest time constant treated as "infinite" separation.
 _SETTLE_FACTOR = 60.0
+
+
+def settle_time(params: NorGateParameters) -> float:
+    """A conservative 'long time' after which every mode has settled.
+
+    Separations beyond this are treated as ``±inf``; the evaluation
+    backends in :mod:`repro.engine` share this exact cutoff so that the
+    scalar and vectorized paths branch identically.
+    """
+    taus = (params.tau_parallel, params.tau_r3, params.tau_r4,
+            params.tau_n_charge, params.cn * params.r2,
+            params.co * params.r2, params.co * params.r1)
+    return _SETTLE_FACTOR * max(taus)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -83,11 +96,8 @@ class HybridNorModel:
 
     @property
     def _settle_time(self) -> float:
-        """A conservative 'long time' after which every mode has settled."""
-        p = self.params
-        taus = [p.tau_parallel, p.tau_r3, p.tau_r4, p.tau_n_charge,
-                p.cn * p.r2, p.co * p.r2, p.co * p.r1]
-        return _SETTLE_FACTOR * max(taus)
+        """See :func:`settle_time`."""
+        return settle_time(self.params)
 
     def _is_effectively_infinite(self, delta: float) -> bool:
         return math.isinf(delta) or abs(delta) >= self._settle_time
@@ -221,22 +231,42 @@ class HybridNorModel:
         return self.delay_rising(0.0, vn_init)
 
     # ------------------------------------------------------------------
-    # curves and characteristics
+    # batch evaluation, curves and characteristics
     # ------------------------------------------------------------------
 
-    def falling_curve(self, deltas) -> MisCurve:
+    def delays_falling(self, deltas, engine=None) -> np.ndarray:
+        """Array-in/array-out falling MIS delays ``δ↓_M(Δ)``.
+
+        Args:
+            deltas: separations, any array shape; ``±inf`` allowed.
+            engine: evaluation backend — a name from
+                :func:`repro.engine.available_engines`, an engine
+                instance, or ``None`` for the vectorized default.
+        """
+        from ..engine import get_engine  # local: engine wraps this module
+        return get_engine(engine).delays_falling(self.params, deltas)
+
+    def delays_rising(self, deltas, vn_init: float = 0.0,
+                      engine=None) -> np.ndarray:
+        """Array-in/array-out rising MIS delays ``δ↑_M(Δ)``."""
+        from ..engine import get_engine
+        return get_engine(engine).delays_rising(self.params, deltas,
+                                                vn_init)
+
+    def falling_curve(self, deltas, engine=None) -> MisCurve:
         """Sample ``δ↓_M`` over an array of separations (paper Fig. 5)."""
         deltas = np.asarray(deltas, dtype=float)
-        delays = [self.delay_falling(float(d)) for d in deltas]
-        return MisCurve.from_arrays(deltas, delays, "falling",
-                                    label="hybrid model")
+        return MisCurve.from_arrays(
+            deltas, self.delays_falling(deltas, engine=engine),
+            "falling", label="hybrid model")
 
-    def rising_curve(self, deltas, vn_init: float = 0.0) -> MisCurve:
+    def rising_curve(self, deltas, vn_init: float = 0.0,
+                     engine=None) -> MisCurve:
         """Sample ``δ↑_M`` over an array of separations (paper Fig. 6)."""
         deltas = np.asarray(deltas, dtype=float)
-        delays = [self.delay_rising(float(d), vn_init) for d in deltas]
-        return MisCurve.from_arrays(deltas, delays, "rising",
-                                    label=f"hybrid model (VN={vn_init} V)")
+        return MisCurve.from_arrays(
+            deltas, self.delays_rising(deltas, vn_init, engine=engine),
+            "rising", label=f"hybrid model (VN={vn_init} V)")
 
     def characteristic_falling(self) -> CharacteristicDelays:
         """``(δ↓(−∞), δ↓(0), δ↓(∞))`` — the falling Charlie triple."""

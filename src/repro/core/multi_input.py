@@ -101,6 +101,22 @@ class GeneralizedNorParameters:
                    co=params.co, vdd=params.vdd,
                    delta_min=params.delta_min)
 
+    def to_two_input(self) -> NorGateParameters:
+        """Inverse of :meth:`from_two_input` (2-input gates only).
+
+        Raises:
+            ParameterError: if the gate has more than two inputs.
+        """
+        if self.num_inputs != 2:
+            raise ParameterError(
+                f"cannot reduce a {self.num_inputs}-input gate to the "
+                "paper's 2-input parameter set")
+        return NorGateParameters(
+            r1=self.r_pullup[0], r2=self.r_pullup[1],
+            r3=self.r_pulldown[0], r4=self.r_pulldown[1],
+            cn=self.c_internal[0], co=self.co, vdd=self.vdd,
+            delta_min=self.delta_min)
+
 
 @dataclasses.dataclass(frozen=True)
 class _SegmentSolution:
@@ -364,6 +380,52 @@ class GeneralizedNorModel:
             if value == 0:
                 return t - (earliest + shift)
         raise NoCrossingError("output never falls")
+
+    # ------------------------------------------------------------------
+    # pairwise MIS sweeps (Δ between the first two inputs)
+    # ------------------------------------------------------------------
+
+    def _sweep(self, deltas, direction: str, engine) -> np.ndarray:
+        """Pairwise MIS delays over ``Δ = t₁ − t₀`` of inputs 0 and 1.
+
+        For the 2-input gate the sweep is routed through the batch
+        delay engine (:mod:`repro.engine`) — the deferred-switch and
+        added-``δ_min`` delay conventions are exactly equivalent there
+        because the resting first segment absorbs the deferral.  For
+        wider gates the remaining inputs switch together with the
+        earlier of the pair and the scalar eigen-solver is used
+        per point (finite Δ only).
+        """
+        d = np.asarray(deltas, dtype=float)
+        if self._n == 2:
+            from ..engine import get_engine  # local: avoid cycle
+            backend = get_engine(engine)
+            params = self.params.to_two_input()
+            if direction == "falling":
+                return backend.delays_falling(params, d)
+            return backend.delays_rising(params, d)
+        if not np.all(np.isfinite(d)):
+            raise ParameterError(
+                "sweeps of gates with more than two inputs require "
+                "finite separations")
+        flat = np.ravel(d)
+        out = np.empty_like(flat)
+        rest = [0.0] * (self._n - 2)
+        for i, delta in enumerate(flat):
+            pair = [max(0.0, -delta), max(0.0, delta)]
+            if direction == "falling":
+                out[i] = self.delay_falling(pair + rest)
+            else:
+                out[i] = self.delay_rising(pair + rest)
+        return out.reshape(d.shape)
+
+    def delays_falling_sweep(self, deltas, engine=None) -> np.ndarray:
+        """Falling MIS delays for an array of pairwise separations."""
+        return self._sweep(deltas, "falling", engine)
+
+    def delays_rising_sweep(self, deltas, engine=None) -> np.ndarray:
+        """Rising MIS delays for an array of pairwise separations."""
+        return self._sweep(deltas, "rising", engine)
 
     def delay_rising(self, fall_times: Sequence[float],
                      internal_init: Sequence[float] | None = None

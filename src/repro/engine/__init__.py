@@ -1,0 +1,36 @@
+"""Pluggable evaluation backends for MIS delay sweeps.
+
+The hybrid model is analytic, so evaluating it over thousands of input
+separations should run at array speed.  This package provides the
+backend seam that makes that a deployment choice instead of a rewrite:
+
+* :data:`~repro.engine.base.DEFAULT_ENGINE` (``"vectorized"``) —
+  NumPy batch evaluation of the closed-form mode chains with
+  per-parameter-set solution caching;
+* ``"reference"`` — the scalar per-Δ trajectory computation, kept as
+  the parity baseline.
+
+Sweeps throughout the package accept ``engine=`` (a name, an instance,
+or ``None`` for the default) and the CLI exposes ``--engine``::
+
+    from repro.engine import get_engine
+    delays = get_engine().delays_falling(PAPER_TABLE_I, deltas)
+
+New backends implement :class:`~repro.engine.base.DelayEngine` and call
+:func:`~repro.engine.base.register_engine`.
+"""
+
+from .base import (DEFAULT_ENGINE, DelayEngine, available_engines,
+                   get_engine, register_engine)
+from .reference import ReferenceEngine
+from .vectorized import VectorizedEngine
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "DelayEngine",
+    "ReferenceEngine",
+    "VectorizedEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+]

@@ -1,0 +1,110 @@
+"""The evaluation-backend seam of the delay model.
+
+A :class:`DelayEngine` answers one question — "what are the MIS delays
+of this gate for these input separations?" — array-in/array-out.  The
+closed-form mode solutions of :mod:`repro.core.solutions` make the
+answer embarrassingly parallel over Δ, so the same protocol can be
+served by very different implementations:
+
+* ``reference`` — the scalar per-Δ trajectory computation of
+  :class:`repro.core.hybrid_model.HybridNorModel`, one exact
+  root-search per point.  Slow, but the ground truth.
+* ``vectorized`` — NumPy evaluation of whole Δ arrays at once
+  (:mod:`repro.engine.vectorized`), bit-tight against the reference.
+
+Engines register themselves by name; sweeps all over the package accept
+an ``engine=`` keyword (and the CLI an ``--engine`` flag) that is
+resolved here.  Later backends (sharded, multi-process, GPU) only need
+to implement the protocol and call :func:`register_engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..core.parameters import NorGateParameters
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "DelayEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+]
+
+#: Engine used when callers do not specify one.
+DEFAULT_ENGINE = "vectorized"
+
+
+@runtime_checkable
+class DelayEngine(Protocol):
+    """Array-native evaluator of the hybrid NOR MIS delay functions.
+
+    Implementations must be pure functions of ``(params, deltas)``:
+    the same inputs always give the same delays, which is what makes
+    per-parameter-set caching safe.
+    """
+
+    #: Registry name of the backend.
+    name: str
+
+    def delays_falling(self, params: NorGateParameters,
+                       deltas) -> np.ndarray:
+        """Falling-output MIS delays ``δ↓_M(Δ)`` for an array of Δ.
+
+        ``deltas`` may contain ``±inf`` (SIS limits) and ``0``; the
+        result has the same shape and includes ``δ_min``.
+        """
+        ...
+
+    def delays_rising(self, params: NorGateParameters, deltas,
+                      vn_init: float = 0.0) -> np.ndarray:
+        """Rising-output MIS delays ``δ↑_M(Δ)`` for an array of Δ.
+
+        ``vn_init`` is the internal-node voltage ``X`` of mode (1,1)
+        (paper Section IV; GND worst case by default).
+        """
+        ...
+
+
+_FACTORIES: dict[str, Callable[[], DelayEngine]] = {}
+_INSTANCES: dict[str, DelayEngine] = {}
+
+
+def register_engine(name: str,
+                    factory: Callable[[], DelayEngine]) -> None:
+    """Register an engine *factory* under *name* (last wins)."""
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_engines() -> tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_engine(engine: str | DelayEngine | None = None) -> DelayEngine:
+    """Resolve an engine specification to a backend instance.
+
+    Args:
+        engine: a registry name, an engine instance (returned as-is),
+            or ``None`` for :data:`DEFAULT_ENGINE`.
+
+    Instances are cached per name so that engine-level solution caches
+    are shared across callers.
+    """
+    if engine is None:
+        engine = DEFAULT_ENGINE
+    if not isinstance(engine, str):
+        return engine
+    try:
+        factory = _FACTORIES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown delay engine {engine!r}; available: "
+            f"{', '.join(available_engines())}") from None
+    if engine not in _INSTANCES:
+        _INSTANCES[engine] = factory()
+    return _INSTANCES[engine]

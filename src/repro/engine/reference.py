@@ -1,0 +1,52 @@
+"""The scalar reference backend.
+
+Wraps today's exact per-Δ code path — one
+:class:`~repro.core.trajectory.PiecewiseTrajectory` plus Brent root
+search per separation — behind the array protocol of
+:mod:`repro.engine.base`.  It is the parity baseline every other
+backend is tested against, and the honest cost model of the unbatched
+computation in the throughput benchmarks.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from ..core.hybrid_model import HybridNorModel
+from ..core.parameters import NorGateParameters
+from .base import register_engine
+
+__all__ = ["ReferenceEngine"]
+
+
+@functools.lru_cache(maxsize=256)
+def _model(params: NorGateParameters) -> HybridNorModel:
+    """Per-parameter-set model cache (the model itself is stateless)."""
+    return HybridNorModel(params)
+
+
+class ReferenceEngine:
+    """Scalar per-Δ evaluation through the exact trajectory solver."""
+
+    name = "reference"
+
+    def delays_falling(self, params: NorGateParameters,
+                       deltas) -> np.ndarray:
+        model = _model(params)
+        d = np.asarray(deltas, dtype=float)
+        out = np.array([model.delay_falling(float(x))
+                        for x in np.ravel(d)])
+        return out.reshape(d.shape)
+
+    def delays_rising(self, params: NorGateParameters, deltas,
+                      vn_init: float = 0.0) -> np.ndarray:
+        model = _model(params)
+        d = np.asarray(deltas, dtype=float)
+        out = np.array([model.delay_rising(float(x), vn_init)
+                        for x in np.ravel(d)])
+        return out.reshape(d.shape)
+
+
+register_engine(ReferenceEngine.name, ReferenceEngine)

@@ -57,12 +57,17 @@ class FinitePointMisModel:
         """Interpolated MIS delay at separation *delta*."""
         return float(np.interp(delta, self.knots, self.delays))
 
+    def evaluate(self, deltas) -> np.ndarray:
+        """Array-in/array-out MIS delays (``np.interp`` batch)."""
+        return np.interp(np.asarray(deltas, dtype=float),
+                         self.knots, self.delays)
+
     def curve(self, deltas) -> MisCurve:
         """Evaluate on a grid (for plotting/benching)."""
         deltas = np.asarray(deltas, dtype=float)
-        return MisCurve.from_arrays(
-            deltas, [self.delay(float(d)) for d in deltas],
-            self.direction, label="finite-point fit")
+        return MisCurve.from_arrays(deltas, self.evaluate(deltas),
+                                    self.direction,
+                                    label="finite-point fit")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -110,9 +115,18 @@ class QuadraticMisModel:
         a, b, c = self.coefficients
         return a * delta * delta + b * delta + c
 
+    def evaluate(self, deltas) -> np.ndarray:
+        """Array-in/array-out MIS delays (plateaus outside the window)."""
+        deltas = np.asarray(deltas, dtype=float)
+        a, b, c = self.coefficients
+        inside = a * deltas * deltas + b * deltas + c
+        return np.where(deltas < -self.window, self.plateau_neg,
+                        np.where(deltas > self.window,
+                                 self.plateau_pos, inside))
+
     def curve(self, deltas) -> MisCurve:
         """Evaluate on a grid (for plotting/benching)."""
         deltas = np.asarray(deltas, dtype=float)
-        return MisCurve.from_arrays(
-            deltas, [self.delay(float(d)) for d in deltas],
-            self.direction, label="quadratic fit")
+        return MisCurve.from_arrays(deltas, self.evaluate(deltas),
+                                    self.direction,
+                                    label="quadratic fit")

@@ -99,3 +99,47 @@ class TestCharacterizationResults:
     def test_vdd_recorded(self, characterization_cache):
         assert characterization_cache.vdd == pytest.approx(0.8)
         assert characterization_cache.tech_name == "finfet15"
+
+
+class TestModelCharacterization:
+    """Engine-based characterization of the hybrid model itself."""
+
+    @pytest.fixture(scope="class")
+    def model_char(self):
+        from repro.analysis.characterization import characterize_model
+        from repro.core.parameters import PAPER_TABLE_I
+
+        return characterize_model(PAPER_TABLE_I)
+
+    def test_curves_and_triples(self, model_char):
+        from repro.core.hybrid_model import HybridNorModel
+        from repro.core.parameters import PAPER_TABLE_I
+
+        model = HybridNorModel(PAPER_TABLE_I)
+        assert model_char.falling.direction == "falling"
+        assert model_char.sis_falling.zero == pytest.approx(
+            model.delay_falling_zero(), abs=1e-12)
+        assert model_char.sis_falling.minus_inf == pytest.approx(
+            model.delay_falling_minus_inf(), abs=1e-12)
+        assert model_char.sis_rising.plus_inf == pytest.approx(
+            model.delay_rising_plus_inf(), abs=1e-12)
+
+    def test_model_is_history_free(self, model_char):
+        # Unlike the analog gate, toggle and Δ-protocol triples
+        # coincide for the ideal-switch model.
+        assert model_char.sis_falling_toggle == model_char.sis_falling
+        assert model_char.sis_rising_toggle == model_char.sis_rising
+
+    def test_engines_agree(self):
+        from repro.analysis.characterization import characterize_model
+        from repro.core.parameters import PAPER_TABLE_I
+
+        fast = characterize_model(PAPER_TABLE_I, engine="vectorized")
+        slow = characterize_model(PAPER_TABLE_I, engine="reference")
+        assert fast.falling.max_abs_difference(slow.falling) <= 1e-12
+        assert fast.rising.max_abs_difference(slow.rising) <= 1e-12
+
+    def test_targets_are_fittable_containers(self, model_char):
+        targets = model_char.targets
+        assert targets.rising.zero == targets.rising.minus_inf
+        assert targets.vdd == pytest.approx(0.8)

@@ -92,3 +92,22 @@ class TestQuadraticModel:
         fitted = model.curve(falling_curve.deltas)
         assert len(fitted) == len(falling_curve)
         assert fitted.direction == "falling"
+
+
+class TestVectorizedEvaluation:
+    """Array evaluation must agree with the scalar delay() methods."""
+
+    def test_finite_point_evaluate(self, falling_curve):
+        model = FinitePointMisModel.fit(falling_curve, num_points=5)
+        grid = np.linspace(-70 * PS, 70 * PS, 57)
+        batch = model.evaluate(grid)
+        assert batch.shape == grid.shape
+        for delta, value in zip(grid, batch):
+            assert value == model.delay(float(delta))
+
+    def test_quadratic_evaluate(self, falling_curve):
+        model = QuadraticMisModel.fit(falling_curve, window=30 * PS)
+        grid = np.linspace(-70 * PS, 70 * PS, 57)
+        batch = model.evaluate(grid)
+        for delta, value in zip(grid, batch):
+            assert value == model.delay(float(delta))

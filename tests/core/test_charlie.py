@@ -72,6 +72,11 @@ class TestMisCurveConstruction:
         with pytest.raises(ParameterError):
             MisCurve.from_arrays([0.0, 0.0], [1.0, 1.0], "rising")
 
+    def test_rejects_multi_dimensional_arrays(self):
+        grid = np.arange(4.0).reshape(2, 2)
+        with pytest.raises(ParameterError, match="1-dimensional"):
+            MisCurve.from_arrays(grid, grid, "falling")
+
 
 @pytest.fixture()
 def vee_curve():
@@ -85,6 +90,19 @@ class TestMisCurveQueries:
     def test_delay_at_interpolates(self, vee_curve):
         mid = vee_curve.delay_at(5 * PS)
         assert vee_curve.delays[6] <= mid <= vee_curve.delays[-1]
+
+    def test_delay_at_edges_are_in_range(self, vee_curve):
+        assert vee_curve.delay_at(-60 * PS) == vee_curve.delays[0]
+        assert vee_curve.delay_at(60 * PS) == vee_curve.delays[-1]
+
+    def test_delay_at_rejects_out_of_range(self, vee_curve):
+        """No silent np.interp clamping outside the sampled window."""
+        with pytest.raises(ValueError, match="outside the sampled"):
+            vee_curve.delay_at(61 * PS)
+        with pytest.raises(ValueError, match="outside the sampled"):
+            vee_curve.delay_at(-1e-9)
+        with pytest.raises(ValueError):
+            vee_curve.delay_at(float("inf"))
 
     def test_characteristic_extraction(self, vee_curve):
         ch = vee_curve.characteristic()

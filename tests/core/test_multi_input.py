@@ -201,3 +201,29 @@ class TestDeltaMinDeferral:
         d1 = GeneralizedNorModel(with_dmin).delay_falling(
             [0.0, 0.0, 0.0])
         assert d1 - d0 == pytest.approx(18 * PS, rel=1e-9)
+
+
+class TestPairwiseSweeps:
+    def test_three_input_sweep_matches_scalar_calls(self, gen3):
+        deltas = np.array([-20 * PS, 0.0, 20 * PS])
+        swept = gen3.delays_falling_sweep(deltas)
+        for delta, value in zip(deltas, swept):
+            pair = [max(0.0, -float(delta)), max(0.0, float(delta))]
+            assert value == pytest.approx(
+                gen3.delay_falling(pair + [0.0]), rel=1e-12)
+
+    def test_three_input_rising_sweep(self, gen3):
+        swept = gen3.delays_rising_sweep(np.array([0.0, 10 * PS]))
+        assert swept[0] == pytest.approx(
+            gen3.delay_rising([0.0, 0.0, 0.0]), rel=1e-12)
+
+    def test_three_input_sweep_rejects_infinite(self, gen3):
+        with pytest.raises(ParameterError):
+            gen3.delays_falling_sweep([math.inf])
+
+    def test_two_input_sweep_tracks_hybrid_model(self, gen2, ref2):
+        deltas = np.array([-30 * PS, -5 * PS, 0.0, 5 * PS, 30 * PS])
+        swept = gen2.delays_falling_sweep(deltas)
+        for delta, value in zip(deltas, swept):
+            assert value == pytest.approx(
+                ref2.delay_falling(float(delta)), rel=1e-9)

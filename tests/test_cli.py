@@ -26,6 +26,15 @@ class TestParser:
         assert args.transitions == 10
         assert args.repetitions == 1
 
+    def test_engine_choices(self):
+        args = build_parser().parse_args(["fig5", "--engine",
+                                          "reference"])
+        assert args.engine == "reference"
+        args = build_parser().parse_args(["fig6"])
+        assert args.engine == "vectorized"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--engine", "gpu"])
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -52,6 +61,20 @@ class TestMain:
     def test_fig5_model_only(self, capsys):
         assert main(["fig5"]) == 0
         assert "Fig. 5" in capsys.readouterr().out
+
+    def test_fig5_reference_engine_matches_vectorized(self, capsys):
+        assert main(["fig5", "--engine", "reference"]) == 0
+        reference = capsys.readouterr().out
+        assert main(["fig5", "--engine", "vectorized"]) == 0
+        vectorized = capsys.readouterr().out
+        assert reference == vectorized
+
+    def test_engines_command(self, capsys):
+        assert main(["engines", "--points", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "vectorized" in out
+        assert "reference" in out
+        assert "points/s" in out
 
     def test_faithfulness(self, capsys):
         assert main(["faithfulness"]) == 0
