@@ -1,0 +1,97 @@
+"""Library-characterization benchmarks: throughput + table accuracy.
+
+The workload is the ROADMAP's batch scenario: a grid of (gate,
+parameter-variant) characterization jobs swept through each delay
+engine.  Two records are produced:
+
+* ``benchmarks/results/library.txt`` — the rendered accuracy table of
+  :func:`repro.analysis.experiments.experiment_library`;
+* ``BENCH_library.json`` at the repository root — per-backend wall
+  time and cells/second for the same job grid, tracked across PRs
+  next to ``BENCH_runtime.json``.
+
+Acceptance (ISSUE 2): every characterized table must reproduce direct
+``vectorized`` evaluation to <= 0.1 ps across the characterized Δ
+range, and the sharded ``parallel`` backend must beat the scalar
+``reference`` backend on the grid.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.analysis.experiments import experiment_library
+from repro.engine import ParallelEngine, get_engine
+from repro.library import characterize_library, paper_jobs
+from repro.units import PS
+
+#: ISSUE acceptance bound for table-vs-direct interpolation error.
+_ACCURACY_TOL = 0.1 * PS
+#: Machine-readable throughput record tracked across PRs.
+_JSON_PATH = pathlib.Path(__file__).parents[1] / "BENCH_library.json"
+
+
+def _time_characterization(engine) -> float:
+    jobs = paper_jobs()
+    start = time.perf_counter()
+    characterize_library(jobs, engine=engine)
+    return time.perf_counter() - start
+
+
+def test_library_accuracy_report(benchmark, write_result):
+    """Accuracy of every characterized table vs direct evaluation."""
+    result = benchmark.pedantic(lambda: experiment_library(),
+                                rounds=1, iterations=1)
+    write_result("library", result.text)
+    worst = max(accuracy.max_error for accuracy in result.accuracies)
+    benchmark.extra_info["worst_error_fs"] = round(worst / 1e-15, 2)
+    assert worst <= _ACCURACY_TOL
+
+
+def test_library_backend_throughput(benchmark, write_result):
+    """Per-backend characterization wall time, JSON record."""
+    # A genuinely sharding parallel engine: the default engine would
+    # fall through to inline evaluation on single-core CI runners.
+    sharded = ParallelEngine(processes=2, min_shard_points=512)
+    backends = {
+        "vectorized": get_engine("vectorized"),
+        "parallel": sharded,
+        "reference": get_engine("reference"),
+    }
+    try:
+        # Warm per-parameter caches and the worker pool so the record
+        # reflects steady-state throughput.
+        for backend in backends.values():
+            jobs = paper_jobs()
+            characterize_library(jobs[:1], engine=backend)
+
+        def run_all() -> dict[str, float]:
+            return {name: _time_characterization(backend)
+                    for name, backend in backends.items()}
+
+        seconds = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    finally:
+        sharded.close()
+
+    cells = len(paper_jobs())
+    payload = {
+        "workload": "gate-library characterization "
+                    "(4 cells x 2 directions x default grids)",
+        "cells": cells,
+        "backends": {
+            name: {
+                "seconds": elapsed,
+                "cells_per_second": cells / elapsed,
+            }
+            for name, elapsed in sorted(seconds.items())
+        },
+        "speedup_parallel_vs_reference":
+            seconds["reference"] / seconds["parallel"],
+    }
+    _JSON_PATH.write_text(json.dumps(payload, indent=2,
+                                     sort_keys=True) + "\n")
+    for name, elapsed in seconds.items():
+        benchmark.extra_info[f"{name}_seconds"] = round(elapsed, 4)
+
+    # The sharded backend must beat the scalar reference outright.
+    assert seconds["parallel"] < seconds["reference"]

@@ -5,6 +5,10 @@ characteristic Charlie delays and MIS curves (Figs. 5/6), and runs the
 model as a timing channel on a small digital trace.
 
 Run:  python examples/quickstart.py
+
+The narrated version of this walk-through lives in the documentation
+site (docs/tutorials/quickstart.md) and is executed by the test-suite
+so it cannot rot.
 """
 
 from repro import HybridNorModel, PAPER_TABLE_I

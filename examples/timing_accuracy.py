@@ -7,6 +7,10 @@ delay models, and prints the normalized deviation areas.
 Run:  python examples/timing_accuracy.py
 (takes ~1 min with the reduced defaults; raise TRANSITIONS/REPETITIONS
 for sharper averages)
+
+The narrated version of this walk-through lives in the documentation
+site (docs/tutorials/timing-accuracy.md) and is executed by the
+test-suite so it cannot rot.
 """
 
 from repro.analysis.experiments import experiment_fig7

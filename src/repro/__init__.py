@@ -9,9 +9,14 @@ Package layout (see DESIGN.md for the full inventory):
   characteristic-delay formulas (paper eqs. 8–12) and the δ_min-based
   parametrization (Table I).
 * :mod:`repro.engine` — pluggable array-native evaluation backends for
-  MIS delay sweeps: a scalar ``reference`` backend and a NumPy
-  ``vectorized`` backend (the default), selected with the ``engine=``
-  keyword of every sweep API or the CLI's ``--engine`` flag.
+  MIS delay sweeps: a scalar ``reference`` backend, a NumPy
+  ``vectorized`` backend (the default) and a sharded multi-process
+  ``parallel`` backend, selected with the ``engine=`` keyword of every
+  sweep API or the CLI's ``--engine`` flag.
+* :mod:`repro.library` — batch timing-library characterization:
+  sweeps gate/parameter grids through an engine into serializable
+  per-gate MIS delay tables (JSON) with bilinear interpolated lookup,
+  consumed by :class:`repro.timing.TableDelayChannel`.
 * :mod:`repro.spice` — an MNA-based analog transient simulator with a
   square-law MOSFET model and synthetic 15 nm / 65 nm technology cards;
   the golden reference replacing the paper's Spectre setup.
@@ -46,9 +51,18 @@ from .core import (
 from .engine import (
     DEFAULT_ENGINE,
     DelayEngine,
+    ParallelEngine,
     available_engines,
     get_engine,
     register_engine,
+)
+from .library import (
+    CharacterizationJob,
+    GateDelayTable,
+    GateLibrary,
+    characterize_gate,
+    characterize_library,
+    paper_jobs,
 )
 from .errors import (
     ConvergenceError,
@@ -61,15 +75,18 @@ from .errors import (
     TraceError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "CharacterizationJob",
     "CharacteristicDelays",
     "CharacteristicTargets",
     "ConvergenceError",
     "DEFAULT_ENGINE",
     "DelayEngine",
     "FittingError",
+    "GateDelayTable",
+    "GateLibrary",
     "HybridNorModel",
     "MisCurve",
     "Mode",
@@ -78,15 +95,19 @@ __all__ = [
     "NorGateParameters",
     "PAPER_DELTA_MIN",
     "PAPER_TABLE_I",
+    "ParallelEngine",
     "ParameterError",
     "PiecewiseTrajectory",
     "ReproError",
     "SimulationError",
     "TraceError",
     "available_engines",
+    "characterize_gate",
+    "characterize_library",
     "fit_nor_parameters",
     "get_engine",
     "infer_delta_min",
+    "paper_jobs",
     "register_engine",
     "solve_mode",
     "__version__",

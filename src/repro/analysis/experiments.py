@@ -52,6 +52,7 @@ __all__ = [
     "experiment_table1",
     "experiment_analytic",
     "experiment_engines",
+    "experiment_library",
     "experiment_runtime",
     "experiment_ablation_delta_min",
     "experiment_baseline_fits",
@@ -494,6 +495,85 @@ def experiment_engines(params: NorGateParameters = PAPER_TABLE_I,
 
 
 # ----------------------------------------------------------------------
+# Library characterization (batch gate -> table pipeline)
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class LibraryResult:
+    """Outcome of a batch library characterization run.
+
+    Attributes:
+        library: the characterized :class:`repro.library.GateLibrary`.
+        accuracies: per-cell interpolation error vs direct evaluation.
+        seconds: wall time of the characterization sweep.
+        cells_per_second: characterization throughput.
+        text: rendered table.
+    """
+
+    library: "GateLibrary"  # noqa: F821 - repro.library, imported lazily
+    accuracies: "list[TableAccuracy]"  # noqa: F821
+    seconds: float
+    cells_per_second: float
+    text: str
+
+
+def experiment_library(params: NorGateParameters = PAPER_TABLE_I,
+                       engine=None,
+                       jobs=None) -> LibraryResult:
+    """Characterize a gate library and audit its table accuracy.
+
+    The ROADMAP's "new workload" scenario: a grid of (gate, parameter
+    set) jobs swept through a delay engine into serializable MIS delay
+    tables (see :mod:`repro.library`), each table then verified
+    against direct engine evaluation on an oversampled probe grid.
+
+    Args:
+        params: base parameter set for the default job grid.
+        engine: evaluation backend (name, instance, or ``None``).
+        jobs: explicit :class:`repro.library.CharacterizationJob`
+            sequence; defaults to :func:`repro.library.paper_jobs`.
+    """
+    from ..library import characterize_library, paper_jobs, verify_table
+
+    if jobs is None:
+        jobs = paper_jobs(params)
+    jobs = tuple(jobs)
+    start = time.perf_counter()
+    library = characterize_library(jobs, engine=engine)
+    seconds = time.perf_counter() - start
+
+    accuracies = [verify_table(library[job.cell], engine=engine)
+                  for job in jobs]
+    rows = []
+    for job, accuracy in zip(jobs, accuracies):
+        table = library[job.cell]
+        rows.append([
+            job.cell, job.gate,
+            str(len(table.falling.deltas)),
+            str(len(table.falling.state_grid)
+                + len(table.rising.state_grid)),
+            f"{to_ps(accuracy.falling_error) * 1000.0:.2f}",
+            f"{to_ps(accuracy.rising_error) * 1000.0:.2f}",
+        ])
+    worst = max(a.max_error for a in accuracies)
+    table_text = ascii_table(
+        ["cell", "gate", "deltas", "state rows", "fall err [fs]",
+         "rise err [fs]"], rows,
+        title="Library characterization: table vs direct evaluation")
+    backend = library[jobs[0].cell].engine
+    text = "\n".join([
+        table_text,
+        f"characterized {len(jobs)} cells in {seconds * 1e3:.1f} ms "
+        f"via '{backend}'; worst interpolation error "
+        f"{to_ps(worst) * 1000.0:.2f} fs (acceptance: <= 100 fs)",
+    ])
+    return LibraryResult(library=library, accuracies=accuracies,
+                         seconds=seconds,
+                         cells_per_second=len(jobs) / seconds,
+                         text=text)
+
+
+# ----------------------------------------------------------------------
 # Ablations
 # ----------------------------------------------------------------------
 
@@ -590,6 +670,7 @@ EXPERIMENTS = {
     "table1": experiment_table1,
     "analytic": experiment_analytic,
     "engines": experiment_engines,
+    "library": experiment_library,
     "runtime": experiment_runtime,
     "faithfulness": experiment_faithfulness,
 }

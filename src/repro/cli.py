@@ -1,7 +1,13 @@
 """Command-line interface: ``python -m repro <experiment>``.
 
 Runs one of the paper's experiments and prints its rendered rows.
-``python -m repro list`` enumerates the registry.
+``python -m repro list`` enumerates the registry.  Beyond the
+experiments, two library-workflow commands exist:
+
+* ``repro characterize`` sweeps a gate grid through a delay engine
+  and writes a serialized :class:`~repro.library.GateLibrary` JSON;
+* ``repro library`` inspects (and optionally re-verifies) such a
+  file.
 """
 
 from __future__ import annotations
@@ -31,8 +37,16 @@ _DESCRIPTIONS = {
     "table1": "least-squares parametrization (Table I)",
     "analytic": "eqs. (8)-(12) vs exact crossings",
     "engines": "delay-engine backends: parity and sweep throughput",
+    "library": "batch library characterization accuracy",
     "runtime": "digital-simulation runtime comparison",
     "faithfulness": "short-pulse filtration probe",
+}
+
+#: Non-experiment workflow commands listed by ``repro list``.
+_WORKFLOWS = {
+    "characterize": "characterize a gate library into a JSON file",
+    "library": "inspect / verify a characterized library JSON "
+               "(with a path)",
 }
 
 #: Experiments whose model sweeps route through a delay engine.
@@ -47,6 +61,7 @@ def _positive_int(value: str) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction experiments for 'A Simple Hybrid "
@@ -73,6 +88,21 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--points", type=_positive_int,
                              default=4096,
                              help="Δ grid size per direction")
+        if name == "library":
+            cmd.add_argument("path", nargs="?", default=None,
+                             help="characterized library JSON to "
+                                  "inspect (omit to run the "
+                                  "characterization-accuracy "
+                                  "experiment)")
+            cmd.add_argument("--engine", choices=available_engines(),
+                             default=DEFAULT_ENGINE,
+                             help="evaluation backend")
+            cmd.add_argument("--cell", default=None,
+                             help="restrict inspection to one cell")
+            cmd.add_argument("--verify", action="store_true",
+                             help="re-measure the interpolation "
+                                  "error of every table against the "
+                                  "engine")
         if name == "fig7":
             cmd.add_argument("--transitions", type=int, default=60,
                              help="transitions per configuration "
@@ -80,12 +110,135 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--repetitions", type=int, default=2,
                              help="random repetitions (paper: 20)")
             cmd.add_argument("--seed", type=int, default=0)
+
+    cmd = sub.add_parser("characterize",
+                         help=_WORKFLOWS["characterize"])
+    cmd.add_argument("--out", default="gate_library.json",
+                     help="output JSON path (default: "
+                          "gate_library.json)")
+    cmd.add_argument("--engine", choices=available_engines(),
+                     default=DEFAULT_ENGINE,
+                     help="delay evaluation backend")
+    cmd.add_argument("--tech", choices=sorted(_TECH_CARDS),
+                     default="finfet15",
+                     help="technology label (and card, with --fit)")
+    cmd.add_argument("--fit", action="store_true",
+                     help="fit gate parameters from an analog "
+                          "characterization of --tech instead of "
+                          "using the paper's Table I (slower)")
+    cmd.add_argument("--core-points", type=_positive_int, default=None,
+                     help="uniform Δ samples across the MIS core "
+                          "(defaults to the library's standard grid)")
+    cmd.add_argument("--state-points", type=_positive_int, default=None,
+                     help="internal-node voltage grid size (defaults "
+                          "to the library's standard grid)")
+    cmd.add_argument("--name", default="repro-hybrid",
+                     help="library name stored in the JSON header")
     return parser
+
+
+def _run_characterize(args: argparse.Namespace) -> str:
+    """Build, verify and save a gate library (``repro characterize``)."""
+    import dataclasses
+
+    from .core.parameters import PAPER_TABLE_I
+    from .library import (characterize_library, default_delta_grid,
+                          default_state_grid, paper_jobs, verify_table)
+    from .library.characterize import (DEFAULT_CORE_POINTS,
+                                       DEFAULT_STATE_POINTS)
+    from .units import to_ps
+
+    if args.fit:
+        from .analysis.characterization import characterize_nor
+        from .analysis.fitting import fit_from_characterization
+        tech = _TECH_CARDS[args.tech]
+        params = fit_from_characterization(
+            characterize_nor(tech)).params
+        suffix = args.tech
+    else:
+        params, suffix = PAPER_TABLE_I, "paper"
+    jobs = paper_jobs(params, technology=args.tech, suffix=suffix)
+    if args.core_points is not None or args.state_points is not None:
+        deltas = tuple(default_delta_grid(
+            params,
+            core_points=args.core_points or DEFAULT_CORE_POINTS))
+        states = tuple(default_state_grid(
+            params, points=args.state_points or DEFAULT_STATE_POINTS))
+        jobs = tuple(dataclasses.replace(job, deltas=deltas,
+                                         state_grid=states)
+                     for job in jobs)
+
+    library = characterize_library(jobs, engine=args.engine,
+                                   name=args.name)
+    path = library.save(args.out)
+    lines = [f"characterized {len(library)} cells via "
+             f"'{args.engine}':"]
+    worst = 0.0
+    for cell in library.cells:
+        accuracy = verify_table(library[cell], engine=args.engine)
+        worst = max(worst, accuracy.max_error)
+        lines.append(f"  {library[cell].describe()}")
+        lines.append(f"    interpolation error: falling "
+                     f"{to_ps(accuracy.falling_error) * 1000.0:.2f} "
+                     f"fs, rising "
+                     f"{to_ps(accuracy.rising_error) * 1000.0:.2f} fs")
+    lines.append(f"worst interpolation error "
+                 f"{to_ps(worst) * 1000.0:.2f} fs "
+                 "(acceptance: <= 100 fs)")
+    lines.append(f"wrote {path}")
+    return "\n".join(lines)
+
+
+def _run_library(args: argparse.Namespace) -> str:
+    """Inspect/verify a library JSON (``repro library <path>``)."""
+    import json
+
+    from .errors import ParameterError
+    from .library import GateLibrary, verify_table
+    from .units import to_ps
+
+    try:
+        library = GateLibrary.load(args.path)
+    except FileNotFoundError:
+        raise SystemExit(f"repro library: no such file: {args.path}")
+    except (ParameterError, json.JSONDecodeError) as error:
+        raise SystemExit(
+            f"repro library: cannot read {args.path}: {error}")
+    lines = [f"library '{library.name}' "
+             f"({len(library)} cells)"]
+    if library.description:
+        lines.append(f"  {library.description}")
+    cells = [args.cell] if args.cell else list(library.cells)
+    for cell in cells:
+        try:
+            table = library[cell]
+        except KeyError as error:
+            raise SystemExit(f"repro library: {error.args[0]}")
+        lines.append(f"  {table.describe()}")
+        if args.cell:
+            fall = table.falling.characteristic()
+            rise = table.rising.characteristic()
+            lines.append("    " + fall.describe("delta_fall"))
+            lines.append("    " + rise.describe("delta_rise"))
+            lines.append(f"    characterized by engine "
+                         f"'{table.engine}'")
+        if args.verify:
+            accuracy = verify_table(table, engine=args.engine)
+            lines.append(
+                f"    verify vs '{args.engine}': max "
+                f"{to_ps(accuracy.max_error) * 1000.0:.2f} fs")
+    return "\n".join(lines)
 
 
 def _run_experiment(args: argparse.Namespace) -> str:
     tech = _TECH_CARDS[getattr(args, "tech", "finfet15")]
     name = args.command
+    if name == "characterize":
+        return _run_characterize(args)
+    if name == "library":
+        if args.path is not None:
+            return _run_library(args)
+        return exp.experiment_library(engine=args.engine).text
     if name == "fig2":
         return exp.experiment_fig2(tech).text
     if name == "fig4":
@@ -121,8 +274,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
-        width = max(len(name) for name in _DESCRIPTIONS)
-        for name, description in _DESCRIPTIONS.items():
+        entries = dict(_DESCRIPTIONS)
+        entries["characterize"] = _WORKFLOWS["characterize"]
+        entries["library"] = (_DESCRIPTIONS["library"] + "; "
+                              + _WORKFLOWS["library"])
+        width = max(len(name) for name in entries)
+        for name, description in entries.items():
             print(f"{name:<{width}}  {description}")
         return 0
     print(_run_experiment(args))

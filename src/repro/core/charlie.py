@@ -34,10 +34,14 @@ __all__ = ["CharacteristicDelays", "MisCurve"]
 class CharacteristicDelays:
     """The three characteristic Charlie delays of one output direction.
 
-    Attributes:
-        minus_inf: SIS delay ``δ(−∞)`` (input B switched first), seconds.
-        zero: MIS delay ``δ(0)`` (simultaneous switching), seconds.
-        plus_inf: SIS delay ``δ(∞)`` (input A switched first), seconds.
+    Parameters
+    ----------
+    minus_inf : float
+        SIS delay ``δ(−∞)`` (input B switched first), seconds.
+    zero : float
+        MIS delay ``δ(0)`` (simultaneous switching), seconds.
+    plus_inf : float
+        SIS delay ``δ(∞)`` (input A switched first), seconds.
     """
 
     minus_inf: float
@@ -91,11 +95,17 @@ class CharacteristicDelays:
 class MisCurve:
     """A sampled MIS delay curve ``δ(Δ)``.
 
-    Attributes:
-        deltas: input separation times ``Δ = t_B − t_A`` in seconds.
-        delays: gate delays in seconds, one per Δ.
-        direction: ``'falling'`` or ``'rising'`` (output transition).
-        label: free-form label for reporting.
+    Parameters
+    ----------
+    deltas : tuple of float
+        Strictly increasing input separations ``Δ = t_B − t_A`` in
+        seconds.
+    delays : tuple of float
+        Gate delays in seconds, one per Δ.
+    direction : str
+        ``'falling'`` or ``'rising'`` (output transition).
+    label : str, optional
+        Free-form label for reporting.
     """
 
     deltas: tuple[float, ...]
@@ -128,19 +138,35 @@ class MisCurve:
 
     @property
     def deltas_array(self) -> np.ndarray:
+        """The separations as a NumPy array, seconds."""
         return np.asarray(self.deltas)
 
     @property
     def delays_array(self) -> np.ndarray:
+        """The delays as a NumPy array, seconds."""
         return np.asarray(self.delays)
 
     def delay_at(self, delta: float) -> float:
         """Linearly interpolated delay at separation *delta*.
 
-        Raises:
-            ValueError: if *delta* lies outside the sampled range —
-                ``np.interp`` would otherwise clamp to the edge values
-                and silently report a plateau that was never measured.
+        Parameters
+        ----------
+        delta : float
+            Input separation in seconds, within the sampled range.
+
+        Returns
+        -------
+        float
+            Interpolated delay in seconds.
+
+        Raises
+        ------
+        ValueError
+            If *delta* lies outside the sampled range — ``np.interp``
+            would otherwise clamp to the edge values and silently
+            report a plateau that was never measured.  (Characterized
+            tables in :mod:`repro.library` clamp deliberately; their
+            grids end on the SIS plateaus.)
         """
         if not self.deltas[0] <= delta <= self.deltas[-1]:
             raise ValueError(

@@ -63,13 +63,18 @@ def settle_time(params: NorGateParameters) -> float:
 class DelayComputation:
     """The result of one delay computation, with its trajectory attached.
 
-    Attributes:
-        delta: input separation time ``t_B − t_A`` (may be ±inf).
-        delay: the gate delay including ``δ_min``, seconds.
-        crossing_time: global trajectory time of the output crossing.
-        trajectory: the underlying piecewise trajectory (switch times are
-            *not* deferred by ``δ_min``; the pure delay is added to the
-            reported delay instead, as in the paper).
+    Parameters
+    ----------
+    delta : float
+        Input separation time ``t_B − t_A`` in seconds (may be ±inf).
+    delay : float
+        The gate delay including ``δ_min``, seconds.
+    crossing_time : float
+        Global trajectory time of the output crossing, seconds.
+    trajectory : PiecewiseTrajectory
+        The underlying piecewise trajectory (switch times are *not*
+        deferred by ``δ_min``; the pure delay is added to the
+        reported delay instead, as in the paper).
     """
 
     delta: float
@@ -81,10 +86,17 @@ class DelayComputation:
 class HybridNorModel:
     """MIS-aware delay model of a 2-input CMOS NOR gate.
 
-    Args:
-        params: electrical parameters (including ``vdd`` and ``δ_min``).
+    Parameters
+    ----------
+    params : NorGateParameters
+        Electrical parameters in SI units (including ``vdd`` and the
+        pure delay ``δ_min``).
 
-    The model is stateless; all methods are pure functions of *params*.
+    Notes
+    -----
+    The model is stateless; all methods are pure functions of
+    *params*.  All returned delays are in seconds and include
+    ``δ_min``.
     """
 
     def __init__(self, params: NorGateParameters):
@@ -212,9 +224,19 @@ class HybridNorModel:
     def delay_rising(self, delta: float, vn_init: float = 0.0) -> float:
         """Rising-output MIS delay ``δ↑_M(Δ)`` (paper Fig. 6).
 
-        Args:
-            delta: input separation ``t_B − t_A`` (may be ±inf).
-            vn_init: internal node voltage ``X`` while in mode (1,1).
+        Parameters
+        ----------
+        delta : float
+            Input separation ``t_B − t_A`` in seconds (may be ±inf).
+        vn_init : float, optional
+            Internal node voltage ``X`` in volts while in mode (1,1)
+            (default 0.0).
+
+        Returns
+        -------
+        float
+            Delay in seconds, referenced to the later input,
+            ``δ_min`` included.
         """
         return self.rising_computation(delta, vn_init).delay
 
@@ -237,18 +259,45 @@ class HybridNorModel:
     def delays_falling(self, deltas, engine=None) -> np.ndarray:
         """Array-in/array-out falling MIS delays ``δ↓_M(Δ)``.
 
-        Args:
-            deltas: separations, any array shape; ``±inf`` allowed.
-            engine: evaluation backend — a name from
-                :func:`repro.engine.available_engines`, an engine
-                instance, or ``None`` for the vectorized default.
+        Parameters
+        ----------
+        deltas : array_like of float
+            Input separations in seconds, any shape; ``±inf``
+            allowed.
+        engine : str or DelayEngine or None, optional
+            Evaluation backend — a name from
+            :func:`repro.engine.available_engines`, an engine
+            instance, or ``None`` for the vectorized default.
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), same shape as
+            *deltas*.
         """
         from ..engine import get_engine  # local: engine wraps this module
         return get_engine(engine).delays_falling(self.params, deltas)
 
     def delays_rising(self, deltas, vn_init: float = 0.0,
                       engine=None) -> np.ndarray:
-        """Array-in/array-out rising MIS delays ``δ↑_M(Δ)``."""
+        """Array-in/array-out rising MIS delays ``δ↑_M(Δ)``.
+
+        Parameters
+        ----------
+        deltas : array_like of float
+            Input separations in seconds, any shape; ``±inf``
+            allowed.
+        vn_init : float, optional
+            Mode-(1,1) internal-node voltage in volts (default 0.0).
+        engine : str or DelayEngine or None, optional
+            Evaluation backend (see :meth:`delays_falling`).
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), same shape as
+            *deltas*.
+        """
         from ..engine import get_engine
         return get_engine(engine).delays_rising(self.params, deltas,
                                                 vn_init)

@@ -36,15 +36,25 @@ __all__ = ["NorGateParameters", "PAPER_TABLE_I", "PAPER_DELTA_MIN"]
 class NorGateParameters:
     """Electrical parameters of the hybrid NOR model (SI units).
 
-    Attributes:
-        r1: on-resistance of pMOS T1 (VDD -> N path), ohms.
-        r2: on-resistance of pMOS T2 (N -> O path), ohms.
-        r3: on-resistance of nMOS T3 (O -> GND path, input A), ohms.
-        r4: on-resistance of nMOS T4 (O -> GND path, input B), ohms.
-        cn: capacitance at the internal node N, farads.
-        co: capacitance at the output node O, farads.
-        vdd: supply voltage, volts.
-        delta_min: pure delay applied to every mode switch, seconds.
+    Parameters
+    ----------
+    r1 : float
+        On-resistance of pMOS T1 (VDD -> N path), ohms.
+    r2 : float
+        On-resistance of pMOS T2 (N -> O path), ohms.
+    r3 : float
+        On-resistance of nMOS T3 (O -> GND path, input A), ohms.
+    r4 : float
+        On-resistance of nMOS T4 (O -> GND path, input B), ohms.
+    cn : float
+        Capacitance at the internal node N, farads.
+    co : float
+        Capacitance at the output node O, farads.
+    vdd : float, optional
+        Supply voltage, volts (default 0.8).
+    delta_min : float, optional
+        Pure delay applied to every mode switch, seconds
+        (default 0.0; paper Section V).
     """
 
     r1: float

@@ -61,9 +61,17 @@ _MODEL_RATIO_LIMIT = 2.0
 class CharacteristicTargets:
     """The six characteristic delays a parametrization should match.
 
-    ``rising.zero`` is understood as measured with the worst-case initial
-    internal-node voltage ``X = GND``, matching the paper's Section VI
-    choice.
+    Parameters
+    ----------
+    falling : CharacteristicDelays
+        ``δ↓(−∞), δ↓(0), δ↓(∞)`` in seconds.
+    rising : CharacteristicDelays
+        ``δ↑(−∞), δ↑(0), δ↑(∞)`` in seconds.  ``rising.zero`` is
+        understood as measured with the worst-case initial
+        internal-node voltage ``X = GND``, matching the paper's
+        Section VI choice.
+    vdd : float, optional
+        Supply voltage in volts (default 0.8).
     """
 
     falling: CharacteristicDelays
@@ -116,6 +124,22 @@ def infer_delta_min(falling: CharacteristicDelays) -> float:
 
     For the paper's measurements (38 ps, 28 ps) this yields 18 ps — the
     value used throughout the paper.
+
+    Parameters
+    ----------
+    falling : CharacteristicDelays
+        Measured falling characteristic delays in seconds.
+
+    Returns
+    -------
+    float
+        The inferred pure delay ``δ_min`` in seconds.
+
+    Raises
+    ------
+    FittingError
+        If the targets already have ratio >= 2 (no pure delay
+        needed) or are internally inconsistent.
     """
     delta_min = 2.0 * falling.zero - falling.minus_inf
     if delta_min < 0.0:
@@ -214,25 +238,41 @@ def fit_nor_parameters(targets: CharacteristicTargets,
                        max_nfev: int = 200) -> FitResult:
     """Least-squares fit of the hybrid model to characteristic delays.
 
-    Args:
-        targets: six characteristic delays (with pure delay *included*,
-            i.e. as measured).
-        delta_min: pure delay; ``None`` infers it from the falling values
-            via :func:`infer_delta_min` (paper Section V procedure).
-        co: pin the output capacitance to this value (recommended: the
-            fit manifold is otherwise one-dimensional).
-        seed: optional explicit starting point.
-        weights: optional per-target weights (length 6).
-        regularization: weight of a gentle log-space pull towards the
-            seed.  Because ``δ↑(0)|X=0 ≡ δ↑(−∞)`` the target set leaves
-            flat directions in parameter space; the prior pins those
-            without noticeably degrading the target match (the seed is
-            the closed-form solution of eqs. (8)–(9)).  Set to 0 to
-            disable.
+    Parameters
+    ----------
+    targets : CharacteristicTargets
+        Six characteristic delays in seconds (with pure delay
+        *included*, i.e. as measured).
+    delta_min : float, optional
+        Pure delay in seconds; ``None`` infers it from the falling
+        values via :func:`infer_delta_min` (paper Section V
+        procedure).
+    co : float, optional
+        Pin the output capacitance to this value in farads
+        (recommended: the fit manifold is otherwise
+        one-dimensional).
+    seed : NorGateParameters, optional
+        Explicit starting point.
+    weights : numpy.ndarray, optional
+        Per-target weights (length 6).
+    regularization : float, optional
+        Weight of a gentle log-space pull towards the seed.  Because
+        ``δ↑(0)|X=0 ≡ δ↑(−∞)`` the target set leaves flat directions
+        in parameter space; the prior pins those without noticeably
+        degrading the target match (the seed is the closed-form
+        solution of eqs. (8)–(9)).  Set to 0 to disable.
+    max_nfev : int, optional
+        Function-evaluation budget of the optimizer.
 
-    Returns:
-        A :class:`FitResult`; raises :class:`FittingError` if the
-        optimizer fails badly.
+    Returns
+    -------
+    FitResult
+        Fitted parameters plus achieved-vs-target bookkeeping.
+
+    Raises
+    ------
+    FittingError
+        If the optimizer fails badly.
     """
     if delta_min is None:
         delta_min = infer_delta_min(targets.falling)

@@ -169,14 +169,22 @@ def solve_mode(mode: Mode, params: NorGateParameters,
                vn0: float, vo0: float) -> ModeSolution:
     """Solve one mode analytically from the initial state ``(vn0, vo0)``.
 
-    Args:
-        mode: input state of the gate during this mode.
-        params: electrical parameters.
-        vn0: internal node voltage when the mode is entered.
-        vo0: output voltage when the mode is entered.
+    Parameters
+    ----------
+    mode : Mode
+        Input state of the gate during this mode.
+    params : NorGateParameters
+        Electrical parameters (SI units).
+    vn0 : float
+        Internal node voltage in volts when the mode is entered.
+    vo0 : float
+        Output voltage in volts when the mode is entered.
 
-    Returns:
-        The closed-form :class:`ModeSolution`.
+    Returns
+    -------
+    ModeSolution
+        The closed-form node-voltage solutions (functions of time in
+        seconds).
     """
     if mode is Mode.BOTH_HIGH:  # (1, 1): VN frozen, VO drains in parallel
         rate = -(1.0 / params.tau_r3 + 1.0 / params.tau_r4)

@@ -206,13 +206,18 @@ class Segment:
 class PiecewiseTrajectory:
     """The full hybrid trajectory across a sequence of mode switches.
 
-    Args:
-        params: electrical parameters of the gate.
-        initial_mode: mode active at ``t = 0``.
-        initial_state: ``(V_N, V_O)`` at ``t = 0``.
-        switches: iterable of ``(time, mode)`` pairs, strictly increasing
-            in time with all times ``>= 0``.  The continuous state is
-            carried over at each switch.
+    Parameters
+    ----------
+    params : NorGateParameters
+        Electrical parameters of the gate (SI units).
+    initial_mode : Mode
+        Mode active at ``t = 0``.
+    initial_state : tuple of float
+        ``(V_N, V_O)`` in volts at ``t = 0``.
+    switches : iterable of tuple, optional
+        ``(time, mode)`` pairs, strictly increasing in time with all
+        times ``>= 0`` seconds.  The continuous state is carried over
+        at each switch.
     """
 
     def __init__(self, params: NorGateParameters, initial_mode: Mode,

@@ -8,7 +8,10 @@ backend seam that makes that a deployment choice instead of a rewrite:
   NumPy batch evaluation of the closed-form mode chains with
   per-parameter-set solution caching;
 * ``"reference"`` — the scalar per-Δ trajectory computation, kept as
-  the parity baseline.
+  the parity baseline;
+* ``"parallel"`` — Δ arrays sharded across a :mod:`multiprocessing`
+  pool, each worker running an inner backend (``vectorized`` by
+  default); small sweeps fall through to the inner backend inline.
 
 Sweeps throughout the package accept ``engine=`` (a name, an instance,
 or ``None`` for the default) and the CLI exposes ``--engine``::
@@ -22,12 +25,14 @@ New backends implement :class:`~repro.engine.base.DelayEngine` and call
 
 from .base import (DEFAULT_ENGINE, DelayEngine, available_engines,
                    get_engine, register_engine)
+from .parallel import ParallelEngine
 from .reference import ReferenceEngine
 from .vectorized import VectorizedEngine
 
 __all__ = [
     "DEFAULT_ENGINE",
     "DelayEngine",
+    "ParallelEngine",
     "ReferenceEngine",
     "VectorizedEngine",
     "available_engines",

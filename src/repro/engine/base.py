@@ -54,8 +54,19 @@ class DelayEngine(Protocol):
                        deltas) -> np.ndarray:
         """Falling-output MIS delays ``δ↓_M(Δ)`` for an array of Δ.
 
-        ``deltas`` may contain ``±inf`` (SIS limits) and ``0``; the
-        result has the same shape and includes ``δ_min``.
+        Parameters
+        ----------
+        params : NorGateParameters
+            Electrical parameter set (SI units).
+        deltas : array_like of float
+            Input separations ``Δ = t_B − t_A`` in seconds; any
+            shape, ``±inf`` (SIS limits) and ``0`` allowed.
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds, same shape as *deltas*, including the
+            pure delay ``δ_min``.
         """
         ...
 
@@ -63,8 +74,22 @@ class DelayEngine(Protocol):
                       vn_init: float = 0.0) -> np.ndarray:
         """Rising-output MIS delays ``δ↑_M(Δ)`` for an array of Δ.
 
-        ``vn_init`` is the internal-node voltage ``X`` of mode (1,1)
-        (paper Section IV; GND worst case by default).
+        Parameters
+        ----------
+        params : NorGateParameters
+            Electrical parameter set (SI units).
+        deltas : array_like of float
+            Input separations in seconds; any shape, ``±inf``
+            allowed.
+        vn_init : float, optional
+            Internal-node voltage ``X`` of mode (1,1) in volts
+            (paper Section IV; default 0.0, the GND worst case).
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds, same shape as *deltas*, including
+            ``δ_min``.
         """
         ...
 
@@ -75,25 +100,52 @@ _INSTANCES: dict[str, DelayEngine] = {}
 
 def register_engine(name: str,
                     factory: Callable[[], DelayEngine]) -> None:
-    """Register an engine *factory* under *name* (last wins)."""
+    """Register an engine factory under a name (last wins).
+
+    Parameters
+    ----------
+    name : str
+        Registry key later accepted by :func:`get_engine` and the
+        CLI's ``--engine`` flag.
+    factory : callable
+        Zero-argument callable producing a :class:`DelayEngine`;
+        invoked lazily on first :func:`get_engine` resolution.
+    """
     _FACTORIES[name] = factory
     _INSTANCES.pop(name, None)
 
 
 def available_engines() -> tuple[str, ...]:
-    """Names of all registered backends, sorted."""
+    """Names of all registered backends, sorted.
+
+    Returns
+    -------
+    tuple of str
+        The registry keys, e.g. ``('parallel', 'reference',
+        'vectorized')``.
+    """
     return tuple(sorted(_FACTORIES))
 
 
 def get_engine(engine: str | DelayEngine | None = None) -> DelayEngine:
     """Resolve an engine specification to a backend instance.
 
-    Args:
-        engine: a registry name, an engine instance (returned as-is),
-            or ``None`` for :data:`DEFAULT_ENGINE`.
+    Parameters
+    ----------
+    engine : str or DelayEngine or None, optional
+        A registry name, an engine instance (returned as-is), or
+        ``None`` for :data:`DEFAULT_ENGINE`.
 
-    Instances are cached per name so that engine-level solution caches
-    are shared across callers.
+    Returns
+    -------
+    DelayEngine
+        The resolved backend.  Instances are cached per name so that
+        engine-level solution caches are shared across callers.
+
+    Raises
+    ------
+    ValueError
+        If *engine* is a name with no registered backend.
     """
     if engine is None:
         engine = DEFAULT_ENGINE

@@ -34,6 +34,21 @@ class ReferenceEngine:
 
     def delays_falling(self, params: NorGateParameters,
                        deltas) -> np.ndarray:
+        """Falling MIS delays ``δ↓_M(Δ)``, one exact root search per Δ.
+
+        Parameters
+        ----------
+        params : NorGateParameters
+            Electrical parameter set (SI units).
+        deltas : array_like of float
+            Input separations in seconds; ``±inf`` allowed.
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), same shape as
+            *deltas*.
+        """
         model = _model(params)
         d = np.asarray(deltas, dtype=float)
         out = np.array([model.delay_falling(float(x))
@@ -42,6 +57,23 @@ class ReferenceEngine:
 
     def delays_rising(self, params: NorGateParameters, deltas,
                       vn_init: float = 0.0) -> np.ndarray:
+        """Rising MIS delays ``δ↑_M(Δ)``, one exact root search per Δ.
+
+        Parameters
+        ----------
+        params : NorGateParameters
+            Electrical parameter set (SI units).
+        deltas : array_like of float
+            Input separations in seconds; ``±inf`` allowed.
+        vn_init : float, optional
+            Mode-(1,1) internal-node voltage in volts (default 0.0).
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), same shape as
+            *deltas*.
+        """
         model = _model(params)
         d = np.asarray(deltas, dtype=float)
         out = np.array([model.delay_rising(float(x), vn_init)

@@ -237,6 +237,22 @@ class VectorizedEngine:
 
     def delays_falling(self, params: NorGateParameters,
                        deltas) -> np.ndarray:
+        """Falling MIS delays ``δ↓_M(Δ)`` for a whole Δ array at once.
+
+        Parameters
+        ----------
+        params : NorGateParameters
+            Electrical parameter set (SI units).
+        deltas : array_like of float
+            Input separations in seconds; ``±inf`` allowed, NaN
+            rejected.
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), same shape as
+            *deltas*; matches the scalar reference to ≪ 1e-12 s.
+        """
         ctx = _falling_context(params)
         d, shape = _prepare(deltas)
         crossing = np.empty_like(d)
@@ -268,6 +284,25 @@ class VectorizedEngine:
 
     def delays_rising(self, params: NorGateParameters, deltas,
                       vn_init: float = 0.0) -> np.ndarray:
+        """Rising MIS delays ``δ↑_M(Δ)`` for a whole Δ array at once.
+
+        Parameters
+        ----------
+        params : NorGateParameters
+            Electrical parameter set (SI units).
+        deltas : array_like of float
+            Input separations in seconds; ``±inf`` allowed, NaN
+            rejected.
+        vn_init : float, optional
+            Mode-(1,1) internal-node voltage in volts (default 0.0,
+            the GND worst case).
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), same shape as
+            *deltas*; matches the scalar reference to ≪ 1e-12 s.
+        """
         ctx = _rising_context(params, float(vn_init))
         d, shape = _prepare(deltas)
         # The rising delay is referenced to the *later* input, so for

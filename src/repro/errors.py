@@ -7,6 +7,17 @@ still being able to distinguish the individual failure modes.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "ConvergenceError",
+    "NoCrossingError",
+    "NetlistError",
+    "SimulationError",
+    "TraceError",
+    "FittingError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""

@@ -1,0 +1,425 @@
+"""Characterized gate-delay tables and their JSON serialization.
+
+A :class:`GateDelayTable` is the lookup-table form of one gate's MIS
+delay surfaces — what an NLDM-style standard-cell library stores per
+cell, here with the input-separation axis ``Δ`` the paper shows is
+required for multi-input gates.  Each output direction is a
+:class:`DelaySurface`: delays sampled over a rectangular
+``(state, Δ)`` grid, bilinearly interpolated, where *state* is the
+initial internal-node voltage of the transition that depends on one
+(paper Section IV):
+
+* a ``nor2`` cell's **rising** surface carries the ``V_N(0)`` axis
+  (series pMOS stack); its falling surface is state-free (one row);
+* a ``nand2`` cell — characterized through the CMOS mirror duality of
+  :mod:`repro.core.duality` — carries the axis on its **falling**
+  surface (``V_M(0)``, series nMOS stack) instead.
+
+Lookups *clamp* to the characterized ranges: the grids produced by
+:func:`repro.library.characterize.default_delta_grid` extend past the
+settling region, where the curves sit on their SIS plateaus, so
+clamping returns the ``δ(±∞)`` values instead of raising like
+:meth:`~repro.core.charlie.MisCurve.delay_at` does mid-sweep.
+
+A :class:`GateLibrary` is a named collection of tables with a
+versioned on-disk JSON format (all quantities SI: seconds, volts,
+ohms, farads).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any
+
+import numpy as np
+
+from ..core.charlie import CharacteristicDelays, MisCurve
+from ..core.parameters import NorGateParameters
+from ..errors import ParameterError
+from ..units import to_ps
+
+__all__ = ["DelaySurface", "GateDelayTable", "GateLibrary",
+           "LIBRARY_FORMAT", "LIBRARY_FORMAT_VERSION"]
+
+#: On-disk format identifier of serialized libraries.
+LIBRARY_FORMAT = "repro-gate-library"
+#: Current on-disk format version (bump on breaking schema changes).
+LIBRARY_FORMAT_VERSION = 1
+
+#: Gate types a table may describe (boolean function + conventions).
+GATE_TYPES = ("nor2", "nand2")
+
+
+def _check_grid(values: tuple[float, ...], label: str,
+                minimum: int) -> None:
+    if len(values) < minimum:
+        raise ParameterError(f"{label} grid needs at least {minimum} "
+                             f"point(s), got {len(values)}")
+    if len(values) > 1 and not np.all(
+            np.diff(np.asarray(values)) > 0.0):
+        raise ParameterError(f"{label} grid must be strictly "
+                             "increasing")
+
+
+@dataclasses.dataclass(frozen=True)
+class DelaySurface:
+    """Sampled MIS delays of one output direction over ``(state, Δ)``.
+
+    Parameters
+    ----------
+    direction : str
+        ``"falling"`` or ``"rising"`` (the output transition).
+    deltas : tuple of float
+        Strictly increasing input separations ``Δ = t_B − t_A`` in
+        seconds (at least two points).
+    state_grid : tuple of float
+        Strictly increasing initial internal-node voltages in volts.
+        A single-point grid marks a state-free surface.
+    delays : tuple of tuple of float
+        Delays in seconds, ``delays[i][j]`` for ``state_grid[i]`` and
+        ``deltas[j]``; they include the pure delay ``δ_min`` exactly
+        like the model's delay functions.
+
+    Notes
+    -----
+    Lookups clamp both axes to the sampled ranges; with grids that
+    extend past the settling region the Δ edges are the SIS plateaus
+    ``δ(±∞)``.
+    """
+
+    direction: str
+    deltas: tuple[float, ...]
+    state_grid: tuple[float, ...]
+    delays: tuple[tuple[float, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("falling", "rising"):
+            raise ParameterError("direction must be 'falling' or "
+                                 "'rising'")
+        _check_grid(self.deltas, "delta", 2)
+        _check_grid(self.state_grid, "state", 1)
+        if len(self.delays) != len(self.state_grid):
+            raise ParameterError("need one delay row per state grid "
+                                 "point")
+        for row in self.delays:
+            if len(row) != len(self.deltas):
+                raise ParameterError("delay rows must have one entry "
+                                     "per delta")
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    @property
+    def delta_range(self) -> tuple[float, float]:
+        """Characterized ``(Δ_min, Δ_max)`` in seconds."""
+        return (self.deltas[0], self.deltas[-1])
+
+    @property
+    def state_dependent(self) -> bool:
+        """Whether the surface actually carries a state axis."""
+        return len(self.state_grid) > 1
+
+    def delays_at(self, deltas, state: float = 0.0) -> np.ndarray:
+        """Bilinearly interpolated delays for an array of separations.
+
+        Parameters
+        ----------
+        deltas : array_like of float
+            Separations in seconds; out-of-range values (including
+            ``±inf``) clamp to the table edges.
+        state : float, optional
+            Initial internal-node voltage in volts, clamped to the
+            state grid (default 0.0).
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds, same shape as *deltas*.
+        """
+        d = np.clip(np.asarray(deltas, dtype=float),
+                    self.deltas[0], self.deltas[-1])
+        grid = np.asarray(self.state_grid)
+        s = min(max(float(state), grid[0]), grid[-1])
+        hi = int(np.searchsorted(grid, s, side="left"))
+        if hi == 0 or len(grid) == 1:
+            return np.interp(d, self.deltas, self.delays[0])
+        if hi == len(grid):
+            return np.interp(d, self.deltas, self.delays[-1])
+        lo = hi - 1
+        low = np.interp(d, self.deltas, self.delays[lo])
+        high = np.interp(d, self.deltas, self.delays[hi])
+        weight = (s - grid[lo]) / (grid[hi] - grid[lo])
+        return low * (1.0 - weight) + high * weight
+
+    def delay_at(self, delta: float, state: float = 0.0) -> float:
+        """Scalar :meth:`delays_at` (one separation, one state)."""
+        return float(self.delays_at(float(delta), state))
+
+    def curve(self, state: float = 0.0, label: str = "") -> MisCurve:
+        """A constant-state cut of the surface as a :class:`MisCurve`."""
+        delays = tuple(float(v) for v in
+                       self.delays_at(np.asarray(self.deltas), state))
+        return MisCurve(self.deltas, delays, self.direction,
+                        label=label or f"table ({self.direction})")
+
+    def characteristic(self,
+                       state: float = 0.0) -> CharacteristicDelays:
+        """``(δ(−∞), δ(0), δ(∞))`` read from the clamped table edges."""
+        return CharacteristicDelays(
+            minus_inf=self.delay_at(self.deltas[0], state),
+            zero=self.delay_at(0.0, state),
+            plus_inf=self.delay_at(self.deltas[-1], state))
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON representation (seconds / volts)."""
+        return {
+            "direction": self.direction,
+            "deltas_s": list(self.deltas),
+            "state_grid_v": list(self.state_grid),
+            "delays_s": [list(row) for row in self.delays],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "DelaySurface":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                direction=str(payload["direction"]),
+                deltas=tuple(float(v) for v in payload["deltas_s"]),
+                state_grid=tuple(float(v)
+                                 for v in payload["state_grid_v"]),
+                delays=tuple(tuple(float(v) for v in row)
+                             for row in payload["delays_s"]),
+            )
+        except KeyError as missing:
+            raise ParameterError(
+                f"delay surface payload is missing {missing}") from None
+
+
+@dataclasses.dataclass(frozen=True)
+class GateDelayTable:
+    """Interpolated MIS delay tables of one characterized gate.
+
+    Parameters
+    ----------
+    cell : str
+        Cell name the table is stored under (e.g. ``"nor2_paper"``).
+    gate : str
+        Gate type, ``"nor2"`` or ``"nand2"`` — fixes the boolean
+        function and the delay reference conventions consumed by
+        :class:`repro.timing.channels.TableDelayChannel`.
+    params : NorGateParameters
+        The electrical parameter set the table was characterized from
+        (kept for provenance and re-verification).
+    falling, rising : DelaySurface
+        The two output-transition surfaces.
+    engine : str, optional
+        Name of the delay engine that produced the samples.
+    """
+
+    cell: str
+    gate: str
+    params: NorGateParameters
+    falling: DelaySurface
+    rising: DelaySurface
+    engine: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        if self.gate not in GATE_TYPES:
+            raise ParameterError(f"gate must be one of {GATE_TYPES}, "
+                                 f"got {self.gate!r}")
+        if self.falling.direction != "falling":
+            raise ParameterError("falling surface has direction "
+                                 f"{self.falling.direction!r}")
+        if self.rising.direction != "rising":
+            raise ParameterError("rising surface has direction "
+                                 f"{self.rising.direction!r}")
+
+    # ------------------------------------------------------------------
+    # lookup (thin sugar over the surfaces)
+    # ------------------------------------------------------------------
+
+    def delay_falling(self, delta: float,
+                      state: float = 0.0) -> float:
+        """Falling-output delay ``δ↓(Δ)`` in seconds (clamped lookup).
+
+        Parameters
+        ----------
+        delta : float
+            Input separation in seconds; ``±inf`` reads the SIS edge.
+        state : float, optional
+            Initial stack-node voltage in volts — only meaningful for
+            gate types whose falling surface is state-dependent
+            (``nand2``).
+        """
+        return self.falling.delay_at(delta, state)
+
+    def delay_rising(self, delta: float, state: float = 0.0) -> float:
+        """Rising-output delay ``δ↑(Δ)`` in seconds (clamped lookup).
+
+        Parameters
+        ----------
+        delta : float
+            Input separation in seconds; ``±inf`` reads the SIS edge.
+        state : float, optional
+            Initial internal-node voltage in volts (``V_N(0)`` for
+            ``nor2``; ignored for ``nand2``, whose rising surface is
+            state-free).
+        """
+        return self.rising.delay_at(delta, state)
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI inspector."""
+        fall = self.falling.characteristic()
+        rise = self.rising.characteristic()
+        return (f"{self.cell}: {self.gate}, "
+                f"{len(self.falling.deltas)} deltas in "
+                f"[{to_ps(self.falling.deltas[0]):.0f}, "
+                f"{to_ps(self.falling.deltas[-1]):.0f}] ps, "
+                f"{len(self.falling.state_grid)}x"
+                f"{len(self.rising.state_grid)} state rows; "
+                f"fall(0) {to_ps(fall.zero):.2f} ps, "
+                f"rise(0) {to_ps(rise.zero):.2f} ps")
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON representation (SI units throughout)."""
+        return {
+            "cell": self.cell,
+            "gate": self.gate,
+            "engine": self.engine,
+            "params": self.params.as_dict(),
+            "falling": self.falling.to_dict(),
+            "rising": self.rising.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "GateDelayTable":
+        """Inverse of :meth:`to_dict`.
+
+        Raises
+        ------
+        ParameterError
+            If required keys are missing or grids are malformed.
+        """
+        try:
+            return cls(
+                cell=str(payload["cell"]),
+                gate=str(payload["gate"]),
+                engine=str(payload.get("engine", "vectorized")),
+                params=NorGateParameters(**payload["params"]),
+                falling=DelaySurface.from_dict(payload["falling"]),
+                rising=DelaySurface.from_dict(payload["rising"]),
+            )
+        except KeyError as missing:
+            raise ParameterError(
+                f"gate table payload is missing {missing}") from None
+
+
+@dataclasses.dataclass(frozen=True)
+class GateLibrary:
+    """A named, serializable collection of characterized gate tables.
+
+    Parameters
+    ----------
+    name : str
+        Library name (stored in the JSON header).
+    tables : dict of str to GateDelayTable
+        Tables keyed by cell name.
+    description : str, optional
+        Free-form provenance note.
+    """
+
+    name: str
+    tables: dict[str, GateDelayTable]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for cell, table in self.tables.items():
+            if cell != table.cell:
+                raise ParameterError(
+                    f"library key {cell!r} does not match table cell "
+                    f"{table.cell!r}")
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __iter__(self):
+        return iter(self.tables.values())
+
+    def __getitem__(self, cell: str) -> GateDelayTable:
+        try:
+            return self.tables[cell]
+        except KeyError:
+            raise KeyError(
+                f"no cell {cell!r} in library {self.name!r}; "
+                f"available: {', '.join(sorted(self.tables))}"
+            ) from None
+
+    @property
+    def cells(self) -> tuple[str, ...]:
+        """Sorted cell names."""
+        return tuple(sorted(self.tables))
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Versioned plain-JSON representation."""
+        return {
+            "format": LIBRARY_FORMAT,
+            "format_version": LIBRARY_FORMAT_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "cells": {cell: table.to_dict()
+                      for cell, table in sorted(self.tables.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "GateLibrary":
+        """Inverse of :meth:`to_dict`, with format validation."""
+        if payload.get("format") != LIBRARY_FORMAT:
+            raise ParameterError(
+                "not a gate-library payload (format="
+                f"{payload.get('format')!r})")
+        version = payload.get("format_version")
+        if version != LIBRARY_FORMAT_VERSION:
+            raise ParameterError(
+                f"unsupported library format version {version!r} "
+                f"(this build reads version {LIBRARY_FORMAT_VERSION})")
+        tables = {cell: GateDelayTable.from_dict(table)
+                  for cell, table in payload.get("cells", {}).items()}
+        return cls(name=str(payload.get("name", "")),
+                   tables=tables,
+                   description=str(payload.get("description", "")))
+
+    def save(self, path) -> pathlib.Path:
+        """Write the library as indented JSON; returns the path."""
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2,
+                                   sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "GateLibrary":
+        """Read a library previously written by :meth:`save`.
+
+        Raises
+        ------
+        ParameterError
+            If the file is not a gate library or has an unsupported
+            format version.
+        """
+        payload = json.loads(pathlib.Path(path).read_text())
+        return cls.from_dict(payload)

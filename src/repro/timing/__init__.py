@@ -13,6 +13,7 @@ from .channels import (
     PureDelayChannel,
     SingleInputChannel,
     SumExpChannel,
+    TableDelayChannel,
     WaveformChannel,
 )
 from .circuit import GateInstance, HybridInstance, TimingCircuit
@@ -46,6 +47,7 @@ __all__ = [
     "PureDelayChannel",
     "SingleInputChannel",
     "SumExpChannel",
+    "TableDelayChannel",
     "TimingCircuit",
     "WaveformChannel",
     "WaveformConfig",

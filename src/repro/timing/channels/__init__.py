@@ -1,10 +1,12 @@
-"""Delay channels: pure, inertial, IDM involution, and the hybrid NOR."""
+"""Delay channels: pure, inertial, IDM involution, hybrid NOR, and
+characterized-table gates."""
 
 from .base import Channel, SingleInputChannel
 from .hybrid import HybridNorChannel
 from .inertial import InertialDelayChannel
 from .involution import ExpChannel, SumExpChannel, WaveformChannel
 from .pure import PureDelayChannel
+from .table import TableDelayChannel
 
 __all__ = [
     "Channel",
@@ -14,5 +16,6 @@ __all__ = [
     "PureDelayChannel",
     "SingleInputChannel",
     "SumExpChannel",
+    "TableDelayChannel",
     "WaveformChannel",
 ]

@@ -36,7 +36,10 @@ def deviation_area(a: DigitalTrace, b: DigitalTrace,
     for left, right in zip(events, events[1:]):
         if a.value_at(left) != b.value_at(left):
             area += right - left
-    return area
+    # The disagreement intervals partition a subset of the window, so
+    # mathematically area <= t_end - t_start; summing many interval
+    # lengths can overshoot the bound by a few ULPs, so clamp.
+    return min(area, t_end - t_start)
 
 
 def normalized_deviation(model: DigitalTrace, reference: DigitalTrace,

@@ -11,6 +11,13 @@ from __future__ import annotations
 
 import math
 
+__all__ = [
+    "ATTO", "FEMTO", "PICO", "NANO", "MICRO", "MILLI", "KILO",
+    "MEGA", "GIGA", "PS", "NS", "FF", "AF", "KOHM",
+    "to_ps", "from_ps", "eng_format", "format_time",
+    "percent_change",
+]
+
 #: SI prefixes as multiplicative factors.
 ATTO = 1e-18
 FEMTO = 1e-15

@@ -15,8 +15,23 @@ from repro.units import PS
 class TestRegistry:
     def test_all_figures_and_tables_present(self):
         assert {"fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
-                "table1", "analytic", "runtime",
+                "table1", "analytic", "runtime", "library",
                 "faithfulness"} <= set(EXPERIMENTS)
+
+
+class TestLibraryExperiment:
+    def test_accuracy_audit_under_acceptance(self):
+        from repro.analysis.experiments import experiment_library
+        from repro.library import CharacterizationJob
+
+        jobs = (CharacterizationJob("nor2_paper", PAPER_TABLE_I),
+                CharacterizationJob("nand2_paper", PAPER_TABLE_I,
+                                    gate="nand2"))
+        result = experiment_library(jobs=jobs)
+        assert len(result.library) == 2
+        assert all(a.max_error <= 0.1 * PS for a in result.accuracies)
+        assert "Library characterization" in result.text
+        assert result.cells_per_second > 0.0
 
 
 class TestFig4:

@@ -1,0 +1,162 @@
+"""Parity and contract tests for the sharded ``parallel`` backend.
+
+The randomized suite forces the actual pool path (tiny shard
+threshold, >= 2 workers) so the tests exercise real inter-process
+evaluation, not the inline fallback.  Parity against ``vectorized``
+must hold to the engine bound of 1e-12 s; in practice the only
+difference is the termination half-step of the lockstep bisection.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import PAPER_TABLE_I, NorGateParameters
+from repro.engine import (DelayEngine, ParallelEngine, available_engines,
+                          get_engine)
+from repro.errors import ParameterError
+from repro.units import PS
+
+#: Absolute backend-parity bound, seconds (ISSUE acceptance).
+PARITY_TOL = 1e-12
+
+_resistance = st.floats(min_value=4e3, max_value=4e5)
+_cn = st.floats(min_value=6e-18, max_value=6e-16)
+_co = st.floats(min_value=6e-17, max_value=6e-15)
+
+
+@st.composite
+def gate_params(draw) -> NorGateParameters:
+    return NorGateParameters(
+        r1=draw(_resistance), r2=draw(_resistance),
+        r3=draw(_resistance), r4=draw(_resistance),
+        cn=draw(_cn), co=draw(_co), vdd=0.8,
+        delta_min=draw(st.sampled_from([0.0, 18.0 * PS])))
+
+
+@pytest.fixture(scope="module")
+def sharded() -> ParallelEngine:
+    """A parallel engine that genuinely shards (no inline fallback)."""
+    engine = ParallelEngine(processes=2, min_shard_points=8)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def vectorized() -> DelayEngine:
+    return get_engine("vectorized")
+
+
+class TestRandomizedParity:
+    @settings(max_examples=25, deadline=None)
+    @given(params=gate_params(), seed=st.integers(0, 2**32 - 1))
+    def test_falling(self, sharded, vectorized, params, seed):
+        rng = np.random.default_rng(seed)
+        deltas = np.concatenate([
+            rng.uniform(-400.0 * PS, 400.0 * PS, 61),
+            [-math.inf, 0.0, math.inf],
+        ])
+        expected = vectorized.delays_falling(params, deltas)
+        actual = sharded.delays_falling(params, deltas)
+        assert np.max(np.abs(actual - expected)) <= PARITY_TOL
+
+    @settings(max_examples=25, deadline=None)
+    @given(params=gate_params(), seed=st.integers(0, 2**32 - 1),
+           x_fraction=st.sampled_from([0.0, 0.5, 1.0]))
+    def test_rising(self, sharded, vectorized, params, seed,
+                    x_fraction):
+        rng = np.random.default_rng(seed)
+        deltas = np.concatenate([
+            rng.uniform(-400.0 * PS, 400.0 * PS, 61),
+            [-math.inf, 0.0, math.inf],
+        ])
+        vn_init = x_fraction * params.vdd
+        expected = vectorized.delays_rising(params, deltas, vn_init)
+        actual = sharded.delays_rising(params, deltas, vn_init)
+        assert np.max(np.abs(actual - expected)) <= PARITY_TOL
+
+
+class TestDenseParity:
+    def test_dense_grid_against_reference(self, sharded):
+        reference = get_engine("reference")
+        deltas = np.concatenate([
+            np.linspace(-2000.0 * PS, 2000.0 * PS, 257),
+            [-math.inf, 0.0, math.inf],
+        ])
+        assert np.max(np.abs(
+            sharded.delays_falling(PAPER_TABLE_I, deltas)
+            - reference.delays_falling(PAPER_TABLE_I, deltas)
+        )) <= PARITY_TOL
+        assert np.max(np.abs(
+            sharded.delays_rising(PAPER_TABLE_I, deltas, 0.4)
+            - reference.delays_rising(PAPER_TABLE_I, deltas, 0.4)
+        )) <= PARITY_TOL
+
+    def test_shape_preserved_through_sharding(self, sharded):
+        deltas = np.linspace(-20 * PS, 20 * PS, 24).reshape(4, 6)
+        out = sharded.delays_falling(PAPER_TABLE_I, deltas)
+        assert out.shape == (4, 6)
+
+    def test_nan_rejected(self, sharded):
+        deltas = np.full(32, np.nan)
+        with pytest.raises(ParameterError):
+            sharded.delays_falling(PAPER_TABLE_I, deltas)
+
+
+class TestInlineFallback:
+    def test_small_sweeps_stay_in_process(self):
+        engine = ParallelEngine(processes=4, min_shard_points=10_000)
+        deltas = np.linspace(-20 * PS, 20 * PS, 64)
+        out = engine.delays_falling(PAPER_TABLE_I, deltas)
+        assert engine._pool is None  # never spawned
+        vec = get_engine("vectorized")
+        assert np.array_equal(out,
+                              vec.delays_falling(PAPER_TABLE_I, deltas))
+
+    def test_single_worker_stays_in_process(self):
+        engine = ParallelEngine(processes=1, min_shard_points=1)
+        deltas = np.linspace(-20 * PS, 20 * PS, 64)
+        engine.delays_falling(PAPER_TABLE_I, deltas)
+        assert engine._pool is None
+
+
+class TestRegistryAndConfig:
+    def test_registered(self):
+        assert "parallel" in available_engines()
+        assert get_engine("parallel").name == "parallel"
+        assert isinstance(get_engine("parallel"), DelayEngine)
+
+    def test_inner_must_be_a_name(self):
+        with pytest.raises(ParameterError):
+            ParallelEngine(inner=get_engine("vectorized"))
+
+    def test_invalid_worker_counts(self):
+        with pytest.raises(ParameterError):
+            ParallelEngine(processes=0)
+        with pytest.raises(ParameterError):
+            ParallelEngine(min_shard_points=0)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_PROCESSES", "3")
+        assert ParallelEngine().processes == 3
+        monkeypatch.setenv("REPRO_PARALLEL_PROCESSES", "zero")
+        with pytest.raises(ParameterError):
+            ParallelEngine()
+        monkeypatch.setenv("REPRO_PARALLEL_PROCESSES", "0")
+        with pytest.raises(ParameterError):
+            ParallelEngine()
+
+    def test_close_is_idempotent(self):
+        engine = ParallelEngine(processes=2, min_shard_points=4)
+        engine.delays_falling(PAPER_TABLE_I,
+                              np.linspace(-10 * PS, 10 * PS, 16))
+        engine.close()
+        engine.close()
+        # Usable again after close: the pool is recreated lazily.
+        out = engine.delays_falling(PAPER_TABLE_I,
+                                    np.linspace(-10 * PS, 10 * PS, 16))
+        assert out.shape == (16,)
+        engine.close()

@@ -1,0 +1,53 @@
+"""Execute the tutorial pages so the documentation cannot rot.
+
+Every fenced ``python`` block of each tutorial is executed in order
+in one shared namespace per page — the pages promise exactly this in
+their prose.  The narrated blocks carry their own assertions; this
+harness only adds "it runs".
+"""
+
+import pathlib
+import re
+
+import pytest
+
+DOCS = pathlib.Path(__file__).parents[2] / "docs"
+
+_PYTHON_BLOCK = re.compile(r"```python\n(.*?)```", re.S)
+
+TUTORIALS = sorted(
+    path.relative_to(DOCS).as_posix()
+    for path in (DOCS / "tutorials").glob("*.md"))
+
+
+def _python_blocks(page: str) -> list[str]:
+    return _PYTHON_BLOCK.findall((DOCS / page).read_text())
+
+
+def test_tutorial_pages_exist():
+    assert "tutorials/quickstart.md" in TUTORIALS
+    assert "tutorials/timing-accuracy.md" in TUTORIALS
+
+
+@pytest.mark.parametrize("page", TUTORIALS)
+def test_tutorial_blocks_execute(page):
+    blocks = _python_blocks(page)
+    assert blocks, f"{page} has no executable python blocks"
+    namespace: dict = {}
+    for index, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"{page}[block {index}]", "exec"),
+                 namespace)
+        except Exception as error:  # pragma: no cover - failure path
+            pytest.fail(f"{page} block {index} failed: {error!r}")
+
+
+def test_examples_referenced_by_tutorials_exist():
+    """Tutorials point readers at the standalone example scripts."""
+    examples = pathlib.Path(__file__).parents[2] / "examples"
+    quickstart = (DOCS / "tutorials/quickstart.md").read_text()
+    accuracy = (DOCS / "tutorials/timing-accuracy.md").read_text()
+    assert "examples/quickstart.py" in quickstart
+    assert (examples / "quickstart.py").exists()
+    assert "examples/timing_accuracy.py" in accuracy
+    assert (examples / "timing_accuracy.py").exists()

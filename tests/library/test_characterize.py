@@ -1,0 +1,192 @@
+"""Characterization pipeline: accuracy, duality, engines, round trip.
+
+The load-bearing assertion is the ISSUE acceptance bound: a
+characterized table, saved to JSON and reloaded, must reproduce
+direct ``vectorized`` engine evaluation to <= 0.1 ps at arbitrary
+probe separations across the characterized Δ range.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hybrid_model import settle_time
+from repro.core.parameters import PAPER_TABLE_I, NorGateParameters
+from repro.engine import ParallelEngine, get_engine
+from repro.errors import ParameterError
+from repro.library import (CharacterizationJob, GateLibrary,
+                           characterize_gate, characterize_library,
+                           default_delta_grid, default_state_grid,
+                           paper_jobs, verify_table)
+from repro.units import PS
+
+#: ISSUE acceptance: table lookup vs direct evaluation, seconds.
+ACCURACY_TOL = 0.1 * PS
+
+_resistance = st.floats(min_value=4e3, max_value=4e5)
+_cn = st.floats(min_value=6e-18, max_value=6e-16)
+_co = st.floats(min_value=6e-17, max_value=6e-15)
+
+
+@st.composite
+def gate_params(draw) -> NorGateParameters:
+    return NorGateParameters(
+        r1=draw(_resistance), r2=draw(_resistance),
+        r3=draw(_resistance), r4=draw(_resistance),
+        cn=draw(_cn), co=draw(_co), vdd=0.8,
+        delta_min=draw(st.sampled_from([0.0, 18.0 * PS])))
+
+
+class TestDefaultGrids:
+    def test_delta_grid_shape(self):
+        grid = default_delta_grid(PAPER_TABLE_I)
+        assert np.all(np.diff(grid) > 0.0)
+        assert grid[0] == -grid[-1]
+        assert 0.0 in grid
+        # Ends past the settling cutoff: clamped edges are SIS values.
+        assert grid[-1] > settle_time(PAPER_TABLE_I)
+
+    def test_state_grid_spans_rail_to_rail(self):
+        grid = default_state_grid(PAPER_TABLE_I)
+        assert grid[0] == 0.0
+        assert grid[-1] == PAPER_TABLE_I.vdd
+
+    def test_grid_validation(self):
+        with pytest.raises(ParameterError):
+            default_delta_grid(PAPER_TABLE_I, core_points=2)
+        with pytest.raises(ParameterError):
+            default_delta_grid(PAPER_TABLE_I, core_span=1.0)
+        with pytest.raises(ParameterError):
+            default_state_grid(PAPER_TABLE_I, points=1)
+
+
+class TestAcceptanceRoundTrip:
+    """characterize -> save -> load -> interpolate within tolerance."""
+
+    @pytest.fixture(scope="class")
+    def loaded(self, tmp_path_factory) -> GateLibrary:
+        lib = characterize_library(paper_jobs(), engine="vectorized",
+                                   name="acceptance")
+        path = lib.save(tmp_path_factory.mktemp("lib") / "gates.json")
+        return GateLibrary.load(path)
+
+    def test_nor_random_probes_within_tolerance(self, loaded):
+        table = loaded["nor2_paper"]
+        engine = get_engine("vectorized")
+        rng = np.random.default_rng(42)
+        lo, hi = table.falling.delta_range
+        probes = rng.uniform(lo, hi, 2048)
+        assert np.max(np.abs(
+            table.falling.delays_at(probes)
+            - engine.delays_falling(PAPER_TABLE_I, probes)
+        )) <= ACCURACY_TOL
+        for vn in table.rising.state_grid:
+            assert np.max(np.abs(
+                table.rising.delays_at(probes, vn)
+                - engine.delays_rising(PAPER_TABLE_I, probes, vn)
+            )) <= ACCURACY_TOL
+
+    def test_nand_duality_probes_within_tolerance(self, loaded):
+        from repro.core.duality import HybridNandModel
+        table = loaded["nand2_paper"]
+        model = HybridNandModel(PAPER_TABLE_I)
+        rng = np.random.default_rng(43)
+        lo, hi = table.falling.delta_range
+        for delta in rng.uniform(lo, hi, 32):
+            assert table.delay_falling(delta, PAPER_TABLE_I.vdd) == \
+                pytest.approx(model.delay_falling(delta),
+                              abs=ACCURACY_TOL)
+            assert table.delay_rising(delta) == pytest.approx(
+                model.delay_rising(delta), abs=ACCURACY_TOL)
+
+    def test_sis_edges_exact(self, loaded):
+        """Clamped ±inf lookups equal the engine's SIS limits."""
+        table = loaded["nor2_paper"]
+        engine = get_engine("vectorized")
+        fall = engine.delays_falling(PAPER_TABLE_I,
+                                     [-math.inf, math.inf])
+        assert table.delay_falling(-math.inf) == \
+            pytest.approx(fall[0], abs=1e-15)
+        assert table.delay_falling(math.inf) == \
+            pytest.approx(fall[1], abs=1e-15)
+
+    def test_verify_table_within_acceptance(self, loaded):
+        for cell in loaded.cells:
+            accuracy = verify_table(loaded[cell])
+            assert accuracy.max_error <= ACCURACY_TOL, cell
+
+
+class TestRandomizedAccuracy:
+    """Interpolation error scales with the gate's slowest RC time.
+
+    The default grid resolves the MIS region proportionally to
+    ``τ_max``, so the kink-interpolation error is a fixed fraction of
+    it; assert that scaling rather than the absolute paper-scale
+    bound.
+    """
+
+    @settings(max_examples=10, deadline=None)
+    @given(params=gate_params())
+    def test_accuracy_tracks_time_constant(self, params):
+        job = CharacterizationJob("random_cell", params)
+        table = characterize_gate(job)
+        accuracy = verify_table(table)
+        # The kink-interpolation error is bounded by the grid step,
+        # itself proportional to the slowest time constant; 1e-2 tau
+        # holds with margin across the two-decade parameter ranges.
+        tau_max = settle_time(params) / 60.0
+        assert accuracy.max_error <= max(ACCURACY_TOL,
+                                         1e-2 * tau_max)
+
+
+class TestEngines:
+    def test_parallel_backend_matches_vectorized(self):
+        job = CharacterizationJob("nor2_paper", PAPER_TABLE_I)
+        sharded = ParallelEngine(processes=2, min_shard_points=64)
+        try:
+            via_parallel = characterize_gate(job, sharded)
+        finally:
+            sharded.close()
+        via_vectorized = characterize_gate(job, "vectorized")
+        for direction in ("falling", "rising"):
+            a = getattr(via_parallel, direction)
+            b = getattr(via_vectorized, direction)
+            assert np.max(np.abs(np.asarray(a.delays)
+                                 - np.asarray(b.delays))) <= 1e-12
+
+    def test_engine_name_recorded(self):
+        job = CharacterizationJob("nor2_paper", PAPER_TABLE_I)
+        table = characterize_gate(job, "reference")
+        assert table.engine == "reference"
+
+
+class TestJobs:
+    def test_paper_jobs_cover_gates_and_variants(self):
+        jobs = paper_jobs()
+        cells = {job.cell for job in jobs}
+        assert {"nor2_paper", "nor2_paper_no_dmin", "nand2_paper",
+                "nand2_paper_no_dmin"} == cells
+        bare = next(j for j in jobs if j.cell == "nor2_paper_no_dmin")
+        assert bare.params.delta_min == 0.0
+
+    def test_duplicate_cells_rejected(self):
+        job = CharacterizationJob("dup", PAPER_TABLE_I)
+        with pytest.raises(ParameterError, match="duplicate"):
+            characterize_library([job, job])
+
+    def test_explicit_grids_respected(self):
+        deltas = tuple(float(d) * PS for d in range(-50, 51, 5))
+        states = (0.0, 0.8)
+        job = CharacterizationJob("custom", PAPER_TABLE_I,
+                                  deltas=deltas, state_grid=states)
+        table = characterize_gate(job)
+        assert table.falling.deltas == deltas
+        assert table.rising.state_grid == states
+
+    def test_unsupported_gate_type(self):
+        job = CharacterizationJob("bad", PAPER_TABLE_I, gate="xor2")
+        with pytest.raises(ParameterError):
+            characterize_gate(job)

@@ -35,6 +35,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig5", "--engine", "gpu"])
 
+    def test_parallel_engine_selectable(self):
+        args = build_parser().parse_args(["fig5", "--engine",
+                                          "parallel"])
+        assert args.engine == "parallel"
+
+    def test_characterize_options(self):
+        args = build_parser().parse_args(
+            ["characterize", "--out", "x.json", "--core-points",
+             "129", "--engine", "parallel"])
+        assert args.out == "x.json"
+        assert args.core_points == 129
+        assert args.engine == "parallel"
+
+    def test_library_accepts_optional_path(self):
+        args = build_parser().parse_args(["library"])
+        assert args.path is None
+        args = build_parser().parse_args(
+            ["library", "lib.json", "--cell", "nor2_paper",
+             "--verify"])
+        assert args.path == "lib.json"
+        assert args.verify
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -79,3 +101,54 @@ class TestMain:
     def test_faithfulness(self, capsys):
         assert main(["faithfulness"]) == 0
         assert "Short-pulse" in capsys.readouterr().out
+
+    def test_characterize_then_inspect_round_trip(self, capsys,
+                                                  tmp_path):
+        """`repro characterize` -> JSON -> `repro library` inspect."""
+        out_path = tmp_path / "gates.json"
+        assert main(["characterize", "--out", str(out_path),
+                     "--core-points", "129", "--state-points",
+                     "3"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert "nor2_paper" in out
+        assert out_path.exists()
+
+        assert main(["library", str(out_path)]) == 0
+        listing = capsys.readouterr().out
+        for cell in ("nor2_paper", "nor2_paper_no_dmin",
+                     "nand2_paper", "nand2_paper_no_dmin"):
+            assert cell in listing
+
+        assert main(["library", str(out_path), "--cell",
+                     "nand2_paper", "--verify"]) == 0
+        detail = capsys.readouterr().out
+        assert "delta_fall" in detail
+        assert "verify" in detail
+
+    def test_library_experiment_without_path(self, capsys):
+        assert main(["library"]) == 0
+        out = capsys.readouterr().out
+        assert "Library characterization" in out
+        assert "acceptance" in out
+
+    def test_library_missing_file_is_a_cli_error(self, tmp_path):
+        with pytest.raises(SystemExit,
+                           match="no such file"):
+            main(["library", str(tmp_path / "nope.json")])
+
+    def test_library_foreign_json_is_a_cli_error(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["library", str(path)])
+
+    def test_library_unknown_cell_lists_available(self, capsys,
+                                                  tmp_path):
+        out_path = tmp_path / "gates.json"
+        assert main(["characterize", "--out", str(out_path),
+                     "--core-points", "65", "--state-points",
+                     "2"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="available"):
+            main(["library", str(out_path), "--cell", "nroz"])

@@ -1,0 +1,221 @@
+"""TableDelayChannel vs the closed-form hybrid model and ODE channel.
+
+For well-separated events the table channel must reproduce the
+model's MIS delays to the table interpolation error; for glitches it
+must keep the qualitative cancellation behaviour (short pulses
+vanish).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.duality import HybridNandModel
+from repro.core.hybrid_model import HybridNorModel
+from repro.core.parameters import PAPER_TABLE_I
+from repro.errors import TraceError
+from repro.library import CharacterizationJob, characterize_gate
+from repro.timing import DigitalTrace, HybridNorChannel, TableDelayChannel
+from repro.units import PS
+
+#: Interpolation slack for delay comparisons, seconds.
+TOL = 0.1 * PS
+
+T0 = 500.0 * PS
+
+
+@pytest.fixture(scope="module")
+def nor_table():
+    return characterize_gate(
+        CharacterizationJob("nor2_paper", PAPER_TABLE_I))
+
+
+@pytest.fixture(scope="module")
+def nand_table():
+    return characterize_gate(
+        CharacterizationJob("nand2_paper", PAPER_TABLE_I,
+                            gate="nand2"))
+
+
+@pytest.fixture(scope="module")
+def nor_channel(nor_table):
+    return TableDelayChannel(nor_table)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return HybridNorModel(PAPER_TABLE_I)
+
+
+class TestNorFalling:
+    """Both inputs rise; output falls referenced to the earlier."""
+
+    @pytest.mark.parametrize("delta_ps", [-40.0, -12.0, 0.0, 7.0, 35.0])
+    def test_mis_delay_matches_model(self, nor_channel, model,
+                                     delta_ps):
+        delta = delta_ps * PS
+        t_a = T0 + max(0.0, -delta)
+        t_b = t_a + delta
+        out = nor_channel.simulate(DigitalTrace.from_edges(0, [t_a]),
+                                   DigitalTrace.from_edges(0, [t_b]))
+        assert out.initial == 1
+        assert len(out.transitions) == 1
+        t_cross, value = out.transitions[0]
+        assert value == 0
+        expected = min(t_a, t_b) + model.delay_falling(delta)
+        assert t_cross == pytest.approx(expected, abs=TOL)
+
+    def test_sis_single_input(self, nor_channel, model):
+        """Only input A rises: the SIS edge δ↓(+inf)."""
+        out = nor_channel.simulate(DigitalTrace.from_edges(0, [T0]),
+                                   DigitalTrace.constant(0))
+        t_cross, value = out.transitions[0]
+        assert value == 0
+        assert t_cross == pytest.approx(
+            T0 + model.delay_falling(math.inf), abs=TOL)
+
+    def test_sis_other_input(self, nor_channel, model):
+        """Only input B rises: the SIS edge δ↓(−inf)."""
+        out = nor_channel.simulate(DigitalTrace.constant(0),
+                                   DigitalTrace.from_edges(0, [T0]))
+        t_cross, _ = out.transitions[0]
+        assert t_cross == pytest.approx(
+            T0 + model.delay_falling(-math.inf), abs=TOL)
+
+    def test_mis_reschedule_speeds_up_pending_fall(self, nor_channel,
+                                                   model):
+        """The second rise must pull the crossing to the MIS value."""
+        delta = 5.0 * PS
+        sis = model.delay_falling(math.inf)
+        mis = model.delay_falling(delta)
+        assert mis < sis  # NOR falling MIS is a speed-up
+        out = nor_channel.simulate(
+            DigitalTrace.from_edges(0, [T0]),
+            DigitalTrace.from_edges(0, [T0 + delta]))
+        t_cross, _ = out.transitions[0]
+        assert t_cross == pytest.approx(T0 + mis, abs=TOL)
+
+
+class TestNorRising:
+    """Both inputs fall; output rises referenced to the later."""
+
+    @pytest.mark.parametrize("delta_ps", [-60.0, -15.0, 0.0, 15.0,
+                                          60.0])
+    def test_mis_delay_matches_model(self, nor_channel, model,
+                                     delta_ps):
+        delta = delta_ps * PS
+        t_a = T0 + max(0.0, -delta)
+        t_b = t_a + delta
+        out = nor_channel.simulate(
+            DigitalTrace.from_edges(1, [t_a]),
+            DigitalTrace.from_edges(1, [t_b]))
+        assert out.initial == 0
+        t_cross, value = out.transitions[-1]
+        assert value == 1
+        expected = max(t_a, t_b) + model.delay_rising(delta,
+                                                      vn_init=0.0)
+        assert t_cross == pytest.approx(expected, abs=TOL)
+
+    def test_sis_release(self, nor_channel, model):
+        """A held high forever releases: δ↑ at the −inf edge."""
+        out = nor_channel.simulate(DigitalTrace.from_edges(1, [T0]),
+                                   DigitalTrace.constant(0))
+        t_cross, value = out.transitions[-1]
+        assert value == 1
+        assert t_cross == pytest.approx(
+            T0 + model.delay_rising(-math.inf), abs=TOL)
+
+
+class TestPulseBehaviour:
+    def test_full_pulse_matches_hybrid_channel(self, nor_channel):
+        """A NOR of two generous pulses: same transitions as the ODE
+        channel to within the table tolerance."""
+        ode = HybridNorChannel(PAPER_TABLE_I)
+        trace_a = DigitalTrace.from_edges(0, [100 * PS, 400 * PS])
+        trace_b = DigitalTrace.from_edges(0, [130 * PS, 450 * PS])
+        expected = ode.simulate(trace_a, trace_b)
+        actual = nor_channel.simulate(trace_a, trace_b)
+        assert actual.initial == expected.initial
+        assert len(actual.transitions) == len(expected.transitions)
+        for (t_act, v_act), (t_exp, v_exp) in zip(
+                actual.transitions, expected.transitions):
+            assert v_act == v_exp
+            # The ODE channel carries continuous-state memory between
+            # transitions that the table cannot; allow a few ps.
+            assert t_act == pytest.approx(t_exp, abs=5.0 * PS)
+
+    def test_short_pulse_is_filtered(self, nor_channel, model):
+        """An input pulse shorter than the gate delay vanishes."""
+        width = 5.0 * PS
+        assert width < model.delay_falling(math.inf)
+        out = nor_channel.simulate(
+            DigitalTrace.from_edges(0, [T0, T0 + width]),
+            DigitalTrace.constant(0))
+        assert out.transitions == []
+
+    def test_t_max_truncates(self, nor_channel):
+        out = nor_channel.simulate(DigitalTrace.from_edges(0, [T0]),
+                                   DigitalTrace.constant(0),
+                                   t_max=T0)
+        assert out.transitions == []
+
+    def test_negative_times_rejected(self, nor_channel):
+        with pytest.raises(TraceError):
+            nor_channel.simulate(
+                DigitalTrace.from_edges(0, [-1.0 * PS]),
+                DigitalTrace.constant(0))
+
+
+class TestNandChannel:
+    def test_series_falling_and_parallel_rising(self, nand_table):
+        """NAND conventions: falling referenced to the later rise,
+        rising to the earlier fall."""
+        channel = TableDelayChannel(nand_table)
+        model = HybridNandModel(PAPER_TABLE_I)
+        delta = 10.0 * PS
+        t_a = T0
+        t_b = T0 + delta
+        out = channel.simulate(
+            DigitalTrace.from_edges(0, [t_a]),
+            DigitalTrace.from_edges(0, [t_b]))
+        assert out.initial == 1
+        t_cross, value = out.transitions[0]
+        assert value == 0
+        assert t_cross == pytest.approx(
+            max(t_a, t_b) + model.delay_falling(delta), abs=TOL)
+
+        # Both fall back: rising output from the earlier fall.
+        t_a2, t_b2 = T0 + 600 * PS, T0 + 590 * PS
+        out = channel.simulate(
+            DigitalTrace.from_edges(0, [t_a, t_a2]),
+            DigitalTrace.from_edges(0, [t_b, t_b2]))
+        t_rise, value = out.transitions[-1]
+        assert value == 1
+        delta_fall = t_b2 - t_a2
+        assert t_rise == pytest.approx(
+            min(t_a2, t_b2) + model.delay_rising(delta_fall), abs=TOL)
+
+    def test_worst_case_state_defaults_to_vdd(self, nand_table):
+        channel = TableDelayChannel(nand_table)
+        assert channel.state == PAPER_TABLE_I.vdd
+
+    def test_initial_output(self, nand_table):
+        channel = TableDelayChannel(nand_table)
+        assert channel.initial_output(1, 1) == 0
+        assert channel.initial_output(0, 1) == 1
+
+
+class TestRandomTraceSanity:
+    def test_alternation_and_bounds_on_random_traces(self, nor_channel):
+        from repro.timing.tracegen import WaveformConfig, generate_traces
+        config = WaveformConfig(mu=120 * PS, sigma=40 * PS,
+                                mode="local", transitions=40)
+        traces = generate_traces(config, ["a", "b"], seed=7,
+                                 t_start=300 * PS)
+        out = nor_channel.simulate(traces["a"], traces["b"])
+        values = [v for _, v in out.transitions]
+        times = [t for t, _ in out.transitions]
+        assert times == sorted(times)
+        for first, second in zip(values, values[1:]):
+            assert first != second
