@@ -1,0 +1,152 @@
+"""STA benchmarks: cross-validation record + corner-sweep speedup.
+
+Two records are produced:
+
+* ``benchmarks/results/sta.txt`` — the rendered
+  STA-vs-event-simulation cross-validation table of
+  :func:`repro.analysis.experiments.experiment_sta`;
+* ``BENCH_sta.json`` at the repository root — wall time of a
+  1000-corner vectorized sweep against the scalar per-corner loop on
+  the NOR tree circuit, tracked across PRs next to
+  ``BENCH_runtime.json`` / ``BENCH_library.json``.
+
+Acceptance (ISSUE 3): STA critical-path delays match full event
+simulation within 0.1 ps, and the vectorized 1k-corner sweep runs at
+least 10x faster than the scalar loop.
+
+The module doubles as a CI smoke check::
+
+    python benchmarks/bench_sta.py --smoke
+
+runs a reduced sweep (no pytest needed) and exits non-zero if parity
+or the speedup machinery is broken.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.sta import (build_timing_graph, demo_corners, nor_tree,
+                       sweep_corners, sweep_corners_scalar)
+from repro.units import PS
+
+#: ISSUE acceptance: vectorized vs scalar on the full corner count.
+_SPEEDUP_FLOOR = 10.0
+#: ISSUE acceptance for STA-vs-simulation agreement.
+_AGREEMENT_TOL = 0.1 * PS
+#: Machine-readable record tracked across PRs.
+_JSON_PATH = pathlib.Path(__file__).parents[1] / "BENCH_sta.json"
+
+#: Full / smoke corner counts.
+FULL_CORNERS = 1000
+SMOKE_CORNERS = 96
+
+
+def measure_sweep(corners: int, seed: int = 0) -> dict:
+    """Time the vectorized sweep against the scalar per-corner loop.
+
+    Returns the ``BENCH_sta.json`` payload (seconds, speedup, and
+    the parity of the two results).
+    """
+    graph = build_timing_graph(nor_tree())
+    # The shared demo grid: 4 process variants x random arrivals on
+    # two of the tree's inputs (repro sta --corners uses the same).
+    params, arrivals = demo_corners(corners, ["b", "d"], seed=seed)
+    # Warm the engine's per-parameter-set caches: steady-state
+    # throughput is the quantity of interest.
+    sweep_corners(graph, params=params[:8],
+                  arrivals={key: values[:8]
+                            for key, values in arrivals.items()})
+
+    start = time.perf_counter()
+    fast = sweep_corners(graph, params=params, arrivals=arrivals)
+    vectorized_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    slow = sweep_corners_scalar(graph, params=params,
+                                arrivals=arrivals)
+    scalar_s = time.perf_counter() - start
+
+    parity = 0.0
+    for node, values in fast.arrivals.items():
+        other = slow.arrivals[node]
+        finite = np.isfinite(values) & np.isfinite(other)
+        if finite.any():
+            parity = max(parity, float(np.max(np.abs(
+                values[finite] - other[finite]))))
+
+    return {
+        "workload": "MIS-aware STA corner sweep (NOR tree, 4 "
+                    "parameter variants x random arrivals)",
+        "corners": corners,
+        "vectorized_seconds": vectorized_s,
+        "scalar_seconds": scalar_s,
+        "speedup": scalar_s / vectorized_s,
+        "corners_per_second_vectorized": corners / vectorized_s,
+        "parity_s": parity,
+    }
+
+
+def test_sta_cross_validation_record(benchmark, write_result):
+    """STA vs event simulation on the paper's NOR circuits."""
+    from repro.analysis.experiments import experiment_sta
+
+    result = benchmark.pedantic(experiment_sta, rounds=1,
+                                iterations=1)
+    write_result("sta", result.text)
+    benchmark.extra_info["max_error_fs"] = round(
+        result.max_error / 1e-15, 3)
+    assert result.max_error <= _AGREEMENT_TOL
+
+
+def test_sta_corner_sweep_speedup(benchmark, write_result):
+    """1000-corner vectorized sweep vs the scalar loop (>= 10x)."""
+    payload = benchmark.pedantic(
+        lambda: measure_sweep(FULL_CORNERS), rounds=1, iterations=1)
+    _JSON_PATH.write_text(json.dumps(payload, indent=2,
+                                     sort_keys=True) + "\n")
+    benchmark.extra_info["speedup"] = round(payload["speedup"], 1)
+    assert payload["parity_s"] <= 1e-15
+    assert payload["speedup"] >= _SPEEDUP_FLOOR
+
+
+def main(argv=None) -> int:
+    """Script entry point (CI smoke mode without pytest)."""
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"reduced sweep ({SMOKE_CORNERS} "
+                             "corners) for fast CI checks")
+    parser.add_argument("--corners", type=int, default=None,
+                        help="override the corner count")
+    args = parser.parse_args(argv)
+    corners = args.corners or (SMOKE_CORNERS if args.smoke
+                               else FULL_CORNERS)
+    payload = measure_sweep(corners)
+    _JSON_PATH.write_text(json.dumps(payload, indent=2,
+                                     sort_keys=True) + "\n")
+    print(f"{corners} corners: vectorized "
+          f"{payload['vectorized_seconds'] * 1e3:.1f} ms, scalar "
+          f"{payload['scalar_seconds'] * 1e3:.1f} ms, speedup "
+          f"{payload['speedup']:.1f}x, parity "
+          f"{payload['parity_s']:.2e} s")
+    print(f"wrote {_JSON_PATH}")
+    if payload["parity_s"] > 1e-15:
+        print("FAIL: vectorized/scalar parity broken",
+              file=sys.stderr)
+        return 1
+    floor = 2.0 if (args.smoke or corners < FULL_CORNERS) \
+        else _SPEEDUP_FLOOR
+    if payload["speedup"] < floor:
+        print(f"FAIL: speedup {payload['speedup']:.1f}x below "
+              f"{floor}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

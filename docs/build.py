@@ -47,6 +47,7 @@ API_MODULES = [
     "repro.core",
     "repro.engine",
     "repro.library",
+    "repro.sta",
     "repro.spice",
     "repro.timing",
     "repro.models",
@@ -57,7 +58,8 @@ API_MODULES = [
 ]
 
 #: Modules whose public *methods* must also carry docstrings.
-STRICT_DOCSTRING_MODULES = {"repro", "repro.engine", "repro.library"}
+STRICT_DOCSTRING_MODULES = {"repro", "repro.engine", "repro.library",
+                            "repro.sta"}
 
 #: Site navigation: (section, [(source page, title), ...]).
 NAV: list[tuple[str, list[tuple[str, str]]]] = [
@@ -68,10 +70,12 @@ NAV: list[tuple[str, list[tuple[str, str]]]] = [
     ("Guides", [
         ("engines.md", "Engine backends"),
         ("library.md", "Library characterization"),
+        ("sta.md", "Static timing analysis"),
     ]),
     ("Tutorials", [
         ("tutorials/quickstart.md", "Quickstart"),
         ("tutorials/timing-accuracy.md", "Timing accuracy study"),
+        ("tutorials/sta.md", "STA walkthrough"),
     ]),
     ("API reference", [
         (f"api/{name}.md", name) for name in API_MODULES

@@ -17,6 +17,10 @@ Package layout (see DESIGN.md for the full inventory):
   sweeps gate/parameter grids through an engine into serializable
   per-gate MIS delay tables (JSON) with bilinear interpolated lookup,
   consumed by :class:`repro.timing.TableDelayChannel`.
+* :mod:`repro.sta` — MIS-aware static timing analysis: circuits
+  lowered into pin-to-pin timing arcs (engine / table / fixed delay
+  models), arrival propagation with sibling-Δ conditioning, slack,
+  ranked critical paths, and vectorized corner sweeps.
 * :mod:`repro.spice` — an MNA-based analog transient simulator with a
   square-law MOSFET model and synthetic 15 nm / 65 nm technology cards;
   the golden reference replacing the paper's Spectre setup.
@@ -64,6 +68,14 @@ from .library import (
     characterize_library,
     paper_jobs,
 )
+from .sta import (
+    StaResult,
+    TimingGraph,
+    analyze,
+    build_timing_graph,
+    sta_circuit,
+    sweep_corners,
+)
 from .errors import (
     ConvergenceError,
     FittingError,
@@ -75,7 +87,7 @@ from .errors import (
     TraceError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CharacterizationJob",
@@ -100,8 +112,12 @@ __all__ = [
     "PiecewiseTrajectory",
     "ReproError",
     "SimulationError",
+    "StaResult",
+    "TimingGraph",
     "TraceError",
+    "analyze",
     "available_engines",
+    "build_timing_graph",
     "characterize_gate",
     "characterize_library",
     "fit_nor_parameters",
@@ -110,5 +126,7 @@ __all__ = [
     "paper_jobs",
     "register_engine",
     "solve_mode",
+    "sta_circuit",
+    "sweep_corners",
     "__version__",
 ]

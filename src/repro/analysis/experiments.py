@@ -22,7 +22,7 @@ import numpy as np
 from ..core.analytic import (delta_falling_minus_inf, delta_falling_plus_inf,
                              delta_falling_zero, delta_rising)
 from ..core.charlie import MisCurve
-from ..core.hybrid_model import HybridNorModel
+from ..core.hybrid_model import HybridNorModel, settle_time
 from ..core.modes import Mode
 from ..core.parameters import PAPER_TABLE_I, NorGateParameters
 from ..core.parametrization import FitResult
@@ -54,6 +54,7 @@ __all__ = [
     "experiment_engines",
     "experiment_library",
     "experiment_runtime",
+    "experiment_sta",
     "experiment_ablation_delta_min",
     "experiment_baseline_fits",
     "experiment_faithfulness",
@@ -574,6 +575,136 @@ def experiment_library(params: NorGateParameters = PAPER_TABLE_I,
 
 
 # ----------------------------------------------------------------------
+# Static timing analysis (STA vs full event simulation)
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class StaCrossCheck:
+    """One STA-vs-event-simulation comparison point.
+
+    Attributes:
+        circuit: name of the test circuit.
+        node: the compared ``(signal, transition)`` node, rendered.
+        sta_time: STA arrival time, seconds.
+        sim_time: event-simulation transition time, seconds.
+    """
+
+    circuit: str
+    node: str
+    sta_time: float
+    sim_time: float
+
+    @property
+    def error(self) -> float:
+        """Absolute STA-vs-simulation disagreement, seconds."""
+        return abs(self.sta_time - self.sim_time)
+
+
+@dataclasses.dataclass(frozen=True)
+class StaResultSummary:
+    """Outcome of the STA cross-validation experiment.
+
+    Attributes:
+        checks: all comparison points.
+        max_error: worst |STA − simulation| disagreement, seconds.
+        text: rendered table.
+    """
+
+    checks: list[StaCrossCheck]
+    max_error: float
+    text: str
+
+
+def sta_scenarios(params: NorGateParameters = PAPER_TABLE_I):
+    """The cross-validation scenarios on the paper's NOR circuits.
+
+    Each scenario is ``(circuit name, STA input arrivals, input
+    traces)`` with one transition per switching input — the regime
+    where the MIS-conditioned STA arrivals must coincide with full
+    event simulation of the hybrid automaton.  Arrival times are
+    offset from 0 so that initial states are settled equilibria.
+    """
+    t0 = 100.0 * PS
+    inf = math.inf
+    return (
+        # Single NOR, falling output: the paper's Fig. 5 setting.
+        ("nor2",
+         {"a": (t0, -inf), "b": (t0 + 10.0 * PS, -inf)},
+         {"a": DigitalTrace(0, [(t0, 1)]),
+          "b": DigitalTrace(0, [(t0 + 10.0 * PS, 1)])}),
+        # Single NOR, rising output: the Fig. 6 setting (Δ = 4 ps).
+        ("nor2",
+         {"a": (inf, t0), "b": (inf, t0 + 4.0 * PS)},
+         {"a": DigitalTrace(1, [(t0, 0)]),
+          "b": DigitalTrace(1, [(t0 + 4.0 * PS, 0)])}),
+        # NOR inverter chain: every stage at the Δ = 0 MIS point.
+        ("chain",
+         {"a": (t0, -inf)},
+         {"a": DigitalTrace(0, [(t0, 1)])}),
+        # Two-level NOR tree with staggered input arrivals.
+        ("tree",
+         {"a": (t0, -inf), "b": (t0 + 8.0 * PS, -inf),
+          "c": (t0 + 12.0 * PS, -inf), "d": (t0 + 20.0 * PS, -inf)},
+         {"a": DigitalTrace(0, [(t0, 1)]),
+          "b": DigitalTrace(0, [(t0 + 8.0 * PS, 1)]),
+          "c": DigitalTrace(0, [(t0 + 12.0 * PS, 1)]),
+          "d": DigitalTrace(0, [(t0 + 20.0 * PS, 1)])}),
+    )
+
+
+def experiment_sta(params: NorGateParameters = PAPER_TABLE_I,
+                   engine=None) -> StaResultSummary:
+    """STA arrivals vs full event simulation on the NOR circuits.
+
+    Runs every :func:`sta_scenarios` scenario twice — once through
+    the MIS-aware static timing analyzer (:mod:`repro.sta`) and once
+    through the event-driven simulator — and compares every signal
+    transition the simulation produced against the STA arrival of
+    the corresponding ``(signal, transition)`` node.  Agreement is
+    expected to the root-search tolerance for these single-switching
+    scenarios; the test-suite asserts ``max_error <= 0.1 ps``.
+
+    Args:
+        params: electrical parameter set for every gate.
+        engine: delay-evaluation backend for the STA arcs.
+    """
+    from ..sta import TimingNode, analyze, build_timing_graph, \
+        sta_circuit
+    from ..timing.event_simulator import simulate_events
+
+    checks: list[StaCrossCheck] = []
+    for name, arrivals, traces in sta_scenarios(params):
+        circuit = sta_circuit(name, params)
+        graph = build_timing_graph(circuit, engine=engine)
+        result = analyze(graph, arrivals=arrivals, top_paths=1)
+        t_stop = 100.0 * PS + 4.0 * settle_time(params)
+        simulated = simulate_events(circuit, traces, t_stop=t_stop)
+        for signal in graph.signal_order:
+            for time, value in simulated[signal].transitions:
+                node = TimingNode(signal,
+                                  "rise" if value == 1 else "fall")
+                checks.append(StaCrossCheck(
+                    circuit=name, node=str(node),
+                    sta_time=result.arrivals[node], sim_time=time))
+    worst = max(check.error for check in checks)
+    rows = [(check.circuit, check.node,
+             f"{to_ps(check.sta_time):.4f}",
+             f"{to_ps(check.sim_time):.4f}",
+             f"{to_ps(check.error) * 1000.0:.3f}")
+            for check in checks]
+    table = ascii_table(
+        ["circuit", "node", "STA [ps]", "event sim [ps]",
+         "error [fs]"], rows,
+        title="STA arrivals vs full event simulation")
+    text = "\n".join([
+        table,
+        f"worst disagreement {to_ps(worst) * 1000.0:.3f} fs "
+        "(acceptance: <= 100 fs)",
+    ])
+    return StaResultSummary(checks=checks, max_error=worst, text=text)
+
+
+# ----------------------------------------------------------------------
 # Ablations
 # ----------------------------------------------------------------------
 
@@ -672,5 +803,6 @@ EXPERIMENTS = {
     "engines": experiment_engines,
     "library": experiment_library,
     "runtime": experiment_runtime,
+    "sta": experiment_sta,
     "faithfulness": experiment_faithfulness,
 }

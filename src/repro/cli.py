@@ -2,12 +2,19 @@
 
 Runs one of the paper's experiments and prints its rendered rows.
 ``python -m repro list`` enumerates the registry.  Beyond the
-experiments, two library-workflow commands exist:
+experiments, three workflow commands exist:
 
 * ``repro characterize`` sweeps a gate grid through a delay engine
   and writes a serialized :class:`~repro.library.GateLibrary` JSON;
 * ``repro library`` inspects (and optionally re-verifies) such a
-  file.
+  file;
+* ``repro sta`` runs the MIS-aware static timing analyzer over a
+  built-in NOR circuit (report, JSON output, corner sweeps, and the
+  STA-vs-event-simulation cross-validation).
+
+Error contract: unknown gate/engine/library/circuit names and other
+bad inputs exit with a non-zero status and a one-line message on
+stderr — never a traceback.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from collections.abc import Sequence
 
 from .analysis import experiments as exp
 from .engine import DEFAULT_ENGINE, available_engines
+from .errors import ReproError
 from .spice.technology import BULK65, FINFET15, TechnologyCard
 
 __all__ = ["main", "build_parser"]
@@ -47,6 +55,8 @@ _WORKFLOWS = {
     "characterize": "characterize a gate library into a JSON file",
     "library": "inspect / verify a characterized library JSON "
                "(with a path)",
+    "sta": "MIS-aware static timing analysis (report, corner "
+           "sweeps, cross-validation)",
 }
 
 #: Experiments whose model sweeps route through a delay engine.
@@ -134,6 +144,39 @@ def build_parser() -> argparse.ArgumentParser:
                           "to the library's standard grid)")
     cmd.add_argument("--name", default="repro-hybrid",
                      help="library name stored in the JSON header")
+
+    cmd = sub.add_parser("sta", help=_WORKFLOWS["sta"])
+    cmd.add_argument("--circuit", default="tree",
+                     help="built-in test circuit (see repro.sta."
+                          "STA_CIRCUITS; default: tree)")
+    cmd.add_argument("--engine", default=None,
+                     help="delay evaluation backend (default: "
+                          f"{DEFAULT_ENGINE})")
+    cmd.add_argument("--library", default=None, metavar="PATH",
+                     help="characterized library JSON; gates use "
+                          "table lookups instead of direct "
+                          "evaluation")
+    cmd.add_argument("--cell", default=None,
+                     help="cell of --library to drive the gates "
+                          "with (required with --library)")
+    cmd.add_argument("--required", type=float, default=None,
+                     metavar="PS",
+                     help="endpoint required arrival time in ps "
+                          "(enables slack)")
+    cmd.add_argument("--top", type=_positive_int, default=3,
+                     help="number of ranked critical paths "
+                          "(default: 3)")
+    cmd.add_argument("--corners", type=_positive_int, default=None,
+                     metavar="N",
+                     help="also run an N-corner vectorized sweep "
+                          "(random parameter/arrival corners)")
+    cmd.add_argument("--seed", type=int, default=0,
+                     help="corner-sampling seed (default: 0)")
+    cmd.add_argument("--json", default=None, metavar="PATH",
+                     help="write the full result as JSON")
+    cmd.add_argument("--validate", action="store_true",
+                     help="run the STA-vs-event-simulation "
+                          "cross-validation instead of a report")
     return parser
 
 
@@ -200,10 +243,10 @@ def _run_library(args: argparse.Namespace) -> str:
     try:
         library = GateLibrary.load(args.path)
     except FileNotFoundError:
-        raise SystemExit(f"repro library: no such file: {args.path}")
+        raise ValueError(f"no such file: {args.path}") from None
     except (ParameterError, json.JSONDecodeError) as error:
-        raise SystemExit(
-            f"repro library: cannot read {args.path}: {error}")
+        raise ValueError(
+            f"cannot read {args.path}: {error}") from None
     lines = [f"library '{library.name}' "
              f"({len(library)} cells)"]
     if library.description:
@@ -213,7 +256,7 @@ def _run_library(args: argparse.Namespace) -> str:
         try:
             table = library[cell]
         except KeyError as error:
-            raise SystemExit(f"repro library: {error.args[0]}")
+            raise ValueError(error.args[0]) from None
         lines.append(f"  {table.describe()}")
         if args.cell:
             fall = table.falling.characteristic()
@@ -230,11 +273,83 @@ def _run_library(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_sta(args: argparse.Namespace) -> str:
+    """MIS-aware static timing analysis (``repro sta``)."""
+    import json
+
+    from .engine import get_engine
+    from .sta import (TableArcModel, analyze, build_timing_graph,
+                      demo_corners, render_report,
+                      render_sweep_summary, result_to_json,
+                      sta_circuit, sweep_corners)
+    from .units import PS
+
+    if args.validate:
+        return exp.experiment_sta(engine=args.engine).text
+
+    engine = get_engine(args.engine)  # fail fast on unknown names
+    circuit = sta_circuit(args.circuit)
+    models = None
+    if args.library is not None:
+        from .errors import ParameterError
+        from .library import GateLibrary
+        if args.cell is None:
+            raise ValueError("--library needs --cell to pick the "
+                             "table driving the gates")
+        try:
+            library = GateLibrary.load(args.library)
+        except FileNotFoundError:
+            raise ValueError(
+                f"no such file: {args.library}") from None
+        except (ParameterError, json.JSONDecodeError) as error:
+            raise ValueError(
+                f"cannot read {args.library}: {error}") from None
+        try:
+            table = library[args.cell]
+        except KeyError as error:
+            raise ValueError(error.args[0]) from None
+        models = {instance.name: TableArcModel(table)
+                  for instance in circuit.instances}
+    graph = build_timing_graph(circuit, models=models, engine=engine)
+    required = (args.required * PS if args.required is not None
+                else None)
+    result = analyze(graph, required=required, top_paths=args.top)
+    lines = [render_report(result,
+                           title=f"STA report: circuit "
+                                 f"'{args.circuit}' via "
+                                 f"'{engine.name}'")]
+    sweep = None
+    if args.corners is not None:
+        params_axis, corner_arrivals = demo_corners(
+            args.corners, [graph.inputs[0]], seed=args.seed)
+        if models is not None:
+            # Table arcs are characterized for one parameter set;
+            # sweep only the arrival axis for library-backed runs.
+            params_axis = None
+        sweep = sweep_corners(graph, params=params_axis,
+                              arrivals=corner_arrivals,
+                              required=required)
+        lines.append("")
+        lines.append(render_sweep_summary(sweep))
+    if args.json is not None:
+        payload = result_to_json(result, sweep)
+        with open(args.json, "w") as handle:
+            # allow_nan=False: the payload must stay strict-JSON
+            # (non-finite times are serialized as null upstream).
+            json.dump(payload, handle, indent=2, sort_keys=True,
+                      allow_nan=False)
+            handle.write("\n")
+        lines.append(f"wrote {args.json}")
+    return "\n".join(lines)
+
+
 def _run_experiment(args: argparse.Namespace) -> str:
     tech = _TECH_CARDS[getattr(args, "tech", "finfet15")]
     name = args.command
     if name == "characterize":
         return _run_characterize(args)
+    if name == "sta":
+        return _run_sta(args)
     if name == "library":
         if args.path is not None:
             return _run_library(args)
@@ -270,7 +385,11 @@ def _run_experiment(args: argparse.Namespace) -> str:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Bad inputs (unknown gate/engine/library/circuit names, malformed
+    values) exit with status 2 and a one-line message on stderr.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -278,11 +397,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         entries["characterize"] = _WORKFLOWS["characterize"]
         entries["library"] = (_DESCRIPTIONS["library"] + "; "
                               + _WORKFLOWS["library"])
+        entries["sta"] = _WORKFLOWS["sta"]
         width = max(len(name) for name in entries)
         for name, description in entries.items():
             print(f"{name:<{width}}  {description}")
         return 0
-    print(_run_experiment(args))
+    try:
+        print(_run_experiment(args))
+    except (ReproError, ValueError) as error:
+        print(f"repro {args.command}: {error}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -24,7 +24,7 @@ New backends implement :class:`~repro.engine.base.DelayEngine` and call
 """
 
 from .base import (DEFAULT_ENGINE, DelayEngine, available_engines,
-                   get_engine, register_engine)
+                   delays_for_direction, get_engine, register_engine)
 from .parallel import ParallelEngine
 from .reference import ReferenceEngine
 from .vectorized import VectorizedEngine
@@ -36,6 +36,7 @@ __all__ = [
     "ReferenceEngine",
     "VectorizedEngine",
     "available_engines",
+    "delays_for_direction",
     "get_engine",
     "register_engine",
 ]

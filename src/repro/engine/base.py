@@ -30,6 +30,7 @@ __all__ = [
     "DEFAULT_ENGINE",
     "DelayEngine",
     "available_engines",
+    "delays_for_direction",
     "get_engine",
     "register_engine",
 ]
@@ -92,6 +93,47 @@ class DelayEngine(Protocol):
             ``δ_min``.
         """
         ...
+
+
+def delays_for_direction(engine: "DelayEngine", direction: str,
+                         params: NorGateParameters, deltas,
+                         vn_init: float = 0.0) -> np.ndarray:
+    """Dispatch a delay sweep by output-transition direction.
+
+    Callers that carry the transition direction as data (the parallel
+    engine's worker shards, the STA timing arcs of :mod:`repro.sta`)
+    all need the same two-way branch; this keeps it in one place.
+
+    Parameters
+    ----------
+    engine : DelayEngine
+        Backend instance the sweep runs on.
+    direction : str
+        ``"falling"`` or ``"rising"`` (the output transition).
+    params : NorGateParameters
+        Electrical parameter set (SI units).
+    deltas : array_like of float
+        Input separations in seconds; any shape, ``±inf`` allowed.
+    vn_init : float, optional
+        Internal-node voltage in volts, used by the rising direction
+        only (default 0.0, the GND worst case).
+
+    Returns
+    -------
+    numpy.ndarray
+        Delays in seconds, same shape as *deltas*.
+
+    Raises
+    ------
+    ValueError
+        If *direction* is neither ``"falling"`` nor ``"rising"``.
+    """
+    if direction == "falling":
+        return engine.delays_falling(params, deltas)
+    if direction == "rising":
+        return engine.delays_rising(params, deltas, vn_init)
+    raise ValueError(f"direction must be 'falling' or 'rising', "
+                     f"got {direction!r}")
 
 
 _FACTORIES: dict[str, Callable[[], DelayEngine]] = {}

@@ -43,7 +43,7 @@ import numpy as np
 
 from ..core.parameters import NorGateParameters
 from ..errors import ParameterError
-from .base import get_engine, register_engine
+from .base import delays_for_direction, get_engine, register_engine
 
 __all__ = ["ParallelEngine"]
 
@@ -64,10 +64,8 @@ def _worker_evaluate(inner: str, direction: str,
     *name* in the worker, where its per-parameter-set caches persist
     across shards of the same pool lifetime.
     """
-    backend = get_engine(inner)
-    if direction == "falling":
-        return backend.delays_falling(params, shard)
-    return backend.delays_rising(params, shard, vn_init)
+    return delays_for_direction(get_engine(inner), direction, params,
+                                shard, vn_init)
 
 
 def _default_processes() -> int:

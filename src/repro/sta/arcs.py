@@ -1,0 +1,287 @@
+"""Pin-to-pin arc delay models of the STA subsystem.
+
+A timing arc answers "how long from this input transition to that
+output transition, given the sibling-input separation Δ?" — the same
+question the paper's two-input delay functions ``δ↓(Δ)`` / ``δ↑(Δ)``
+answer, packaged behind one small protocol so that a
+:class:`~repro.sta.graph.TimingGraph` can mix
+
+* **direct model evaluation** (:class:`EngineArcModel`) — the hybrid
+  NOR/NAND closed forms through the :mod:`repro.engine` seam; the only
+  model kind that can be *re-targeted* to other parameter corners,
+  which is what the vectorized corner sweeps of :mod:`repro.sta.sweep`
+  batch over;
+* **characterized-table lookup** (:class:`TableArcModel`) — bilinear
+  interpolation on a :class:`~repro.library.GateDelayTable`, exactly
+  what an NLDM-style flow would read from a library JSON;
+* **fixed delays** (:class:`FixedArcModel`) — the Δ-independent
+  fallback for gates driven by single-input channels (pure, inertial,
+  involution), read off the channel's stable-history delay.
+
+All models are array-native: ``delays(direction, deltas)`` takes an
+array of sibling separations and returns delays of the same shape, so
+one arc evaluation can serve a thousand corners in a single call.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..core.parameters import NorGateParameters
+from ..engine import delays_for_direction, get_engine
+from ..errors import ParameterError
+from ..library.tables import GateDelayTable
+
+__all__ = [
+    "ArcDelayModel",
+    "EngineArcModel",
+    "FixedArcModel",
+    "TableArcModel",
+]
+
+#: Gate types with a two-input MIS characterization.
+MIS_GATE_TYPES = ("nor2", "nand2")
+
+
+@runtime_checkable
+class ArcDelayModel(Protocol):
+    """Delay model of one timing arc (array-in/array-out).
+
+    Implementations must be pure functions of
+    ``(direction, deltas, params)`` so that arc evaluations can be
+    batched, cached and re-ordered freely by the analyzer.
+    """
+
+    #: Reporting name of the model kind.
+    name: str
+
+    #: Whether :meth:`delays` honours a *params* override — the corner
+    #: sweep only re-targets retargetable models.
+    retargetable: bool
+
+    def delays(self, direction: str, deltas,
+               params: NorGateParameters | None = None) -> np.ndarray:
+        """MIS delays of the arc's output transition.
+
+        Parameters
+        ----------
+        direction : str
+            ``"falling"`` or ``"rising"`` — the output transition the
+            arc drives.
+        deltas : array_like of float
+            Sibling-input separations ``Δ = t_B − t_A`` in seconds;
+            ``±inf`` selects the SIS plateaus.  Ignored by
+            Δ-independent models.
+        params : NorGateParameters, optional
+            Corner override; only honoured when
+            :attr:`retargetable` is true.
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds, same shape as *deltas*.
+        """
+        ...
+
+
+def _check_mis_gate(gate: str) -> str:
+    if gate not in MIS_GATE_TYPES:
+        raise ParameterError(f"gate must be one of {MIS_GATE_TYPES}, "
+                             f"got {gate!r}")
+    return gate
+
+
+class EngineArcModel:
+    """Direct hybrid-model arc evaluation through the engine seam.
+
+    The paper's closed-form MIS delay functions, evaluated by a
+    :class:`~repro.engine.DelayEngine` backend.  NAND arcs use the
+    CMOS mirror duality of :mod:`repro.core.duality`: the NAND falling
+    surface is the NOR rising one with the internal-node state
+    mirrored, and the NAND rising surface is the NOR falling one.
+
+    Parameters
+    ----------
+    params : NorGateParameters
+        Electrical parameters (mirrored reading for NAND).
+    gate : str, optional
+        ``"nor2"`` (default) or ``"nand2"``.
+    engine : str or DelayEngine, optional
+        Evaluation backend (name, instance, or ``None`` for the
+        vectorized default).
+    state : float, optional
+        Initial internal-node voltage in volts for the
+        state-dependent direction; ``None`` (default) selects the
+        paper's worst case (``V_N = 0`` for NOR, ``V_M = VDD`` for
+        NAND).
+    """
+
+    name = "engine"
+    retargetable = True
+
+    def __init__(self, params: NorGateParameters, gate: str = "nor2",
+                 engine=None, state: float | None = None):
+        self.params = params
+        self.gate = _check_mis_gate(gate)
+        self.engine = get_engine(engine)
+        self.state = None if state is None else float(state)
+
+    def _vn_init(self, params: NorGateParameters) -> float:
+        """Worst-case (or overridden) NOR-frame internal-node voltage."""
+        if self.gate == "nor2":
+            return 0.0 if self.state is None else self.state
+        # NAND state axis is V_M; mirror into the NOR frame.
+        vm = params.vdd if self.state is None else self.state
+        return params.vdd - vm
+
+    def delays(self, direction: str, deltas,
+               params: NorGateParameters | None = None) -> np.ndarray:
+        """Evaluate ``δ(Δ)`` for the arc's output *direction*.
+
+        See :meth:`ArcDelayModel.delays`; *params* re-targets the
+        evaluation to another corner.
+        """
+        resolved = self.params if params is None else params
+        if self.gate == "nand2":
+            # Mirror duality: swap directions, mirror the state axis.
+            direction = "rising" if direction == "falling" else "falling"
+        return delays_for_direction(self.engine, direction, resolved,
+                                    deltas, self._vn_init(resolved))
+
+    def __repr__(self) -> str:
+        return (f"EngineArcModel(gate={self.gate!r}, "
+                f"engine={self.engine.name!r})")
+
+
+class TableArcModel:
+    """Characterized-library arc lookup.
+
+    Replays a :class:`~repro.library.GateDelayTable` — the consumer
+    side of ``repro characterize`` — with the same clamped bilinear
+    interpolation the :class:`~repro.timing.channels.TableDelayChannel`
+    uses, so STA and event simulation read identical numbers.
+
+    Parameters
+    ----------
+    table : GateDelayTable
+        Characterized delay surfaces (``table.gate`` fixes the
+        conventions).
+    state : float, optional
+        Internal-node voltage for state-dependent surface lookups;
+        ``None`` (default) selects the worst case (0 V for NOR,
+        ``VDD`` for NAND), matching the table channel.
+    """
+
+    name = "table"
+    retargetable = False
+
+    def __init__(self, table: GateDelayTable,
+                 state: float | None = None):
+        self.table = table
+        if state is None:
+            state = table.params.vdd if table.gate == "nand2" else 0.0
+        self.state = float(state)
+
+    @property
+    def gate(self) -> str:
+        """Gate type of the backing table (``"nor2"`` / ``"nand2"``)."""
+        return self.table.gate
+
+    def delays(self, direction: str, deltas,
+               params: NorGateParameters | None = None) -> np.ndarray:
+        """Interpolated ``δ(Δ)`` from the characterized surfaces.
+
+        Raises
+        ------
+        ParameterError
+            If a *params* corner override is requested — tables are
+            characterized for one parameter set; re-characterize a
+            library per corner instead.
+        """
+        if params is not None and params != self.table.params:
+            raise ParameterError(
+                f"table-backed arc ({self.table.cell!r}) cannot be "
+                "re-targeted to another parameter corner; "
+                "characterize a library for that corner instead")
+        if direction == "falling":
+            return self.table.falling.delays_at(deltas, self.state)
+        if direction == "rising":
+            return self.table.rising.delays_at(deltas, self.state)
+        raise ParameterError(f"direction must be 'falling' or "
+                             f"'rising', got {direction!r}")
+
+    def __repr__(self) -> str:
+        return f"TableArcModel({self.table.cell!r})"
+
+
+class FixedArcModel:
+    """Δ-independent arc delays (the non-characterized fallback).
+
+    Used for gates behind single-input channels, whose delay does not
+    depend on a sibling input.  :meth:`from_channel` reads the
+    channel's stable-history delays (``δ(∞)``), which is exact for
+    pure/inertial channels and the settled-history limit for
+    involution channels.
+
+    Parameters
+    ----------
+    delay_rise : float
+        Delay of output-rising arcs, seconds (non-negative).
+    delay_fall : float
+        Delay of output-falling arcs, seconds (non-negative).
+    """
+
+    name = "fixed"
+    retargetable = False
+
+    def __init__(self, delay_rise: float, delay_fall: float):
+        if not (math.isfinite(delay_rise) and delay_rise >= 0.0
+                and math.isfinite(delay_fall) and delay_fall >= 0.0):
+            raise ParameterError("fixed arc delays must be finite and "
+                                 "non-negative")
+        self.delay_rise = float(delay_rise)
+        self.delay_fall = float(delay_fall)
+
+    @classmethod
+    def from_channel(cls, channel) -> "FixedArcModel":
+        """Read the stable-history delays off a single-input channel.
+
+        Parameters
+        ----------
+        channel : SingleInputChannel
+            Any channel implementing ``delay(value, history)``;
+            probed at ``history = inf`` (output stable forever).
+
+        Raises
+        ------
+        ParameterError
+            If the channel declines to produce a delay even for an
+            infinitely-settled history.
+        """
+        rise = channel.delay(1, math.inf)
+        fall = channel.delay(0, math.inf)
+        if rise is None or fall is None:
+            raise ParameterError(
+                f"channel {channel!r} has no stable-history delay; "
+                "provide an explicit FixedArcModel")
+        return cls(delay_rise=rise, delay_fall=fall)
+
+    def delays(self, direction: str, deltas,
+               params: NorGateParameters | None = None) -> np.ndarray:
+        """Constant delays broadcast to the shape of *deltas*."""
+        if direction == "falling":
+            value = self.delay_fall
+        elif direction == "rising":
+            value = self.delay_rise
+        else:
+            raise ParameterError(f"direction must be 'falling' or "
+                                 f"'rising', got {direction!r}")
+        return np.full(np.shape(np.asarray(deltas, dtype=float)),
+                       value)
+
+    def __repr__(self) -> str:
+        return (f"FixedArcModel(rise={self.delay_rise!r}, "
+                f"fall={self.delay_fall!r})")

@@ -1,0 +1,157 @@
+"""The paper's NOR test circuits, packaged for STA and simulation.
+
+Small feed-forward circuits built from the paper's two-input hybrid
+NOR element — the same netlists drive the STA-vs-event-simulation
+cross-validation (:func:`repro.analysis.experiments.experiment_sta`),
+the ``repro sta`` CLI, and the corner-sweep benchmark.  Each builder
+returns a :class:`~repro.timing.TimingCircuit` whose instances carry
+:class:`~repro.timing.channels.HybridNorChannel` delays, so event
+simulation and STA read the exact same model.
+
+* ``nor2`` — the paper's single NOR gate (Section VI's device under
+  test): inputs ``a``, ``b``, output ``y``.
+* ``chain`` — NOR inverter chain: each stage ties both pins to the
+  previous signal (``Δ = 0`` MIS points all the way down).
+* ``tree`` — a balanced NOR reduction tree over four inputs
+  (``a`` … ``d``), mixing earlier/later references per level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.parameters import PAPER_TABLE_I, NorGateParameters
+from ..errors import ParameterError
+from ..timing.channels.hybrid import HybridNorChannel
+from ..timing.circuit import TimingCircuit
+from ..units import PS
+
+__all__ = ["STA_CIRCUITS", "sta_circuit", "single_nor", "nor_chain",
+           "nor_tree", "demo_corners"]
+
+
+def single_nor(params: NorGateParameters = PAPER_TABLE_I
+               ) -> TimingCircuit:
+    """One hybrid NOR: inputs ``a``, ``b``, output ``y``."""
+    circuit = TimingCircuit(["a", "b"])
+    circuit.add_hybrid_nor("g0", "a", "b", "y",
+                           HybridNorChannel(params))
+    return circuit
+
+
+def nor_chain(params: NorGateParameters = PAPER_TABLE_I,
+              stages: int = 3) -> TimingCircuit:
+    """NOR-as-inverter chain: stage *i* NORs the previous signal
+    with itself (both pins tied), so every stage sits at the paper's
+    ``Δ = 0`` MIS point.
+
+    Parameters
+    ----------
+    params : NorGateParameters, optional
+        Electrical parameters shared by all stages.
+    stages : int, optional
+        Number of NOR stages (default 3, at least 1).
+    """
+    if stages < 1:
+        raise ParameterError("chain needs at least 1 stage")
+    circuit = TimingCircuit(["a"])
+    previous = "a"
+    for index in range(stages):
+        output = f"n{index + 1}" if index < stages - 1 else "y"
+        circuit.add_hybrid_nor(f"g{index}", previous, previous,
+                               output, HybridNorChannel(params))
+        previous = output
+    return circuit
+
+
+def nor_tree(params: NorGateParameters = PAPER_TABLE_I
+             ) -> TimingCircuit:
+    """Balanced two-level NOR tree over inputs ``a`` … ``d``.
+
+    Level one NORs ``(a, b)`` and ``(c, d)``; level two NORs the two
+    intermediate signals into ``y`` — a miniature reduction tree
+    whose root delay depends on the MIS alignment of *both* levels.
+    """
+    circuit = TimingCircuit(["a", "b", "c", "d"])
+    circuit.add_hybrid_nor("g0", "a", "b", "n1",
+                           HybridNorChannel(params))
+    circuit.add_hybrid_nor("g1", "c", "d", "n2",
+                           HybridNorChannel(params))
+    circuit.add_hybrid_nor("g2", "n1", "n2", "y",
+                           HybridNorChannel(params))
+    return circuit
+
+
+#: Named circuit builders accepted by :func:`sta_circuit` and the
+#: CLI's ``repro sta --circuit`` flag.
+STA_CIRCUITS = {
+    "nor2": single_nor,
+    "chain": nor_chain,
+    "tree": nor_tree,
+}
+
+
+def sta_circuit(name: str,
+                params: NorGateParameters = PAPER_TABLE_I
+                ) -> TimingCircuit:
+    """Build a named test circuit.
+
+    Parameters
+    ----------
+    name : str
+        A key of :data:`STA_CIRCUITS`.
+    params : NorGateParameters, optional
+        Electrical parameters for every gate (default: the paper's
+        Table I).
+
+    Raises
+    ------
+    ValueError
+        If *name* is not a registered circuit.
+    """
+    try:
+        builder = STA_CIRCUITS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown circuit {name!r}; available: "
+            f"{', '.join(sorted(STA_CIRCUITS))}") from None
+    return builder(params)
+
+
+def demo_corners(count: int, signals, seed: int = 0,
+                 base: NorGateParameters = PAPER_TABLE_I):
+    """The demo/benchmark corner grid shared by CLI and benches.
+
+    Four process variants (the pull-down resistances scaled by
+    0.9/1.0/1.1/1.2) assigned round-robin over the corner axis,
+    crossed with uniformly random input-arrival offsets in
+    ``[0, 40 ps]`` for each listed signal — the workload
+    ``repro sta --corners`` reports and ``benchmarks/bench_sta.py``
+    records in ``BENCH_sta.json``.
+
+    Parameters
+    ----------
+    count : int
+        Number of corners.
+    signals : iterable of str
+        Primary-input names that receive random arrival offsets.
+    seed : int, optional
+        RNG seed for the arrival axis (default 0).
+    base : NorGateParameters, optional
+        Parameter set the variants scale from.
+
+    Returns
+    -------
+    tuple
+        ``(params, arrivals)`` ready to pass to
+        :func:`repro.sta.sweep.sweep_corners`.
+    """
+    rng = np.random.default_rng(seed)
+    scales = (0.9, 1.0, 1.1, 1.2)
+    variants = [base.replace(r3=base.r3 * scale, r4=base.r4 * scale)
+                for scale in scales]
+    params = [variants[index % len(variants)]
+              for index in range(count)]
+    arrivals = {signal: rng.uniform(0.0, 40.0 * PS, count)
+                for signal in signals}
+    return params, arrivals

@@ -1,0 +1,352 @@
+"""Lowering a :class:`~repro.timing.TimingCircuit` into timing arcs.
+
+Static timing analysis does not walk gates — it walks a *timing
+graph*: one node per ``(signal, transition)`` and one arc per
+input-pin-to-output-pin delay dependency.  This module builds that
+graph from the same netlists the event simulators consume, so a
+circuit is described once and analyzed both ways.
+
+Arc construction per instance kind:
+
+* :class:`~repro.timing.circuit.HybridInstance` (the paper's fused
+  NOR element) — two **MIS arc pairs**: output-falling fed by both
+  rising inputs through the parallel nMOS network (delay ``δ↓(Δ)``
+  referenced to the *earlier* input) and output-rising fed by both
+  falling inputs through the series pMOS stack (``δ↑(Δ)``, referenced
+  to the *later* input).  Delays come from an
+  :class:`~repro.sta.arcs.EngineArcModel` unless overridden.
+* :class:`~repro.timing.circuit.GateInstance` holding a two-input
+  :class:`~repro.timing.channels.TableDelayChannel` — the same MIS
+  pairs, with a :class:`~repro.sta.arcs.TableArcModel` reading the
+  characterized library surfaces (NAND swaps which transition is the
+  parallel one, per the mirror duality).
+* any other :class:`GateInstance` — one arc per input transition
+  sensitization, derived from the boolean function's unateness
+  (binate functions like XOR get both polarities), with the
+  single-input channel's stable-history delays as a
+  :class:`~repro.sta.arcs.FixedArcModel`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import NamedTuple
+
+from ..errors import NetlistError
+from ..timing.channels.table import TableDelayChannel
+from ..timing.circuit import (GateInstance, HybridInstance,
+                              TimingCircuit)
+from .arcs import (ArcDelayModel, EngineArcModel, FixedArcModel,
+                   TableArcModel)
+
+__all__ = ["TimingNode", "TimingArc", "TimingGraph",
+           "build_timing_graph", "input_unateness"]
+
+#: Output transitions, in node order.
+TRANSITIONS = ("rise", "fall")
+
+#: Map node transition -> delay-model direction.
+DIRECTION = {"rise": "rising", "fall": "falling"}
+
+
+class TimingNode(NamedTuple):
+    """One ``(signal, transition)`` point of the timing graph.
+
+    Attributes
+    ----------
+    signal : str
+        Signal name from the circuit.
+    transition : str
+        ``"rise"`` or ``"fall"``.
+    """
+
+    signal: str
+    transition: str
+
+    def __str__(self) -> str:
+        arrow = "↑" if self.transition == "rise" else "↓"
+        return f"{self.signal}{arrow}"
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingArc:
+    """A pin-to-pin timing dependency.
+
+    Parameters
+    ----------
+    instance : str
+        Name of the circuit instance the arc crosses.
+    source : TimingNode
+        Input-pin transition the arc is traced through.
+    target : TimingNode
+        Output-pin transition the arc drives.
+    model : ArcDelayModel
+        Delay model evaluated for the arc.
+    sibling : TimingNode, optional
+        The partner input's transition for MIS arcs (``None`` for
+        single-input arcs).
+    pin : str
+        ``"a"`` or ``"b"`` — which side of ``Δ = t_B − t_A`` the
+        source pin sits on (``"a"`` for single-input arcs).
+    reference : str
+        Which input the arc delay is referenced to: ``"earlier"``
+        (parallel network), ``"later"`` (series network) or
+        ``"input"`` (single-input arcs).
+    """
+
+    instance: str
+    source: TimingNode
+    target: TimingNode
+    model: ArcDelayModel
+    sibling: TimingNode | None = None
+    pin: str = "a"
+    reference: str = "input"
+
+    @property
+    def is_mis(self) -> bool:
+        """Whether the arc carries a sibling-conditioned MIS delay."""
+        return self.sibling is not None
+
+    def __str__(self) -> str:
+        return (f"{self.source} -> {self.target} "
+                f"[{self.instance}/{self.model.name}]")
+
+
+def input_unateness(function, arity: int, index: int) -> set[str]:
+    """Sensitization polarities of one input of a boolean function.
+
+    Enumerates all assignments of the other inputs and records whether
+    toggling input *index* can raise (``"positive"``) and/or lower
+    (``"negative"``) the output.
+
+    Parameters
+    ----------
+    function : callable
+        Boolean function of *arity* 0/1 arguments returning 0/1.
+    arity : int
+        Number of inputs.
+    index : int
+        Input position probed.
+
+    Returns
+    -------
+    set of str
+        Subset of ``{"positive", "negative"}``; empty when the output
+        never depends on the input.
+    """
+    senses: set[str] = set()
+    for assignment in range(2 ** (arity - 1)):
+        values = []
+        bit = 0
+        for position in range(arity):
+            if position == index:
+                values.append(0)
+            else:
+                values.append((assignment >> bit) & 1)
+                bit += 1
+        low = function(*values)
+        values[index] = 1
+        high = function(*values)
+        if high > low:
+            senses.add("positive")
+        elif high < low:
+            senses.add("negative")
+    return senses
+
+
+class TimingGraph:
+    """The lowered circuit: nodes, arcs, and topological structure.
+
+    Built by :func:`build_timing_graph`; read by
+    :func:`repro.sta.analysis.analyze` and the corner sweeps of
+    :mod:`repro.sta.sweep`.
+
+    Parameters
+    ----------
+    circuit : TimingCircuit
+        The source netlist (kept for provenance).
+    arcs : list of TimingArc
+        All timing arcs.
+    signal_order : list of str
+        Driven signals in topological (driver-before-consumer) order.
+    """
+
+    def __init__(self, circuit: TimingCircuit,
+                 arcs: list[TimingArc],
+                 signal_order: list[str]):
+        self.circuit = circuit
+        self.arcs = list(arcs)
+        self.signal_order = list(signal_order)
+        self._incoming: dict[TimingNode, list[TimingArc]] = {}
+        for arc in self.arcs:
+            self._incoming.setdefault(arc.target, []).append(arc)
+        consumed = {signal
+                    for instance in circuit.instances
+                    for signal in circuit.instance_inputs(instance)}
+        self.endpoints: tuple[str, ...] = tuple(
+            signal for signal in signal_order if signal not in consumed)
+
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        """Primary input signal names."""
+        return self.circuit.inputs
+
+    def nodes(self) -> list[TimingNode]:
+        """All graph nodes, inputs first, in topological order."""
+        out = [TimingNode(signal, transition)
+               for signal in self.inputs
+               for transition in TRANSITIONS]
+        out += [TimingNode(signal, transition)
+                for signal in self.signal_order
+                for transition in TRANSITIONS]
+        return out
+
+    def incoming(self, node: TimingNode) -> list[TimingArc]:
+        """Arcs driving *node* (empty for primary-input nodes)."""
+        return self._incoming.get(node, [])
+
+    def mis_pairs(self) -> list[tuple[TimingArc, ...]]:
+        """MIS arcs grouped per (instance, target) — pairs, except a
+        single arc for tied-input gates."""
+        pairs: dict[tuple[str, TimingNode], dict[str, TimingArc]] = {}
+        for arc in self.arcs:
+            if arc.is_mis:
+                slot = pairs.setdefault((arc.instance, arc.target), {})
+                slot[arc.pin] = arc
+        return [tuple(slot[pin] for pin in sorted(slot))
+                for slot in pairs.values()]
+
+    def describe(self) -> str:
+        """One-line structural summary (used by the CLI report)."""
+        mis = sum(1 for arc in self.arcs if arc.is_mis)
+        return (f"{len(self.signal_order)} driven signals, "
+                f"{len(self.arcs)} arcs ({mis} MIS-conditioned), "
+                f"endpoints: {', '.join(self.endpoints)}")
+
+
+def _mis_arcs(instance_name: str, input_a: str, input_b: str,
+              output: str, gate: str,
+              model: ArcDelayModel) -> list[TimingArc]:
+    """The four MIS arcs of one two-input NOR/NAND element."""
+    # Negative-unate both ways: rising inputs drive the falling
+    # output and vice versa.  Which output transition runs through
+    # the parallel network (referenced to the earlier input) depends
+    # on the gate type — NOR falls in parallel, NAND rises in
+    # parallel (mirror duality).
+    parallel_target = "fall" if gate == "nor2" else "rise"
+    arcs = []
+    for target_transition in TRANSITIONS:
+        source_transition = ("fall" if target_transition == "rise"
+                             else "rise")
+        reference = ("earlier" if target_transition == parallel_target
+                     else "later")
+        target = TimingNode(output, target_transition)
+        pins = (("a", input_a), ("b", input_b))
+        if input_a == input_b:
+            # Tied inputs: one arc suffices (Δ = 0 by construction).
+            pins = (("a", input_a),)
+        for pin, signal in pins:
+            sibling_signal = input_b if pin == "a" else input_a
+            arcs.append(TimingArc(
+                instance=instance_name,
+                source=TimingNode(signal, source_transition),
+                target=target,
+                model=model,
+                sibling=TimingNode(sibling_signal, source_transition),
+                pin=pin,
+                reference=reference,
+            ))
+    return arcs
+
+
+def _single_input_arcs(instance: GateInstance,
+                       model: ArcDelayModel) -> list[TimingArc]:
+    """Unateness-derived arcs of a generic gate + channel instance."""
+    arcs = []
+    arity = len(instance.inputs)
+    for index, signal in enumerate(instance.inputs):
+        senses = input_unateness(instance.function, arity, index)
+        for sense in senses:
+            for target_transition in TRANSITIONS:
+                if sense == "positive":
+                    source_transition = target_transition
+                else:
+                    source_transition = ("fall"
+                                         if target_transition == "rise"
+                                         else "rise")
+                arcs.append(TimingArc(
+                    instance=instance.name,
+                    source=TimingNode(signal, source_transition),
+                    target=TimingNode(instance.output,
+                                      target_transition),
+                    model=model,
+                ))
+    return arcs
+
+
+def build_timing_graph(circuit: TimingCircuit,
+                       models: dict[str, ArcDelayModel] | None = None,
+                       engine=None) -> TimingGraph:
+    """Lower a circuit into a :class:`TimingGraph`.
+
+    Parameters
+    ----------
+    circuit : TimingCircuit
+        Feed-forward netlist (combinational loops are rejected by the
+        underlying topological sort).
+    models : dict of str to ArcDelayModel, optional
+        Per-instance delay-model overrides, keyed by instance name —
+        e.g. swap a hybrid instance's direct evaluation for a
+        :class:`~repro.sta.arcs.TableArcModel` read from a library.
+    engine : str or DelayEngine, optional
+        Evaluation backend for the default
+        :class:`~repro.sta.arcs.EngineArcModel` arcs.
+
+    Returns
+    -------
+    TimingGraph
+        The lowered graph.
+
+    Raises
+    ------
+    NetlistError
+        If an override names an unknown instance, or a gate's
+        boolean output depends on none of its inputs.
+    """
+    models = dict(models or {})
+    unknown = set(models) - {inst.name for inst in circuit.instances}
+    if unknown:
+        raise NetlistError(
+            f"arc-model overrides for unknown instance(s): "
+            f"{sorted(unknown)}")
+
+    arcs: list[TimingArc] = []
+    for instance in circuit.topological_order():
+        override = models.get(instance.name)
+        if isinstance(instance, HybridInstance):
+            channel = instance.channel
+            if override is not None:
+                model = override
+            elif isinstance(channel, TableDelayChannel):
+                model = TableArcModel(channel.table,
+                                      state=channel.state)
+            else:
+                model = EngineArcModel(channel.params, "nor2",
+                                       engine=engine)
+            arcs.extend(_mis_arcs(instance.name, instance.input_a,
+                                  instance.input_b, instance.output,
+                                  getattr(model, "gate", "nor2"),
+                                  model))
+        else:
+            gate_arcs = _single_input_arcs(
+                instance,
+                override or FixedArcModel.from_channel(
+                    instance.channel))
+            if not gate_arcs:
+                raise NetlistError(
+                    f"gate {instance.name!r} output does not depend "
+                    "on any input — cannot build timing arcs")
+            arcs.extend(gate_arcs)
+
+    order = [inst.output for inst in circuit.topological_order()]
+    return TimingGraph(circuit, arcs, order)

