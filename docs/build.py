@@ -71,11 +71,13 @@ NAV: list[tuple[str, list[tuple[str, str]]]] = [
         ("engines.md", "Engine backends"),
         ("library.md", "Library characterization"),
         ("sta.md", "Static timing analysis"),
+        ("multi_input.md", "n-input gates"),
     ]),
     ("Tutorials", [
         ("tutorials/quickstart.md", "Quickstart"),
         ("tutorials/timing-accuracy.md", "Timing accuracy study"),
         ("tutorials/sta.md", "STA walkthrough"),
+        ("tutorials/multi-input.md", "n-input NOR walkthrough"),
     ]),
     ("API reference", [
         (f"api/{name}.md", name) for name in API_MODULES

@@ -53,6 +53,7 @@ __all__ = [
     "experiment_analytic",
     "experiment_engines",
     "experiment_library",
+    "experiment_multi_input",
     "experiment_runtime",
     "experiment_sta",
     "experiment_ablation_delta_min",
@@ -649,6 +650,28 @@ def sta_scenarios(params: NorGateParameters = PAPER_TABLE_I):
           "b": DigitalTrace(0, [(t0 + 8.0 * PS, 1)]),
           "c": DigitalTrace(0, [(t0 + 12.0 * PS, 1)]),
           "d": DigitalTrace(0, [(t0 + 20.0 * PS, 1)])}),
+        # Generalized 3-input NOR, falling output (Δ-vector arcs).
+        ("nor3",
+         {"a": (t0, -inf), "b": (t0 + 7.0 * PS, -inf),
+          "c": (t0 + 18.0 * PS, -inf)},
+         {"a": DigitalTrace(0, [(t0, 1)]),
+          "b": DigitalTrace(0, [(t0 + 7.0 * PS, 1)]),
+          "c": DigitalTrace(0, [(t0 + 18.0 * PS, 1)])}),
+        # Generalized 3-input NOR, rising output (series stack).
+        ("nor3",
+         {"a": (inf, t0), "b": (inf, t0 + 5.0 * PS),
+          "c": (inf, t0 + 11.0 * PS)},
+         {"a": DigitalTrace(1, [(t0, 0)]),
+          "b": DigitalTrace(1, [(t0 + 5.0 * PS, 0)]),
+          "c": DigitalTrace(1, [(t0 + 11.0 * PS, 0)])}),
+        # NOR3 feeding a paper NOR2: mixed Δ-vector / scalar-Δ arcs.
+        ("nor3_mixed",
+         {"a": (t0, -inf), "b": (t0 + 7.0 * PS, -inf),
+          "c": (t0 + 18.0 * PS, -inf), "d": (t0 + 2.0 * PS, -inf)},
+         {"a": DigitalTrace(0, [(t0, 1)]),
+          "b": DigitalTrace(0, [(t0 + 7.0 * PS, 1)]),
+          "c": DigitalTrace(0, [(t0 + 18.0 * PS, 1)]),
+          "d": DigitalTrace(0, [(t0 + 2.0 * PS, 1)])}),
     )
 
 
@@ -670,7 +693,9 @@ def experiment_sta(params: NorGateParameters = PAPER_TABLE_I,
     """
     from ..sta import TimingNode, analyze, build_timing_graph, \
         sta_circuit
+    from ..timing.circuit import MultiInputInstance
     from ..timing.event_simulator import simulate_events
+    from ..timing.simulator import simulate as simulate_traces
 
     checks: list[StaCrossCheck] = []
     for name, arrivals, traces in sta_scenarios(params):
@@ -678,7 +703,15 @@ def experiment_sta(params: NorGateParameters = PAPER_TABLE_I,
         graph = build_timing_graph(circuit, engine=engine)
         result = analyze(graph, arrivals=arrivals, top_paths=1)
         t_stop = 100.0 * PS + 4.0 * settle_time(params)
-        simulated = simulate_events(circuit, traces, t_stop=t_stop)
+        if any(isinstance(instance, MultiInputInstance)
+               for instance in circuit.instances):
+            # n-input MIS elements run under the feed-forward
+            # trace-transform engine (the event-driven engine keeps
+            # its scope at the paper's two-input automaton).
+            simulated = simulate_traces(circuit, traces)
+        else:
+            simulated = simulate_events(circuit, traces,
+                                        t_stop=t_stop)
         for signal in graph.signal_order:
             for time, value in simulated[signal].transitions:
                 node = TimingNode(signal,
@@ -702,6 +735,131 @@ def experiment_sta(params: NorGateParameters = PAPER_TABLE_I,
         "(acceptance: <= 100 fs)",
     ])
     return StaResultSummary(checks=checks, max_error=worst, text=text)
+
+
+# ----------------------------------------------------------------------
+# n-input generalization (paper Section VII)
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class MultiInputResult:
+    """Outcome of the n-input Δ-vector generalization experiment.
+
+    Attributes:
+        num_inputs: gate width of the probed NOR.
+        reduction_error: worst |generalized − closed-form| delay
+            disagreement on the n = 2 sweep, seconds.
+        batch_error: worst |batched − scalar| disagreement on the
+            n-input Δ-vector grid, seconds.
+        speedup: batched-vs-scalar throughput ratio on that grid.
+        text: rendered summary.
+    """
+
+    num_inputs: int
+    reduction_error: float
+    batch_error: float
+    speedup: float
+    text: str
+
+
+def experiment_multi_input(params: NorGateParameters = PAPER_TABLE_I,
+                           num_inputs: int = 3,
+                           grid_points: int = 25,
+                           engine=None) -> MultiInputResult:
+    """The n-input NOR generalization, end to end.
+
+    Three probes on one rendered record:
+
+    * the **n = 2 reduction** — the Δ-vector seam against the paper's
+      closed-form two-input path across a dense sweep (the engine
+      parity suite asserts ≤ 1e-12 s);
+    * the **MIS landscape** of the widened gate — the falling
+      speed-up deepens with every additional simultaneously-switching
+      input, the rising stack penalty grows with serial depth;
+    * **batched vs scalar** — the Δ-vector grid through the batched
+      eigen-solver against the per-point loop, with the measured
+      speedup (``benchmarks/bench_multi_input.py`` tracks the full-
+      size number in ``BENCH_multi_input.json``).
+
+    Args:
+        params: 2-input base parameter set, widened through
+            :func:`repro.core.multi_input.paper_generalized`.
+        num_inputs: gate width of the probed NOR (default 3).
+        grid_points: per-axis size of the Δ-vector grid.
+        engine: batched evaluation backend (name, instance, or
+            ``None`` for the vectorized default).
+    """
+    from ..core.multi_input import (generalized_model,
+                                    paper_generalized)
+    from ..engine import get_engine
+
+    backend = get_engine(engine)
+    wide = paper_generalized(num_inputs, params)
+    model = generalized_model(wide)
+    tau = model.settle_time() / 60.0
+
+    # n = 2 reduction against the closed-form two-input path.
+    narrow = paper_generalized(2, params)
+    sweep = np.linspace(-8.0 * tau, 8.0 * tau, 201)
+    closed = backend.delays_falling(params, sweep)
+    closed_rise = backend.delays_rising(params, sweep, 0.0)
+    seam = backend.delays_falling_n(narrow, sweep[:, None])
+    seam_rise = backend.delays_rising_n(narrow, sweep[:, None], 0.0)
+    reduction = max(float(np.max(np.abs(seam - closed))),
+                    float(np.max(np.abs(seam_rise - closed_rise))))
+
+    # MIS landscape of the widened gate.
+    far = model.settle_time()
+    landscape = []
+    for switching in range(1, num_inputs + 1):
+        offsets = np.array([0.0] * (switching - 1)
+                           + [far] * (num_inputs - switching))
+        landscape.append(float(
+            backend.delays_falling_n(wide, offsets[None, :])[0]))
+
+    # Batched vs scalar on a Δ-vector grid.
+    axis = np.linspace(-4.0 * tau, 4.0 * tau, grid_points)
+    mesh = np.stack(np.meshgrid(
+        *([axis] * (num_inputs - 1)), indexing="ij"), axis=-1)
+    rows = mesh.reshape(-1, num_inputs - 1)
+    backend.delays_falling_n(wide, rows[:2])  # warm the caches
+    start = time.perf_counter()
+    batched = backend.delays_falling_n(wide, rows)
+    batched_s = time.perf_counter() - start
+    reference = get_engine("reference")
+    probe = min(rows.shape[0], 64)
+    start = time.perf_counter()
+    scalar = reference.delays_falling_n(wide, rows[:probe])
+    scalar_s = time.perf_counter() - start
+    batch_error = float(np.max(np.abs(batched[:probe] - scalar)))
+    speedup = ((rows.shape[0] / batched_s) / (probe / scalar_s)
+               if batched_s > 0.0 and scalar_s > 0.0 else math.inf)
+
+    gate = f"NOR{num_inputs}"
+    lines = [
+        f"{gate} Δ-vector generalization "
+        f"(engine '{backend.name}')",
+        f"n=2 reduction vs closed form : "
+        f"{reduction:.2e} s (acceptance <= 1e-12 s)",
+    ]
+    for switching, delay in enumerate(landscape, start=1):
+        lines.append(
+            f"falling, {switching}/{num_inputs} inputs together"
+            f"  : {to_ps(delay):8.2f} ps")
+    lines += [
+        f"batched grid ({rows.shape[0]} Δ-vectors) : "
+        f"{batched_s * 1e3:.1f} ms "
+        f"({rows.shape[0] / batched_s:,.0f} vec/s)",
+        f"scalar loop ({probe} probes)   : {scalar_s * 1e3:.1f} ms "
+        f"({probe / scalar_s:,.0f} vec/s)",
+        f"batched vs scalar parity : {batch_error / PS:.2e} ps, "
+        f"speedup {speedup:.1f}x",
+    ]
+    return MultiInputResult(num_inputs=num_inputs,
+                            reduction_error=reduction,
+                            batch_error=batch_error,
+                            speedup=speedup,
+                            text="\n".join(lines))
 
 
 # ----------------------------------------------------------------------

@@ -46,9 +46,16 @@ _DESCRIPTIONS = {
     "analytic": "eqs. (8)-(12) vs exact crossings",
     "engines": "delay-engine backends: parity and sweep throughput",
     "library": "batch library characterization accuracy",
+    "multi_input": "n-input NOR generalization: Δ-vector batch vs "
+                   "scalar, n=2 reduction",
     "runtime": "digital-simulation runtime comparison",
     "faithfulness": "short-pulse filtration probe",
 }
+
+#: Gate widths ``repro characterize --gate`` / ``multi_input --gate``
+#: accept (the n-input flow covers NOR3/NOR4; ``nor2`` runs the
+#: paper's four-cell grid).
+_GATE_CHOICES = ("nor2", "nor3", "nor4")
 
 #: Non-experiment workflow commands listed by ``repro list``.
 _WORKFLOWS = {
@@ -120,12 +127,27 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--repetitions", type=int, default=2,
                              help="random repetitions (paper: 20)")
             cmd.add_argument("--seed", type=int, default=0)
+        if name == "multi_input":
+            cmd.add_argument("--gate", choices=_GATE_CHOICES[1:],
+                             default="nor3",
+                             help="gate width probed (default: nor3)")
+            cmd.add_argument("--engine", choices=available_engines(),
+                             default=DEFAULT_ENGINE,
+                             help="batched evaluation backend")
+            cmd.add_argument("--points", type=_positive_int,
+                             default=25,
+                             help="per-axis Δ-vector grid size")
 
     cmd = sub.add_parser("characterize",
                          help=_WORKFLOWS["characterize"])
     cmd.add_argument("--out", default="gate_library.json",
                      help="output JSON path (default: "
                           "gate_library.json)")
+    cmd.add_argument("--gate", choices=_GATE_CHOICES,
+                     default="nor2",
+                     help="gate width: nor2 runs the paper's four-"
+                          "cell NOR2/NAND2 grid, nor3/nor4 the "
+                          "n-input Δ-vector flow")
     cmd.add_argument("--engine", choices=available_engines(),
                      default=DEFAULT_ENGINE,
                      help="delay evaluation backend")
@@ -184,11 +206,15 @@ def _run_characterize(args: argparse.Namespace) -> str:
     """Build, verify and save a gate library (``repro characterize``)."""
     import dataclasses
 
+    from .core.multi_input import paper_generalized
     from .core.parameters import PAPER_TABLE_I
     from .library import (characterize_library, default_delta_grid,
-                          default_state_grid, paper_jobs, verify_table)
+                          default_state_grid,
+                          default_vector_delta_grid, generalized_jobs,
+                          paper_jobs, verify_table)
     from .library.characterize import (DEFAULT_CORE_POINTS,
-                                       DEFAULT_STATE_POINTS)
+                                       DEFAULT_STATE_POINTS,
+                                       DEFAULT_VECTOR_CORE_POINTS)
     from .units import to_ps
 
     if args.fit:
@@ -200,16 +226,34 @@ def _run_characterize(args: argparse.Namespace) -> str:
         suffix = args.tech
     else:
         params, suffix = PAPER_TABLE_I, "paper"
-    jobs = paper_jobs(params, technology=args.tech, suffix=suffix)
-    if args.core_points is not None or args.state_points is not None:
-        deltas = tuple(default_delta_grid(
-            params,
-            core_points=args.core_points or DEFAULT_CORE_POINTS))
-        states = tuple(default_state_grid(
-            params, points=args.state_points or DEFAULT_STATE_POINTS))
-        jobs = tuple(dataclasses.replace(job, deltas=deltas,
-                                         state_grid=states)
-                     for job in jobs)
+    if args.gate != "nor2":
+        if args.state_points is not None:
+            raise ValueError(
+                f"--state-points applies to the 2-input grid; "
+                f"{args.gate} surfaces record one worst-case chain "
+                "state")
+        num_inputs = int(args.gate[len("nor"):])
+        wide = paper_generalized(num_inputs, params)
+        jobs = generalized_jobs(num_inputs, wide,
+                                technology=args.tech, suffix=suffix)
+        if args.core_points is not None:
+            deltas = tuple(default_vector_delta_grid(
+                wide, core_points=args.core_points))
+            jobs = tuple(dataclasses.replace(job, deltas=deltas)
+                         for job in jobs)
+    else:
+        jobs = paper_jobs(params, technology=args.tech, suffix=suffix)
+        if (args.core_points is not None
+                or args.state_points is not None):
+            deltas = tuple(default_delta_grid(
+                params,
+                core_points=args.core_points or DEFAULT_CORE_POINTS))
+            states = tuple(default_state_grid(
+                params,
+                points=args.state_points or DEFAULT_STATE_POINTS))
+            jobs = tuple(dataclasses.replace(job, deltas=deltas,
+                                             state_grid=states)
+                         for job in jobs)
 
     library = characterize_library(jobs, engine=args.engine,
                                    name=args.name)
@@ -225,9 +269,15 @@ def _run_characterize(args: argparse.Namespace) -> str:
                      f"{to_ps(accuracy.falling_error) * 1000.0:.2f} "
                      f"fs, rising "
                      f"{to_ps(accuracy.rising_error) * 1000.0:.2f} fs")
-    lines.append(f"worst interpolation error "
-                 f"{to_ps(worst) * 1000.0:.2f} fs "
-                 "(acceptance: <= 100 fs)")
+    if args.gate == "nor2":
+        lines.append(f"worst interpolation error "
+                     f"{to_ps(worst) * 1000.0:.2f} fs "
+                     "(acceptance: <= 100 fs)")
+    else:
+        lines.append(f"worst interpolation error "
+                     f"{to_ps(worst) * 1000.0:.2f} fs "
+                     "(multilinear on the tensor grid; raise "
+                     "--core-points to tighten)")
     lines.append(f"wrote {path}")
     return "\n".join(lines)
 
@@ -259,10 +309,23 @@ def _run_library(args: argparse.Namespace) -> str:
             raise ValueError(error.args[0]) from None
         lines.append(f"  {table.describe()}")
         if args.cell:
-            fall = table.falling.characteristic()
-            rise = table.rising.characteristic()
-            lines.append("    " + fall.describe("delta_fall"))
-            lines.append("    " + rise.describe("delta_rise"))
+            from .library import VectorDelaySurface
+            if isinstance(table.falling, VectorDelaySurface):
+                zero = [0.0] * table.falling.num_siblings
+                for direction in ("falling", "rising"):
+                    surface = getattr(table, direction)
+                    lo, hi = surface.delta_ranges[0]
+                    lines.append(
+                        f"    {direction}: {surface.num_siblings}-D "
+                        f"Δ-vector surface, axes "
+                        f"[{to_ps(lo):.0f}, {to_ps(hi):.0f}] ps, "
+                        f"δ(0) {to_ps(surface.delay_at(zero)):.2f} "
+                        f"ps")
+            else:
+                fall = table.falling.characteristic()
+                rise = table.rising.characteristic()
+                lines.append("    " + fall.describe("delta_fall"))
+                lines.append("    " + rise.describe("delta_rise"))
             lines.append(f"    characterized by engine "
                          f"'{table.engine}'")
         if args.verify:
@@ -368,6 +431,10 @@ def _run_experiment(args: argparse.Namespace) -> str:
                       engine=args.engine).text
     if name == "engines":
         return exp.experiment_engines(points=args.points).text
+    if name == "multi_input":
+        return exp.experiment_multi_input(
+            num_inputs=int(args.gate[len("nor"):]),
+            grid_points=args.points, engine=args.engine).text
     if name == "fig7":
         return exp.experiment_fig7(tech,
                                    transitions=args.transitions,

@@ -15,7 +15,10 @@ from .charlie import CharacteristicDelays, MisCurve
 from .duality import HybridNandModel
 from .hybrid_model import DelayComputation, HybridNorModel
 from .modes import Mode, mode_system
-from .multi_input import GeneralizedNorModel, GeneralizedNorParameters
+from .multi_input import (GeneralizedNorModel,
+                          GeneralizedNorParameters,
+                          generalized_model, paper_generalized,
+                          sibling_offsets)
 from .parameters import PAPER_DELTA_MIN, PAPER_TABLE_I, NorGateParameters
 from .parametrization import (
     CharacteristicTargets,
@@ -34,6 +37,9 @@ __all__ = [
     "FitResult",
     "GeneralizedNorModel",
     "GeneralizedNorParameters",
+    "generalized_model",
+    "paper_generalized",
+    "sibling_offsets",
     "HybridNandModel",
     "HybridNorModel",
     "MisCurve",

@@ -21,6 +21,18 @@ Conventions mirror the 2-input model: input ``i`` gates the i-th pMOS
 of the chain counted *from the rail* and the i-th parallel nMOS;
 ``delta_min`` defers mode switches; internal nodes rest at the paper's
 worst case (GND) when their analog history is unknown.
+
+Besides the scalar trace interface, the model is *array-native* over
+Δ-vectors: :meth:`GeneralizedNorModel.delays_falling_batch` /
+:meth:`~GeneralizedNorModel.delays_rising_batch` evaluate whole
+``(..., n−1)`` grids of sibling offsets at once.  The per-mode
+eigendecompositions are computed once per ``(params, input-state)``
+and cached; rows sharing an event ordering share their mode chain, so
+the state propagation and the threshold-crossing search run as
+lockstep NumPy batches (bracketing on the scalar path's sampling grid,
+then bisection to adjacent-float precision).  This is the engine
+behind the ``delays_falling_n`` / ``delays_rising_n`` entry points of
+:mod:`repro.engine`.
 """
 
 from __future__ import annotations
@@ -34,15 +46,107 @@ import numpy as np
 from scipy.optimize import brentq
 
 from ..errors import NoCrossingError, ParameterError
-from .parameters import NorGateParameters
+from .parameters import PAPER_TABLE_I, NorGateParameters
 from .solutions import ExpSum
 
-__all__ = ["GeneralizedNorParameters", "GeneralizedNorModel"]
+__all__ = ["GeneralizedNorParameters", "GeneralizedNorModel",
+           "generalized_model", "paper_generalized",
+           "sibling_offsets"]
 
 #: Relative eigenvalue imaginary part treated as numerical noise.
 _IMAG_TOL = 1e-8
 #: Samples used to bracket output crossings per segment.
 _CROSSING_SAMPLES = 1024
+#: Lockstep bisection steps of the batched crossing refinement.
+_BATCH_BISECT_STEPS = 128
+#: Bracketing samples per 8-τ phase of the batched crossing search.
+_BATCH_SAMPLES = 257
+#: Row chunk of the batched crossing search (bounds the temporary
+#: ``rows x samples x modes`` exponential tensor to a few tens of MB).
+_BATCH_CHUNK = 2048
+#: Finite stand-in span for ``±inf`` sibling offsets, seconds.  One
+#: second is ~9 orders of magnitude beyond any gate's settling region,
+#: so clipping offsets to ``reference ± _OFFSET_SPAN`` lands on the
+#: SIS plateaus without ever producing ``inf − inf`` artifacts.
+_OFFSET_SPAN = 1.0
+
+
+def sibling_offsets(times, reference, span: float = _OFFSET_SPAN
+                    ) -> np.ndarray:
+    """Δ-vector of per-input event times relative to input 0.
+
+    The engine entry points take ``(n−1)`` sibling offsets
+    ``Δ_j = t_{j+1} − t_0``; callers that carry *absolute* event times
+    (the STA propagation, the table replay channel) may hold ``±inf``
+    entries per the never/long-ago arrival conventions.  Differencing
+    those naively produces ``inf − inf = NaN``, so every time is first
+    clipped to ``reference ± span`` — beyond the settling region the
+    model sits on its SIS plateaus, so the clip does not change any
+    delay.
+
+    Parameters
+    ----------
+    times : array_like of float
+        Per-input event times, seconds; leading axis is the input
+        index (length n), trailing axes broadcast.  ``±inf`` allowed.
+    reference : array_like of float
+        Finite reference time(s) the offsets are anchored around
+        (the earlier/later input per the direction conventions).
+    span : float, optional
+        Clip half-width in seconds (default 1.0 — far beyond any
+        settling time).
+
+    Returns
+    -------
+    numpy.ndarray
+        Finite offsets ``t_j − t_0`` with the input axis moved last:
+        shape ``times.shape[1:] + (n−1,)``.
+    """
+    t = np.asarray(times, dtype=float)
+    ref = np.asarray(reference, dtype=float)
+    clipped = np.clip(t, ref - span, ref + span)
+    return np.moveaxis(clipped[1:] - clipped[0], 0, -1)
+
+
+def offset_rows(num_inputs: int, deltas
+                ) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Validate and flatten a Δ-vector grid to ``(rows, n−1)``.
+
+    The shared input contract of every Δ-vector entry point (the
+    batched model solver and all engine backends): the trailing axis
+    must carry one offset per sibling input and NaN is rejected;
+    ``±inf`` entries pass through (callers clip them onto the
+    settling region).
+
+    Parameters
+    ----------
+    num_inputs : int
+        Gate width ``n``.
+    deltas : array_like of float
+        Sibling offsets, shape ``(..., n−1)``.
+
+    Returns
+    -------
+    tuple
+        ``(rows, shape)`` — the flattened ``(rows, n−1)`` float
+        array and the leading shape ``deltas.shape[:-1]`` results
+        reshape back to.
+
+    Raises
+    ------
+    ParameterError
+        On a wrong trailing axis or NaN entries.
+    """
+    d = np.asarray(deltas, dtype=float)
+    if d.ndim == 0 or d.shape[-1] != num_inputs - 1:
+        raise ParameterError(
+            f"delta vectors must have a trailing axis of length "
+            f"{num_inputs - 1} (one offset per sibling input), got "
+            f"shape {d.shape}")
+    flat = d.reshape(-1, num_inputs - 1)
+    if np.isnan(flat).any():
+        raise ParameterError("sibling offsets must not be NaN")
+    return flat, d.shape[:-1]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -67,6 +171,13 @@ class GeneralizedNorParameters:
     delta_min: float = 0.0
 
     def __post_init__(self) -> None:
+        # Coerce sequence fields to tuples so instances built from
+        # JSON payloads (lists) stay hashable / cacheable.
+        for name in ("r_pullup", "r_pulldown", "c_internal"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name,
+                                   tuple(float(v) for v in value))
         n = len(self.r_pullup)
         if n < 2:
             raise ParameterError("need at least two inputs")
@@ -117,6 +228,58 @@ class GeneralizedNorParameters:
             cn=self.c_internal[0], co=self.co, vdd=self.vdd,
             delta_min=self.delta_min)
 
+    def replace(self, **changes) -> "GeneralizedNorParameters":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def without_delta_min(self) -> "GeneralizedNorParameters":
+        """Return a copy with the pure delay removed."""
+        return self.replace(delta_min=0.0)
+
+    def as_dict(self) -> dict:
+        """Plain-JSON representation (tuples rendered as lists)."""
+        return {
+            "r_pullup": list(self.r_pullup),
+            "r_pulldown": list(self.r_pulldown),
+            "c_internal": list(self.c_internal),
+            "co": self.co,
+            "vdd": self.vdd,
+            "delta_min": self.delta_min,
+        }
+
+
+def paper_generalized(num_inputs: int,
+                      params: NorGateParameters = PAPER_TABLE_I
+                      ) -> GeneralizedNorParameters:
+    """An n-input NOR parameter set extrapolated from a 2-input one.
+
+    Extends the paper's Table I conventions to a taller stack: the
+    rail-side pMOS keeps ``R1`` and every further chain stage repeats
+    ``R2``; every parallel nMOS beyond the first pair repeats ``R4``;
+    every internal chain node repeats ``CN``.
+
+    Parameters
+    ----------
+    num_inputs : int
+        Gate width ``n >= 2``.
+    params : NorGateParameters, optional
+        The 2-input base set (default: the paper's Table I).
+
+    Returns
+    -------
+    GeneralizedNorParameters
+        The extrapolated n-input set; for ``n = 2`` it equals
+        :meth:`GeneralizedNorParameters.from_two_input`.
+    """
+    if num_inputs < 2:
+        raise ParameterError("need at least two inputs")
+    extra = num_inputs - 2
+    return GeneralizedNorParameters(
+        r_pullup=(params.r1, params.r2) + (params.r2,) * extra,
+        r_pulldown=(params.r3, params.r4) + (params.r4,) * extra,
+        c_internal=(params.cn,) * (num_inputs - 1),
+        co=params.co, vdd=params.vdd, delta_min=params.delta_min)
+
 
 @dataclasses.dataclass(frozen=True)
 class _SegmentSolution:
@@ -139,6 +302,13 @@ class GeneralizedNorModel:
     def __init__(self, params: GeneralizedNorParameters):
         self.params = params
         self._n = params.num_inputs
+        #: Per-input-state eigendecompositions.  A plain dict rather
+        #: than an lru_cache: an n-input gate has 2^n modes and the
+        #: batched solver revisits all of them, so a bounded cache
+        #: would thrash for wide gates (and a cache on the *method*
+        #: would pin every model instance alive globally).
+        self._eig_cache: dict[tuple[int, ...], tuple] = {}
+        self._settle: float | None = None
 
     # ------------------------------------------------------------------
     # per-mode linear systems
@@ -245,6 +415,271 @@ class GeneralizedNorModel:
             else:
                 state[node] = float(floating_value)
         return state
+
+    # ------------------------------------------------------------------
+    # batched Δ-vector evaluation
+    # ------------------------------------------------------------------
+
+    def _mode_eig(self, inputs: tuple[int, ...]
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        """Cached eigendecomposition of one mode's augmented system.
+
+        Returns ``(rates, vectors, inverse, slowest_tau)`` of the
+        autonomous matrix ``M = [[A, f], [0, 0]]`` — the per-
+        ``(params, input-state)`` solution every batched segment of
+        that mode reuses.
+        """
+        cached = self._eig_cache.get(inputs)
+        if cached is not None:
+            return cached
+        a, f = self._mode_matrices(inputs)
+        n = self._n
+        m = np.zeros((n + 1, n + 1))
+        m[:n, :n] = a
+        m[:n, n] = f
+        eigenvalues, eigenvectors = np.linalg.eig(m)
+        if np.max(np.abs(eigenvalues.imag)) > _IMAG_TOL * max(
+                1.0, float(np.max(np.abs(eigenvalues.real)))):
+            raise ParameterError("complex eigenvalues in RC network")
+        rates = eigenvalues.real
+        vectors = eigenvectors.real
+        try:
+            inverse = np.linalg.inv(vectors)
+        except np.linalg.LinAlgError:
+            raise ParameterError(
+                "defective mode system (repeated eigenvalues without "
+                "a full eigenbasis)") from None
+        # Conserved directions (the affine constant, and the total
+        # charge of rail-disconnected chain islands in partially-open
+        # modes) are exact zero eigenvalues that np.linalg.eig may
+        # report as numerical dust (|λ| ~ 1e-17 of the spectral
+        # radius).  Left in place they masquerade as astronomically
+        # slow time constants and poison :meth:`settle_time`; snap
+        # them to zero — physical RC rates sit many orders above the
+        # threshold.
+        tol = 1e-9 * float(np.max(np.abs(rates)))
+        rates = np.where(np.abs(rates) < tol, 0.0, rates)
+        slowest = 0.0
+        for rate in rates:
+            if rate < 0.0:
+                slowest = max(slowest, 1.0 / abs(rate))
+        result = (rates, vectors, inverse, slowest or 1e-12)
+        self._eig_cache[inputs] = result
+        return result
+
+    def settle_time(self) -> float:
+        """Time after which every mode has settled, seconds.
+
+        ``60x`` the slowest RC time constant over all ``2^n`` input
+        states — sibling offsets beyond ``±settle_time()`` are
+        indistinguishable from ``±inf`` (the SIS plateaus), which is
+        what the batched entry points clip them to.  Computed once
+        per model and cached.
+        """
+        if self._settle is None:
+            slowest = 0.0
+            for state in range(2 ** self._n):
+                inputs = tuple((state >> i) & 1
+                               for i in range(self._n))
+                slowest = max(slowest, self._mode_eig(inputs)[3])
+            self._settle = 60.0 * slowest
+        return self._settle
+
+    def _batch_segment_crossings(self, weights: np.ndarray,
+                                 rates: np.ndarray,
+                                 windows: np.ndarray,
+                                 downward: bool,
+                                 slowest: float) -> np.ndarray:
+        """First directed Vth crossing per row within ``[0, window]``.
+
+        *weights* is ``(rows, modes)`` — per-row output coefficients
+        over the segment's shared eigenrates; rows that do not cross
+        report NaN.  The search is *phased*: the window is walked in
+        ``8 x slowest-τ`` spans sampled at :data:`_BATCH_SAMPLES`
+        points (a finer grid than the scalar path's
+        :data:`_CROSSING_SAMPLES` over the full 60 τ horizon), and
+        only rows still unresolved continue into the next phase — on
+        typical MIS workloads almost every crossing lands in the
+        first span.  Bracketed rows are refined by a lockstep
+        bisection to adjacent-float precision.
+        """
+        vth = self.params.vth
+        rows = weights.shape[0]
+        out = np.full(rows, math.nan)
+        grid = np.linspace(0.0, 1.0, _BATCH_SAMPLES)
+        phase_len = 8.0 * slowest
+        pending = np.nonzero(windows > 0.0)[0]
+        phase_start = np.zeros(rows)
+        while pending.size:
+            idx = pending
+            span = np.minimum(windows[idx] - phase_start[idx],
+                              phase_len)
+            lo = hi = None
+            for start in range(0, idx.size, _BATCH_CHUNK):
+                chunk = idx[start:start + _BATCH_CHUNK]
+                sub = slice(start, start + _BATCH_CHUNK)
+                t = (phase_start[chunk, None]
+                     + span[sub, None] * grid[None, :])
+                values = np.einsum(
+                    "rk,rsk->rs", weights[chunk],
+                    np.exp(t[:, :, None] * rates)) - vth
+                above = values > 0.0
+                if downward:
+                    hit = above[:, :-1] & ~above[:, 1:]
+                else:
+                    hit = ~above[:, :-1] & above[:, 1:]
+                has = hit.any(axis=1)
+                first = np.argmax(hit, axis=1)
+                local = np.nonzero(has)[0]
+                c_lo = t[local, first[local]]
+                c_hi = t[local, first[local] + 1]
+                bracketed = chunk[local]
+                if lo is None:
+                    lo, hi, found = c_lo, c_hi, bracketed
+                else:
+                    lo = np.concatenate([lo, c_lo])
+                    hi = np.concatenate([hi, c_hi])
+                    found = np.concatenate([found, bracketed])
+            if lo is not None and lo.size:
+                w = weights[found]
+                for _ in range(_BATCH_BISECT_STEPS):
+                    mid = 0.5 * (lo + hi)
+                    value = np.einsum(
+                        "rk,rk->r", w,
+                        np.exp(mid[:, None] * rates)) - vth
+                    upper = (value > 0.0 if downward
+                             else value <= 0.0)
+                    lo = np.where(upper, mid, lo)
+                    hi = np.where(upper, hi, mid)
+                    if np.all(hi - lo <= 1e-15 * np.abs(hi) + 1e-26):
+                        break
+                out[found] = 0.5 * (lo + hi)
+            phase_start[idx] += span
+            still = np.isnan(out[idx]) & (phase_start[idx]
+                                          < windows[idx])
+            pending = idx[still]
+        return out
+
+    def _delays_batch(self, deltas, direction: str,
+                      internal_init: float = 0.0) -> np.ndarray:
+        """Batched MIS delays over a grid of sibling offset vectors.
+
+        See :meth:`delays_falling_batch` / :meth:`delays_rising_batch`
+        for the per-direction conventions.
+        """
+        n = self._n
+        flat, shape = offset_rows(n, deltas)
+        settle = self.settle_time()
+        offsets = np.clip(flat, -settle, settle)
+        rows = offsets.shape[0]
+        times = np.concatenate(
+            [np.zeros((rows, 1)), offsets], axis=1)
+        times -= times.min(axis=1, keepdims=True)
+
+        if direction == "falling":
+            start_value, flip_to, downward = 0, 1, True
+            state0 = self.resting_state((0,) * n)
+            reference = np.zeros(rows)
+        elif direction == "rising":
+            start_value, flip_to, downward = 1, 0, False
+            state0 = np.array([float(internal_init)] * (n - 1) + [0.0])
+            reference = times.max(axis=1)
+        else:
+            raise ParameterError(
+                f"direction must be 'falling' or 'rising', got "
+                f"{direction!r}")
+
+        result = np.full(rows, math.nan)
+        order = np.argsort(times, axis=1, kind="stable")
+        sorted_times = np.take_along_axis(times, order, axis=1)
+        # Rows sharing an event ordering share their mode chain.
+        for perm in np.unique(order, axis=0):
+            group = np.nonzero((order == perm[None, :]).all(axis=1))[0]
+            events = sorted_times[group]
+            state = np.broadcast_to(state0,
+                                    (group.size, n)).copy()
+            mode = [start_value] * n
+            active = np.arange(group.size)
+            for k in range(n):
+                mode[int(perm[k])] = flip_to
+                seg_start = events[:, k]
+                duration = (events[:, k + 1] - seg_start
+                            if k + 1 < n else None)
+                rates, vectors, inverse, slowest = self._mode_eig(
+                    tuple(mode))
+                aug = np.concatenate(
+                    [state, np.ones((state.shape[0], 1))], axis=1)
+                coeffs = aug @ inverse.T
+                if duration is None:
+                    windows = np.full(active.size,
+                                      60.0 * slowest + 1e-15)
+                else:
+                    windows = duration[active]
+                out_weights = coeffs[active] * vectors[n - 1]
+                local = self._batch_segment_crossings(
+                    out_weights, rates, windows, downward, slowest)
+                crossed = ~np.isnan(local)
+                if crossed.any():
+                    hits = active[crossed]
+                    result[group[hits]] = (seg_start[hits]
+                                           + local[crossed])
+                    active = active[~crossed]
+                if not active.size or duration is None:
+                    break
+                growth = np.exp(duration[:, None] * rates[None, :])
+                state = (coeffs * growth) @ vectors.T
+                state = state[:, :n]
+            if active.size:  # pragma: no cover - defensive
+                raise NoCrossingError(
+                    "batched crossing search exhausted all segments "
+                    "without finding the output transition")
+        delays = result - reference + self.params.delta_min
+        return delays.reshape(shape)
+
+    def delays_falling_batch(self, deltas) -> np.ndarray:
+        """Falling MIS delays for a grid of sibling offset vectors.
+
+        All inputs start low; input 0 rises at ``t = 0`` and sibling
+        ``j`` at ``deltas[..., j-1]`` (``±inf`` clips to the SIS
+        plateaus).  Delays are referenced to the *earliest* input and
+        include ``δ_min``, matching :meth:`delay_falling`.
+
+        Parameters
+        ----------
+        deltas : array_like of float
+            Sibling offsets, shape ``(..., n−1)``; NaN rejected.
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds, shape ``deltas.shape[:-1]``.
+        """
+        return self._delays_batch(deltas, "falling")
+
+    def delays_rising_batch(self, deltas,
+                            internal_init: float = 0.0) -> np.ndarray:
+        """Rising MIS delays for a grid of sibling offset vectors.
+
+        All inputs start high; input 0 falls at ``t = 0`` and sibling
+        ``j`` at ``deltas[..., j-1]``.  Delays are referenced to the
+        *latest* input and include ``δ_min``, matching
+        :meth:`delay_rising`.
+
+        Parameters
+        ----------
+        deltas : array_like of float
+            Sibling offsets, shape ``(..., n−1)``; NaN rejected.
+        internal_init : float, optional
+            Initial voltage of every internal chain node, volts
+            (default 0.0, the paper's GND worst case).
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds, shape ``deltas.shape[:-1]``.
+        """
+        return self._delays_batch(deltas, "rising",
+                                  float(internal_init))
 
     # ------------------------------------------------------------------
     # crossings
@@ -388,36 +823,30 @@ class GeneralizedNorModel:
     def _sweep(self, deltas, direction: str, engine) -> np.ndarray:
         """Pairwise MIS delays over ``Δ = t₁ − t₀`` of inputs 0 and 1.
 
-        For the 2-input gate the sweep is routed through the batch
-        delay engine (:mod:`repro.engine`) — the deferred-switch and
-        added-``δ_min`` delay conventions are exactly equivalent there
-        because the resting first segment absorbs the deferral.  For
-        wider gates the remaining inputs switch together with the
-        earlier of the pair and the scalar eigen-solver is used
-        per point (finite Δ only).
+        Routed through the delay-engine seam of :mod:`repro.engine`
+        in both arities — the deferred-switch and added-``δ_min``
+        delay conventions are exactly equivalent there because the
+        resting first segment absorbs the deferral.  For the 2-input
+        gate this is the closed-form batch path; for wider gates the
+        remaining inputs switch together with the *earlier* of the
+        pair and the Δ-vector entry points evaluate the grid
+        (``±inf`` separations clip to the SIS plateaus).
         """
+        # Local import: repro.engine imports this module.
+        from ..engine import delays_for_direction, get_engine
         d = np.asarray(deltas, dtype=float)
+        backend = get_engine(engine)
         if self._n == 2:
-            from ..engine import get_engine  # local: avoid cycle
-            backend = get_engine(engine)
-            params = self.params.to_two_input()
-            if direction == "falling":
-                return backend.delays_falling(params, d)
-            return backend.delays_rising(params, d)
-        if not np.all(np.isfinite(d)):
-            raise ParameterError(
-                "sweeps of gates with more than two inputs require "
-                "finite separations")
-        flat = np.ravel(d)
-        out = np.empty_like(flat)
-        rest = [0.0] * (self._n - 2)
-        for i, delta in enumerate(flat):
-            pair = [max(0.0, -delta), max(0.0, delta)]
-            if direction == "falling":
-                out[i] = self.delay_falling(pair + rest)
-            else:
-                out[i] = self.delay_rising(pair + rest)
-        return out.reshape(d.shape)
+            return delays_for_direction(backend, direction,
+                                        self.params.to_two_input(), d)
+        # Absolute switch times (0, Δ, 0, …, 0) relative to input 0:
+        # the trailing inputs follow the earlier of the pair, i.e.
+        # their offsets are min(0, Δ).
+        with np.errstate(invalid="ignore"):
+            rest = np.minimum(0.0, d)
+        matrix = np.stack([d] + [rest] * (self._n - 2), axis=-1)
+        return delays_for_direction(backend, direction, self.params,
+                                    matrix)
 
     def delays_falling_sweep(self, deltas, engine=None) -> np.ndarray:
         """Falling MIS delays for an array of pairwise separations."""
@@ -452,3 +881,16 @@ class GeneralizedNorModel:
             if value == 1:
                 return t - latest
         raise NoCrossingError("output never rises")
+
+
+@functools.lru_cache(maxsize=128)
+def generalized_model(params: GeneralizedNorParameters
+                      ) -> GeneralizedNorModel:
+    """Shared per-parameter-set model cache.
+
+    The model instance owns the per-``(params, input-state)``
+    eigendecomposition caches of the batched Δ-vector evaluation, so
+    the engine backends resolve their models through this function to
+    share them across calls.
+    """
+    return GeneralizedNorModel(params)

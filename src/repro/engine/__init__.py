@@ -13,6 +13,12 @@ backend seam that makes that a deployment choice instead of a rewrite:
   pool, each worker running an inner backend (``vectorized`` by
   default); small sweeps fall through to the inner backend inline.
 
+Every backend serves both arities of the protocol: scalar-Δ entry
+points (``delays_falling`` / ``delays_rising``) for the paper's
+2-input cells, and Δ-vector entry points (``delays_falling_n`` /
+``delays_rising_n``, trailing axis of n−1 sibling offsets) for the
+generalized n-input NOR of :mod:`repro.core.multi_input`.
+
 Sweeps throughout the package accept ``engine=`` (a name, an instance,
 or ``None`` for the default) and the CLI exposes ``--engine``::
 

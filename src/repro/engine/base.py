@@ -24,6 +24,7 @@ from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
+from ..core.multi_input import GeneralizedNorParameters
 from ..core.parameters import NorGateParameters
 
 __all__ = [
@@ -34,6 +35,11 @@ __all__ = [
     "get_engine",
     "register_engine",
 ]
+
+#: Parameter kinds an engine evaluates: the paper's closed-form
+#: 2-input set, or the generalized n-input set (Δ-vector entry
+#: points).
+GateParameters = NorGateParameters | GeneralizedNorParameters
 
 #: Engine used when callers do not specify one.
 DEFAULT_ENGINE = "vectorized"
@@ -94,15 +100,72 @@ class DelayEngine(Protocol):
         """
         ...
 
+    def delays_falling_n(self, params: GeneralizedNorParameters,
+                         deltas) -> np.ndarray:
+        """Falling n-input MIS delays over a Δ-vector grid.
+
+        The Δ-vector generalization of :meth:`delays_falling`: input
+        0 rises at ``t = 0`` and sibling ``j`` at
+        ``deltas[..., j-1]``; the delay is referenced to the
+        *earliest* input.  For ``n = 2`` the single-column grid
+        reproduces :meth:`delays_falling` to well below a picosecond
+        (the engine parity suite asserts ≤ 1e-12 s).
+
+        Parameters
+        ----------
+        params : GeneralizedNorParameters
+            n-input electrical parameter set (SI units).
+        deltas : array_like of float
+            Sibling offsets, shape ``(..., n−1)``; ``±inf`` clips to
+            the SIS plateaus, NaN is rejected.
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), shape
+            ``deltas.shape[:-1]``.
+        """
+        ...
+
+    def delays_rising_n(self, params: GeneralizedNorParameters,
+                        deltas, internal_init: float = 0.0
+                        ) -> np.ndarray:
+        """Rising n-input MIS delays over a Δ-vector grid.
+
+        The Δ-vector generalization of :meth:`delays_rising`: input 0
+        falls at ``t = 0`` and sibling ``j`` at ``deltas[..., j-1]``;
+        the delay is referenced to the *latest* input.
+
+        Parameters
+        ----------
+        params : GeneralizedNorParameters
+            n-input electrical parameter set (SI units).
+        deltas : array_like of float
+            Sibling offsets, shape ``(..., n−1)``; ``±inf`` clips to
+            the SIS plateaus, NaN is rejected.
+        internal_init : float, optional
+            Initial voltage of every internal chain node in volts
+            (default 0.0, the paper's GND worst case).
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), shape
+            ``deltas.shape[:-1]``.
+        """
+        ...
+
 
 def delays_for_direction(engine: "DelayEngine", direction: str,
-                         params: NorGateParameters, deltas,
-                         vn_init: float = 0.0) -> np.ndarray:
-    """Dispatch a delay sweep by output-transition direction.
+                         params: GateParameters, deltas,
+                         state: float = 0.0) -> np.ndarray:
+    """Dispatch a delay sweep by direction and parameter kind.
 
-    Callers that carry the transition direction as data (the parallel
-    engine's worker shards, the STA timing arcs of :mod:`repro.sta`)
-    all need the same two-way branch; this keeps it in one place.
+    The single place the ``falling``/``rising`` branch and the
+    2-input-vs-n-input entry-point choice live: the parallel engine's
+    worker shards, the STA timing arcs of :mod:`repro.sta` and the
+    pairwise sweeps of :mod:`repro.core.multi_input` all route
+    through here.
 
     Parameters
     ----------
@@ -110,30 +173,43 @@ def delays_for_direction(engine: "DelayEngine", direction: str,
         Backend instance the sweep runs on.
     direction : str
         ``"falling"`` or ``"rising"`` (the output transition).
-    params : NorGateParameters
-        Electrical parameter set (SI units).
+    params : NorGateParameters or GeneralizedNorParameters
+        Electrical parameter set (SI units).  The generalized kind
+        selects the Δ-vector entry points
+        (:meth:`DelayEngine.delays_falling_n` /
+        :meth:`~DelayEngine.delays_rising_n`), whose *deltas* carry a
+        trailing sibling axis of length ``n − 1``.
     deltas : array_like of float
-        Input separations in seconds; any shape, ``±inf`` allowed.
-    vn_init : float, optional
-        Internal-node voltage in volts, used by the rising direction
-        only (default 0.0, the GND worst case).
+        Input separations in seconds — any shape for 2-input
+        parameters, shape ``(..., n−1)`` for n-input ones; ``±inf``
+        allowed.
+    state : float, optional
+        Initial internal-node voltage in volts, used by the rising
+        direction only (default 0.0, the GND worst case): ``V_N`` of
+        mode (1,1) for 2-input parameters, every chain node for
+        n-input ones.
 
     Returns
     -------
     numpy.ndarray
-        Delays in seconds, same shape as *deltas*.
+        Delays in seconds — the shape of *deltas* (2-input) or
+        ``deltas.shape[:-1]`` (n-input).
 
     Raises
     ------
     ValueError
         If *direction* is neither ``"falling"`` nor ``"rising"``.
     """
+    if direction not in ("falling", "rising"):
+        raise ValueError(f"direction must be 'falling' or 'rising', "
+                         f"got {direction!r}")
+    if isinstance(params, GeneralizedNorParameters):
+        if direction == "falling":
+            return engine.delays_falling_n(params, deltas)
+        return engine.delays_rising_n(params, deltas, state)
     if direction == "falling":
         return engine.delays_falling(params, deltas)
-    if direction == "rising":
-        return engine.delays_rising(params, deltas, vn_init)
-    raise ValueError(f"direction must be 'falling' or 'rising', "
-                     f"got {direction!r}")
+    return engine.delays_rising(params, deltas, state)
 
 
 _FACTORIES: dict[str, Callable[[], DelayEngine]] = {}

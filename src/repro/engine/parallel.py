@@ -41,6 +41,7 @@ import os
 
 import numpy as np
 
+from ..core.multi_input import GeneralizedNorParameters, offset_rows
 from ..core.parameters import NorGateParameters
 from ..errors import ParameterError
 from .base import delays_for_direction, get_engine, register_engine
@@ -54,18 +55,20 @@ __all__ = ["ParallelEngine"]
 _MIN_SHARD_POINTS = 1024
 
 
-def _worker_evaluate(inner: str, direction: str,
-                     params: NorGateParameters, shard: np.ndarray,
-                     vn_init: float) -> np.ndarray:
+def _worker_evaluate(inner: str, direction: str, params,
+                     shard: np.ndarray, state: float) -> np.ndarray:
     """Evaluate one shard inside a worker process.
 
     Must stay a module-level function so it pickles under every
     multiprocessing start method; the inner engine is resolved by
     *name* in the worker, where its per-parameter-set caches persist
-    across shards of the same pool lifetime.
+    across shards of the same pool lifetime.  *params* may be either
+    parameter kind — :func:`~repro.engine.base.delays_for_direction`
+    picks the matching entry points, so 2-input shards are flat Δ
+    slices and n-input shards are ``(rows, n−1)`` Δ-matrix blocks.
     """
     return delays_for_direction(get_engine(inner), direction, params,
-                                shard, vn_init)
+                                shard, state)
 
 
 def _default_processes() -> int:
@@ -156,24 +159,36 @@ class ParallelEngine:
     # sharded evaluation
     # ------------------------------------------------------------------
 
-    def _run(self, direction: str, params: NorGateParameters,
-             deltas, vn_init: float) -> np.ndarray:
+    def _run(self, direction: str, params, deltas,
+             state: float) -> np.ndarray:
+        """Shard a sweep over the pool, or serve it inline if small.
+
+        For 2-input parameters the Δ array is sharded element-wise;
+        for n-input parameters the grid is flattened to ``(rows,
+        n−1)`` Δ-vectors and sharded row-wise — either way the shard
+        count the inline-fallback threshold sees is the number of
+        *evaluations*, not raw floats.
+        """
         d = np.asarray(deltas, dtype=float)
-        flat = np.ravel(d)
+        if isinstance(params, GeneralizedNorParameters):
+            flat, shape = offset_rows(params.num_inputs, d)
+        else:
+            flat = np.ravel(d)
+            shape = d.shape
         inner = get_engine(self.inner)
-        if (flat.size < self.min_shard_points or self.processes == 1):
-            if direction == "falling":
-                return inner.delays_falling(params, d)
-            return inner.delays_rising(params, d, vn_init)
+        if (flat.shape[0] < self.min_shard_points
+                or self.processes == 1):
+            return delays_for_direction(inner, direction, params, d,
+                                        state)
         if np.isnan(flat).any():
             raise ParameterError("input separations must not be NaN")
         shards = np.array_split(flat, self.processes)
         pool = self._ensure_pool()
         results = pool.starmap(
             _worker_evaluate,
-            [(self.inner, direction, params, shard, vn_init)
-             for shard in shards if shard.size])
-        return np.concatenate(results).reshape(d.shape)
+            [(self.inner, direction, params, shard, state)
+             for shard in shards if shard.shape[0]])
+        return np.concatenate(results).reshape(shape)
 
     def delays_falling(self, params: NorGateParameters,
                        deltas) -> np.ndarray:
@@ -215,6 +230,55 @@ class ParallelEngine:
             Delays in seconds, same shape as *deltas*.
         """
         return self._run("rising", params, deltas, vn_init)
+
+    def delays_falling_n(self, params: GeneralizedNorParameters,
+                         deltas) -> np.ndarray:
+        """Falling n-input MIS delays, Δ-vector rows sharded across
+        workers.
+
+        Parameters
+        ----------
+        params : GeneralizedNorParameters
+            n-input electrical parameter set (SI units).
+        deltas : array_like of float
+            Sibling offsets, shape ``(..., n−1)``; ``±inf`` clips to
+            the SIS plateaus.  Grids with fewer than
+            :attr:`min_shard_points` rows are served inline by the
+            inner backend.
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), shape
+            ``deltas.shape[:-1]``.
+        """
+        return self._run("falling", params, deltas, 0.0)
+
+    def delays_rising_n(self, params: GeneralizedNorParameters,
+                        deltas, internal_init: float = 0.0
+                        ) -> np.ndarray:
+        """Rising n-input MIS delays, Δ-vector rows sharded across
+        workers.
+
+        Parameters
+        ----------
+        params : GeneralizedNorParameters
+            n-input electrical parameter set (SI units).
+        deltas : array_like of float
+            Sibling offsets, shape ``(..., n−1)``; ``±inf`` clips to
+            the SIS plateaus.
+        internal_init : float, optional
+            Initial voltage of every internal chain node, volts
+            (default 0.0, the GND worst case).
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), shape
+            ``deltas.shape[:-1]``.
+        """
+        return self._run("rising", params, deltas,
+                         float(internal_init))
 
 
 register_engine(ParallelEngine.name, ParallelEngine)

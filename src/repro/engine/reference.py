@@ -15,6 +15,8 @@ import functools
 import numpy as np
 
 from ..core.hybrid_model import HybridNorModel
+from ..core.multi_input import (GeneralizedNorParameters,
+                                generalized_model, offset_rows)
 from ..core.parameters import NorGateParameters
 from .base import register_engine
 
@@ -25,6 +27,13 @@ __all__ = ["ReferenceEngine"]
 def _model(params: NorGateParameters) -> HybridNorModel:
     """Per-parameter-set model cache (the model itself is stateless)."""
     return HybridNorModel(params)
+
+
+def _prepare_rows(params: GeneralizedNorParameters, deltas,
+                  settle: float) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Validate a Δ-vector grid and clip it to the settling region."""
+    flat, shape = offset_rows(params.num_inputs, deltas)
+    return np.clip(flat, -settle, settle), shape
 
 
 class ReferenceEngine:
@@ -79,6 +88,71 @@ class ReferenceEngine:
         out = np.array([model.delay_rising(float(x), vn_init)
                         for x in np.ravel(d)])
         return out.reshape(d.shape)
+
+    def delays_falling_n(self, params: GeneralizedNorParameters,
+                         deltas) -> np.ndarray:
+        """Falling n-input MIS delays, one scalar eigen-solve per row.
+
+        The per-Δ-vector loop over
+        :meth:`~repro.core.multi_input.GeneralizedNorModel.delay_falling`
+        — the honest scalar baseline the batched backends are
+        benchmarked against.
+
+        Parameters
+        ----------
+        params : GeneralizedNorParameters
+            n-input electrical parameter set (SI units).
+        deltas : array_like of float
+            Sibling offsets, shape ``(..., n−1)``; ``±inf`` clips to
+            the SIS plateaus.
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), shape
+            ``deltas.shape[:-1]``.
+        """
+        model = generalized_model(params)
+        rows, shape = _prepare_rows(params, deltas,
+                                    model.settle_time())
+        out = np.empty(rows.shape[0])
+        for i, offsets in enumerate(rows):
+            times = np.concatenate([[0.0], offsets])
+            out[i] = model.delay_falling(times - times.min())
+        return out.reshape(shape)
+
+    def delays_rising_n(self, params: GeneralizedNorParameters,
+                        deltas, internal_init: float = 0.0
+                        ) -> np.ndarray:
+        """Rising n-input MIS delays, one scalar eigen-solve per row.
+
+        Parameters
+        ----------
+        params : GeneralizedNorParameters
+            n-input electrical parameter set (SI units).
+        deltas : array_like of float
+            Sibling offsets, shape ``(..., n−1)``; ``±inf`` clips to
+            the SIS plateaus.
+        internal_init : float, optional
+            Initial voltage of every internal chain node, volts
+            (default 0.0, the GND worst case).
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), shape
+            ``deltas.shape[:-1]``.
+        """
+        model = generalized_model(params)
+        rows, shape = _prepare_rows(params, deltas,
+                                    model.settle_time())
+        init = [float(internal_init)] * (params.num_inputs - 1)
+        out = np.empty(rows.shape[0])
+        for i, offsets in enumerate(rows):
+            times = np.concatenate([[0.0], offsets])
+            out[i] = model.delay_rising(times - times.min(),
+                                        internal_init=init)
+        return out.reshape(shape)
 
 
 register_engine(ReferenceEngine.name, ReferenceEngine)

@@ -34,6 +34,8 @@ import numpy as np
 
 from ..core.hybrid_model import settle_time
 from ..core.modes import CoupledModeConstants, Mode, mode_00_constants
+from ..core.multi_input import (GeneralizedNorParameters,
+                                generalized_model)
 from ..core.parameters import NorGateParameters
 from ..core.solutions import ExpSum, solve_mode
 from ..core.trajectory import all_crossings
@@ -338,6 +340,58 @@ class VectorizedEngine:
             delay[neg] = res
 
         return (delay + ctx.delta_min).reshape(shape)
+
+    def delays_falling_n(self, params: GeneralizedNorParameters,
+                         deltas) -> np.ndarray:
+        """Falling n-input MIS delays, batched over a Δ-vector grid.
+
+        Runs the array-native eigen-solver of
+        :meth:`~repro.core.multi_input.GeneralizedNorModel.delays_falling_batch`
+        with the shared per-``(params, input-state)`` solution caches.
+        For ``n = 2`` it agrees with the closed-form
+        :meth:`delays_falling` path to ≤ 1e-12 s (asserted by the
+        parity suite).
+
+        Parameters
+        ----------
+        params : GeneralizedNorParameters
+            n-input electrical parameter set (SI units).
+        deltas : array_like of float
+            Sibling offsets, shape ``(..., n−1)``; ``±inf`` clips to
+            the SIS plateaus, NaN rejected.
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), shape
+            ``deltas.shape[:-1]``.
+        """
+        return generalized_model(params).delays_falling_batch(deltas)
+
+    def delays_rising_n(self, params: GeneralizedNorParameters,
+                        deltas, internal_init: float = 0.0
+                        ) -> np.ndarray:
+        """Rising n-input MIS delays, batched over a Δ-vector grid.
+
+        Parameters
+        ----------
+        params : GeneralizedNorParameters
+            n-input electrical parameter set (SI units).
+        deltas : array_like of float
+            Sibling offsets, shape ``(..., n−1)``; ``±inf`` clips to
+            the SIS plateaus, NaN rejected.
+        internal_init : float, optional
+            Initial voltage of every internal chain node, volts
+            (default 0.0, the GND worst case).
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), shape
+            ``deltas.shape[:-1]``.
+        """
+        return generalized_model(params).delays_rising_batch(
+            deltas, internal_init)
 
 
 register_engine(VectorizedEngine.name, VectorizedEngine)

@@ -10,7 +10,9 @@ NLDM-style standard-cell libraries but with the input-separation axis
   engine (:mod:`repro.engine` — the ``parallel`` backend shards the
   sweeps across processes);
 * :mod:`repro.library.tables` holds the resulting
-  :class:`GateDelayTable` surfaces with bilinear clamped lookup and a
+  :class:`GateDelayTable` surfaces — bilinear ``(state, Δ)`` lookup
+  for the paper's 2-input cells, multilinear Δ-vector lookup
+  (:class:`VectorDelaySurface`) for n-input NOR cells — with a
   versioned JSON on-disk format;
 * :class:`repro.timing.channels.TableDelayChannel` replays a table in
   event-driven simulation, replacing the closed-form model with pure
@@ -31,9 +33,11 @@ The CLI front-end is ``repro characterize`` / ``repro library``.
 from .characterize import (CharacterizationJob, TableAccuracy,
                            characterize_gate, characterize_library,
                            default_delta_grid, default_state_grid,
-                           paper_jobs, verify_table)
+                           default_vector_delta_grid,
+                           generalized_jobs, paper_jobs, verify_table)
 from .tables import (LIBRARY_FORMAT, LIBRARY_FORMAT_VERSION,
-                     DelaySurface, GateDelayTable, GateLibrary)
+                     DelaySurface, GateDelayTable, GateLibrary,
+                     VectorDelaySurface, mis_gate_inputs)
 
 __all__ = [
     "CharacterizationJob",
@@ -43,10 +47,14 @@ __all__ = [
     "LIBRARY_FORMAT",
     "LIBRARY_FORMAT_VERSION",
     "TableAccuracy",
+    "VectorDelaySurface",
     "characterize_gate",
     "characterize_library",
     "default_delta_grid",
     "default_state_grid",
+    "default_vector_delta_grid",
+    "generalized_jobs",
+    "mis_gate_inputs",
     "paper_jobs",
     "verify_table",
 ]

@@ -30,10 +30,13 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from ..core.hybrid_model import settle_time
+from ..core.multi_input import (GeneralizedNorParameters,
+                                generalized_model, paper_generalized)
 from ..core.parameters import PAPER_TABLE_I, NorGateParameters
 from ..engine import get_engine
 from ..errors import ParameterError
-from .tables import DelaySurface, GateDelayTable, GateLibrary
+from .tables import (GATE_TYPES, DelaySurface, GateDelayTable,
+                     GateLibrary, VectorDelaySurface, mis_gate_inputs)
 
 __all__ = [
     "CharacterizationJob",
@@ -42,6 +45,8 @@ __all__ = [
     "characterize_library",
     "default_delta_grid",
     "default_state_grid",
+    "default_vector_delta_grid",
+    "generalized_jobs",
     "paper_jobs",
     "verify_table",
 ]
@@ -52,6 +57,14 @@ DEFAULT_CORE_POINTS = 1025
 DEFAULT_TAIL_POINTS = 32
 #: Default state-axis (internal-node voltage) grid size.
 DEFAULT_STATE_POINTS = 5
+#: Default per-axis Δ samples of n-input (tensor) grids — the grid
+#: is (n−1)-dimensional, so the per-axis budget is necessarily far
+#: smaller than the 2-input default.
+DEFAULT_VECTOR_CORE_POINTS = 129
+#: Random Δ-vector probes per unit *oversample* used by
+#: :func:`verify_table` on n-input tables (a dense tensor probe grid
+#: would dwarf the characterization itself).
+VECTOR_PROBES_PER_OVERSAMPLE = 4096
 
 
 def default_delta_grid(params: NorGateParameters,
@@ -109,6 +122,48 @@ def default_state_grid(params: NorGateParameters,
     return np.linspace(0.0, params.vdd, points)
 
 
+def default_vector_delta_grid(params: GeneralizedNorParameters,
+                              core_points: int =
+                              DEFAULT_VECTOR_CORE_POINTS,
+                              core_span: float | None = None
+                              ) -> np.ndarray:
+    """The per-sibling Δ axis of an n-input characterization grid.
+
+    A *uniform* symmetric window — n-input surfaces get no geometric
+    tails, because the delay far from the origin depends on the
+    *differences* between sibling offsets (the diagonal MIS band),
+    which sparse axis-aligned tails cannot resolve.  Out-of-window
+    lookups clamp to the window edge when the consumer opts in.
+
+    Parameters
+    ----------
+    params : GeneralizedNorParameters
+        Parameter set whose time constants size the window.
+    core_points : int, optional
+        Samples per sibling axis (default 129; forced odd so
+        ``Δ = 0`` is an exact sample).
+    core_span : float, optional
+        Half-width of the window in seconds; defaults to four times
+        the slowest RC time constant of *params*.
+
+    Returns
+    -------
+    numpy.ndarray
+        Strictly increasing offsets, symmetric around 0.
+    """
+    if core_points < 3:
+        raise ParameterError("core_points must be >= 3")
+    if core_span is None:
+        # settle_time() is 60x the slowest tau over all modes.
+        core_span = 4.0 * generalized_model(params).settle_time() / 60.0
+    core_span = float(core_span)
+    if not (np.isfinite(core_span) and core_span > 0.0):
+        raise ParameterError("core_span must be positive and finite")
+    if core_points % 2 == 0:
+        core_points += 1
+    return np.linspace(-core_span, core_span, core_points)
+
+
 @dataclasses.dataclass(frozen=True)
 class CharacterizationJob:
     """One cell of a characterization grid.
@@ -117,34 +172,50 @@ class CharacterizationJob:
     ----------
     cell : str
         Name the resulting table is stored under.
-    params : NorGateParameters
+    params : NorGateParameters or GeneralizedNorParameters
         Electrical parameters of the (mirrored, for NAND) hybrid
-        model, SI units.
+        model, SI units; the generalized kind for ``"nor<n>"`` gates
+        with more than two inputs.
     gate : str, optional
-        ``"nor2"`` (default) or ``"nand2"``.
+        ``"nor2"`` (default), ``"nand2"``, or ``"nor<n>"`` for the
+        generalized n-input NOR.
     technology : str, optional
         Free-form technology label recorded for provenance (e.g.
         ``"finfet15"``).
     deltas : tuple of float, optional
-        Explicit Δ grid in seconds; ``None`` (default) uses
-        :func:`default_delta_grid`.
+        Explicit Δ grid in seconds — the full axis for 2-input
+        gates, the shared per-sibling axis of the tensor grid for
+        n-input ones; ``None`` (default) uses
+        :func:`default_delta_grid` / :func:`default_vector_delta_grid`.
     state_grid : tuple of float, optional
-        Explicit internal-node voltage grid in volts; ``None``
-        (default) uses :func:`default_state_grid`.
+        Explicit internal-node voltage grid in volts (2-input gates
+        only); ``None`` (default) uses :func:`default_state_grid`.
+    internal_state : float, optional
+        Chain-node voltage the *rising* surface of an n-input gate
+        is characterized at, volts (default 0.0, the paper's GND
+        worst case).  Ignored by 2-input gates.
     """
 
     cell: str
-    params: NorGateParameters
+    params: NorGateParameters | GeneralizedNorParameters
     gate: str = "nor2"
     technology: str = ""
     deltas: tuple[float, ...] | None = None
     state_grid: tuple[float, ...] | None = None
+    internal_state: float = 0.0
+
+    @property
+    def num_inputs(self) -> int:
+        """Input count implied by the gate type."""
+        return mis_gate_inputs(self.gate)
 
     def resolved_deltas(self) -> np.ndarray:
-        """The job's Δ grid (explicit or default), seconds."""
+        """The job's Δ axis (explicit or default), seconds."""
         if self.deltas is not None:
             return np.asarray(self.deltas, dtype=float)
-        return default_delta_grid(self.params)
+        if self.gate in GATE_TYPES:
+            return default_delta_grid(self.params)
+        return default_vector_delta_grid(self.params)
 
     def resolved_state_grid(self) -> np.ndarray:
         """The job's state grid (explicit or default), volts."""
@@ -190,6 +261,44 @@ def paper_jobs(params: NorGateParameters = PAPER_TABLE_I,
     )
 
 
+def generalized_jobs(num_inputs: int,
+                     params: GeneralizedNorParameters | None = None,
+                     technology: str = "finfet15",
+                     suffix: str = "paper"
+                     ) -> tuple[CharacterizationJob, ...]:
+    """Characterization jobs for an n-input NOR cell.
+
+    Parameters
+    ----------
+    num_inputs : int
+        Gate width ``n >= 2``.
+    params : GeneralizedNorParameters, optional
+        n-input parameter set; ``None`` (default) extrapolates the
+        paper's Table I through
+        :func:`repro.core.multi_input.paper_generalized`.
+    technology : str, optional
+        Provenance label recorded on the job.
+    suffix : str, optional
+        Cell-name suffix, e.g. ``"paper"`` -> ``"nor3_paper"``.
+
+    Returns
+    -------
+    tuple of CharacterizationJob
+        One ``nor<n>`` job (the n-input flow characterizes the
+        worst-case GND chain state; the pure-delay ablation variants
+        of :func:`paper_jobs` stay a 2-input study).
+    """
+    if params is None:
+        params = paper_generalized(num_inputs)
+    if params.num_inputs != num_inputs:
+        raise ParameterError(
+            f"parameter set has {params.num_inputs} inputs, job asks "
+            f"for {num_inputs}")
+    gate = f"nor{num_inputs}"
+    return (CharacterizationJob(f"{gate}_{suffix}", params, gate,
+                                technology),)
+
+
 def characterize_gate(job: CharacterizationJob,
                       engine=None) -> GateDelayTable:
     """Characterize one gate into an interpolated delay table.
@@ -211,7 +320,10 @@ def characterize_gate(job: CharacterizationJob,
     """
     backend = get_engine(engine)
     params = job.params
+    mis_gate_inputs(job.gate)  # reject unknown gate types early
     deltas = job.resolved_deltas()
+    if job.gate not in GATE_TYPES:
+        return _characterize_vector_gate(job, backend, deltas)
     states = job.resolved_state_grid()
     grid = tuple(float(d) for d in deltas)
 
@@ -241,6 +353,48 @@ def characterize_gate(job: CharacterizationJob,
     else:
         raise ParameterError(f"unsupported gate type {job.gate!r}")
 
+    return GateDelayTable(cell=job.cell, gate=job.gate, params=params,
+                          falling=falling, rising=rising,
+                          engine=backend.name)
+
+
+def _nested_tuple(values):
+    """Recursively freeze nested lists (ndarray.tolist output)."""
+    if isinstance(values, list):
+        return tuple(_nested_tuple(v) for v in values)
+    return float(values)
+
+
+def _characterize_vector_gate(job: CharacterizationJob, backend,
+                              axis: np.ndarray) -> GateDelayTable:
+    """Grid an n-input NOR into a :class:`VectorDelaySurface` pair.
+
+    The tensor-product Δ-vector grid is evaluated through the
+    engine's Δ-vector entry points — one batched call per direction,
+    which is exactly the workload the batched
+    :class:`~repro.core.multi_input.GeneralizedNorModel` solver and
+    the sharded parallel backend exist for.
+    """
+    params = job.params
+    if not isinstance(params, GeneralizedNorParameters):
+        raise ParameterError(
+            f"{job.gate!r} jobs need GeneralizedNorParameters")
+    siblings = job.num_inputs - 1
+    axes = tuple(tuple(float(d) for d in axis)
+                 for _ in range(siblings))
+    mesh = np.stack(np.meshgrid(*([axis] * siblings),
+                                indexing="ij"), axis=-1)
+    state = float(job.internal_state)
+    falling = VectorDelaySurface(
+        "falling", axes,
+        _nested_tuple(backend.delays_falling_n(params,
+                                               mesh).tolist()),
+        internal_state=state)
+    rising = VectorDelaySurface(
+        "rising", axes,
+        _nested_tuple(backend.delays_rising_n(params, mesh,
+                                              state).tolist()),
+        internal_state=state)
     return GateDelayTable(cell=job.cell, gate=job.gate, params=params,
                           falling=falling, rising=rising,
                           engine=backend.name)
@@ -311,10 +465,15 @@ def verify_table(table: GateDelayTable, engine=None,
                  oversample: int = 4) -> TableAccuracy:
     """Measure a table's interpolation error against its engine.
 
-    Probes each surface on an *oversampled* uniform grid spanning the
-    characterized Δ range (so probe points fall between the stored
-    samples, where linear interpolation is worst) at every stored
-    state-grid node, and compares against direct engine evaluation.
+    2-input tables are probed on an *oversampled* uniform grid
+    spanning the characterized Δ range (so probe points fall between
+    the stored samples, where linear interpolation is worst) at every
+    stored state-grid node.  n-input tables are probed at
+    ``oversample x 4096`` seeded-random Δ-vectors inside the
+    characterized box plus every cell center along the main diagonal
+    (the kink band where multilinear interpolation is worst) — a
+    dense tensor probe grid would dwarf the characterization itself.
+    Either way, probes are compared against direct engine evaluation.
 
     Parameters
     ----------
@@ -334,6 +493,8 @@ def verify_table(table: GateDelayTable, engine=None,
     """
     backend = get_engine(engine)
     params = table.params
+    if isinstance(table.falling, VectorDelaySurface):
+        return _verify_vector_table(table, backend, oversample)
     lo, hi = table.falling.delta_range
     probes = np.linspace(lo, hi,
                          oversample * len(table.falling.deltas) + 1)
@@ -357,6 +518,37 @@ def verify_table(table: GateDelayTable, engine=None,
             errors[direction] = max(
                 errors[direction],
                 float(np.max(np.abs(interpolated - exact))))
+    return TableAccuracy(cell=table.cell,
+                         falling_error=errors["falling"],
+                         rising_error=errors["rising"])
+
+
+def _verify_vector_table(table: GateDelayTable, backend,
+                         oversample: int) -> TableAccuracy:
+    """Probe an n-input table at random + diagonal-center vectors."""
+    params = table.params
+    surface = table.falling
+    lows = np.array([axis[0] for axis in surface.axes])
+    highs = np.array([axis[-1] for axis in surface.axes])
+    rng = np.random.default_rng(0)
+    count = max(1, oversample) * VECTOR_PROBES_PER_OVERSAMPLE
+    probes = lows + (highs - lows) * rng.random((count, lows.size))
+    # Cell centers along the main diagonal: the Δ_i = Δ_j kink band.
+    centers = 0.5 * (np.asarray(surface.axes[0])[:-1]
+                     + np.asarray(surface.axes[0])[1:])
+    diagonal = np.stack([np.clip(centers, low, high)
+                         for low, high in zip(lows, highs)], axis=-1)
+    probes = np.concatenate([probes, diagonal])
+    state = float(surface.internal_state)
+    errors = {}
+    for direction in ("falling", "rising"):
+        interpolated = getattr(table, direction).delays_at(probes)
+        if direction == "falling":
+            exact = backend.delays_falling_n(params, probes)
+        else:
+            exact = backend.delays_rising_n(params, probes, state)
+        errors[direction] = float(np.max(np.abs(interpolated
+                                                - exact)))
     return TableAccuracy(cell=table.cell,
                          falling_error=errors["falling"],
                          rising_error=errors["rising"])

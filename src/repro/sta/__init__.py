@@ -34,8 +34,9 @@ from .analysis import (PathStep, StaResult, TimingPath, analyze,
                        input_arrival_nodes)
 from .arcs import (ArcDelayModel, EngineArcModel, FixedArcModel,
                    TableArcModel)
-from .circuits import (STA_CIRCUITS, demo_corners, nor_chain,
-                       nor_tree, single_nor, sta_circuit)
+from .circuits import (STA_CIRCUITS, demo_corners, nor3_mixed,
+                       nor_chain, nor_tree, single_nor, single_nor3,
+                       sta_circuit)
 from .graph import (TimingArc, TimingGraph, TimingNode,
                     build_timing_graph, input_unateness)
 from .report import render_report, render_sweep_summary, result_to_json
@@ -60,12 +61,14 @@ __all__ = [
     "demo_corners",
     "input_arrival_nodes",
     "input_unateness",
+    "nor3_mixed",
     "nor_chain",
     "nor_tree",
     "render_report",
     "render_sweep_summary",
     "result_to_json",
     "single_nor",
+    "single_nor3",
     "sta_circuit",
     "sweep_corners",
     "sweep_corners_scalar",

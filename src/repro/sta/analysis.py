@@ -36,6 +36,7 @@ import math
 
 import numpy as np
 
+from ..core.multi_input import sibling_offsets
 from ..core.parameters import NorGateParameters
 from ..errors import ParameterError, SimulationError
 from .graph import DIRECTION, TimingArc, TimingGraph, TimingNode
@@ -110,27 +111,46 @@ class _ArcRecord:
     """Per-arc evaluation record (arrays over the corner axis)."""
 
     arc: TimingArc
-    delta: np.ndarray       # sibling separation fed to the model
+    delta: np.ndarray       # sibling separation(s) fed to the model:
+                            # (corners,) scalar-Δ, (corners, n−1)
+                            # Δ-vector arcs
     delay: np.ndarray       # model delay (NaN where not evaluated)
     candidate: np.ndarray   # arc's output-crossing candidate time
     through: np.ndarray     # candidate − arrival(source)
+
+
+def _record_delta(record: _ArcRecord, corner: int = 0):
+    """The conditioning Δ of one corner lane — a float for scalar-Δ
+    arcs, a tuple of sibling offsets for Δ-vector arcs."""
+    value = record.delta[corner]
+    if np.ndim(value):
+        return tuple(float(v) for v in value)
+    return float(value)
 
 
 def _grouped_delays(arc: TimingArc, deltas: np.ndarray,
                     corner_params) -> np.ndarray:
     """Evaluate an arc's delay model, batched per parameter corner.
 
+    *deltas* is the scalar separation per lane (2-input and
+    single-input arcs) or a ``(lanes, n−1)`` Δ-vector matrix
+    (n-input arcs) — the matching model entry point is picked here.
     ``corner_params`` is ``None`` (no re-targeting) or a sequence of
-    :class:`NorGateParameters`, one per corner lane; lanes sharing a
-    parameter set are evaluated in a single model call.  NaN lanes
-    (no crossing to condition on) are left NaN.
+    parameter sets, one per corner lane; lanes sharing a parameter
+    set are evaluated in a single model call.  NaN lanes (no
+    crossing to condition on) are left NaN.
     """
     direction = DIRECTION[arc.target.transition]
-    valid = ~np.isnan(deltas)
-    delays = np.full(deltas.shape, math.nan)
+    if deltas.ndim == 2:
+        valid = ~np.isnan(deltas).any(axis=1)
+        evaluate = arc.model.delays_n
+    else:
+        valid = ~np.isnan(deltas)
+        evaluate = arc.model.delays
+    delays = np.full(valid.shape, math.nan)
     if corner_params is None or not arc.model.retargetable:
         if valid.any():
-            delays[valid] = arc.model.delays(direction, deltas[valid])
+            delays[valid] = evaluate(direction, deltas[valid])
         return delays
     groups: dict[NorGateParameters, list[int]] = {}
     for lane, params in enumerate(corner_params):
@@ -138,8 +158,8 @@ def _grouped_delays(arc: TimingArc, deltas: np.ndarray,
             groups.setdefault(params, []).append(lane)
     for params, lanes in groups.items():
         index = np.asarray(lanes)
-        delays[index] = arc.model.delays(direction, deltas[index],
-                                         params=params)
+        delays[index] = evaluate(direction, deltas[index],
+                                 params=params)
     return delays
 
 
@@ -179,23 +199,35 @@ def _propagate(graph: TimingGraph,
                 if arc.is_mis:
                     key = (arc.instance, arc.target)
                     if key not in pair_cache:
-                        t_sibling = arrival[arc.sibling]
-                        if arc.pin == "a":
-                            t_a, t_b = t_source, t_sibling
-                        else:
-                            t_a, t_b = t_sibling, t_source
-                        with np.errstate(invalid="ignore"):
-                            delta = t_b - t_a
+                        times = np.stack([arrival[pin_node]
+                                          for pin_node
+                                          in arc.pin_nodes])
                         if arc.reference == "earlier":
-                            reference = np.minimum(t_a, t_b)
+                            reference = times.min(axis=0)
                         else:
-                            reference = np.maximum(t_a, t_b)
-                        lookup = np.where(np.isfinite(reference),
-                                          delta, math.nan)
+                            reference = times.max(axis=0)
+                        finite = np.isfinite(reference)
+                        if len(arc.pin_nodes) == 2:
+                            with np.errstate(invalid="ignore"):
+                                delta = times[1] - times[0]
+                            lookup = np.where(finite, delta,
+                                              math.nan)
+                        else:
+                            # Per-sibling ±inf encodings: offsets
+                            # are clipped around the (finite)
+                            # reference far past the settling
+                            # region, so never/long-ago siblings
+                            # land on the SIS plateaus.
+                            anchor = np.where(finite, reference,
+                                              0.0)
+                            offsets = sibling_offsets(times, anchor)
+                            delta = np.where(finite[:, None],
+                                             offsets, math.nan)
+                            lookup = delta
                         delay = _grouped_delays(arc, lookup,
                                                 corner_params)
                         candidate = np.where(
-                            np.isfinite(reference),
+                            finite,
                             reference + np.nan_to_num(delay),
                             reference)
                         pair_cache[key] = (delta, delay, candidate)
@@ -240,9 +272,10 @@ class PathStep:
     ----------
     arc : TimingArc
         The traversed arc.
-    delta : float
+    delta : float or tuple of float
         Sibling-input separation ``Δ`` the arc delay was conditioned
-        on, seconds (0 for single-input arcs).
+        on, seconds (0 for single-input arcs); Δ-vector arcs report
+        the full tuple of sibling offsets relative to pin 0.
     delay : float
         The model delay ``δ(Δ)`` in seconds.
     arrival : float
@@ -250,7 +283,7 @@ class PathStep:
     """
 
     arc: TimingArc
-    delta: float
+    delta: float | tuple[float, ...]
     delay: float
     arrival: float
 
@@ -290,8 +323,14 @@ class TimingPath:
                  f"{to_ps(self.arrival):.2f} ps, {slack}",
                  f"  start {self.source}"]
         for step in self.steps:
-            mis = (f", Δ = {to_ps(step.delta):+.2f} ps"
-                   if step.arc.is_mis else "")
+            if not step.arc.is_mis:
+                mis = ""
+            elif isinstance(step.delta, tuple):
+                rendered = ", ".join(f"{to_ps(v):+.2f}"
+                                     for v in step.delta)
+                mis = f", Δ = ({rendered}) ps"
+            else:
+                mis = f", Δ = {to_ps(step.delta):+.2f} ps"
             lines.append(
                 f"  -> {step.arc.target}  via {step.arc.instance} "
                 f"[{step.arc.model.name}]  δ = "
@@ -359,7 +398,9 @@ class StaResult:
         serialize as ``null`` so the payload stays RFC-8259 valid
         for strict parsers.
         """
-        def time(value: float):
+        def time(value):
+            if isinstance(value, tuple):
+                return [time(v) for v in value]
             return float(value) if math.isfinite(value) else None
 
         def times(mapping):
@@ -498,7 +539,7 @@ def _extract_paths(graph: TimingGraph,
                 t = t + float(record.through[0])
                 steps.append(PathStep(
                     arc=record.arc,
-                    delta=float(record.delta[0]),
+                    delta=_record_delta(record),
                     delay=float(record.delay[0]),
                     arrival=t))
             slack = _slack(score, required[endpoint], mode)

@@ -30,10 +30,13 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from ..core.multi_input import (GeneralizedNorParameters,
+                                paper_generalized)
 from ..core.parameters import NorGateParameters
 from ..engine import delays_for_direction, get_engine
 from ..errors import ParameterError
-from ..library.tables import GateDelayTable
+from ..library.tables import (GateDelayTable, VectorDelaySurface,
+                              mis_gate_inputs)
 
 __all__ = [
     "ArcDelayModel",
@@ -42,7 +45,7 @@ __all__ = [
     "TableArcModel",
 ]
 
-#: Gate types with a two-input MIS characterization.
+#: Gate types with the paper's two-input MIS characterization.
 MIS_GATE_TYPES = ("nor2", "nand2")
 
 
@@ -86,11 +89,33 @@ class ArcDelayModel(Protocol):
         """
         ...
 
+    def delays_n(self, direction: str, deltas,
+                 params=None) -> np.ndarray:
+        """MIS delays of an n-input arc over Δ-vector matrices.
+
+        Parameters
+        ----------
+        direction : str
+            ``"falling"`` or ``"rising"`` — the output transition
+            the arc drives.
+        deltas : array_like of float
+            Sibling offsets relative to pin 0, shape ``(..., n−1)``;
+            ``±inf`` selects the SIS plateaus.  Ignored by
+            Δ-independent models.
+        params : NorGateParameters or GeneralizedNorParameters, optional
+            Corner override; only honoured when
+            :attr:`retargetable` is true.
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds, shape ``deltas.shape[:-1]``.
+        """
+        ...
+
 
 def _check_mis_gate(gate: str) -> str:
-    if gate not in MIS_GATE_TYPES:
-        raise ParameterError(f"gate must be one of {MIS_GATE_TYPES}, "
-                             f"got {gate!r}")
+    mis_gate_inputs(gate)  # raises on unknown gate type names
     return gate
 
 
@@ -122,32 +147,89 @@ class EngineArcModel:
     name = "engine"
     retargetable = True
 
-    def __init__(self, params: NorGateParameters, gate: str = "nor2",
+    def __init__(self, params, gate: str = "nor2",
                  engine=None, state: float | None = None):
-        self.params = params
         self.gate = _check_mis_gate(gate)
+        self.num_inputs = mis_gate_inputs(gate)
+        if self.gate in MIS_GATE_TYPES:
+            if not isinstance(params, NorGateParameters):
+                raise ParameterError(
+                    f"{gate!r} arcs evaluate NorGateParameters")
+        else:
+            if (not isinstance(params, GeneralizedNorParameters)
+                    or params.num_inputs != self.num_inputs):
+                raise ParameterError(
+                    f"{gate!r} arcs evaluate a {self.num_inputs}-"
+                    "input GeneralizedNorParameters set")
+        self.params = params
         self.engine = get_engine(engine)
         self.state = None if state is None else float(state)
 
-    def _vn_init(self, params: NorGateParameters) -> float:
+    def _resolve(self, params):
+        """Resolve a corner override onto this arc's gate width.
+
+        2-input corner sets re-target n-input arcs through the
+        :func:`~repro.core.multi_input.paper_generalized`
+        extrapolation (rail stage keeps ``R1``, further stages repeat
+        ``R2``/``R4``/``CN``) — so one process-corner axis drives
+        mixed-width circuits.
+        """
+        if params is None:
+            return self.params
+        if self.gate in MIS_GATE_TYPES:
+            if not isinstance(params, NorGateParameters):
+                raise ParameterError(
+                    f"{self.gate!r} arcs re-target to "
+                    "NorGateParameters corners only")
+            return params
+        if isinstance(params, NorGateParameters):
+            return paper_generalized(self.num_inputs, params)
+        if params.num_inputs != self.num_inputs:
+            raise ParameterError(
+                f"corner parameter set has {params.num_inputs} "
+                f"inputs; {self.gate!r} arcs need {self.num_inputs}")
+        return params
+
+    def _vn_init(self, params) -> float:
         """Worst-case (or overridden) NOR-frame internal-node voltage."""
-        if self.gate == "nor2":
-            return 0.0 if self.state is None else self.state
-        # NAND state axis is V_M; mirror into the NOR frame.
-        vm = params.vdd if self.state is None else self.state
-        return params.vdd - vm
+        if self.gate == "nand2":
+            # NAND state axis is V_M; mirror into the NOR frame.
+            vm = params.vdd if self.state is None else self.state
+            return params.vdd - vm
+        return 0.0 if self.state is None else self.state
 
     def delays(self, direction: str, deltas,
                params: NorGateParameters | None = None) -> np.ndarray:
         """Evaluate ``δ(Δ)`` for the arc's output *direction*.
 
         See :meth:`ArcDelayModel.delays`; *params* re-targets the
-        evaluation to another corner.
+        evaluation to another corner.  2-input gate types only — the
+        Δ-vector arcs of wider gates go through :meth:`delays_n`.
         """
-        resolved = self.params if params is None else params
+        if self.gate not in MIS_GATE_TYPES:
+            raise ParameterError(
+                f"{self.gate!r} arcs carry Δ-vector delays; call "
+                "delays_n with an (..., n-1) offset matrix")
+        resolved = self._resolve(params)
         if self.gate == "nand2":
             # Mirror duality: swap directions, mirror the state axis.
             direction = "rising" if direction == "falling" else "falling"
+        return delays_for_direction(self.engine, direction, resolved,
+                                    deltas, self._vn_init(resolved))
+
+    def delays_n(self, direction: str, deltas,
+                 params=None) -> np.ndarray:
+        """Evaluate ``δ(Δ-vector)`` for an n-input NOR arc.
+
+        See :meth:`ArcDelayModel.delays_n`; *params* re-targets the
+        evaluation to another corner (2-input corner sets are widened
+        through ``paper_generalized``).
+        """
+        if self.gate in MIS_GATE_TYPES:
+            raise ParameterError(
+                f"{self.gate!r} arcs carry scalar-Δ delays; call "
+                "delays")
+        resolved = self._resolve(params)
         return delays_for_direction(self.engine, direction, resolved,
                                     deltas, self._vn_init(resolved))
 
@@ -187,8 +269,14 @@ class TableArcModel:
 
     @property
     def gate(self) -> str:
-        """Gate type of the backing table (``"nor2"`` / ``"nand2"``)."""
+        """Gate type of the backing table (``"nor2"`` / ``"nand2"`` /
+        ``"nor<n>"``)."""
         return self.table.gate
+
+    @property
+    def num_inputs(self) -> int:
+        """Input count of the backing table's gate."""
+        return self.table.num_inputs
 
     def delays(self, direction: str, deltas,
                params: NorGateParameters | None = None) -> np.ndarray:
@@ -206,10 +294,40 @@ class TableArcModel:
                 f"table-backed arc ({self.table.cell!r}) cannot be "
                 "re-targeted to another parameter corner; "
                 "characterize a library for that corner instead")
+        if isinstance(self.table.falling, VectorDelaySurface):
+            raise ParameterError(
+                f"{self.table.cell!r} carries Δ-vector surfaces; "
+                "call delays_n with an (..., n-1) offset matrix")
         if direction == "falling":
-            return self.table.falling.delays_at(deltas, self.state)
+            return self.table.falling.delays_at(deltas, self.state,
+                                                clamp=True)
         if direction == "rising":
-            return self.table.rising.delays_at(deltas, self.state)
+            return self.table.rising.delays_at(deltas, self.state,
+                                               clamp=True)
+        raise ParameterError(f"direction must be 'falling' or "
+                             f"'rising', got {direction!r}")
+
+    def delays_n(self, direction: str, deltas,
+                 params=None) -> np.ndarray:
+        """Interpolated ``δ(Δ-vector)`` from an n-input table.
+
+        Clamped multilinear lookups on the characterized
+        :class:`~repro.library.tables.VectorDelaySurface` pair; see
+        :meth:`ArcDelayModel.delays_n`.
+        """
+        if params is not None and params != self.table.params:
+            raise ParameterError(
+                f"table-backed arc ({self.table.cell!r}) cannot be "
+                "re-targeted to another parameter corner; "
+                "characterize a library for that corner instead")
+        if not isinstance(self.table.falling, VectorDelaySurface):
+            raise ParameterError(
+                f"{self.table.cell!r} carries scalar-Δ surfaces; "
+                "call delays")
+        if direction == "falling":
+            return self.table.falling.delays_at(deltas, clamp=True)
+        if direction == "rising":
+            return self.table.rising.delays_at(deltas, clamp=True)
         raise ParameterError(f"direction must be 'falling' or "
                              f"'rising', got {direction!r}")
 
@@ -281,6 +399,13 @@ class FixedArcModel:
                                  f"'rising', got {direction!r}")
         return np.full(np.shape(np.asarray(deltas, dtype=float)),
                        value)
+
+    def delays_n(self, direction: str, deltas,
+                 params=None) -> np.ndarray:
+        """Constant delays broadcast to the Δ-matrix row shape."""
+        d = np.asarray(deltas, dtype=float)
+        return self.delays(direction, d[..., 0] if d.ndim else d,
+                           params)
 
     def __repr__(self) -> str:
         return (f"FixedArcModel(rise={self.delay_rise!r}, "

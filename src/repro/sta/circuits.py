@@ -20,14 +20,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.multi_input import paper_generalized
 from ..core.parameters import PAPER_TABLE_I, NorGateParameters
 from ..errors import ParameterError
 from ..timing.channels.hybrid import HybridNorChannel
+from ..timing.channels.multi_input import GeneralizedNorChannel
 from ..timing.circuit import TimingCircuit
 from ..units import PS
 
 __all__ = ["STA_CIRCUITS", "sta_circuit", "single_nor", "nor_chain",
-           "nor_tree", "demo_corners"]
+           "nor_tree", "single_nor3", "nor3_mixed", "demo_corners"]
 
 
 def single_nor(params: NorGateParameters = PAPER_TABLE_I
@@ -82,12 +84,50 @@ def nor_tree(params: NorGateParameters = PAPER_TABLE_I
     return circuit
 
 
+def single_nor3(params: NorGateParameters = PAPER_TABLE_I
+                ) -> TimingCircuit:
+    """One generalized 3-input NOR: inputs ``a``–``c``, output ``y``.
+
+    Parameters
+    ----------
+    params : NorGateParameters, optional
+        2-input base set widened through
+        :func:`repro.core.multi_input.paper_generalized` (the
+        ``repro sta`` circuits share one parameter knob).
+    """
+    circuit = TimingCircuit(["a", "b", "c"])
+    circuit.add_mis_gate(
+        "g0", ["a", "b", "c"], "y",
+        GeneralizedNorChannel(paper_generalized(3, params)))
+    return circuit
+
+
+def nor3_mixed(params: NorGateParameters = PAPER_TABLE_I
+               ) -> TimingCircuit:
+    """A NOR3 feeding a 2-input NOR — mixed-width MIS conditioning.
+
+    The 3-input gate reduces ``a``–``c`` into ``n1``; a paper NOR2
+    combines ``n1`` with input ``d`` into ``y``, so the root delay
+    depends on a Δ-vector at the first level and a scalar Δ at the
+    second.
+    """
+    circuit = TimingCircuit(["a", "b", "c", "d"])
+    circuit.add_mis_gate(
+        "g0", ["a", "b", "c"], "n1",
+        GeneralizedNorChannel(paper_generalized(3, params)))
+    circuit.add_hybrid_nor("g1", "n1", "d", "y",
+                           HybridNorChannel(params))
+    return circuit
+
+
 #: Named circuit builders accepted by :func:`sta_circuit` and the
 #: CLI's ``repro sta --circuit`` flag.
 STA_CIRCUITS = {
     "nor2": single_nor,
     "chain": nor_chain,
     "tree": nor_tree,
+    "nor3": single_nor3,
+    "nor3_mixed": nor3_mixed,
 }
 
 

@@ -15,6 +15,14 @@ Arc construction per instance kind:
   falling inputs through the series pMOS stack (``δ↑(Δ)``, referenced
   to the *later* input).  Delays come from an
   :class:`~repro.sta.arcs.EngineArcModel` unless overridden.
+* :class:`~repro.timing.circuit.MultiInputInstance` (the generalized
+  n-input NOR element) — one MIS arc per pin and output transition,
+  each carrying the full ordered ``pin_nodes`` tuple so the analyzer
+  can condition the group's delay on the (n−1)-dimensional Δ-vector
+  of sibling arrival offsets in one batched model call
+  (:class:`~repro.sta.arcs.EngineArcModel` over
+  ``GeneralizedNorParameters``, or a Δ-vector
+  :class:`~repro.sta.arcs.TableArcModel`).
 * :class:`~repro.timing.circuit.GateInstance` holding a two-input
   :class:`~repro.timing.channels.TableDelayChannel` — the same MIS
   pairs, with a :class:`~repro.sta.arcs.TableArcModel` reading the
@@ -33,9 +41,10 @@ import dataclasses
 from typing import NamedTuple
 
 from ..errors import NetlistError
+from ..timing.channels.multi_input import GeneralizedNorChannel
 from ..timing.channels.table import TableDelayChannel
 from ..timing.circuit import (GateInstance, HybridInstance,
-                              TimingCircuit)
+                              MultiInputInstance, TimingCircuit)
 from .arcs import (ArcDelayModel, EngineArcModel, FixedArcModel,
                    TableArcModel)
 
@@ -82,12 +91,20 @@ class TimingArc:
         Output-pin transition the arc drives.
     model : ArcDelayModel
         Delay model evaluated for the arc.
-    sibling : TimingNode, optional
-        The partner input's transition for MIS arcs (``None`` for
-        single-input arcs).
+    siblings : tuple of TimingNode
+        The partner inputs' transitions for MIS arcs, in pin order
+        with the source pin removed (empty for single-input arcs).
     pin : str
-        ``"a"`` or ``"b"`` — which side of ``Δ = t_B − t_A`` the
-        source pin sits on (``"a"`` for single-input arcs).
+        Which pin the source sits on: ``"a"`` / ``"b"`` for the
+        paper's 2-input elements, ``"p<i>"`` for wider gates
+        (``"a"`` for single-input arcs).
+    pin_index : int
+        Position of the source pin in the instance's input order.
+    pin_nodes : tuple of TimingNode
+        For MIS arcs: *all* input transitions of the MIS group in
+        pin order (the source included) — the Δ-vector the delay is
+        conditioned on is built from their arrivals relative to pin
+        0.  Empty for single-input arcs.
     reference : str
         Which input the arc delay is referenced to: ``"earlier"``
         (parallel network), ``"later"`` (series network) or
@@ -98,14 +115,22 @@ class TimingArc:
     source: TimingNode
     target: TimingNode
     model: ArcDelayModel
-    sibling: TimingNode | None = None
+    siblings: tuple[TimingNode, ...] = ()
     pin: str = "a"
+    pin_index: int = 0
+    pin_nodes: tuple[TimingNode, ...] = ()
     reference: str = "input"
 
     @property
     def is_mis(self) -> bool:
         """Whether the arc carries a sibling-conditioned MIS delay."""
-        return self.sibling is not None
+        return bool(self.siblings)
+
+    @property
+    def sibling(self) -> TimingNode | None:
+        """The single partner transition of a 2-input MIS arc
+        (``None`` for single-input arcs and wider gates)."""
+        return self.siblings[0] if len(self.siblings) == 1 else None
 
     def __str__(self) -> str:
         return (f"{self.source} -> {self.target} "
@@ -206,14 +231,15 @@ class TimingGraph:
         return self._incoming.get(node, [])
 
     def mis_pairs(self) -> list[tuple[TimingArc, ...]]:
-        """MIS arcs grouped per (instance, target) — pairs, except a
-        single arc for tied-input gates."""
-        pairs: dict[tuple[str, TimingNode], dict[str, TimingArc]] = {}
+        """MIS arcs grouped per (instance, target), in pin order —
+        pairs for two-input elements (a single arc for tied-input
+        gates), wider tuples for n-input gates."""
+        pairs: dict[tuple[str, TimingNode], dict[int, TimingArc]] = {}
         for arc in self.arcs:
             if arc.is_mis:
                 slot = pairs.setdefault((arc.instance, arc.target), {})
-                slot[arc.pin] = arc
-        return [tuple(slot[pin] for pin in sorted(slot))
+                slot[arc.pin_index] = arc
+        return [tuple(slot[index] for index in sorted(slot))
                 for slot in pairs.values()]
 
     def describe(self) -> str:
@@ -224,16 +250,16 @@ class TimingGraph:
                 f"endpoints: {', '.join(self.endpoints)}")
 
 
-def _mis_arcs(instance_name: str, input_a: str, input_b: str,
-              output: str, gate: str,
+def _mis_arcs(instance_name: str, inputs, output: str, gate: str,
               model: ArcDelayModel) -> list[TimingArc]:
-    """The four MIS arcs of one two-input NOR/NAND element."""
+    """The MIS arcs of one fused NOR/NAND element (any width)."""
     # Negative-unate both ways: rising inputs drive the falling
     # output and vice versa.  Which output transition runs through
     # the parallel network (referenced to the earlier input) depends
     # on the gate type — NOR falls in parallel, NAND rises in
     # parallel (mirror duality).
-    parallel_target = "fall" if gate == "nor2" else "rise"
+    inputs = tuple(inputs)
+    parallel_target = "rise" if gate == "nand2" else "fall"
     arcs = []
     for target_transition in TRANSITIONS:
         source_transition = ("fall" if target_transition == "rise"
@@ -241,19 +267,29 @@ def _mis_arcs(instance_name: str, input_a: str, input_b: str,
         reference = ("earlier" if target_transition == parallel_target
                      else "later")
         target = TimingNode(output, target_transition)
-        pins = (("a", input_a), ("b", input_b))
-        if input_a == input_b:
-            # Tied inputs: one arc suffices (Δ = 0 by construction).
-            pins = (("a", input_a),)
-        for pin, signal in pins:
-            sibling_signal = input_b if pin == "a" else input_a
+        pin_nodes = tuple(TimingNode(signal, source_transition)
+                          for signal in inputs)
+        seen: set[str] = set()
+        for index, signal in enumerate(inputs):
+            if signal in seen:
+                # Tied inputs: one arc per distinct signal suffices
+                # (Δ = 0 between tied pins by construction).
+                continue
+            seen.add(signal)
+            pin = (("a", "b")[index] if len(inputs) == 2
+                   else f"p{index}")
+            siblings = tuple(node for position, node
+                             in enumerate(pin_nodes)
+                             if position != index)
             arcs.append(TimingArc(
                 instance=instance_name,
                 source=TimingNode(signal, source_transition),
                 target=target,
                 model=model,
-                sibling=TimingNode(sibling_signal, source_transition),
+                siblings=siblings,
                 pin=pin,
+                pin_index=index,
+                pin_nodes=pin_nodes,
                 reference=reference,
             ))
     return arcs
@@ -323,18 +359,22 @@ def build_timing_graph(circuit: TimingCircuit,
     arcs: list[TimingArc] = []
     for instance in circuit.topological_order():
         override = models.get(instance.name)
-        if isinstance(instance, HybridInstance):
+        if isinstance(instance, (HybridInstance, MultiInputInstance)):
             channel = instance.channel
             if override is not None:
                 model = override
             elif isinstance(channel, TableDelayChannel):
                 model = TableArcModel(channel.table,
                                       state=channel.state)
+            elif isinstance(channel, GeneralizedNorChannel):
+                model = EngineArcModel(
+                    channel.params, f"nor{channel.inputs}",
+                    engine=engine)
             else:
                 model = EngineArcModel(channel.params, "nor2",
                                        engine=engine)
-            arcs.extend(_mis_arcs(instance.name, instance.input_a,
-                                  instance.input_b, instance.output,
+            arcs.extend(_mis_arcs(instance.name, instance.inputs,
+                                  instance.output,
                                   getattr(model, "gate", "nor2"),
                                   model))
         else:

@@ -44,8 +44,10 @@ from __future__ import annotations
 
 import math
 
+from ...core.multi_input import sibling_offsets
 from ...errors import TraceError
-from ...library.tables import GateDelayTable
+from ...library.tables import (GateDelayTable, VectorDelaySurface,
+                               mis_gate_inputs)
 from ..trace import DigitalTrace
 from .base import Channel
 
@@ -53,24 +55,25 @@ __all__ = ["TableDelayChannel"]
 
 
 class TableDelayChannel(Channel):
-    """Two-input NOR/NAND channel driven by table lookups.
+    """n-input NOR / 2-input NAND channel driven by table lookups.
 
     Parameters
     ----------
     table : GateDelayTable
         Characterized delay surfaces; ``table.gate`` selects the
-        boolean function (``"nor2"`` or ``"nand2"``) and the delay
-        conventions.
+        boolean function (``"nor2"``, ``"nand2"``, or ``"nor<n>"``)
+        and the delay conventions.  n-input NOR tables replay their
+        :class:`~repro.library.tables.VectorDelaySurface` pairs with
+        full Δ-vector MIS rescheduling.
     state : float, optional
         Internal-node voltage in volts used for state-dependent
         surface lookups (default 0.0 for NOR — the paper's GND worst
         case; for NAND the mirrored worst case is ``VDD``, applied
-        automatically when *state* is ``None``).
+        automatically when *state* is ``None``).  n-input tables
+        record their characterized ``internal_state`` instead.
     label : str, optional
         Reporting label (defaults to the table's cell name).
     """
-
-    inputs = 2
 
     def __init__(self, table: GateDelayTable,
                  state: float | None = None, label: str = ""):
@@ -79,50 +82,99 @@ class TableDelayChannel(Channel):
             state = table.params.vdd if table.gate == "nand2" else 0.0
         self.state = float(state)
         self.label = label or table.cell
+        self._vector = isinstance(table.falling, VectorDelaySurface)
         # Boolean function and which transition is parallel-driven.
-        if table.gate == "nor2":
-            self._function = lambda a, b: int(not (a or b))
+        if table.gate == "nand2":
+            self._function = lambda *values: int(not all(values))
             #: input value that activates the parallel network
-            self._controlling = 1
-            #: output value reached through the parallel network
-            self._parallel_target = 0
-        else:
-            self._function = lambda a, b: int(not (a and b))
             self._controlling = 0
+            #: output value reached through the parallel network
             self._parallel_target = 1
+        else:
+            self._function = lambda *values: int(not any(values))
+            self._controlling = 1
+            self._parallel_target = 0
+
+    @property
+    def inputs(self) -> int:
+        """Number of gate inputs the channel consumes."""
+        return mis_gate_inputs(self.table.gate)
 
     # ------------------------------------------------------------------
     # lookups
     # ------------------------------------------------------------------
 
-    def _parallel_delay(self, delta: float) -> float:
-        """Delay of the single-input-triggered transition."""
-        if self.table.gate == "nor2":
-            return self.table.delay_falling(delta, self.state)
-        return self.table.delay_rising(delta, self.state)
+    def _parallel_delay(self, delta) -> float:
+        """Delay of the single-controlling-input transition.
 
-    def _series_delay(self, delta: float) -> float:
-        """Delay of the both-inputs-required transition."""
-        if self.table.gate == "nor2":
-            return self.table.delay_rising(delta, self.state)
-        return self.table.delay_falling(delta, self.state)
+        Clamped lookups by design: the channel deliberately reads
+        the SIS plateau edges for separations beyond the
+        characterized grids.
+        """
+        if self.table.gate == "nand2":
+            return self.table.delay_rising(delta, self.state,
+                                           clamp=True)
+        return self.table.delay_falling(delta, self.state,
+                                        clamp=True)
 
-    def initial_output(self, a_initial: int, b_initial: int) -> int:
+    def _series_delay(self, delta) -> float:
+        """Delay of the all-inputs-required transition (clamped)."""
+        if self.table.gate == "nand2":
+            return self.table.delay_falling(delta, self.state,
+                                            clamp=True)
+        return self.table.delay_rising(delta, self.state,
+                                       clamp=True)
+
+    def _parallel_candidate(self, times: list[float]) -> float:
+        """Output-crossing candidate of a parallel-driven transition.
+
+        *times* holds, per input, when it last turned controlling
+        (``+inf`` for inputs that are not controlling) — referenced
+        to the *earliest* controlling input per the paper's
+        convention.
+        """
+        reference = min(times)
+        if self._vector:
+            delta = sibling_offsets(times, reference)
+        else:
+            delta = times[1] - times[0]
+        return reference + self._parallel_delay(delta)
+
+    def _series_candidate(self, released: list[float]) -> float:
+        """Output-crossing candidate of a series-driven transition.
+
+        *released* holds, per input, when it last left its
+        controlling value (``−inf`` for "released long ago / never
+        was controlling") — the trigger is the *latest* release.
+        """
+        reference = max(released)
+        if self._vector:
+            delta = sibling_offsets(released, reference)
+        else:
+            delta = released[1] - released[0]
+        return reference + self._series_delay(delta)
+
+    def initial_output(self, *values: int) -> int:
         """Steady-state output for the initial input values."""
-        return self._function(a_initial, b_initial)
+        if len(values) != self.inputs:
+            raise TraceError(
+                f"{self.label}: expected {self.inputs} initial "
+                f"values, got {len(values)}")
+        return self._function(*values)
 
     # ------------------------------------------------------------------
     # simulation
     # ------------------------------------------------------------------
 
-    def simulate(self, trace_a: DigitalTrace, trace_b: DigitalTrace,
+    def simulate(self, *traces: DigitalTrace,
                  t_max: float | None = None) -> DigitalTrace:
         """Output trace of the gate for the given input traces.
 
         Parameters
         ----------
-        trace_a, trace_b : DigitalTrace
-            Input traces; events must sit at ``t >= 0``.
+        *traces : DigitalTrace
+            One input trace per gate input; events must sit at
+            ``t >= 0``.
         t_max : float, optional
             Drop output transitions after this time.
 
@@ -134,36 +186,46 @@ class TableDelayChannel(Channel):
         Raises
         ------
         TraceError
-            If an input trace carries events at negative times.
+            On a wrong trace count or events at negative times.
         """
-        for trace in (trace_a, trace_b):
+        n = self.inputs
+        if len(traces) != n:
+            raise TraceError(
+                f"{self.label}: expected {n} input traces, got "
+                f"{len(traces)}")
+        for trace in traces:
             if trace.times and trace.times[0] < 0.0:
                 raise TraceError("table channel expects events at "
                                  "t >= 0")
-        a, b = trace_a.initial, trace_b.initial
-        initial = self._function(a, b)
+        values = [trace.initial for trace in traces]
+        initial = self._function(*values)
 
         merged = sorted(
-            [(t, 0, v) for t, v in trace_a.transitions] +
-            [(t, 1, v) for t, v in trace_b.transitions])
-        values = [a, b]
+            (t, index, v)
+            for index, trace in enumerate(traces)
+            for t, v in trace.transitions)
         # Time each input last switched *to* its controlling value;
         # -inf means "has been controlling forever" (SIS edge).
         controlling_since = [
-            -math.inf if values[0] == self._controlling else math.nan,
-            -math.inf if values[1] == self._controlling else math.nan,
-        ]
+            -math.inf if value == self._controlling else math.nan
+            for value in values]
         # Time each input last *left* its controlling value; -inf
         # means "never was controlling" or "never released" — either
         # way the separation is the SIS edge.
-        was_controlling = [values[0] == self._controlling,
-                           values[1] == self._controlling]
-        released_at = [-math.inf, -math.inf]
+        was_controlling = [value == self._controlling
+                           for value in values]
+        released_at = [-math.inf] * n
 
         out: list[tuple[float, int]] = []
         #: True while out[-1] is a parallel-driven candidate that may
-        #: still be rescheduled by the partner input.
+        #: still be rescheduled by further controlling inputs.
         pending_parallel = False
+
+        def controlling_times() -> list[float]:
+            """Per-input controlling onsets (+inf: not controlling)."""
+            return [controlling_since[i]
+                    if values[i] == self._controlling else math.inf
+                    for i in range(n)]
 
         def cancel_or_append(t_event: float, candidate: float,
                              value: int) -> bool:
@@ -189,18 +251,16 @@ class TableDelayChannel(Channel):
             elif was_controlling[which]:
                 released_at[which] = t
             current = out[-1][1] if out else initial
-            target = self._function(values[0], values[1])
+            target = self._function(*values)
 
             if target == current:
                 if (pending_parallel and value == self._controlling
                         and out and out[-1][0] > t):
-                    # Second controlling input arrived while the
+                    # A further controlling input arrived while the
                     # parallel transition is still pending:
-                    # reschedule with the true MIS separation.
-                    t_a, t_b = controlling_since
-                    reference = min(t_a, t_b)
-                    candidate = (reference
-                                 + self._parallel_delay(t_b - t_a))
+                    # reschedule with the true MIS separations.
+                    candidate = self._parallel_candidate(
+                        controlling_times())
                     out.pop()
                     pending_parallel = cancel_or_append(t, candidate,
                                                         current)
@@ -208,18 +268,19 @@ class TableDelayChannel(Channel):
 
             if target == self._parallel_target:
                 # Parallel-driven transition: this input alone flips
-                # the output; the partner is (still) non-controlling.
-                edge = math.inf if which == 0 else -math.inf
-                candidate = t + self._parallel_delay(edge)
+                # the output; the siblings are (still)
+                # non-controlling.
+                candidate = self._parallel_candidate(
+                    controlling_times())
                 pending_parallel = cancel_or_append(t, candidate,
                                                     target)
             else:
-                # Series-driven transition: both inputs are
-                # non-controlling now, and this event is the later of
-                # the two releases by construction.
-                t_a, t_b = released_at
-                cancel_or_append(t, t + self._series_delay(t_b - t_a),
-                                 target)
+                # Series-driven transition: every input is
+                # non-controlling now, and this event is the latest
+                # release by construction.
+                cancel_or_append(
+                    t, self._series_candidate(list(released_at)),
+                    target)
                 pending_parallel = False
 
         if t_max is not None:

@@ -21,15 +21,18 @@ import networkx as nx
 from ..errors import NetlistError
 from .channels.base import SingleInputChannel
 from .channels.hybrid import HybridNorChannel
+from .channels.multi_input import GeneralizedNorChannel
 from .channels.table import TableDelayChannel
 from .gates import gate_function
 
-__all__ = ["GateInstance", "HybridInstance", "TimingCircuit"]
+__all__ = ["GateInstance", "HybridInstance", "MultiInputInstance",
+           "TimingCircuit"]
 
-#: Channel types usable as fused two-input MIS elements: they consume
-#: both input traces directly via ``simulate(trace_a, trace_b)`` and
-#: report their boolean steady state via ``initial_output(a, b)``.
-MIS_CHANNEL_TYPES = (HybridNorChannel, TableDelayChannel)
+#: Channel types usable as fused MIS elements: they consume all input
+#: traces directly via ``simulate(*traces)`` and report their boolean
+#: steady state via ``initial_output(*values)``.
+MIS_CHANNEL_TYPES = (HybridNorChannel, TableDelayChannel,
+                     GeneralizedNorChannel)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -59,6 +62,28 @@ class HybridInstance:
     output: str
     channel: HybridNorChannel | TableDelayChannel
 
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        """The input signal pair (n-input-instance-compatible view)."""
+        return (self.input_a, self.input_b)
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiInputInstance:
+    """A fused n-input MIS element (gate and channel in one).
+
+    The generalization of :class:`HybridInstance` beyond two inputs:
+    the channel consumes all n input traces directly — the exact
+    eigen-solved automaton (:class:`GeneralizedNorChannel`) or an
+    n-input characterized-table replay (:class:`TableDelayChannel`
+    with a ``nor<n>`` table).
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    output: str
+    channel: GeneralizedNorChannel | TableDelayChannel
+
 
 class TimingCircuit:
     """A feed-forward circuit of channels and gates.
@@ -71,12 +96,14 @@ class TimingCircuit:
         self.inputs: tuple[str, ...] = tuple(inputs)
         if len(set(self.inputs)) != len(self.inputs):
             raise NetlistError("duplicate primary input names")
-        self.instances: list[GateInstance | HybridInstance] = []
-        self._drivers: dict[str, GateInstance | HybridInstance] = {}
+        self.instances: list[GateInstance | HybridInstance
+                             | MultiInputInstance] = []
+        self._drivers: dict[str, GateInstance | HybridInstance
+                            | MultiInputInstance] = {}
 
     # ------------------------------------------------------------------
 
-    def _register(self, instance: GateInstance | HybridInstance) -> None:
+    def _register(self, instance) -> None:
         if instance.output in self._drivers or \
                 instance.output in self.inputs:
             raise NetlistError(f"signal {instance.output!r} has multiple "
@@ -98,24 +125,72 @@ class TimingCircuit:
         self._register(instance)
         return instance
 
-    def add_mis_gate(self, name: str, input_a: str, input_b: str,
-                     output: str,
-                     channel: HybridNorChannel | TableDelayChannel
-                     ) -> HybridInstance:
-        """Add a fused two-input MIS element (hybrid or table channel).
+    def add_mis_gate(self, name: str, input_a, input_b=None,
+                     output=None, channel=None
+                     ) -> HybridInstance | MultiInputInstance:
+        """Add a fused MIS element (hybrid, generalized or table).
+
+        Two call forms::
+
+            circuit.add_mis_gate("g0", "a", "b", "y", channel)
+            circuit.add_mis_gate("g0", ["a", "b", "c"], "y", channel)
+
+        The first is the paper's two-input form; the second passes a
+        *sequence* of input signals and builds an n-input instance
+        (an :class:`HybridInstance` for exactly two inputs, a
+        :class:`MultiInputInstance` otherwise) — ``output`` and
+        ``channel`` may be given positionally or as keywords.  The
+        channel's input count must match.
 
         Raises:
-            NetlistError: if the channel is not a two-input MIS
-                channel type.
+            NetlistError: if the channel is not a MIS channel type,
+                its input count does not match the signals, or the
+                arguments are incomplete/ambiguous.
         """
+        if isinstance(input_a, str):
+            inputs = (input_a, input_b)
+        else:
+            # n-input form: (name, inputs, output, channel).  With
+            # all-positional arguments the values arrive shifted one
+            # slot left; with keywords they land on their names.
+            inputs = tuple(input_a)
+            if channel is None:
+                output, channel = input_b, output
+            elif output is None:
+                output, input_b = input_b, None
+            elif input_b is not None:
+                raise NetlistError(
+                    f"MIS gate {name!r}: got both positional and "
+                    "keyword placements for output/channel")
+            if not isinstance(output, str) or channel is None:
+                raise NetlistError(
+                    f"MIS gate {name!r}: the n-input form needs "
+                    "(inputs, output, channel)")
         if not isinstance(channel, MIS_CHANNEL_TYPES):
             raise NetlistError(
-                f"MIS gate {name!r} needs a two-input MIS channel "
+                f"MIS gate {name!r} needs a MIS channel "
                 f"({', '.join(t.__name__ for t in MIS_CHANNEL_TYPES)}), "
                 f"got {type(channel).__name__}")
-        instance = HybridInstance(name=name, input_a=input_a,
-                                  input_b=input_b, output=output,
-                                  channel=channel)
+        if len(inputs) < 2 or any(not isinstance(s, str)
+                                  for s in inputs):
+            raise NetlistError(
+                f"MIS gate {name!r} needs at least two input signal "
+                "names")
+        expected = getattr(channel, "inputs", 2)
+        if expected != len(inputs):
+            raise NetlistError(
+                f"MIS gate {name!r}: channel expects {expected} "
+                f"inputs, got {len(inputs)} signals")
+        if len(inputs) == 2 and isinstance(
+                channel, (HybridNorChannel, TableDelayChannel)):
+            instance: HybridInstance | MultiInputInstance = \
+                HybridInstance(name=name, input_a=inputs[0],
+                               input_b=inputs[1], output=output,
+                               channel=channel)
+        else:
+            instance = MultiInputInstance(name=name, inputs=inputs,
+                                          output=output,
+                                          channel=channel)
         self._register(instance)
         return instance
 
@@ -133,14 +208,11 @@ class TimingCircuit:
         """All signal names (inputs + gate outputs)."""
         return list(self.inputs) + [inst.output for inst in self.instances]
 
-    def instance_inputs(self,
-                        instance: GateInstance | HybridInstance
-                        ) -> tuple[str, ...]:
-        if isinstance(instance, HybridInstance):
-            return (instance.input_a, instance.input_b)
-        return instance.inputs
+    def instance_inputs(self, instance) -> tuple[str, ...]:
+        """Input signal names of any instance kind."""
+        return tuple(instance.inputs)
 
-    def topological_order(self) -> list[GateInstance | HybridInstance]:
+    def topological_order(self) -> list:
         """Instances sorted so that drivers precede consumers.
 
         Raises:

@@ -25,7 +25,8 @@ from ..core.solutions import ModeSolution, solve_mode
 from ..core.trajectory import all_crossings
 from ..errors import SimulationError
 from .channels.base import SingleInputChannel
-from .circuit import GateInstance, HybridInstance, TimingCircuit
+from .circuit import (GateInstance, HybridInstance,
+                      MultiInputInstance, TimingCircuit)
 from .events import EventQueue
 from .trace import DigitalTrace
 
@@ -211,10 +212,10 @@ class EventDrivenSimulator:
             for instance in self.circuit.instances:
                 if instance.output in self._initial_overrides:
                     continue
-                if isinstance(instance, HybridInstance):
+                if isinstance(instance, (HybridInstance,
+                                         MultiInputInstance)):
                     new = instance.channel.initial_output(
-                        values[instance.input_a],
-                        values[instance.input_b])
+                        *(values[s] for s in instance.inputs))
                 else:
                     new = instance.function(
                         *(values[s] for s in instance.inputs))
@@ -232,6 +233,13 @@ class EventDrivenSimulator:
 
         bootstrap: list[tuple[_ChannelRuntime, int]] = []
         for instance in self.circuit.instances:
+            if isinstance(instance, MultiInputInstance):
+                raise SimulationError(
+                    f"instance {instance.name!r}: the event-driven "
+                    "engine runs the paper's two-input hybrid "
+                    "automaton; n-input MIS gates are served by the "
+                    "feed-forward simulator (repro.timing.simulator"
+                    ".simulate)")
             if isinstance(instance, HybridInstance):
                 if not hasattr(instance.channel, "params"):
                     raise SimulationError(

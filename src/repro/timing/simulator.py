@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from ..errors import NetlistError
 from .channels.base import SingleInputChannel
-from .circuit import GateInstance, HybridInstance, TimingCircuit
+from .circuit import (GateInstance, HybridInstance,
+                      MultiInputInstance, TimingCircuit)
 from .gates import zero_time_gate
 from .trace import DigitalTrace
 
@@ -42,11 +43,9 @@ def simulate(circuit: TimingCircuit,
 
     traces: dict[str, DigitalTrace] = dict(input_traces)
     for instance in circuit.topological_order():
-        if isinstance(instance, HybridInstance):
-            trace_a = traces[instance.input_a]
-            trace_b = traces[instance.input_b]
-            traces[instance.output] = instance.channel.simulate(trace_a,
-                                                                trace_b)
+        if isinstance(instance, (HybridInstance, MultiInputInstance)):
+            traces[instance.output] = instance.channel.simulate(
+                *(traces[name] for name in instance.inputs))
         else:
             gate_out = zero_time_gate(
                 instance.function,

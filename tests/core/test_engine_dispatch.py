@@ -1,0 +1,117 @@
+"""`delays_for_direction` dispatch over the n-input entry points and
+the parallel backend's Δ-matrix sharding (ISSUE 4 satellite)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PAPER_TABLE_I
+from repro.core.multi_input import paper_generalized
+from repro.engine import (ParallelEngine, delays_for_direction,
+                          get_engine)
+from repro.errors import ParameterError
+from repro.units import PS
+
+
+@pytest.fixture(scope="module")
+def p3():
+    return paper_generalized(3)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    rng = np.random.default_rng(3)
+    return rng.uniform(-80 * PS, 80 * PS, size=(24, 2))
+
+
+class TestDispatch:
+    def test_two_input_routes_to_scalar_entry_points(self):
+        engine = get_engine("vectorized")
+        deltas = np.linspace(-50 * PS, 50 * PS, 11)
+        assert np.array_equal(
+            delays_for_direction(engine, "falling", PAPER_TABLE_I,
+                                 deltas),
+            engine.delays_falling(PAPER_TABLE_I, deltas))
+        assert np.array_equal(
+            delays_for_direction(engine, "rising", PAPER_TABLE_I,
+                                 deltas, 0.4),
+            engine.delays_rising(PAPER_TABLE_I, deltas, 0.4))
+
+    def test_generalized_routes_to_vector_entry_points(self, p3,
+                                                       grid):
+        engine = get_engine("vectorized")
+        assert np.array_equal(
+            delays_for_direction(engine, "falling", p3, grid),
+            engine.delays_falling_n(p3, grid))
+        assert np.array_equal(
+            delays_for_direction(engine, "rising", p3, grid, 0.2),
+            engine.delays_rising_n(p3, grid, 0.2))
+
+    def test_invalid_direction(self, p3, grid):
+        engine = get_engine("vectorized")
+        with pytest.raises(ValueError):
+            delays_for_direction(engine, "sideways", PAPER_TABLE_I,
+                                 grid[:, 0])
+        with pytest.raises(ValueError):
+            delays_for_direction(engine, "sideways", p3, grid)
+
+
+class TestBackendAgreement:
+    def test_reference_vs_vectorized(self, p3, grid):
+        reference = get_engine("reference")
+        vectorized = get_engine("vectorized")
+        for direction in ("falling", "rising"):
+            slow = delays_for_direction(reference, direction, p3,
+                                        grid)
+            fast = delays_for_direction(vectorized, direction, p3,
+                                        grid)
+            assert float(np.max(np.abs(slow - fast))) <= 1e-15
+
+
+class TestParallelMatrixSharding:
+    def test_inline_fallback_counts_rows_not_floats(self, p3, grid):
+        # 24 rows x 2 offsets = 48 floats; the threshold sees 24
+        # evaluations, so the call must stay inline (no pool).
+        engine = ParallelEngine(processes=4, min_shard_points=25)
+        result = engine.delays_falling_n(p3, grid)
+        assert engine._pool is None
+        expected = get_engine("vectorized").delays_falling_n(p3, grid)
+        assert np.array_equal(result, expected)
+
+    def test_threshold_boundary_shards(self, p3, grid):
+        engine = ParallelEngine(processes=2, min_shard_points=24)
+        try:
+            result = engine.delays_falling_n(p3, grid)
+            assert engine._pool is not None
+        finally:
+            engine.close()
+        expected = get_engine("vectorized").delays_falling_n(p3, grid)
+        assert float(np.max(np.abs(result - expected))) <= 1e-15
+
+    def test_sharded_rising_matches_inline(self, p3, grid):
+        engine = ParallelEngine(processes=2, min_shard_points=4)
+        try:
+            sharded = engine.delays_rising_n(p3, grid, 0.1)
+        finally:
+            engine.close()
+        inline = get_engine("vectorized").delays_rising_n(p3, grid,
+                                                          0.1)
+        assert float(np.max(np.abs(sharded - inline))) <= 1e-15
+
+    def test_single_process_never_spawns(self, p3, grid):
+        engine = ParallelEngine(processes=1, min_shard_points=1)
+        result = engine.delays_falling_n(p3, grid)
+        assert engine._pool is None
+        assert result.shape == (24,)
+
+    def test_nan_rejected_before_sharding(self, p3):
+        engine = ParallelEngine(processes=2, min_shard_points=1)
+        bad = np.full((8, 2), np.nan)
+        with pytest.raises(ParameterError):
+            engine.delays_falling_n(p3, bad)
+        engine.close()
+
+    def test_wrong_width_rejected(self, p3):
+        engine = ParallelEngine(processes=2, min_shard_points=1)
+        with pytest.raises(ParameterError):
+            engine.delays_falling_n(p3, np.zeros((4, 3)))
+        engine.close()

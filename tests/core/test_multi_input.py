@@ -7,9 +7,12 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.core.parameters import NorGateParameters
+
 from repro.core import HybridNorModel, PAPER_TABLE_I
 from repro.core.multi_input import (GeneralizedNorModel,
-                                    GeneralizedNorParameters)
+                                    GeneralizedNorParameters,
+                                    generalized_model)
 from repro.errors import NoCrossingError, ParameterError
 from repro.units import PS
 
@@ -210,16 +213,20 @@ class TestPairwiseSweeps:
         for delta, value in zip(deltas, swept):
             pair = [max(0.0, -float(delta)), max(0.0, float(delta))]
             assert value == pytest.approx(
-                gen3.delay_falling(pair + [0.0]), rel=1e-12)
+                gen3.delay_falling(pair + [0.0]), abs=1e-18)
 
     def test_three_input_rising_sweep(self, gen3):
         swept = gen3.delays_rising_sweep(np.array([0.0, 10 * PS]))
         assert swept[0] == pytest.approx(
-            gen3.delay_rising([0.0, 0.0, 0.0]), rel=1e-12)
+            gen3.delay_rising([0.0, 0.0, 0.0]), abs=1e-18)
 
-    def test_three_input_sweep_rejects_infinite(self, gen3):
-        with pytest.raises(ParameterError):
-            gen3.delays_falling_sweep([math.inf])
+    def test_three_input_sweep_clips_infinite_to_sis(self, gen3):
+        # ±inf separations are the SIS plateaus: they agree with any
+        # separation beyond the settling region.
+        far = 2.0 * generalized_model(gen3.params).settle_time()
+        swept = gen3.delays_falling_sweep([math.inf, -math.inf])
+        plateau = gen3.delays_falling_sweep([far, -far])
+        assert swept == pytest.approx(plateau, abs=1e-18)
 
     def test_two_input_sweep_tracks_hybrid_model(self, gen2, ref2):
         deltas = np.array([-30 * PS, -5 * PS, 0.0, 5 * PS, 30 * PS])
@@ -227,3 +234,93 @@ class TestPairwiseSweeps:
         for delta, value in zip(deltas, swept):
             assert value == pytest.approx(
                 ref2.delay_falling(float(delta)), rel=1e-9)
+
+
+#: Positive, finite electrical values spanning realistic magnitudes.
+_resistances = st.floats(min_value=1e2, max_value=1e6,
+                         allow_nan=False, allow_infinity=False)
+_capacitances = st.floats(min_value=1e-18, max_value=1e-12,
+                          allow_nan=False, allow_infinity=False)
+_voltages = st.floats(min_value=0.1, max_value=5.0,
+                      allow_nan=False, allow_infinity=False)
+_delays = st.floats(min_value=0.0, max_value=1e-9,
+                    allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def _two_input_params(draw):
+    return NorGateParameters(
+        r1=draw(_resistances), r2=draw(_resistances),
+        r3=draw(_resistances), r4=draw(_resistances),
+        cn=draw(_capacitances), co=draw(_capacitances),
+        vdd=draw(_voltages), delta_min=draw(_delays))
+
+
+class TestRoundTripProperties:
+    """Hypothesis: from_two_input / to_two_input are exact inverses."""
+
+    @given(params=_two_input_params())
+    def test_two_input_round_trip(self, params):
+        widened = GeneralizedNorParameters.from_two_input(params)
+        assert widened.num_inputs == 2
+        assert widened.to_two_input() == params
+
+    @given(params=_two_input_params())
+    def test_generalized_round_trip(self, params):
+        widened = GeneralizedNorParameters.from_two_input(params)
+        again = GeneralizedNorParameters.from_two_input(
+            widened.to_two_input())
+        assert again == widened
+
+    @given(params=_two_input_params(),
+           num_inputs=st.integers(min_value=3, max_value=6))
+    def test_wider_gates_cannot_reduce(self, params, num_inputs):
+        from repro.core.multi_input import paper_generalized
+        wide = paper_generalized(num_inputs, params)
+        with pytest.raises(ParameterError):
+            wide.to_two_input()
+
+
+class TestLengthValidationProperties:
+    """Hypothesis: mismatched stack lengths raise ParameterError."""
+
+    @given(n=st.integers(min_value=2, max_value=6),
+           pulldown_delta=st.integers(min_value=-2, max_value=2),
+           internal_delta=st.integers(min_value=-2, max_value=2))
+    def test_mismatched_lengths_rejected(self, n, pulldown_delta,
+                                         internal_delta):
+        pulldown = max(1, n + pulldown_delta)
+        internal = max(0, n - 1 + internal_delta)
+        kwargs = dict(r_pullup=(45e3,) * n,
+                      r_pulldown=(45e3,) * pulldown,
+                      c_internal=(60e-18,) * internal,
+                      co=617e-18)
+        if pulldown == n and internal == n - 1:
+            assert GeneralizedNorParameters(**kwargs).num_inputs == n
+        else:
+            with pytest.raises(ParameterError):
+                GeneralizedNorParameters(**kwargs)
+
+    @given(value=st.one_of(
+        st.floats(max_value=0.0, allow_nan=False),
+        st.just(math.nan), st.just(math.inf)))
+    def test_non_positive_values_rejected(self, value):
+        with pytest.raises(ParameterError):
+            GeneralizedNorParameters(
+                r_pullup=(45e3, value), r_pulldown=(45e3, 45e3),
+                c_internal=(60e-18,), co=617e-18)
+
+    def test_list_fields_coerced_to_tuples(self):
+        params = GeneralizedNorParameters(
+            r_pullup=[37e3, 45e3], r_pulldown=[45e3, 47e3],
+            c_internal=[60e-18], co=617e-18)
+        assert isinstance(params.r_pullup, tuple)
+        assert hash(params) == hash(params.replace())
+
+    def test_as_dict_round_trip(self):
+        params = GeneralizedNorParameters(
+            r_pullup=(37e3, 45e3, 45e3),
+            r_pulldown=(45e3, 47e3, 49e3),
+            c_internal=(60e-18, 60e-18), co=617e-18,
+            vdd=0.8, delta_min=18 * PS)
+        assert GeneralizedNorParameters(**params.as_dict()) == params

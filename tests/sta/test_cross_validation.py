@@ -32,7 +32,8 @@ class TestExperimentSta:
 
     def test_covers_all_circuits(self, result):
         circuits = {check.circuit for check in result.checks}
-        assert circuits == {"nor2", "chain", "tree"}
+        assert circuits == {"nor2", "chain", "tree", "nor3",
+                            "nor3_mixed"}
 
     def test_covers_both_directions(self, result):
         nodes = " ".join(check.node for check in result.checks)

@@ -250,3 +250,57 @@ class TestErrorExitCodes:
                      str(tmp_path / "nope.json"), "--cell",
                      "nor2_paper"]) == 2
         assert "no such file" in capsys.readouterr().err
+
+
+class TestMultiInput:
+    def test_parser_options(self):
+        args = build_parser().parse_args(
+            ["multi_input", "--gate", "nor4", "--points", "9"])
+        assert args.gate == "nor4"
+        assert args.points == 9
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["multi_input", "--gate",
+                                       "nor2"])
+
+    def test_experiment_runs(self, capsys):
+        assert main(["multi_input", "--points", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "NOR3" in out
+        assert "n=2 reduction" in out
+        assert "speedup" in out
+
+    def test_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "multi_input" in capsys.readouterr().out
+
+    def test_characterize_nor3_round_trip(self, capsys, tmp_path):
+        out_path = tmp_path / "nor3.json"
+        assert main(["characterize", "--gate", "nor3",
+                     "--core-points", "17", "--out",
+                     str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "nor3_paper" in out
+        assert out_path.exists()
+        assert main(["library", str(out_path), "--cell",
+                     "nor3_paper", "--verify"]) == 0
+        detail = capsys.readouterr().out
+        assert "Δ-vector surface" in detail
+        assert "verify" in detail
+
+    def test_characterize_nor3_rejects_state_points(self, capsys):
+        assert main(["characterize", "--gate", "nor3",
+                     "--state-points", "3"]) == 2
+        assert "--state-points" in capsys.readouterr().err
+
+    def test_sta_nor3_circuit(self, capsys):
+        assert main(["sta", "--circuit", "nor3_mixed", "--top",
+                     "1"]) == 0
+        out = capsys.readouterr().out
+        assert "STA report" in out
+        assert "nor3_mixed" in out
+
+    def test_sta_nor3_corners(self, capsys):
+        assert main(["sta", "--circuit", "nor3", "--corners",
+                     "8"]) == 0
+        out = capsys.readouterr().out
+        assert "corner sweep: 8 corners" in out
