@@ -21,6 +21,7 @@ import pathlib
 import time
 
 from repro.analysis.experiments import experiment_library
+from repro.api import Session
 from repro.engine import ParallelEngine, get_engine
 from repro.library import characterize_library, paper_jobs
 from repro.units import PS
@@ -40,8 +41,11 @@ def _time_characterization(engine) -> float:
 
 def test_library_accuracy_report(benchmark, write_result):
     """Accuracy of every characterized table vs direct evaluation."""
-    result = benchmark.pedantic(lambda: experiment_library(),
-                                rounds=1, iterations=1)
+    session = Session()
+    result = benchmark.pedantic(
+        lambda: experiment_library(params=session.parameters,
+                                   engine=session.engine),
+        rounds=1, iterations=1)
     write_result("library", result.text)
     worst = max(accuracy.max_error for accuracy in result.accuracies)
     benchmark.extra_info["worst_error_fs"] = round(worst / 1e-15, 2)

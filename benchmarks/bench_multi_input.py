@@ -31,8 +31,8 @@ import time
 
 import numpy as np
 
-from repro.core.multi_input import generalized_model, paper_generalized
-from repro.engine import get_engine
+from repro.api import MultiInputRequest, Session
+from repro.core.multi_input import delta_vector_grid
 
 #: ISSUE acceptance: batched vs scalar on the full grid.
 _SPEEDUP_FLOOR = 10.0
@@ -56,16 +56,12 @@ def measure_batch(axis_points: int, num_inputs: int = 3) -> dict:
     Returns the ``BENCH_multi_input.json`` payload (seconds,
     speedup, and the parity of the two solvers on the probed rows).
     """
-    params = paper_generalized(num_inputs)
-    model = generalized_model(params)
-    tau = model.settle_time() / 60.0
-    axis = np.linspace(-4.0 * tau, 4.0 * tau, axis_points)
-    mesh = np.stack(np.meshgrid(*([axis] * (num_inputs - 1)),
-                                indexing="ij"), axis=-1)
-    rows = mesh.reshape(-1, num_inputs - 1)
+    session = Session(engine="vectorized")
+    params = session.generalized(num_inputs)
+    rows = delta_vector_grid(params, axis_points)
 
-    vectorized = get_engine("vectorized")
-    reference = get_engine("reference")
+    vectorized = session.engine
+    reference = Session(engine="reference").engine
     # Warm the per-(params, input-state) eigendecomposition caches:
     # steady-state throughput is the quantity of interest.
     vectorized.delays_falling_n(params, rows[:2])
@@ -103,10 +99,10 @@ def measure_batch(axis_points: int, num_inputs: int = 3) -> dict:
 
 def test_multi_input_record(benchmark, write_result):
     """Rendered n-input generalization record (landscape + parity)."""
-    from repro.analysis.experiments import experiment_multi_input
-
-    result = benchmark.pedantic(experiment_multi_input, rounds=1,
-                                iterations=1)
+    session = Session()
+    result = benchmark.pedantic(
+        lambda: session.run(MultiInputRequest()), rounds=1,
+        iterations=1)
     write_result("multi_input", result.text)
     benchmark.extra_info["reduction_error_s"] = result.reduction_error
     assert result.reduction_error <= 1e-12

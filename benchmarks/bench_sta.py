@@ -30,8 +30,9 @@ import time
 
 import numpy as np
 
-from repro.sta import (build_timing_graph, demo_corners, nor_tree,
-                       sweep_corners, sweep_corners_scalar)
+from repro.api import Session, StaRequest
+from repro.sta import (demo_corners, sweep_corners,
+                       sweep_corners_scalar)
 from repro.units import PS
 
 #: ISSUE acceptance: vectorized vs scalar on the full corner count.
@@ -52,7 +53,7 @@ def measure_sweep(corners: int, seed: int = 0) -> dict:
     Returns the ``BENCH_sta.json`` payload (seconds, speedup, and
     the parity of the two results).
     """
-    graph = build_timing_graph(nor_tree())
+    graph = Session().timing_graph("tree")
     # The shared demo grid: 4 process variants x random arrivals on
     # two of the tree's inputs (repro sta --corners uses the same).
     params, arrivals = demo_corners(corners, ["b", "d"], seed=seed)
@@ -93,10 +94,10 @@ def measure_sweep(corners: int, seed: int = 0) -> dict:
 
 def test_sta_cross_validation_record(benchmark, write_result):
     """STA vs event simulation on the paper's NOR circuits."""
-    from repro.analysis.experiments import experiment_sta
-
-    result = benchmark.pedantic(experiment_sta, rounds=1,
-                                iterations=1)
+    session = Session()
+    result = benchmark.pedantic(
+        lambda: session.run(StaRequest(validate=True)), rounds=1,
+        iterations=1)
     write_result("sta", result.text)
     benchmark.extra_info["max_error_fs"] = round(
         result.max_error / 1e-15, 3)

@@ -44,6 +44,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 #: Modules documented in the API reference, in navigation order.
 API_MODULES = [
     "repro",
+    "repro.api",
     "repro.core",
     "repro.engine",
     "repro.library",
@@ -58,8 +59,8 @@ API_MODULES = [
 ]
 
 #: Modules whose public *methods* must also carry docstrings.
-STRICT_DOCSTRING_MODULES = {"repro", "repro.engine", "repro.library",
-                            "repro.sta"}
+STRICT_DOCSTRING_MODULES = {"repro", "repro.api", "repro.engine",
+                            "repro.library", "repro.sta"}
 
 #: Site navigation: (section, [(source page, title), ...]).
 NAV: list[tuple[str, list[tuple[str, str]]]] = [
@@ -68,6 +69,7 @@ NAV: list[tuple[str, list[tuple[str, str]]]] = [
         ("architecture.md", "Architecture"),
     ]),
     ("Guides", [
+        ("api.md", "Session API"),
         ("engines.md", "Engine backends"),
         ("library.md", "Library characterization"),
         ("sta.md", "Static timing analysis"),
@@ -75,6 +77,7 @@ NAV: list[tuple[str, list[tuple[str, str]]]] = [
     ]),
     ("Tutorials", [
         ("tutorials/quickstart.md", "Quickstart"),
+        ("tutorials/api.md", "Session API walkthrough"),
         ("tutorials/timing-accuracy.md", "Timing accuracy study"),
         ("tutorials/sta.md", "STA walkthrough"),
         ("tutorials/multi-input.md", "n-input NOR walkthrough"),

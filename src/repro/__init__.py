@@ -4,6 +4,10 @@ DATE 2022, arXiv:2111.11182).
 
 Package layout (see DESIGN.md for the full inventory):
 
+* :mod:`repro.api` — the unified session facade: a :class:`Session`
+  binding technology, engine and parameters, typed JSON-round-trippable
+  request/result objects, and one ``session.run(request)`` dispatch
+  seam the CLI, experiments and benchmarks all route through.
 * :mod:`repro.core` — the hybrid four-mode ODE model of a CMOS NOR gate,
   its closed-form solutions, MIS delay functions, the analytic
   characteristic-delay formulas (paper eqs. 8–12) and the δ_min-based
@@ -33,11 +37,20 @@ Package layout (see DESIGN.md for the full inventory):
 
 Quickstart::
 
+    from repro import Session
+    from repro.api import DelayRequest
+    session = Session()
+    result = session.run(DelayRequest(deltas=((10e-12,),)))
+    print(result.delays[0])              # MIS delay at Δ = 10 ps
+
+or, one layer down, directly against the model::
+
     from repro import HybridNorModel, PAPER_TABLE_I
     model = HybridNorModel(PAPER_TABLE_I)
     print(model.delay_falling(10e-12))   # MIS delay at Δ = 10 ps
 """
 
+from ._version import __version__
 from .core import (
     PAPER_DELTA_MIN,
     PAPER_TABLE_I,
@@ -86,8 +99,7 @@ from .errors import (
     SimulationError,
     TraceError,
 )
-
-__version__ = "1.4.0"
+from .api import Session
 
 __all__ = [
     "CharacterizationJob",
@@ -111,6 +123,7 @@ __all__ = [
     "ParameterError",
     "PiecewiseTrajectory",
     "ReproError",
+    "Session",
     "SimulationError",
     "StaResult",
     "TimingGraph",

@@ -59,7 +59,6 @@ __all__ = [
     "experiment_ablation_delta_min",
     "experiment_baseline_fits",
     "experiment_faithfulness",
-    "EXPERIMENTS",
 ]
 
 
@@ -789,7 +788,8 @@ def experiment_multi_input(params: NorGateParameters = PAPER_TABLE_I,
         engine: batched evaluation backend (name, instance, or
             ``None`` for the vectorized default).
     """
-    from ..core.multi_input import (generalized_model,
+    from ..core.multi_input import (delta_vector_grid,
+                                    generalized_model,
                                     paper_generalized)
     from ..engine import get_engine
 
@@ -817,11 +817,8 @@ def experiment_multi_input(params: NorGateParameters = PAPER_TABLE_I,
         landscape.append(float(
             backend.delays_falling_n(wide, offsets[None, :])[0]))
 
-    # Batched vs scalar on a Δ-vector grid.
-    axis = np.linspace(-4.0 * tau, 4.0 * tau, grid_points)
-    mesh = np.stack(np.meshgrid(
-        *([axis] * (num_inputs - 1)), indexing="ij"), axis=-1)
-    rows = mesh.reshape(-1, num_inputs - 1)
+    # Batched vs scalar on the standard Δ-vector probe grid.
+    rows = delta_vector_grid(wide, grid_points)
     backend.delays_falling_n(wide, rows[:2])  # warm the caches
     start = time.perf_counter()
     batched = backend.delays_falling_n(wide, rows)
@@ -948,8 +945,10 @@ def experiment_faithfulness(params: NorGateParameters = PAPER_TABLE_I,
     return AblationResult(rows=rows, text=text)
 
 
-#: Registry used by benches and the examples.
-EXPERIMENTS = {
+#: Legacy registry, kept behind a deprecation shim (see
+#: ``__getattr__``): the session facade of :mod:`repro.api` is the
+#: dispatch seam now.
+_EXPERIMENTS = {
     "fig2": experiment_fig2,
     "fig4": experiment_fig4,
     "fig5": experiment_fig5,
@@ -964,3 +963,24 @@ EXPERIMENTS = {
     "sta": experiment_sta,
     "faithfulness": experiment_faithfulness,
 }
+
+
+def __getattr__(name: str):
+    """Deprecation shim for the module-level experiment registry.
+
+    .. deprecated:: 1.5.0
+        ``EXPERIMENTS`` is replaced by the session facade: run an
+        experiment with ``repro.api.Session().run(
+        ExperimentRequest(name))`` and enumerate the names with
+        ``repro.api.experiment_names()``.
+    """
+    if name == "EXPERIMENTS":
+        import warnings
+        warnings.warn(
+            "repro.analysis.experiments.EXPERIMENTS is deprecated; "
+            "use repro.api.Session().run(ExperimentRequest(name)) "
+            "and repro.api.experiment_names()",
+            DeprecationWarning, stacklevel=2)
+        return dict(_EXPERIMENTS)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,437 @@
+"""Request handlers: one function per request kind.
+
+Each handler takes ``(session, request)``, routes into the existing
+core/engine/library/sta machinery, and returns the matching typed
+result.  Handlers are **pure** with respect to the session — no file
+writes, no globals — which is what makes the per-session result cache
+of :meth:`repro.api.Session.run` safe; side effects (writing a library
+JSON, writing a result envelope) belong to the callers (the CLI).
+
+Error contract: bad names and malformed inputs raise
+:class:`~repro.errors.ReproError` subclasses or :class:`ValueError`
+with a one-line message — the CLI turns those into exit code 2.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from .._version import __version__
+from ..engine import available_engines
+from ..errors import ParameterError
+from ..units import to_ps
+from .catalog import (EXPERIMENT_DESCRIPTIONS, GATE_CHOICES,
+                      WORKFLOW_DESCRIPTIONS)
+from .requests import (CharacterizeRequest, DelayRequest,
+                       DescribeRequest, ExperimentRequest,
+                       LibraryRequest, MultiInputRequest, Request,
+                       StaRequest, SweepRequest, VersionRequest)
+from .results import (CharacterizeResult, DelayResult, DescribeResult,
+                      ExperimentResult, LibraryInspectResult,
+                      MultiInputResult, Result, StaRunResult,
+                      SweepResult, VersionResult)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .session import Session
+
+__all__ = ["HANDLERS"]
+
+
+def _gate_width(gate: str) -> int:
+    if gate not in GATE_CHOICES:
+        raise ParameterError(
+            f"unknown gate {gate!r}; available: "
+            f"{', '.join(GATE_CHOICES)}")
+    return int(gate[len("nor"):])
+
+
+# ----------------------------------------------------------------------
+# describe / version
+# ----------------------------------------------------------------------
+
+def _describe(session: "Session",
+              request: DescribeRequest) -> DescribeResult:
+    entries = dict(EXPERIMENT_DESCRIPTIONS)
+    entries["characterize"] = WORKFLOW_DESCRIPTIONS["characterize"]
+    entries["library"] = (EXPERIMENT_DESCRIPTIONS["library"] + "; "
+                          + WORKFLOW_DESCRIPTIONS["library"])
+    entries["sta"] = WORKFLOW_DESCRIPTIONS["sta"]
+    entries["delay"] = WORKFLOW_DESCRIPTIONS["delay"]
+    entries["version"] = WORKFLOW_DESCRIPTIONS["version"]
+    width = max(len(name) for name in entries)
+    text = "\n".join(f"{name:<{width}}  {description}"
+                     for name, description in entries.items())
+    return DescribeResult(version=__version__,
+                          engines=available_engines(),
+                          experiments=dict(EXPERIMENT_DESCRIPTIONS),
+                          workflows=dict(WORKFLOW_DESCRIPTIONS),
+                          text=text)
+
+
+def _version(session: "Session",
+             request: VersionRequest) -> VersionResult:
+    return VersionResult(version=__version__,
+                         text=f"repro {__version__}")
+
+
+# ----------------------------------------------------------------------
+# delay
+# ----------------------------------------------------------------------
+
+def _delay(session: "Session", request: DelayRequest) -> DelayResult:
+    from ..analysis.reporting import ascii_table
+    from ..core.multi_input import paper_generalized
+
+    if request.direction not in ("falling", "rising"):
+        raise ParameterError(
+            f"direction must be 'falling' or 'rising', got "
+            f"{request.direction!r}")
+    if not request.deltas:
+        raise ParameterError("at least one Δ-vector is required")
+    width = _gate_width(request.gate)
+    wanted = width - 1
+    for entry in request.deltas:
+        if len(entry) != wanted:
+            raise ParameterError(
+                f"{request.gate} takes {wanted} sibling offset(s) "
+                f"per Δ-vector, got {len(entry)}")
+    engine = session.engine
+    rows = np.asarray(request.deltas, dtype=float)
+    if width == 2:
+        axis = rows[:, 0]
+        if request.direction == "falling":
+            delays = engine.delays_falling(session.parameters, axis)
+        else:
+            delays = engine.delays_rising(session.parameters, axis,
+                                          request.vn_init)
+    else:
+        wide = paper_generalized(width, session.parameters)
+        if request.direction == "falling":
+            delays = engine.delays_falling_n(wide, rows)
+        else:
+            delays = engine.delays_rising_n(wide, rows,
+                                            request.vn_init)
+
+    def _axis(entry: tuple[float, ...]) -> str:
+        return ", ".join(f"{to_ps(value):+.2f}" for value in entry)
+
+    table = ascii_table(
+        ["Δ [ps]", "delay [ps]"],
+        [(_axis(entry), f"{to_ps(delay):.3f}")
+         for entry, delay in zip(request.deltas, delays)],
+        title=f"{request.gate} {request.direction} MIS delays via "
+              f"'{engine.name}'")
+    return DelayResult(gate=request.gate,
+                       direction=request.direction,
+                       engine=engine.name,
+                       deltas=request.deltas,
+                       delays=tuple(float(d) for d in delays),
+                       text=table)
+
+
+# ----------------------------------------------------------------------
+# engine sweep / n-input probe / experiments
+# ----------------------------------------------------------------------
+
+def _sweep(session: "Session", request: SweepRequest) -> SweepResult:
+    from ..analysis import experiments as exp
+
+    outcome = exp.experiment_engines(params=session.parameters,
+                                     points=request.points,
+                                     repeats=request.repeats)
+    return SweepResult(
+        points=outcome.points,
+        seconds=dict(outcome.seconds),
+        points_per_second=dict(outcome.points_per_second),
+        speedup=outcome.speedup,
+        max_abs_difference=outcome.max_abs_difference,
+        text=outcome.text)
+
+
+def _multi_input(session: "Session",
+                 request: MultiInputRequest) -> MultiInputResult:
+    from ..analysis import experiments as exp
+
+    width = _gate_width(request.gate)
+    if width < 3:
+        raise ParameterError(
+            "multi_input probes the generalized path; use nor3 or "
+            "nor4")
+    outcome = exp.experiment_multi_input(params=session.parameters,
+                                         num_inputs=width,
+                                         grid_points=request.points,
+                                         engine=session.engine)
+    return MultiInputResult(gate=request.gate,
+                            reduction_error=outcome.reduction_error,
+                            batch_error=outcome.batch_error,
+                            speedup=outcome.speedup,
+                            text=outcome.text)
+
+
+def _experiment(session: "Session",
+                request: ExperimentRequest) -> ExperimentResult:
+    from ..analysis import experiments as exp
+
+    name = request.name
+    tech = session.technology
+    if name == "fig2":
+        text = exp.experiment_fig2(tech).text
+    elif name == "fig4":
+        text = exp.experiment_fig4().text
+    elif name in ("fig5", "fig6", "fig8"):
+        characterization = (exp.characterize_nor(tech)
+                            if request.with_analog else None)
+        runner = {"fig5": exp.experiment_fig5,
+                  "fig6": exp.experiment_fig6,
+                  "fig8": exp.experiment_fig8}[name]
+        text = runner(characterization=characterization,
+                      engine=session.engine).text
+    elif name == "fig7":
+        options = {}
+        if request.transitions is not None:
+            options["transitions"] = request.transitions
+        if request.repetitions is not None:
+            options["repetitions"] = request.repetitions
+        text = exp.experiment_fig7(tech, seed=request.seed,
+                                   **options).text
+    elif name == "table1":
+        text = exp.experiment_table1().text
+    elif name == "analytic":
+        text = exp.experiment_analytic().text
+    elif name == "runtime":
+        text = exp.experiment_runtime(tech).text
+    elif name == "faithfulness":
+        text = exp.experiment_faithfulness().text
+    elif name == "library":
+        text = exp.experiment_library(engine=session.engine).text
+    elif name == "engines":
+        # Also reachable as SweepRequest, which carries the grid
+        # options and returns the structured comparison.
+        text = exp.experiment_engines(
+            params=session.parameters).text
+    elif name == "multi_input":
+        # Also reachable as MultiInputRequest (gate / grid options,
+        # structured parity fields).
+        text = exp.experiment_multi_input(
+            params=session.parameters, engine=session.engine).text
+    else:
+        raise ParameterError(
+            f"unknown experiment {name!r}; available: "
+            f"{', '.join(EXPERIMENT_DESCRIPTIONS)}")
+    return ExperimentResult(name=name, text=text)
+
+
+# ----------------------------------------------------------------------
+# characterize / library inspection
+# ----------------------------------------------------------------------
+
+def _characterize(session: "Session",
+                  request: CharacterizeRequest) -> CharacterizeResult:
+    import dataclasses
+
+    from ..core.multi_input import paper_generalized
+    from ..library import (characterize_library, default_delta_grid,
+                           default_state_grid,
+                           default_vector_delta_grid,
+                           generalized_jobs, paper_jobs, verify_table)
+    from ..library.characterize import (DEFAULT_CORE_POINTS,
+                                        DEFAULT_STATE_POINTS)
+
+    width = _gate_width(request.gate)
+    if request.fit:
+        from ..analysis.characterization import characterize_nor
+        from ..analysis.fitting import fit_from_characterization
+        params = fit_from_characterization(
+            characterize_nor(session.technology)).params
+        suffix = session.tech_name
+    else:
+        params, suffix = session.parameters, "paper"
+    if width != 2:
+        if request.state_points is not None:
+            raise ParameterError(
+                f"--state-points applies to the 2-input grid; "
+                f"{request.gate} surfaces record one worst-case "
+                "chain state")
+        wide = paper_generalized(width, params)
+        jobs = generalized_jobs(width, wide,
+                                technology=session.tech_name,
+                                suffix=suffix)
+        if request.core_points is not None:
+            deltas = tuple(default_vector_delta_grid(
+                wide, core_points=request.core_points))
+            jobs = tuple(dataclasses.replace(job, deltas=deltas)
+                         for job in jobs)
+    else:
+        jobs = paper_jobs(params, technology=session.tech_name,
+                          suffix=suffix)
+        if (request.core_points is not None
+                or request.state_points is not None):
+            deltas = tuple(default_delta_grid(
+                params,
+                core_points=(request.core_points
+                             or DEFAULT_CORE_POINTS)))
+            states = tuple(default_state_grid(
+                params,
+                points=request.state_points or DEFAULT_STATE_POINTS))
+            jobs = tuple(dataclasses.replace(job, deltas=deltas,
+                                             state_grid=states)
+                         for job in jobs)
+
+    engine = session.engine
+    library = characterize_library(jobs, engine=engine,
+                                   name=request.library_name)
+    lines = [f"characterized {len(library)} cells via "
+             f"'{engine.name}':"]
+    worst = 0.0
+    for cell in library.cells:
+        accuracy = verify_table(library[cell], engine=engine)
+        worst = max(worst, accuracy.max_error)
+        lines.append(f"  {library[cell].describe()}")
+        lines.append(f"    interpolation error: falling "
+                     f"{to_ps(accuracy.falling_error) * 1000.0:.2f} "
+                     f"fs, rising "
+                     f"{to_ps(accuracy.rising_error) * 1000.0:.2f} fs")
+    if width == 2:
+        lines.append(f"worst interpolation error "
+                     f"{to_ps(worst) * 1000.0:.2f} fs "
+                     "(acceptance: <= 100 fs)")
+    else:
+        lines.append(f"worst interpolation error "
+                     f"{to_ps(worst) * 1000.0:.2f} fs "
+                     "(multilinear on the tensor grid; raise "
+                     "--core-points to tighten)")
+    return CharacterizeResult(cells=library.cells,
+                              worst_error=worst,
+                              engine=engine.name,
+                              library=library.to_dict(),
+                              text="\n".join(lines))
+
+
+def _library(session: "Session",
+             request: LibraryRequest) -> LibraryInspectResult:
+    from ..library import VectorDelaySurface, verify_table
+
+    library = session.load_library(request.path)
+    lines = [f"library '{library.name}' "
+             f"({len(library)} cells)"]
+    if library.description:
+        lines.append(f"  {library.description}")
+    cells = ([request.cell] if request.cell
+             else list(library.cells))
+    for cell in cells:
+        try:
+            table = library[cell]
+        except KeyError as error:
+            raise ValueError(error.args[0]) from None
+        lines.append(f"  {table.describe()}")
+        if request.cell:
+            if isinstance(table.falling, VectorDelaySurface):
+                zero = [0.0] * table.falling.num_siblings
+                for direction in ("falling", "rising"):
+                    surface = getattr(table, direction)
+                    lo, hi = surface.delta_ranges[0]
+                    lines.append(
+                        f"    {direction}: {surface.num_siblings}-D "
+                        f"Δ-vector surface, axes "
+                        f"[{to_ps(lo):.0f}, {to_ps(hi):.0f}] ps, "
+                        f"δ(0) {to_ps(surface.delay_at(zero)):.2f} "
+                        f"ps")
+            else:
+                fall = table.falling.characteristic()
+                rise = table.rising.characteristic()
+                lines.append("    " + fall.describe("delta_fall"))
+                lines.append("    " + rise.describe("delta_rise"))
+            lines.append(f"    characterized by engine "
+                         f"'{table.engine}'")
+        if request.verify:
+            accuracy = verify_table(table, engine=session.engine)
+            lines.append(
+                f"    verify vs '{session.engine.name}': max "
+                f"{to_ps(accuracy.max_error) * 1000.0:.2f} fs")
+    return LibraryInspectResult(name=library.name,
+                                cells=tuple(cells),
+                                text="\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# sta
+# ----------------------------------------------------------------------
+
+def _sta(session: "Session", request: StaRequest) -> StaRunResult:
+    from ..sta import (TableArcModel, analyze, build_timing_graph,
+                       demo_corners, render_report,
+                       render_sweep_summary, sta_circuit, sta_payload,
+                       sweep_corners)
+
+    if request.validate:
+        from ..analysis import experiments as exp
+        outcome = exp.experiment_sta(params=session.parameters,
+                                     engine=session.engine)
+        return StaRunResult(circuit=None,
+                            engine=session.engine.name,
+                            analysis=None,
+                            max_error=outcome.max_error,
+                            text=outcome.text)
+
+    engine = session.engine  # fail fast on unknown names
+    models = None
+    if request.library_path is not None:
+        if request.cell is None:
+            raise ParameterError(
+                "--library needs --cell to pick the table driving "
+                "the gates")
+        library = session.load_library(request.library_path)
+        try:
+            table = library[request.cell]
+        except KeyError as error:
+            raise ValueError(error.args[0]) from None
+        circuit = sta_circuit(request.circuit, session.parameters)
+        models = {instance.name: TableArcModel(table)
+                  for instance in circuit.instances}
+        graph = build_timing_graph(circuit, models=models,
+                                   engine=engine)
+    else:
+        # The session's memoized engine-backed graph of the bound
+        # parameter set.
+        graph = session.timing_graph(request.circuit)
+    result = analyze(graph, required=request.required,
+                     top_paths=request.top)
+    lines = [render_report(result,
+                           title=f"STA report: circuit "
+                                 f"'{request.circuit}' via "
+                                 f"'{engine.name}'")]
+    sweep = None
+    if request.corners is not None:
+        params_axis, corner_arrivals = demo_corners(
+            request.corners, [graph.inputs[0]], seed=request.seed)
+        if models is not None:
+            # Table arcs are characterized for one parameter set;
+            # sweep only the arrival axis for library-backed runs.
+            params_axis = None
+        sweep = sweep_corners(graph, params=params_axis,
+                              arrivals=corner_arrivals,
+                              required=request.required)
+        lines.append("")
+        lines.append(render_sweep_summary(sweep))
+    return StaRunResult(circuit=request.circuit,
+                        engine=engine.name,
+                        analysis=sta_payload(result, sweep),
+                        max_error=None,
+                        text="\n".join(lines))
+
+
+#: Request type -> handler, consumed by :meth:`Session.run`.
+HANDLERS: dict[type[Request],
+               Callable[["Session", Request], Result]] = {
+    DescribeRequest: _describe,
+    VersionRequest: _version,
+    DelayRequest: _delay,
+    SweepRequest: _sweep,
+    MultiInputRequest: _multi_input,
+    ExperimentRequest: _experiment,
+    CharacterizeRequest: _characterize,
+    LibraryRequest: _library,
+    StaRequest: _sta,
+}

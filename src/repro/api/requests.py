@@ -1,0 +1,250 @@
+"""Typed, JSON-round-trippable request objects for :class:`Session`.
+
+One request class per workload the package serves.  Requests are
+frozen (hashable) dataclasses carrying only plain data — every field
+is a string, number, boolean, ``None`` or a (nested) tuple of those —
+so they serialize through the :mod:`repro.api.serialization` envelope
+and key the per-session result cache.
+
+Requests deliberately do **not** carry an engine or technology: those
+are *session* bindings (:class:`repro.api.Session`), so the same
+serialized request can be replayed against any backend or corner.
+All physical quantities are SI (seconds, volts), like the rest of the
+package.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import ClassVar
+
+from .serialization import ApiRecord
+
+__all__ = [
+    "CharacterizeRequest",
+    "DelayRequest",
+    "DescribeRequest",
+    "ExperimentRequest",
+    "LibraryRequest",
+    "MultiInputRequest",
+    "Request",
+    "StaRequest",
+    "SweepRequest",
+    "VersionRequest",
+]
+
+
+class Request(ApiRecord):
+    """Marker base class of everything :meth:`Session.run` accepts."""
+
+
+@dataclasses.dataclass(frozen=True)
+class DescribeRequest(Request):
+    """Enumerate the available experiments, workflows and engines.
+
+    The CLI's ``repro list`` is this request; the rendered text is the
+    same two-column listing.
+    """
+
+    kind: ClassVar[str] = "describe"
+
+
+@dataclasses.dataclass(frozen=True)
+class VersionRequest(Request):
+    """Report the package version (single-sourced from
+    :mod:`repro._version`)."""
+
+    kind: ClassVar[str] = "version"
+
+
+@dataclasses.dataclass(frozen=True)
+class DelayRequest(Request):
+    """Evaluate MIS delays at explicit input separations.
+
+    Parameters
+    ----------
+    direction : str
+        ``"falling"`` or ``"rising"`` (the output transition).
+    deltas : tuple of tuple of float
+        One entry per query point.  Each entry is a Δ-vector of
+        sibling offsets in seconds: length 1 for ``nor2`` (the
+        paper's scalar Δ), length ``n − 1`` for ``nor3`` / ``nor4``.
+    gate : str
+        Gate width: ``"nor2"`` (closed-form path), ``"nor3"`` or
+        ``"nor4"`` (generalized Δ-vector path).
+    vn_init : float
+        Initial internal-node voltage in volts, rising direction
+        only (default 0.0, the GND worst case).
+    """
+
+    kind: ClassVar[str] = "delay"
+    direction: str = "falling"
+    deltas: tuple[tuple[float, ...], ...] = ((0.0,),)
+    gate: str = "nor2"
+    vn_init: float = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepRequest(Request):
+    """Backend parity/throughput sweep across every registered engine.
+
+    The CLI's ``repro engines``: one falling+rising Δ sweep of
+    *points* per direction through each backend, timed and checked
+    against the scalar reference.
+
+    Parameters
+    ----------
+    points : int
+        Δ grid size per direction.
+    repeats : int
+        Timing repetitions (best-effort smoothing).
+    """
+
+    kind: ClassVar[str] = "sweep"
+    points: int = 4096
+    repeats: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiInputRequest(Request):
+    """n-input NOR generalization probe (``repro multi_input``).
+
+    Parameters
+    ----------
+    gate : str
+        Probed gate width, ``"nor3"`` or ``"nor4"``.
+    points : int
+        Per-axis Δ-vector grid size of the batched-vs-scalar probe.
+    """
+
+    kind: ClassVar[str] = "multi_input"
+    gate: str = "nor3"
+    points: int = 25
+
+
+@dataclasses.dataclass(frozen=True)
+class CharacterizeRequest(Request):
+    """Characterize a gate library (``repro characterize``).
+
+    The result embeds the serialized
+    :class:`~repro.library.GateLibrary` payload; writing it to disk is
+    the caller's choice (the CLI's ``--out``).
+
+    Parameters
+    ----------
+    gate : str
+        ``"nor2"`` runs the paper's four-cell NOR2/NAND2 grid,
+        ``"nor3"`` / ``"nor4"`` the n-input Δ-vector flow.
+    fit : bool
+        Fit gate parameters from an analog characterization of the
+        session's technology instead of the paper's Table I (slower).
+    core_points : int, optional
+        Uniform Δ samples across the MIS core (``None``: the
+        library's standard grid).
+    state_points : int, optional
+        Internal-node voltage grid size, 2-input grid only (``None``:
+        the library's standard grid).
+    library_name : str
+        Library name stored in the JSON header.
+    """
+
+    kind: ClassVar[str] = "characterize"
+    gate: str = "nor2"
+    fit: bool = False
+    core_points: int | None = None
+    state_points: int | None = None
+    library_name: str = "repro-hybrid"
+
+
+@dataclasses.dataclass(frozen=True)
+class LibraryRequest(Request):
+    """Inspect / verify a characterized library JSON file.
+
+    Parameters
+    ----------
+    path : str
+        Path of a ``repro characterize`` output file.
+    cell : str, optional
+        Restrict inspection to one cell (adds the per-direction
+        surface detail).
+    verify : bool
+        Re-measure the interpolation error of every listed table
+        against the session's engine.
+    """
+
+    kind: ClassVar[str] = "library"
+    path: str = ""
+    cell: str | None = None
+    verify: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class StaRequest(Request):
+    """MIS-aware static timing analysis (``repro sta``).
+
+    Parameters
+    ----------
+    circuit : str
+        Built-in test circuit name (see ``repro.sta.STA_CIRCUITS``).
+    library_path : str, optional
+        Characterized library JSON; gates use table lookups instead
+        of direct evaluation (requires *cell*).
+    cell : str, optional
+        Cell of *library_path* driving the gates.
+    required : float, optional
+        Endpoint required arrival time in seconds (enables slack).
+    top : int
+        Number of ranked critical paths.
+    corners : int, optional
+        Also run an N-corner vectorized sweep (random
+        parameter/arrival corners).
+    seed : int
+        Corner-sampling seed.
+    validate : bool
+        Run the STA-vs-event-simulation cross-validation instead of
+        a report.
+    """
+
+    kind: ClassVar[str] = "sta"
+    circuit: str = "tree"
+    library_path: str | None = None
+    cell: str | None = None
+    required: float | None = None
+    top: int = 3
+    corners: int | None = None
+    seed: int = 0
+    validate: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentRequest(Request):
+    """Run one of the paper's reproduction experiments by name.
+
+    Covers the figure/table subcommands (``fig2`` … ``faithfulness``)
+    plus the ``library`` characterization-accuracy experiment; the
+    engine-comparison and n-input probes have their own richer
+    request types (:class:`SweepRequest`, :class:`MultiInputRequest`).
+
+    Parameters
+    ----------
+    name : str
+        Experiment name (``repro list`` enumerates them).
+    with_analog : bool
+        Also run the analog golden sweep for the ``fig5`` / ``fig6``
+        / ``fig8`` comparisons (slower).
+    transitions : int, optional
+        ``fig7`` transitions per configuration (``None``: the
+        experiment's default).
+    repetitions : int, optional
+        ``fig7`` random repetitions (``None``: the experiment's
+        default).
+    seed : int
+        RNG seed for the randomized experiments.
+    """
+
+    kind: ClassVar[str] = "experiment"
+    name: str = "fig4"
+    with_analog: bool = False
+    transitions: int | None = None
+    repetitions: int | None = None
+    seed: int = 0

@@ -1,0 +1,266 @@
+"""Typed, JSON-round-trippable result objects of :meth:`Session.run`.
+
+Each request type of :mod:`repro.api.requests` resolves to exactly one
+result type here.  Results are frozen dataclasses of plain data: every
+field serializes through the :mod:`repro.api.serialization` envelope
+(``result.to_json()``) and decodes back with
+``Result.from_json`` / :func:`repro.api.from_json` — the round-trip
+contract the property tests enforce.
+
+Every result carries a ``text`` field with the human rendering the CLI
+prints; the structured fields carry the same information for
+machines.  All physical quantities are SI seconds unless a field name
+says otherwise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, ClassVar
+
+from .serialization import ApiRecord
+
+__all__ = [
+    "CharacterizeResult",
+    "DelayResult",
+    "DescribeResult",
+    "ExperimentResult",
+    "LibraryInspectResult",
+    "MultiInputResult",
+    "Result",
+    "StaRunResult",
+    "SweepResult",
+    "VersionResult",
+]
+
+
+class Result(ApiRecord):
+    """Marker base class of everything :meth:`Session.run` returns."""
+
+
+@dataclasses.dataclass(frozen=True)
+class DescribeResult(Result):
+    """Catalog of the session's capabilities (``repro list``).
+
+    Parameters
+    ----------
+    version : str
+        Package version.
+    engines : tuple of str
+        Registered delay-engine backend names.
+    experiments : dict of str to str
+        Experiment name -> one-line description.
+    workflows : dict of str to str
+        Workflow command name -> one-line description.
+    text : str
+        The two-column listing the CLI prints.
+    """
+
+    kind: ClassVar[str] = "describe_result"
+    version: str = ""
+    engines: tuple[str, ...] = ()
+    experiments: dict[str, str] = dataclasses.field(
+        default_factory=dict)
+    workflows: dict[str, str] = dataclasses.field(default_factory=dict)
+    text: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class VersionResult(Result):
+    """The package version (``repro version`` / ``repro --version``).
+
+    Parameters
+    ----------
+    version : str
+        The version string from :mod:`repro._version`.
+    text : str
+        ``"repro <version>"``.
+    """
+
+    kind: ClassVar[str] = "version_result"
+    version: str = ""
+    text: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class DelayResult(Result):
+    """MIS delays at explicit input separations.
+
+    Parameters
+    ----------
+    gate : str
+        Evaluated gate width (``nor2`` / ``nor3`` / ``nor4``).
+    direction : str
+        ``"falling"`` or ``"rising"``.
+    engine : str
+        Name of the backend that produced the delays.
+    deltas : tuple of tuple of float
+        The queried Δ-vectors, echoed back (seconds).
+    delays : tuple of float
+        One delay per query point, seconds, ``δ_min`` included.
+    text : str
+        Rendered Δ/delay table.
+    """
+
+    kind: ClassVar[str] = "delay_result"
+    gate: str = "nor2"
+    direction: str = "falling"
+    engine: str = ""
+    deltas: tuple[tuple[float, ...], ...] = ()
+    delays: tuple[float, ...] = ()
+    text: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult(Result):
+    """Backend parity and throughput of one MIS-sweep workload.
+
+    Parameters
+    ----------
+    points : int
+        Δ grid size per direction.
+    seconds : dict of str to float
+        Backend name -> wall time of a falling+rising sweep.
+    points_per_second : dict of str to float
+        Backend name -> sweep throughput.
+    speedup : float
+        Reference time / vectorized time.
+    max_abs_difference : float
+        Worst |backend − reference| delay, seconds.
+    text : str
+        Rendered comparison table.
+    """
+
+    kind: ClassVar[str] = "sweep_result"
+    points: int = 0
+    seconds: dict[str, float] = dataclasses.field(default_factory=dict)
+    points_per_second: dict[str, float] = dataclasses.field(
+        default_factory=dict)
+    speedup: float = 0.0
+    max_abs_difference: float = 0.0
+    text: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiInputResult(Result):
+    """Outcome of the n-input Δ-vector generalization probe.
+
+    Parameters
+    ----------
+    gate : str
+        Probed gate width (``nor3`` / ``nor4``).
+    reduction_error : float
+        Worst |generalized − closed-form| disagreement on the n = 2
+        sweep, seconds.
+    batch_error : float
+        Worst |batched − scalar| disagreement on the Δ-vector grid,
+        seconds.
+    speedup : float
+        Batched-vs-scalar throughput ratio.
+    text : str
+        Rendered summary.
+    """
+
+    kind: ClassVar[str] = "multi_input_result"
+    gate: str = "nor3"
+    reduction_error: float = 0.0
+    batch_error: float = 0.0
+    speedup: float = 0.0
+    text: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class CharacterizeResult(Result):
+    """A characterized gate library plus its accuracy audit.
+
+    Parameters
+    ----------
+    cells : tuple of str
+        Characterized cell names (sorted).
+    worst_error : float
+        Worst table-vs-direct interpolation error, seconds.
+    engine : str
+        Backend that swept the grids.
+    library : dict
+        The serialized :class:`~repro.library.GateLibrary` payload
+        (``GateLibrary.to_dict()``); load it back with
+        ``GateLibrary.from_dict`` or write it as the library JSON.
+    text : str
+        Rendered per-cell accuracy listing.
+    """
+
+    kind: ClassVar[str] = "characterize_result"
+    cells: tuple[str, ...] = ()
+    worst_error: float = 0.0
+    engine: str = ""
+    library: dict[str, Any] = dataclasses.field(default_factory=dict)
+    text: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class LibraryInspectResult(Result):
+    """Inspection of an on-disk characterized library.
+
+    Parameters
+    ----------
+    name : str
+        Library name from the JSON header.
+    cells : tuple of str
+        Inspected cell names.
+    text : str
+        Rendered listing (surface detail / verification lines
+        included when requested).
+    """
+
+    kind: ClassVar[str] = "library_inspect_result"
+    name: str = ""
+    cells: tuple[str, ...] = ()
+    text: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class StaRunResult(Result):
+    """A static-timing run: report, optional sweep, or validation.
+
+    Parameters
+    ----------
+    circuit : str, optional
+        Analyzed circuit name (``None`` for the cross-validation
+        mode, which runs its own scenario set).
+    engine : str
+        Backend driving the timing arcs.
+    analysis : dict, optional
+        The full analysis payload (arrivals, slacks, paths, and the
+        corner sweep under ``"sweep"``) — the shape
+        :func:`repro.sta.sta_payload` documents.  ``None`` in
+        cross-validation mode.
+    max_error : float, optional
+        Worst |STA − event-simulation| disagreement in seconds
+        (cross-validation mode only).
+    text : str
+        Rendered report / validation table.
+    """
+
+    kind: ClassVar[str] = "sta_result"
+    circuit: str | None = None
+    engine: str = ""
+    analysis: dict[str, Any] | None = None
+    max_error: float | None = None
+    text: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentResult(Result):
+    """Rendered outcome of one reproduction experiment.
+
+    Parameters
+    ----------
+    name : str
+        Experiment name.
+    text : str
+        The experiment's rendered rows (what the figure shows).
+    """
+
+    kind: ClassVar[str] = "experiment_result"
+    name: str = ""
+    text: str = ""

@@ -1,0 +1,290 @@
+"""JSON envelope and type-driven (de)serialization for the API types.
+
+Every request and result of :mod:`repro.api` serializes to the same
+strict-JSON envelope::
+
+    {"schema": "repro.api/1", "kind": "sta", "data": {...}}
+
+* ``schema`` carries the API schema version; :func:`check_schema`
+  rejects payloads from a different major version with a one-line
+  :class:`~repro.errors.ParameterError`.
+* ``kind`` names the concrete request/result type (each class declares
+  its own), so :func:`from_json` can dispatch without the caller
+  knowing the type up front.
+* ``data`` holds the dataclass fields.  Encoding is type-driven off
+  the dataclass annotations: tuples become JSON arrays and are coerced
+  *back* to tuples on decode, non-finite floats are stored as the
+  strings ``"Infinity"`` / ``"-Infinity"`` / ``"NaN"`` (strict JSON
+  has no literal for them) and restored on decode, ``None`` maps to
+  ``null``.
+
+The round-trip contract — ``from_json(to_json(x)) == x`` for every
+request and result type — is enforced property-based in
+``tests/api/test_roundtrip.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import types
+import typing
+from typing import Any, ClassVar
+
+from ..errors import ParameterError
+
+__all__ = [
+    "API_SCHEMA",
+    "API_SCHEMA_VERSION",
+    "ApiRecord",
+    "check_schema",
+    "from_json",
+    "known_kinds",
+]
+
+#: Family name of the request/response schema.
+API_SCHEMA = "repro.api"
+
+#: Major version of the request/response schema.  Bump on an
+#: incompatible change of any request or result shape.
+API_SCHEMA_VERSION = 1
+
+#: Spelling of non-finite floats inside the strict-JSON payload.
+_NONFINITE = {"Infinity": math.inf, "-Infinity": -math.inf,
+              "NaN": math.nan}
+
+#: kind -> concrete record class, populated by ``__init_subclass__``.
+_KINDS: dict[str, type["ApiRecord"]] = {}
+
+
+def _schema_tag() -> str:
+    return f"{API_SCHEMA}/{API_SCHEMA_VERSION}"
+
+
+def check_schema(payload: dict) -> None:
+    """Validate the envelope's ``schema`` field.
+
+    Parameters
+    ----------
+    payload : dict
+        A decoded envelope (must carry ``schema``).
+
+    Raises
+    ------
+    ParameterError
+        If the schema family or major version does not match this
+        build's :data:`API_SCHEMA` / :data:`API_SCHEMA_VERSION`.
+    """
+    tag = payload.get("schema")
+    if not isinstance(tag, str) or "/" not in tag:
+        raise ParameterError(
+            f"not a {API_SCHEMA} payload (schema={tag!r})")
+    family, _, version = tag.partition("/")
+    if family != API_SCHEMA:
+        raise ParameterError(
+            f"not a {API_SCHEMA} payload (schema={tag!r})")
+    if version != str(API_SCHEMA_VERSION):
+        raise ParameterError(
+            f"unsupported {API_SCHEMA} schema version {version!r} "
+            f"(this build speaks version {API_SCHEMA_VERSION})")
+
+
+def _encode(value: Any) -> Any:
+    """Lower a field value to strict-JSON-safe plain data."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        if math.isnan(value):
+            return "NaN"
+        return value
+    if isinstance(value, (int, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _encode(item)
+                for key, item in value.items()}
+    raise ParameterError(
+        f"cannot serialize field value of type {type(value).__name__}")
+
+
+def _decode(value: Any, annotation: Any) -> Any:
+    """Coerce decoded JSON back to the annotated field type."""
+    origin = typing.get_origin(annotation)
+    if annotation is Any:
+        return value
+    if origin in (typing.Union, types.UnionType):
+        arms = typing.get_args(annotation)
+        if value is None and type(None) in arms:
+            return None
+        for arm in arms:
+            if arm is type(None):
+                continue
+            try:
+                return _decode(value, arm)
+            except (ParameterError, TypeError, ValueError):
+                continue
+        raise ParameterError(
+            f"value {value!r} fits no arm of {annotation}")
+    if annotation is float:
+        if isinstance(value, str):
+            try:
+                return _NONFINITE[value]
+            except KeyError:
+                raise ParameterError(
+                    f"not a float spelling: {value!r}") from None
+        if isinstance(value, bool) or not isinstance(value,
+                                                     (int, float)):
+            raise ParameterError(f"expected a number, got {value!r}")
+        return float(value)
+    if annotation is int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ParameterError(f"expected an int, got {value!r}")
+        return value
+    if annotation is bool:
+        if not isinstance(value, bool):
+            raise ParameterError(f"expected a bool, got {value!r}")
+        return value
+    if annotation is str:
+        if not isinstance(value, str):
+            raise ParameterError(f"expected a string, got {value!r}")
+        return value
+    if origin is tuple:
+        if not isinstance(value, (list, tuple)):
+            raise ParameterError(f"expected an array, got {value!r}")
+        args = typing.get_args(annotation)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(_decode(item, args[0]) for item in value)
+        if len(args) != len(value):
+            raise ParameterError(
+                f"expected {len(args)} entries, got {len(value)}")
+        return tuple(_decode(item, arm)
+                     for item, arm in zip(value, args))
+    if origin is dict:
+        if not isinstance(value, dict):
+            raise ParameterError(f"expected an object, got {value!r}")
+        _, value_arm = typing.get_args(annotation)
+        return {str(key): _decode(item, value_arm)
+                for key, item in value.items()}
+    raise ParameterError(
+        f"unsupported field annotation {annotation!r}")
+
+
+class ApiRecord:
+    """Base class of every serializable request/result dataclass.
+
+    Subclasses are frozen dataclasses that declare a unique class-level
+    ``kind`` string; declaring it registers the class so
+    :func:`from_json` can round-trip arbitrary envelopes.
+    """
+
+    #: Envelope tag of the concrete record type.
+    kind: ClassVar[str] = ""
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        """Register the subclass's ``kind`` in the dispatch table."""
+        super().__init_subclass__(**kwargs)
+        kind = cls.__dict__.get("kind", "")
+        if kind:
+            _KINDS[kind] = cls
+
+    def to_dict(self) -> dict[str, Any]:
+        """The strict-JSON envelope as a plain dict."""
+        data = {field.name: _encode(getattr(self, field.name))
+                for field in dataclasses.fields(self)}
+        return {"schema": _schema_tag(), "kind": type(self).kind,
+                "data": data}
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize to a strict-JSON string (no NaN/Infinity literals).
+
+        Parameters
+        ----------
+        indent : int, optional
+            Pretty-print indentation; compact when ``None``.
+        """
+        return json.dumps(self.to_dict(), indent=indent,
+                          sort_keys=True, allow_nan=False)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ApiRecord":
+        """Rebuild an instance from an envelope dict.
+
+        Raises
+        ------
+        ParameterError
+            On schema mismatch, a foreign ``kind``, unknown fields,
+            or field values that do not fit their annotations.
+        """
+        check_schema(payload)
+        kind = payload.get("kind")
+        if cls is not ApiRecord and kind != cls.kind:
+            raise ParameterError(
+                f"expected a {cls.kind!r} payload, got {kind!r}")
+        target = cls if cls is not ApiRecord else _KINDS.get(kind)
+        if target is None:
+            raise ParameterError(
+                f"unknown payload kind {kind!r}; known kinds: "
+                f"{', '.join(known_kinds())}")
+        data = payload.get("data")
+        if not isinstance(data, dict):
+            raise ParameterError("envelope has no 'data' object")
+        hints = typing.get_type_hints(target)
+        fields = {field.name: field
+                  for field in dataclasses.fields(target)}
+        unknown = set(data) - set(fields)
+        if unknown:
+            raise ParameterError(
+                f"unknown field(s) for {kind!r}: {sorted(unknown)}")
+        kwargs = {name: _decode(value, hints[name])
+                  for name, value in data.items()}
+        return target(**kwargs)
+
+    @classmethod
+    def from_json(cls, payload: "str | dict[str, Any]") -> "ApiRecord":
+        """Inverse of :meth:`to_json`; also accepts an envelope dict.
+
+        Raises
+        ------
+        ParameterError
+            If the text is not JSON, or :meth:`from_dict` rejects the
+            envelope.
+        """
+        if isinstance(payload, str):
+            try:
+                payload = json.loads(payload)
+            except json.JSONDecodeError as error:
+                raise ParameterError(
+                    f"not a JSON payload: {error}") from None
+        if not isinstance(payload, dict):
+            raise ParameterError("payload must be a JSON object")
+        return cls.from_dict(payload)
+
+
+def from_json(payload: "str | dict[str, Any]") -> ApiRecord:
+    """Decode any known request/result envelope by its ``kind``.
+
+    Parameters
+    ----------
+    payload : str or dict
+        JSON text or an already-decoded envelope dict.
+
+    Returns
+    -------
+    ApiRecord
+        The concrete request/result instance.
+
+    Raises
+    ------
+    ParameterError
+        On malformed JSON, schema mismatch, or an unknown ``kind``.
+    """
+    return ApiRecord.from_json(payload)
+
+
+def known_kinds() -> tuple[str, ...]:
+    """Sorted ``kind`` tags of every registered request/result type."""
+    return tuple(sorted(_KINDS))

@@ -1,20 +1,29 @@
-"""Command-line interface: ``python -m repro <experiment>``.
+"""Command-line interface: ``python -m repro <command>``.
 
-Runs one of the paper's experiments and prints its rendered rows.
-``python -m repro list`` enumerates the registry.  Beyond the
-experiments, three workflow commands exist:
+Every subcommand is a thin adapter over the session facade of
+:mod:`repro.api`: argv is parsed into one typed request object, run
+through :meth:`repro.api.Session.run`, and the result rendered —
+``result.text`` for humans, the schema-versioned JSON envelope with
+``--json``.  Because rendering is uniform, **every** subcommand
+supports ``--json`` (bare: print the envelope to stdout; with a path:
+write it next to the normal report).
 
+Beyond the experiment registry (``repro list`` enumerates it), the
+workflow commands are:
+
+* ``repro delay`` evaluates MIS delays at explicit Δ points;
 * ``repro characterize`` sweeps a gate grid through a delay engine
   and writes a serialized :class:`~repro.library.GateLibrary` JSON;
 * ``repro library`` inspects (and optionally re-verifies) such a
   file;
 * ``repro sta`` runs the MIS-aware static timing analyzer over a
   built-in NOR circuit (report, JSON output, corner sweeps, and the
-  STA-vs-event-simulation cross-validation).
+  STA-vs-event-simulation cross-validation);
+* ``repro version`` / ``repro --version`` print the package version.
 
 Error contract: unknown gate/engine/library/circuit names and other
-bad inputs exit with a non-zero status and a one-line message on
-stderr — never a traceback.
+bad inputs exit with status 2 and a one-line message on stderr —
+never a traceback.
 """
 
 from __future__ import annotations
@@ -23,48 +32,16 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from .analysis import experiments as exp
+from ._version import __version__
+from .api import (CharacterizeRequest, DelayRequest, DescribeRequest,
+                  ExperimentRequest, GATE_CHOICES, LibraryRequest,
+                  MultiInputRequest, Request, Session, StaRequest,
+                  SweepRequest, TECHNOLOGIES, VersionRequest)
 from .engine import DEFAULT_ENGINE, available_engines
 from .errors import ReproError
-from .spice.technology import BULK65, FINFET15, TechnologyCard
+from .units import PS
 
 __all__ = ["main", "build_parser"]
-
-_TECH_CARDS: dict[str, TechnologyCard] = {
-    "finfet15": FINFET15,
-    "bulk65": BULK65,
-}
-
-_DESCRIPTIONS = {
-    "fig2": "analog MIS characterization (delay vs input separation)",
-    "fig4": "mode-system trajectories",
-    "fig5": "model vs analog falling MIS delays",
-    "fig6": "model rising MIS delays for VN in {GND, VDD/2, VDD}",
-    "fig7": "normalized deviation areas on random traces",
-    "fig8": "falling matching with/without the pure delay",
-    "table1": "least-squares parametrization (Table I)",
-    "analytic": "eqs. (8)-(12) vs exact crossings",
-    "engines": "delay-engine backends: parity and sweep throughput",
-    "library": "batch library characterization accuracy",
-    "multi_input": "n-input NOR generalization: Δ-vector batch vs "
-                   "scalar, n=2 reduction",
-    "runtime": "digital-simulation runtime comparison",
-    "faithfulness": "short-pulse filtration probe",
-}
-
-#: Gate widths ``repro characterize --gate`` / ``multi_input --gate``
-#: accept (the n-input flow covers NOR3/NOR4; ``nor2`` runs the
-#: paper's four-cell grid).
-_GATE_CHOICES = ("nor2", "nor3", "nor4")
-
-#: Non-experiment workflow commands listed by ``repro list``.
-_WORKFLOWS = {
-    "characterize": "characterize a gate library into a JSON file",
-    "library": "inspect / verify a characterized library JSON "
-               "(with a path)",
-    "sta": "MIS-aware static timing analysis (report, corner "
-           "sweeps, cross-validation)",
-}
 
 #: Experiments whose model sweeps route through a delay engine.
 _ENGINE_COMMANDS = ("fig5", "fig6", "fig8")
@@ -77,20 +54,40 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _add_json_flag(cmd: argparse.ArgumentParser) -> None:
+    """The uniform ``--json [PATH]`` mode every subcommand carries."""
+    cmd.add_argument("--json", nargs="?", const="-", default=None,
+                     metavar="PATH",
+                     help="emit the result as a schema-versioned "
+                          "JSON envelope: bare --json prints it to "
+                          "stdout, --json PATH writes it alongside "
+                          "the normal report")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro`` argument parser (all subcommands)."""
+    from .api import EXPERIMENT_DESCRIPTIONS, WORKFLOW_DESCRIPTIONS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction experiments for 'A Simple Hybrid "
                     "Model for Accurate Delay Modeling of a "
                     "Multi-Input Gate' (DATE 2022)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments")
+    cmd = sub.add_parser("list", help="list available experiments")
+    _add_json_flag(cmd)
 
-    for name, description in _DESCRIPTIONS.items():
+    cmd = sub.add_parser("version",
+                         help=WORKFLOW_DESCRIPTIONS["version"])
+    _add_json_flag(cmd)
+
+    for name, description in EXPERIMENT_DESCRIPTIONS.items():
         cmd = sub.add_parser(name, help=description)
-        cmd.add_argument("--tech", choices=sorted(_TECH_CARDS),
+        _add_json_flag(cmd)
+        cmd.add_argument("--tech", choices=sorted(TECHNOLOGIES),
                          default="finfet15",
                          help="technology card (analog experiments)")
         if name in _ENGINE_COMMANDS:
@@ -128,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="random repetitions (paper: 20)")
             cmd.add_argument("--seed", type=int, default=0)
         if name == "multi_input":
-            cmd.add_argument("--gate", choices=_GATE_CHOICES[1:],
+            cmd.add_argument("--gate", choices=GATE_CHOICES[1:],
                              default="nor3",
                              help="gate width probed (default: nor3)")
             cmd.add_argument("--engine", choices=available_engines(),
@@ -138,12 +135,34 @@ def build_parser() -> argparse.ArgumentParser:
                              default=25,
                              help="per-axis Δ-vector grid size")
 
+    cmd = sub.add_parser("delay", help=WORKFLOW_DESCRIPTIONS["delay"])
+    _add_json_flag(cmd)
+    cmd.add_argument("--delta", action="append", required=True,
+                     metavar="PS[,PS...]", dest="deltas",
+                     help="input separation in ps; repeatable; "
+                          "comma-separate n-1 sibling offsets for "
+                          "nor3/nor4 (use --delta=-10,5 when the "
+                          "first offset is negative)")
+    cmd.add_argument("--direction", choices=("falling", "rising"),
+                     default="falling",
+                     help="output transition (default: falling)")
+    cmd.add_argument("--gate", choices=GATE_CHOICES, default="nor2",
+                     help="gate width (default: nor2)")
+    cmd.add_argument("--vn-init", type=float, default=0.0,
+                     metavar="V",
+                     help="initial internal-node voltage in volts "
+                          "(rising direction; default 0.0)")
+    cmd.add_argument("--engine", choices=available_engines(),
+                     default=DEFAULT_ENGINE,
+                     help="delay evaluation backend")
+
     cmd = sub.add_parser("characterize",
-                         help=_WORKFLOWS["characterize"])
+                         help=WORKFLOW_DESCRIPTIONS["characterize"])
+    _add_json_flag(cmd)
     cmd.add_argument("--out", default="gate_library.json",
                      help="output JSON path (default: "
                           "gate_library.json)")
-    cmd.add_argument("--gate", choices=_GATE_CHOICES,
+    cmd.add_argument("--gate", choices=GATE_CHOICES,
                      default="nor2",
                      help="gate width: nor2 runs the paper's four-"
                           "cell NOR2/NAND2 grid, nor3/nor4 the "
@@ -151,7 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--engine", choices=available_engines(),
                      default=DEFAULT_ENGINE,
                      help="delay evaluation backend")
-    cmd.add_argument("--tech", choices=sorted(_TECH_CARDS),
+    cmd.add_argument("--tech", choices=sorted(TECHNOLOGIES),
                      default="finfet15",
                      help="technology label (and card, with --fit)")
     cmd.add_argument("--fit", action="store_true",
@@ -167,7 +186,8 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--name", default="repro-hybrid",
                      help="library name stored in the JSON header")
 
-    cmd = sub.add_parser("sta", help=_WORKFLOWS["sta"])
+    cmd = sub.add_parser("sta", help=WORKFLOW_DESCRIPTIONS["sta"])
+    _add_json_flag(cmd)
     cmd.add_argument("--circuit", default="tree",
                      help="built-in test circuit (see repro.sta."
                           "STA_CIRCUITS; default: tree)")
@@ -194,261 +214,68 @@ def build_parser() -> argparse.ArgumentParser:
                           "(random parameter/arrival corners)")
     cmd.add_argument("--seed", type=int, default=0,
                      help="corner-sampling seed (default: 0)")
-    cmd.add_argument("--json", default=None, metavar="PATH",
-                     help="write the full result as JSON")
     cmd.add_argument("--validate", action="store_true",
                      help="run the STA-vs-event-simulation "
                           "cross-validation instead of a report")
     return parser
 
 
-def _run_characterize(args: argparse.Namespace) -> str:
-    """Build, verify and save a gate library (``repro characterize``)."""
-    import dataclasses
-
-    from .core.multi_input import paper_generalized
-    from .core.parameters import PAPER_TABLE_I
-    from .library import (characterize_library, default_delta_grid,
-                          default_state_grid,
-                          default_vector_delta_grid, generalized_jobs,
-                          paper_jobs, verify_table)
-    from .library.characterize import (DEFAULT_CORE_POINTS,
-                                       DEFAULT_STATE_POINTS,
-                                       DEFAULT_VECTOR_CORE_POINTS)
-    from .units import to_ps
-
-    if args.fit:
-        from .analysis.characterization import characterize_nor
-        from .analysis.fitting import fit_from_characterization
-        tech = _TECH_CARDS[args.tech]
-        params = fit_from_characterization(
-            characterize_nor(tech)).params
-        suffix = args.tech
-    else:
-        params, suffix = PAPER_TABLE_I, "paper"
-    if args.gate != "nor2":
-        if args.state_points is not None:
-            raise ValueError(
-                f"--state-points applies to the 2-input grid; "
-                f"{args.gate} surfaces record one worst-case chain "
-                "state")
-        num_inputs = int(args.gate[len("nor"):])
-        wide = paper_generalized(num_inputs, params)
-        jobs = generalized_jobs(num_inputs, wide,
-                                technology=args.tech, suffix=suffix)
-        if args.core_points is not None:
-            deltas = tuple(default_vector_delta_grid(
-                wide, core_points=args.core_points))
-            jobs = tuple(dataclasses.replace(job, deltas=deltas)
-                         for job in jobs)
-    else:
-        jobs = paper_jobs(params, technology=args.tech, suffix=suffix)
-        if (args.core_points is not None
-                or args.state_points is not None):
-            deltas = tuple(default_delta_grid(
-                params,
-                core_points=args.core_points or DEFAULT_CORE_POINTS))
-            states = tuple(default_state_grid(
-                params,
-                points=args.state_points or DEFAULT_STATE_POINTS))
-            jobs = tuple(dataclasses.replace(job, deltas=deltas,
-                                             state_grid=states)
-                         for job in jobs)
-
-    library = characterize_library(jobs, engine=args.engine,
-                                   name=args.name)
-    path = library.save(args.out)
-    lines = [f"characterized {len(library)} cells via "
-             f"'{args.engine}':"]
-    worst = 0.0
-    for cell in library.cells:
-        accuracy = verify_table(library[cell], engine=args.engine)
-        worst = max(worst, accuracy.max_error)
-        lines.append(f"  {library[cell].describe()}")
-        lines.append(f"    interpolation error: falling "
-                     f"{to_ps(accuracy.falling_error) * 1000.0:.2f} "
-                     f"fs, rising "
-                     f"{to_ps(accuracy.rising_error) * 1000.0:.2f} fs")
-    if args.gate == "nor2":
-        lines.append(f"worst interpolation error "
-                     f"{to_ps(worst) * 1000.0:.2f} fs "
-                     "(acceptance: <= 100 fs)")
-    else:
-        lines.append(f"worst interpolation error "
-                     f"{to_ps(worst) * 1000.0:.2f} fs "
-                     "(multilinear on the tensor grid; raise "
-                     "--core-points to tighten)")
-    lines.append(f"wrote {path}")
-    return "\n".join(lines)
-
-
-def _run_library(args: argparse.Namespace) -> str:
-    """Inspect/verify a library JSON (``repro library <path>``)."""
-    import json
-
-    from .errors import ParameterError
-    from .library import GateLibrary, verify_table
-    from .units import to_ps
-
-    try:
-        library = GateLibrary.load(args.path)
-    except FileNotFoundError:
-        raise ValueError(f"no such file: {args.path}") from None
-    except (ParameterError, json.JSONDecodeError) as error:
-        raise ValueError(
-            f"cannot read {args.path}: {error}") from None
-    lines = [f"library '{library.name}' "
-             f"({len(library)} cells)"]
-    if library.description:
-        lines.append(f"  {library.description}")
-    cells = [args.cell] if args.cell else list(library.cells)
-    for cell in cells:
+def _parse_delta_vectors(specs: Sequence[str]
+                         ) -> tuple[tuple[float, ...], ...]:
+    """``--delta`` values (ps, comma-separated) -> Δ-vectors in s."""
+    vectors = []
+    for spec in specs:
         try:
-            table = library[cell]
-        except KeyError as error:
-            raise ValueError(error.args[0]) from None
-        lines.append(f"  {table.describe()}")
-        if args.cell:
-            from .library import VectorDelaySurface
-            if isinstance(table.falling, VectorDelaySurface):
-                zero = [0.0] * table.falling.num_siblings
-                for direction in ("falling", "rising"):
-                    surface = getattr(table, direction)
-                    lo, hi = surface.delta_ranges[0]
-                    lines.append(
-                        f"    {direction}: {surface.num_siblings}-D "
-                        f"Δ-vector surface, axes "
-                        f"[{to_ps(lo):.0f}, {to_ps(hi):.0f}] ps, "
-                        f"δ(0) {to_ps(surface.delay_at(zero)):.2f} "
-                        f"ps")
-            else:
-                fall = table.falling.characteristic()
-                rise = table.rising.characteristic()
-                lines.append("    " + fall.describe("delta_fall"))
-                lines.append("    " + rise.describe("delta_rise"))
-            lines.append(f"    characterized by engine "
-                         f"'{table.engine}'")
-        if args.verify:
-            accuracy = verify_table(table, engine=args.engine)
-            lines.append(
-                f"    verify vs '{args.engine}': max "
-                f"{to_ps(accuracy.max_error) * 1000.0:.2f} fs")
-    return "\n".join(lines)
-
-
-def _run_sta(args: argparse.Namespace) -> str:
-    """MIS-aware static timing analysis (``repro sta``)."""
-    import json
-
-    from .engine import get_engine
-    from .sta import (TableArcModel, analyze, build_timing_graph,
-                      demo_corners, render_report,
-                      render_sweep_summary, result_to_json,
-                      sta_circuit, sweep_corners)
-    from .units import PS
-
-    if args.validate:
-        return exp.experiment_sta(engine=args.engine).text
-
-    engine = get_engine(args.engine)  # fail fast on unknown names
-    circuit = sta_circuit(args.circuit)
-    models = None
-    if args.library is not None:
-        from .errors import ParameterError
-        from .library import GateLibrary
-        if args.cell is None:
-            raise ValueError("--library needs --cell to pick the "
-                             "table driving the gates")
-        try:
-            library = GateLibrary.load(args.library)
-        except FileNotFoundError:
+            vectors.append(tuple(float(part) * PS
+                                 for part in spec.split(",")))
+        except ValueError:
             raise ValueError(
-                f"no such file: {args.library}") from None
-        except (ParameterError, json.JSONDecodeError) as error:
-            raise ValueError(
-                f"cannot read {args.library}: {error}") from None
-        try:
-            table = library[args.cell]
-        except KeyError as error:
-            raise ValueError(error.args[0]) from None
-        models = {instance.name: TableArcModel(table)
-                  for instance in circuit.instances}
-    graph = build_timing_graph(circuit, models=models, engine=engine)
-    required = (args.required * PS if args.required is not None
-                else None)
-    result = analyze(graph, required=required, top_paths=args.top)
-    lines = [render_report(result,
-                           title=f"STA report: circuit "
-                                 f"'{args.circuit}' via "
-                                 f"'{engine.name}'")]
-    sweep = None
-    if args.corners is not None:
-        params_axis, corner_arrivals = demo_corners(
-            args.corners, [graph.inputs[0]], seed=args.seed)
-        if models is not None:
-            # Table arcs are characterized for one parameter set;
-            # sweep only the arrival axis for library-backed runs.
-            params_axis = None
-        sweep = sweep_corners(graph, params=params_axis,
-                              arrivals=corner_arrivals,
-                              required=required)
-        lines.append("")
-        lines.append(render_sweep_summary(sweep))
-    if args.json is not None:
-        payload = result_to_json(result, sweep)
-        with open(args.json, "w") as handle:
-            # allow_nan=False: the payload must stay strict-JSON
-            # (non-finite times are serialized as null upstream).
-            json.dump(payload, handle, indent=2, sort_keys=True,
-                      allow_nan=False)
-            handle.write("\n")
-        lines.append(f"wrote {args.json}")
-    return "\n".join(lines)
+                f"bad --delta value {spec!r}: expected ps numbers, "
+                "comma-separated for sibling offsets") from None
+    return tuple(vectors)
 
 
-def _run_experiment(args: argparse.Namespace) -> str:
-    tech = _TECH_CARDS[getattr(args, "tech", "finfet15")]
-    name = args.command
-    if name == "characterize":
-        return _run_characterize(args)
-    if name == "sta":
-        return _run_sta(args)
-    if name == "library":
-        if args.path is not None:
-            return _run_library(args)
-        return exp.experiment_library(engine=args.engine).text
-    if name == "fig2":
-        return exp.experiment_fig2(tech).text
-    if name == "fig4":
-        return exp.experiment_fig4().text
-    if name in _ENGINE_COMMANDS:
-        characterization = (exp.characterize_nor(tech)
-                            if args.with_analog else None)
-        runner = {"fig5": exp.experiment_fig5,
-                  "fig6": exp.experiment_fig6,
-                  "fig8": exp.experiment_fig8}[name]
-        return runner(characterization=characterization,
-                      engine=args.engine).text
-    if name == "engines":
-        return exp.experiment_engines(points=args.points).text
-    if name == "multi_input":
-        return exp.experiment_multi_input(
-            num_inputs=int(args.gate[len("nor"):]),
-            grid_points=args.points, engine=args.engine).text
-    if name == "fig7":
-        return exp.experiment_fig7(tech,
-                                   transitions=args.transitions,
-                                   repetitions=args.repetitions,
-                                   seed=args.seed).text
-    if name == "table1":
-        return exp.experiment_table1().text
-    if name == "analytic":
-        return exp.experiment_analytic().text
-    if name == "runtime":
-        return exp.experiment_runtime(tech).text
-    if name == "faithfulness":
-        return exp.experiment_faithfulness().text
-    raise SystemExit(f"unknown experiment {name!r}")  # pragma: no cover
+def request_from_args(args: argparse.Namespace) -> Request:
+    """Map one parsed subcommand invocation to its request object."""
+    command = args.command
+    if command == "list":
+        return DescribeRequest()
+    if command == "version":
+        return VersionRequest()
+    if command == "delay":
+        return DelayRequest(direction=args.direction,
+                            deltas=_parse_delta_vectors(args.deltas),
+                            gate=args.gate,
+                            vn_init=args.vn_init)
+    if command == "engines":
+        return SweepRequest(points=args.points)
+    if command == "multi_input":
+        return MultiInputRequest(gate=args.gate, points=args.points)
+    if command == "characterize":
+        return CharacterizeRequest(gate=args.gate, fit=args.fit,
+                                   core_points=args.core_points,
+                                   state_points=args.state_points,
+                                   library_name=args.name)
+    if command == "library" and args.path is not None:
+        return LibraryRequest(path=args.path, cell=args.cell,
+                              verify=args.verify)
+    if command == "sta":
+        required = (args.required * PS if args.required is not None
+                    else None)
+        return StaRequest(circuit=args.circuit,
+                          library_path=args.library,
+                          cell=args.cell,
+                          required=required,
+                          top=args.top,
+                          corners=args.corners,
+                          seed=args.seed,
+                          validate=args.validate)
+    return ExperimentRequest(
+        name=command,
+        with_analog=getattr(args, "with_analog", False),
+        transitions=getattr(args, "transitions", None),
+        repetitions=getattr(args, "repetitions", None),
+        seed=getattr(args, "seed", 0))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -459,21 +286,32 @@ def main(argv: Sequence[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "list":
-        entries = dict(_DESCRIPTIONS)
-        entries["characterize"] = _WORKFLOWS["characterize"]
-        entries["library"] = (_DESCRIPTIONS["library"] + "; "
-                              + _WORKFLOWS["library"])
-        entries["sta"] = _WORKFLOWS["sta"]
-        width = max(len(name) for name in entries)
-        for name, description in entries.items():
-            print(f"{name:<{width}}  {description}")
-        return 0
+    json_spec = getattr(args, "json", None)
     try:
-        print(_run_experiment(args))
+        session = Session(tech=getattr(args, "tech", "finfet15"),
+                          engine=getattr(args, "engine", None))
+        request = request_from_args(args)
+        result = session.run(request)
+        extra_lines = []
+        if args.command == "characterize":
+            from .library import GateLibrary
+            out = GateLibrary.from_dict(result.library).save(args.out)
+            extra_lines.append(f"wrote {out}")
+        if json_spec not in (None, "-"):
+            with open(json_spec, "w") as handle:
+                handle.write(result.to_json(indent=2) + "\n")
+            extra_lines.append(f"wrote {json_spec}")
     except (ReproError, ValueError) as error:
         print(f"repro {args.command}: {error}", file=sys.stderr)
         return 2
+    if json_spec == "-":
+        print(result.to_json(indent=2))
+        # Keep stdout pure JSON; file-write notices (e.g. the
+        # characterize --out library) go to stderr.
+        for line in extra_lines:
+            print(line, file=sys.stderr)
+        return 0
+    print("\n".join([result.text, *extra_lines]))
     return 0
 
 

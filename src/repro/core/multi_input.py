@@ -50,8 +50,8 @@ from .parameters import PAPER_TABLE_I, NorGateParameters
 from .solutions import ExpSum
 
 __all__ = ["GeneralizedNorParameters", "GeneralizedNorModel",
-           "generalized_model", "paper_generalized",
-           "sibling_offsets"]
+           "delta_vector_grid", "generalized_model",
+           "paper_generalized", "sibling_offsets"]
 
 #: Relative eigenvalue imaginary part treated as numerical noise.
 _IMAG_TOL = 1e-8
@@ -881,6 +881,43 @@ class GeneralizedNorModel:
             if value == 1:
                 return t - latest
         raise NoCrossingError("output never rises")
+
+
+def delta_vector_grid(params: GeneralizedNorParameters,
+                      axis_points: int,
+                      span_taus: float = 4.0) -> np.ndarray:
+    """Uniform Δ-vector rows across the gate's MIS core.
+
+    The standard probe grid of the n-input benchmarks and experiments:
+    one uniform axis per sibling input, spanning ``±span_taus`` of the
+    gate's settle-time-derived core scale, meshed and flattened to
+    evaluation-ready rows.  The ``multi_input`` experiment, the
+    Δ-vector benchmarks and :class:`repro.api.Session` all build their
+    grids here so grid conventions cannot drift apart.
+
+    Parameters
+    ----------
+    params : GeneralizedNorParameters
+        n-input electrical parameter set.
+    axis_points : int
+        Samples per sibling axis (the grid has
+        ``axis_points**(n-1)`` rows).
+    span_taus : float, optional
+        Half-width of each axis in units of ``settle_time() / 60``
+        (default 4.0, the MIS core).
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(axis_points**(n-1), n-1)`` array of sibling offsets
+        in seconds.
+    """
+    model = generalized_model(params)
+    tau = model.settle_time() / 60.0
+    axis = np.linspace(-span_taus * tau, span_taus * tau, axis_points)
+    mesh = np.stack(np.meshgrid(*([axis] * (params.num_inputs - 1)),
+                                indexing="ij"), axis=-1)
+    return mesh.reshape(-1, params.num_inputs - 1)
 
 
 @functools.lru_cache(maxsize=128)

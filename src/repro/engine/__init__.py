@@ -25,6 +25,10 @@ or ``None`` for the default) and the CLI exposes ``--engine``::
     from repro.engine import get_engine
     delays = get_engine().delays_falling(PAPER_TABLE_I, deltas)
 
+The session facade (:class:`repro.api.Session`) binds a backend once
+for a whole workflow — prefer ``Session(engine=...)`` over threading
+``engine=`` keywords through multi-layer code.
+
 New backends implement :class:`~repro.engine.base.DelayEngine` and call
 :func:`~repro.engine.base.register_engine`.
 """

@@ -27,7 +27,12 @@ Quickstart::
     table = GateLibrary.load("paper_gates.json")["nor2_paper"]
     table.delay_falling(10e-12)     # interpolated MIS delay, seconds
 
-The CLI front-end is ``repro characterize`` / ``repro library``.
+The CLI front-end is ``repro characterize`` / ``repro library`` —
+both thin adapters over the session facade
+(:class:`repro.api.Session` running a
+:class:`~repro.api.CharacterizeRequest` /
+:class:`~repro.api.LibraryRequest`), whose results embed the
+serialized library payload for transport.
 """
 
 from .characterize import (CharacterizationJob, TableAccuracy,

@@ -39,7 +39,8 @@ from .circuits import (STA_CIRCUITS, demo_corners, nor3_mixed,
                        sta_circuit)
 from .graph import (TimingArc, TimingGraph, TimingNode,
                     build_timing_graph, input_unateness)
-from .report import render_report, render_sweep_summary, result_to_json
+from .report import (render_report, render_sweep_summary,
+                     result_to_json, sta_payload)
 from .sweep import (CornerSweepResult, sweep_corners,
                     sweep_corners_scalar)
 
@@ -70,6 +71,7 @@ __all__ = [
     "single_nor",
     "single_nor3",
     "sta_circuit",
+    "sta_payload",
     "sweep_corners",
     "sweep_corners_scalar",
 ]

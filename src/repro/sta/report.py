@@ -3,13 +3,15 @@
 The text report follows the shape of a classic STA tool's output —
 an endpoint summary (arrival / required / slack per transition)
 followed by the ranked critical paths with their per-arc Δ and delay
-breakdown.  :func:`result_to_json` returns the plain-dict form the
-CLI writes with ``repro sta --json``.
+breakdown.  :func:`sta_payload` returns the plain-dict form embedded
+in :class:`repro.api.StaRunResult` (and written by
+``repro sta --json``).
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Any
 
 from ..units import to_ps
@@ -17,7 +19,8 @@ from .analysis import StaResult
 from .graph import TimingNode
 from .sweep import CornerSweepResult
 
-__all__ = ["render_report", "result_to_json", "render_sweep_summary"]
+__all__ = ["render_report", "result_to_json", "render_sweep_summary",
+           "sta_payload"]
 
 
 def _fmt(value: float, signed: bool = False) -> str:
@@ -92,10 +95,14 @@ def render_sweep_summary(sweep: CornerSweepResult) -> str:
     return "\n".join(lines)
 
 
-def result_to_json(result: StaResult,
-                   sweep: CornerSweepResult | None = None
-                   ) -> dict[str, Any]:
-    """JSON-ready payload for ``repro sta --json``.
+def sta_payload(result: StaResult,
+                sweep: CornerSweepResult | None = None
+                ) -> dict[str, Any]:
+    """JSON-ready analysis payload (arrivals, slacks, paths, sweep).
+
+    This is the ``analysis`` field of :class:`repro.api.StaRunResult`
+    — the plain-dict form ``repro sta --json`` embeds in its result
+    envelope.
 
     Parameters
     ----------
@@ -119,3 +126,20 @@ def result_to_json(result: StaResult,
                 for key, value in sweep.summary().items()},
         }
     return payload
+
+
+def result_to_json(result: StaResult,
+                   sweep: CornerSweepResult | None = None
+                   ) -> dict[str, Any]:
+    """Deprecated alias of :func:`sta_payload`.
+
+    .. deprecated:: 1.5.0
+        Use :func:`repro.sta.sta_payload`, or go through the session
+        facade — ``Session().run(StaRequest(...)).analysis`` carries
+        the same payload.
+    """
+    warnings.warn(
+        "repro.sta.result_to_json is deprecated; use "
+        "repro.sta.sta_payload (or Session.run(StaRequest(...))"
+        ".analysis from repro.api)", DeprecationWarning, stacklevel=2)
+    return sta_payload(result, sweep)

@@ -3,6 +3,11 @@
 Traces, digitization, deviation-area metrics, delay channels, random
 trace generation and the topological timing simulator — see DESIGN.md §2
 for the mapping to the paper's toolchain.
+
+The runtime/accuracy experiments that exercise these channels are
+reachable through the session facade
+(:class:`repro.api.Session` running ``ExperimentRequest("runtime")``
+/ ``ExperimentRequest("fig7")``) as well as directly.
 """
 
 from .channels import (

@@ -2,12 +2,13 @@
 
 import pytest
 
-from repro.analysis.experiments import (EXPERIMENTS, experiment_analytic,
+from repro.analysis.experiments import (experiment_analytic,
                                         experiment_baseline_fits,
                                         experiment_faithfulness,
                                         experiment_fig4, experiment_fig5,
                                         experiment_fig6, experiment_fig8,
                                         experiment_table1)
+from repro.api import experiment_names
 from repro.core.parameters import PAPER_TABLE_I
 from repro.units import PS
 
@@ -16,7 +17,15 @@ class TestRegistry:
     def test_all_figures_and_tables_present(self):
         assert {"fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
                 "table1", "analytic", "runtime", "library",
-                "faithfulness"} <= set(EXPERIMENTS)
+                "faithfulness"} <= set(experiment_names())
+
+    def test_legacy_registry_is_deprecation_shimmed(self):
+        from repro.analysis import experiments
+        with pytest.warns(DeprecationWarning,
+                          match="repro.api"):
+            registry = experiments.EXPERIMENTS
+        assert set(experiment_names()) - {"multi_input"} \
+            <= set(registry)
 
 
 class TestLibraryExperiment:

@@ -1,0 +1,40 @@
+"""The legacy entry points warn and name their replacement."""
+
+import pytest
+
+
+class TestExperimentsRegistry:
+    def test_module_attribute_warns(self):
+        from repro.analysis import experiments
+        with pytest.warns(DeprecationWarning) as captured:
+            registry = experiments.EXPERIMENTS
+        assert "repro.api" in str(captured[0].message)
+        assert "ExperimentRequest" in str(captured[0].message)
+        assert "fig4" in registry
+
+    def test_package_reexport_still_works_and_warns(self):
+        import repro.analysis
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            registry = repro.analysis.EXPERIMENTS
+        assert "table1" in registry
+
+    def test_other_attributes_raise_attribute_error(self):
+        from repro.analysis import experiments
+        with pytest.raises(AttributeError):
+            experiments.EXPERIMENT  # typo stays an error
+        import repro.analysis
+        with pytest.raises(AttributeError):
+            repro.analysis.EXPERIMENT
+
+
+class TestResultToJson:
+    def test_warns_and_matches_sta_payload(self):
+        from repro.sta import (analyze, build_timing_graph,
+                               result_to_json, sta_circuit,
+                               sta_payload)
+        graph = build_timing_graph(sta_circuit("nor2"))
+        result = analyze(graph, top_paths=1)
+        with pytest.warns(DeprecationWarning) as captured:
+            legacy = result_to_json(result)
+        assert "sta_payload" in str(captured[0].message)
+        assert legacy == sta_payload(result)

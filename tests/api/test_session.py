@@ -1,0 +1,195 @@
+"""Behavior of the :class:`repro.api.Session` facade."""
+
+import numpy as np
+import pytest
+
+from repro.api import (DelayRequest, DescribeRequest,
+                       ExperimentRequest, LibraryRequest, Session,
+                       StaRequest, VersionRequest, VersionResult,
+                       from_json)
+from repro.core.parameters import PAPER_TABLE_I
+from repro.engine import get_engine
+from repro.errors import ParameterError
+
+
+class TestBindings:
+    def test_defaults(self):
+        session = Session()
+        assert session.tech_name == "finfet15"
+        assert session.engine.name == "vectorized"
+        assert session.parameters == PAPER_TABLE_I
+
+    def test_engine_by_name_and_instance(self):
+        assert Session(engine="reference").engine.name == "reference"
+        backend = get_engine("reference")
+        assert Session(engine=backend).engine is backend
+
+    def test_unknown_engine_raises_on_first_use(self):
+        session = Session(engine="gpu")  # construction stays cheap
+        with pytest.raises(ValueError, match="unknown delay engine"):
+            session.engine
+
+    def test_unknown_tech_rejected(self):
+        with pytest.raises(ParameterError, match="unknown technology"):
+            Session(tech="tsmc3")
+
+    def test_tech_card_instance(self):
+        from repro.spice.technology import BULK65
+        session = Session(tech=BULK65)
+        assert session.technology is BULK65
+
+    def test_generalized_widening(self):
+        session = Session()
+        assert session.generalized(3).num_inputs == 3
+
+    def test_repr_is_compact(self):
+        session = Session(engine="reference")
+        assert "finfet15" in repr(session)
+        session.engine
+        assert "reference" in repr(session)
+
+
+class TestDispatch:
+    def test_delay_matches_direct_engine_call(self):
+        session = Session()
+        deltas = ((0.0,), (10e-12,), (float("inf"),))
+        result = session.run(DelayRequest(deltas=deltas))
+        direct = session.engine.delays_falling(
+            PAPER_TABLE_I, np.array([0.0, 10e-12, float("inf")]))
+        assert np.allclose(result.delays, direct, atol=0.0)
+
+    def test_run_rejects_non_requests(self):
+        with pytest.raises(ParameterError, match="not a known"):
+            Session().run("fig4")
+
+    def test_run_json_round_trip(self):
+        session = Session()
+        result = session.run_json(VersionRequest().to_json())
+        assert isinstance(result, VersionResult)
+        assert result.version
+
+    def test_run_json_rejects_results(self):
+        session = Session()
+        result = session.run(VersionRequest())
+        with pytest.raises(ParameterError, match="not a request"):
+            session.run_json(result.to_json())
+
+    def test_result_envelope_round_trips(self):
+        session = Session()
+        result = session.run(DescribeRequest())
+        assert from_json(result.to_json()) == result
+
+    def test_experiment_unknown_name(self):
+        with pytest.raises(ParameterError, match="unknown experiment"):
+            Session().run(ExperimentRequest(name="fig99"))
+
+    def test_every_catalog_name_is_runnable(self):
+        """experiment_names() is the ExperimentRequest contract —
+        the probe-style names must not be rejected."""
+        from repro.api import experiment_names
+        session = Session()
+        for name in ("engines", "multi_input"):
+            assert name in experiment_names()
+        result = session.run(ExperimentRequest(name="multi_input"))
+        assert "n=2 reduction" in result.text
+
+    def test_sta_honors_the_session_parameters(self):
+        """StaRequest must analyze the *bound* parameter set."""
+        from repro.api import StaRequest
+        default = Session().run(StaRequest(circuit="nor2"))
+        slowed = Session(
+            parameters=PAPER_TABLE_I.replace(
+                r3=4.0 * PAPER_TABLE_I.r3,
+                r4=4.0 * PAPER_TABLE_I.r4))
+        other = slowed.run(StaRequest(circuit="nor2"))
+        assert other.analysis != default.analysis
+
+    def test_sta_reuses_the_memoized_graph(self):
+        from repro.api import StaRequest
+        session = Session()
+        graph = session.timing_graph("nor2")
+        session.run(StaRequest(circuit="nor2", top=1))
+        assert session.timing_graph("nor2") is graph
+
+    def test_delay_arity_validation(self):
+        with pytest.raises(ParameterError, match="sibling offset"):
+            Session().run(DelayRequest(gate="nor3",
+                                       deltas=((1e-12,),)))
+
+
+class TestCaching:
+    def test_repeats_are_cache_hits(self):
+        session = Session()
+        request = DelayRequest(deltas=((5e-12,),))
+        first = session.run(request)
+        second = session.run(request)
+        assert second is first
+        info = session.cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+
+    def test_equal_requests_share_one_entry(self):
+        session = Session()
+        first = session.run(DelayRequest(deltas=((5e-12,),)))
+        second = session.run(DelayRequest(deltas=((5e-12,),)))
+        assert second is first
+
+    def test_cache_can_be_disabled(self):
+        session = Session(cache=False)
+        request = VersionRequest()
+        assert session.run(request) is not session.run(request)
+        info = session.cache_info()
+        assert info["size"] == 0
+        assert info["misses"] == 2  # dispatches still counted
+
+    def test_cache_false_covers_files_and_graphs(self, tmp_path):
+        """cache=False must re-read files, as the docstring says."""
+        from repro.library import GateLibrary, characterize_gate
+        from repro.library.characterize import CharacterizationJob
+        table = characterize_gate(
+            CharacterizationJob("nor2_paper", PAPER_TABLE_I,
+                                deltas=(0.0, 1e-12),
+                                state_grid=(0.0,)))
+        path = tmp_path / "lib.json"
+        GateLibrary("first", {"nor2_paper": table}).save(path)
+        session = Session(cache=False)
+        assert session.load_library(path).name == "first"
+        GateLibrary("second", {"nor2_paper": table}).save(path)
+        assert session.load_library(path).name == "second"
+        assert session.timing_graph("nor2") \
+            is not session.timing_graph("nor2")
+
+    def test_clear_cache(self):
+        session = Session()
+        session.run(VersionRequest())
+        session.clear_cache()
+        assert session.cache_info() == {"hits": 0, "misses": 0,
+                                        "size": 0}
+
+    def test_timing_graph_memoized(self):
+        session = Session()
+        assert session.timing_graph("nor2") \
+            is session.timing_graph("nor2")
+
+
+class TestLibraryAccess:
+    def test_missing_file_is_one_line_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="no such file"):
+            Session().load_library(tmp_path / "nope.json")
+
+    def test_foreign_json_is_one_line_value_error(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="cannot read"):
+            Session().load_library(path)
+
+    def test_sta_library_requires_cell(self, tmp_path):
+        request = StaRequest(circuit="nor2",
+                             library_path=str(tmp_path / "x.json"))
+        with pytest.raises(ParameterError, match="--cell"):
+            Session().run(request)
+
+    def test_library_request_missing_file(self, tmp_path):
+        request = LibraryRequest(path=str(tmp_path / "nope.json"))
+        with pytest.raises(ValueError, match="no such file"):
+            Session().run(request)

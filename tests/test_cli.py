@@ -71,11 +71,69 @@ class TestParser:
         assert not args.validate
 
 
+class TestVersion:
+    """The single-sourced version surfaces (ISSUE 5 satellite)."""
+
+    def test_version_subcommand(self, capsys):
+        from repro._version import __version__
+        assert main(["version"]) == 0
+        assert capsys.readouterr().out == f"repro {__version__}\n"
+
+    def test_version_flag(self, capsys):
+        from repro._version import __version__
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out == f"repro {__version__}\n"
+
+    def test_version_json(self, capsys):
+        import json
+        from repro._version import __version__
+        assert main(["version", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["data"]["version"] == __version__
+
+    def test_single_source(self):
+        """No duplicated version strings: package == pyproject."""
+        import pathlib
+        import re
+        from repro import __version__
+        pyproject = (pathlib.Path(__file__).parents[1]
+                     / "pyproject.toml").read_text()
+        assert 'dynamic = ["version"]' in pyproject
+        assert not re.search(r'(?m)^version\s*=\s*"', pyproject)
+        from repro._version import __version__ as canonical
+        assert __version__ == canonical
+
+
+class TestDelay:
+    def test_falling_scalar(self, capsys):
+        assert main(["delay", "--delta", "10", "--delta", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "nor2 falling MIS delays" in out
+        assert "+10.00" in out
+
+    def test_nor3_vector(self, capsys):
+        assert main(["delay", "--gate", "nor3", "--delta",
+                     "0,5", "--direction", "rising"]) == 0
+        out = capsys.readouterr().out
+        assert "nor3 rising MIS delays" in out
+
+    def test_wrong_arity_is_a_cli_error(self, capsys):
+        assert main(["delay", "--gate", "nor3", "--delta", "10"]) == 2
+        assert "sibling offset" in capsys.readouterr().err
+
+    def test_bad_delta_is_a_cli_error(self, capsys):
+        assert main(["delay", "--delta", "ten"]) == 2
+        assert "bad --delta" in capsys.readouterr().err
+
+
 class TestMain:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for name in ("fig2", "fig7", "table1", "faithfulness"):
+        for name in ("fig2", "fig7", "table1", "faithfulness",
+                     "delay", "version"):
             assert name in out
 
     def test_fig4(self, capsys):
@@ -190,10 +248,23 @@ class TestSta:
                      "--json", str(out_path)]) == 0
         out = capsys.readouterr().out
         assert "corner sweep: 16 corners" in out
+        assert f"wrote {out_path}" in out
         payload = json.loads(out_path.read_text())
-        assert payload["sweep"]["corners"] == 16
-        assert len(payload["sweep"]["worst_arrival_s"]) == 16
-        assert payload["paths"]
+        assert payload["schema"] == "repro.api/1"
+        assert payload["kind"] == "sta_result"
+        analysis = payload["data"]["analysis"]
+        assert analysis["sweep"]["corners"] == 16
+        assert len(analysis["sweep"]["worst_arrival_s"]) == 16
+        assert analysis["paths"]
+
+    def test_json_to_stdout_round_trips(self, capsys):
+        from repro.api import StaRunResult, from_json
+        assert main(["sta", "--circuit", "nor2", "--json"]) == 0
+        out = capsys.readouterr().out
+        result = from_json(out)
+        assert isinstance(result, StaRunResult)
+        assert result.circuit == "nor2"
+        assert "STA report" in result.text
 
     def test_validate_runs_cross_check(self, capsys):
         assert main(["sta", "--validate"]) == 0
