@@ -36,6 +36,9 @@ import numpy as np
 
 from repro.api import DelayRequest, Session
 
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from bench_common import environment_metadata  # noqa: E402
+
 #: Dispatch must cost microseconds, not milliseconds: the uncached
 #: session path may exceed the direct engine call by at most this.
 _OVERHEAD_CEILING_S = 2e-3
@@ -97,6 +100,7 @@ def measure_dispatch(repeats: int) -> dict:
         "dispatch_overhead_seconds": uncached_s - direct_s,
         "cached_speedup_vs_uncached": uncached_s / cached_s,
         "cache_hits": cold_session.cache_info()["hits"],
+        "environment": environment_metadata(),
     }
 
 

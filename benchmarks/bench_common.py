@@ -1,0 +1,83 @@
+"""Shared benchmark-harness helpers: metadata and repeat-median.
+
+Every ``BENCH_*.json`` record carries the environment it was measured
+in (python / numpy / cpu count / platform), so numbers tracked across
+PRs are comparable — a speedup regression on a 2-core CI runner is
+not a regression against an 8-core workstation record.
+
+:func:`repeat_median` adds measurement rigor on top: an optional
+discarded warmup run, then ``repeats`` timed runs of which the
+*median* (by a designated timing key) is recorded, with the full
+sample list kept alongside for spread inspection.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["environment_metadata", "repeat_median"]
+
+
+def environment_metadata() -> dict:
+    """Interpreter / library / host facts recorded in every record."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+    }
+
+
+def repeat_median(measure: Callable[[], dict], time_key: str,
+                  repeats: int = 1, warmup: bool = True) -> dict:
+    """Measure with warmup + repeats, record the median run.
+
+    Parameters
+    ----------
+    measure : callable
+        Zero-argument function returning one benchmark payload dict.
+    time_key : str
+        Payload key holding the primary wall time in seconds; the
+        run whose value is the sample median is the one recorded.
+    repeats : int, optional
+        Number of timed runs (default 1).
+    warmup : bool, optional
+        Run (and discard) one extra call first, so page faults, BLAS
+        thread spin-up and allocator growth are not billed to the
+        first sample (default True; skipped when ``repeats`` is 1 —
+        the measure functions warm their own engine caches).
+
+    Returns
+    -------
+    dict
+        The median run's payload plus ``repeats``, the sorted
+        ``<time_key>_samples`` list, and ``environment`` metadata.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup and repeats > 1:
+        measure()
+    payloads = [measure() for _ in range(repeats)]
+    ordered = sorted(payloads, key=lambda p: p[time_key])
+    chosen = dict(ordered[(len(ordered) - 1) // 2])
+    chosen["repeats"] = repeats
+    chosen[f"{time_key}_samples"] = sorted(
+        float(p[time_key]) for p in payloads)
+    chosen["environment"] = environment_metadata()
+    return chosen
+
+
+def _ensure_importable() -> None:  # pragma: no cover - import shim
+    """Allow ``import bench_common`` from sibling scripts when the
+    benchmarks directory is not already on ``sys.path``."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    if here not in sys.path:
+        sys.path.insert(0, here)
+
+
+_ensure_importable()

@@ -18,6 +18,7 @@ range, and the sharded ``parallel`` backend must beat the scalar
 
 import json
 import pathlib
+import sys
 import time
 
 from repro.analysis.experiments import experiment_library
@@ -25,6 +26,9 @@ from repro.api import Session
 from repro.engine import ParallelEngine, get_engine
 from repro.library import characterize_library, paper_jobs
 from repro.units import PS
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from bench_common import environment_metadata  # noqa: E402
 
 #: ISSUE acceptance bound for table-vs-direct interpolation error.
 _ACCURACY_TOL = 0.1 * PS
@@ -91,6 +95,7 @@ def test_library_backend_throughput(benchmark, write_result):
         },
         "speedup_parallel_vs_reference":
             seconds["reference"] / seconds["parallel"],
+        "environment": environment_metadata(),
     }
     _JSON_PATH.write_text(json.dumps(payload, indent=2,
                                      sort_keys=True) + "\n")

@@ -34,6 +34,9 @@ import numpy as np
 from repro.api import MultiInputRequest, Session
 from repro.core.multi_input import delta_vector_grid
 
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from bench_common import repeat_median  # noqa: E402
+
 #: ISSUE acceptance: batched vs scalar on the full grid.
 _SPEEDUP_FLOOR = 10.0
 #: Batched-vs-scalar agreement bound (both are exact solvers).
@@ -112,8 +115,10 @@ def test_multi_input_record(benchmark, write_result):
 def test_multi_input_batch_speedup(benchmark, write_result):
     """Dense NOR3 Δ-grid: batched vs scalar loop (>= 10x)."""
     payload = benchmark.pedantic(
-        lambda: measure_batch(FULL_AXIS_POINTS), rounds=1,
-        iterations=1)
+        lambda: repeat_median(
+            lambda: measure_batch(FULL_AXIS_POINTS),
+            "batched_seconds", repeats=3),
+        rounds=1, iterations=1)
     _JSON_PATH.write_text(json.dumps(payload, indent=2,
                                      sort_keys=True) + "\n")
     benchmark.extra_info["speedup"] = round(payload["speedup"], 1)
@@ -130,10 +135,14 @@ def main(argv=None) -> int:
                              "Δ-vectors) for fast CI checks")
     parser.add_argument("--axis-points", type=int, default=None,
                         help="override the per-axis grid size")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timed runs; the median (by batched "
+                             "wall time) is recorded (default 1)")
     args = parser.parse_args(argv)
     axis_points = args.axis_points or (
         SMOKE_AXIS_POINTS if args.smoke else FULL_AXIS_POINTS)
-    payload = measure_batch(axis_points)
+    payload = repeat_median(lambda: measure_batch(axis_points),
+                            "batched_seconds", repeats=args.repeats)
     _JSON_PATH.write_text(json.dumps(payload, indent=2,
                                      sort_keys=True) + "\n")
     print(f"{payload['grid_vectors']} Δ-vectors: batched "

@@ -18,6 +18,7 @@ Two workloads live here:
 
 import json
 import pathlib
+import sys
 
 import pytest
 
@@ -27,6 +28,9 @@ from repro.api import Session, SweepRequest
 from repro.spice.technology import FINFET15
 from repro.timing.tracegen import WaveformConfig, generate_traces
 from repro.units import PS
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from bench_common import environment_metadata  # noqa: E402
 
 _TRANSITIONS = 300
 #: Δ grid size of the engine-throughput sweep (per direction).
@@ -56,6 +60,7 @@ def test_engine_sweep_throughput(benchmark, write_result):
         },
         "speedup_vectorized_vs_reference": result.speedup,
         "max_abs_difference_seconds": result.max_abs_difference,
+        "environment": environment_metadata(),
     }
     _JSON_PATH.write_text(json.dumps(payload, indent=2,
                                      sort_keys=True) + "\n")

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""CI perf-floor guard: smoke benchmarks vs the committed floors.
+
+Runs the ``--smoke`` mode of each speedup benchmark and fails if the
+measured speedup drops below **half** the committed full-workload
+floor (``_SPEEDUP_FLOOR`` in the script).  Halving absorbs CI-runner
+noise — 2-core machines, shared tenancy — while still catching
+order-of-magnitude regressions: a kernel change that erases the
+batched path's advantage fails loudly, a 20 % wobble does not.
+
+The smoke runs overwrite the committed ``BENCH_*.json`` records (the
+scripts share one output path), so the originals are restored
+afterwards — the guard must never dirty the working tree it guards.
+
+Usage::
+
+    python benchmarks/check_perf_floor.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).parent
+ROOT = HERE.parent
+
+#: (benchmark script, record it writes, committed full-workload
+#: floor). The guard trips below ``0.5 * floor``.
+CHECKS = [
+    ("bench_multi_input.py", "BENCH_multi_input.json", 10.0),
+    ("bench_sta.py", "BENCH_sta.json", 10.0),
+]
+
+
+def main() -> int:
+    failures = 0
+    for script, record, committed_floor in CHECKS:
+        guard = 0.5 * committed_floor
+        record_path = ROOT / record
+        committed = record_path.read_bytes() \
+            if record_path.exists() else None
+        try:
+            result = subprocess.run(
+                [sys.executable, str(HERE / script), "--smoke"],
+                capture_output=True, text=True)
+            print(result.stdout, end="")
+            if result.returncode != 0:
+                print(result.stderr, end="", file=sys.stderr)
+                print(f"FAIL: {script} --smoke exited "
+                      f"{result.returncode}", file=sys.stderr)
+                failures += 1
+                continue
+            speedup = json.loads(
+                record_path.read_text())["speedup"]
+        finally:
+            if committed is not None:
+                record_path.write_bytes(committed)
+        if speedup < guard:
+            print(f"FAIL: {script} smoke speedup {speedup:.1f}x "
+                  f"below {guard:.1f}x (0.5 x committed "
+                  f"{committed_floor:.0f}x floor)", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"OK: {script} smoke speedup {speedup:.1f}x "
+                  f">= {guard:.1f}x guard")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,7 @@ API_MODULES = [
     "repro.core",
     "repro.engine",
     "repro.library",
+    "repro.cache",
     "repro.sta",
     "repro.spice",
     "repro.timing",
@@ -71,6 +72,7 @@ NAV: list[tuple[str, list[tuple[str, str]]]] = [
     ("Guides", [
         ("api.md", "Session API"),
         ("engines.md", "Engine backends"),
+        ("performance.md", "Performance"),
         ("library.md", "Library characterization"),
         ("sta.md", "Static timing analysis"),
         ("multi_input.md", "n-input gates"),

@@ -51,6 +51,15 @@ def _gate_width(gate: str) -> int:
 # describe / version
 # ----------------------------------------------------------------------
 
+def _cache_report() -> dict:
+    """Persistent-cache status for version/describe results."""
+    from .. import cache as disk_cache
+    store = disk_cache.get_store()
+    if store is None:
+        return {"enabled": False}
+    return {"enabled": True, **store.info()}
+
+
 def _describe(session: "Session",
               request: DescribeRequest) -> DescribeResult:
     entries = dict(EXPERIMENT_DESCRIPTIONS)
@@ -67,13 +76,15 @@ def _describe(session: "Session",
                           engines=available_engines(),
                           experiments=dict(EXPERIMENT_DESCRIPTIONS),
                           workflows=dict(WORKFLOW_DESCRIPTIONS),
-                          text=text)
+                          text=text,
+                          cache=_cache_report())
 
 
 def _version(session: "Session",
              request: VersionRequest) -> VersionResult:
     return VersionResult(version=__version__,
-                         text=f"repro {__version__}")
+                         text=f"repro {__version__}",
+                         cache=_cache_report())
 
 
 # ----------------------------------------------------------------------

@@ -54,6 +54,11 @@ class DescribeResult(Result):
         Workflow command name -> one-line description.
     text : str
         The two-column listing the CLI prints.
+    cache : dict, optional
+        Persistent-cache report: ``{"enabled": False}`` when no
+        cache root is configured, else ``{"enabled": True, "dir",
+        "hits", "misses", "writes", "entries"}`` (process-wide
+        counters, see :mod:`repro.cache`).
     """
 
     kind: ClassVar[str] = "describe_result"
@@ -63,6 +68,8 @@ class DescribeResult(Result):
         default_factory=dict)
     workflows: dict[str, str] = dataclasses.field(default_factory=dict)
     text: str = ""
+    cache: dict[str, bool | int | str] = dataclasses.field(
+        default_factory=dict)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -75,11 +82,17 @@ class VersionResult(Result):
         The version string from :mod:`repro._version`.
     text : str
         ``"repro <version>"``.
+    cache : dict, optional
+        Persistent-cache report (see :class:`DescribeResult`); lets
+        operators poll warm-cache ratios via ``repro version
+        --json``.
     """
 
     kind: ClassVar[str] = "version_result"
     version: str = ""
     text: str = ""
+    cache: dict[str, bool | int | str] = dataclasses.field(
+        default_factory=dict)
 
 
 @dataclasses.dataclass(frozen=True)

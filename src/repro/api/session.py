@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from .. import cache as disk_cache
 from ..core.parameters import PAPER_TABLE_I, NorGateParameters
 from ..engine import DelayEngine, get_engine
 from ..errors import ParameterError
@@ -63,6 +64,13 @@ class Session:
         Memoize per-request results, loaded libraries and lowered
         timing graphs within this session (default ``True``;
         ``False`` re-reads and re-builds on every call).
+    cache_dir : str or Path, optional
+        Root directory of the *persistent* cross-process cache (see
+        :mod:`repro.cache`): eigendecompositions and characterized
+        tables are stored there and shared with parallel workers and
+        other processes.  ``None`` (default) leaves the process-wide
+        setting alone — the ``REPRO_CACHE_DIR`` environment variable
+        still applies.
 
     Raises
     ------
@@ -73,7 +81,8 @@ class Session:
     def __init__(self, tech: "str | TechnologyCard" = "finfet15",
                  engine: "str | DelayEngine | None" = None,
                  parameters: NorGateParameters | None = None,
-                 cache: bool = True) -> None:
+                 cache: bool = True,
+                 cache_dir: "str | None" = None) -> None:
         if isinstance(tech, str):
             try:
                 card = TECHNOLOGIES[tech]
@@ -89,6 +98,8 @@ class Session:
         self._parameters = (PAPER_TABLE_I if parameters is None
                             else parameters)
         self._cache_enabled = bool(cache)
+        if cache_dir is not None:
+            disk_cache.configure(cache_dir)
         self._results: dict[Request, Result] = {}
         self._libraries: dict[str, GateLibrary] = {}
         self._graphs: dict[str, Any] = {}
@@ -272,10 +283,20 @@ class Session:
         self._hits = 0
         self._misses = 0
 
-    def cache_info(self) -> dict[str, int]:
-        """Cache counters: ``{"hits", "misses", "size"}``."""
-        return {"hits": self._hits, "misses": self._misses,
-                "size": len(self._results)}
+    def cache_info(self) -> dict:
+        """Cache counters: ``{"hits", "misses", "size"}``.
+
+        When the persistent cross-process cache is active (see
+        :mod:`repro.cache`), a ``"disk"`` entry is added with its
+        location and process-wide counters: ``{"dir", "hits",
+        "misses", "writes", "entries"}``.
+        """
+        info: dict = {"hits": self._hits, "misses": self._misses,
+                      "size": len(self._results)}
+        store = disk_cache.get_store()
+        if store is not None:
+            info["disk"] = store.info()
+        return info
 
     def __repr__(self) -> str:
         """Compact binding summary (engine shown unresolved-lazy)."""

@@ -1,0 +1,279 @@
+"""Persistent cross-process result cache.
+
+Every expensive artifact of the package is a pure function of plain
+content — an eigendecomposition bundle is determined by the electrical
+parameter set, a characterized :class:`~repro.library.GateLibrary` by
+its job grid and engine.  That makes all of them safe to share through
+a content-hash-keyed on-disk store: any process (a parallel worker, a
+second CLI invocation, a server restart) that computes the same
+content writes the same key, and any other process reads it back
+instead of recomputing.
+
+Store layout (under the cache root)::
+
+    v1/                      # schema version — bump to invalidate all
+      ab/                    # first two hex digits of the key
+        ab3f...e2.json       # JSON payloads (library grids)
+        ab19...77.npz        # array bundles (eigendecompositions)
+
+Keys are SHA-256 hashes of a canonical-JSON *content descriptor*
+(:meth:`DiskCache.content_key`), so invalidation is automatic: change
+any input — parameters, grid, engine, schema — and the key changes
+with it.  Writes are atomic (temp file + ``os.replace``) so concurrent
+writers at worst duplicate work, never corrupt an entry; readers that
+find a corrupt or truncated entry treat it as a miss and overwrite it.
+
+Activation
+----------
+The cache is **off** unless a root directory is given:
+
+* ``REPRO_CACHE_DIR=<dir>`` in the environment (inherited by parallel
+  workers and subprocesses), or
+* :func:`configure` — what ``Session(cache_dir=...)`` calls; explicit
+  configuration wins over the environment.
+
+:func:`get_store` resolves the active store (or ``None``); per-root
+instances are shared so hit/miss counters aggregate process-wide and
+are reported by :meth:`repro.api.Session.cache_info`, ``repro version
+--json`` and ``repro list --json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["DiskCache", "configure", "get_store", "content_key",
+           "SCHEMA_VERSION"]
+
+#: On-disk schema version; a bump orphans (and thereby invalidates)
+#: every existing entry without touching the files.
+SCHEMA_VERSION = 1
+
+#: Environment variable naming the cache root directory.
+ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def content_key(descriptor: dict) -> str:
+    """SHA-256 key of a canonical-JSON content descriptor.
+
+    Parameters
+    ----------
+    descriptor : dict
+        Plain-JSON description of everything the cached artifact
+        depends on (parameter dicts, grids, engine name, an artifact
+        ``kind`` tag).  Key order does not matter — the JSON is
+        canonicalized with sorted keys.
+
+    Returns
+    -------
+    str
+        64-hex-digit cache key.
+    """
+    canonical = json.dumps(descriptor, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class DiskCache:
+    """Content-addressed on-disk store with atomic writes.
+
+    Parameters
+    ----------
+    root : str or Path
+        Cache root directory (created lazily on first write).
+
+    Notes
+    -----
+    Entries live under ``<root>/v<SCHEMA_VERSION>/<key[:2]>/`` as
+    ``.json`` (plain payloads) or ``.npz`` (array bundles).  All
+    accessors are miss-tolerant: unreadable entries count as misses
+    and are recomputed/overwritten by the caller.
+    """
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+
+    @property
+    def _schema_dir(self) -> Path:
+        return self.root / f"v{SCHEMA_VERSION}"
+
+    def _path(self, key: str, suffix: str) -> Path:
+        return self._schema_dir / key[:2] / f"{key}{suffix}"
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                   prefix=".tmp-", suffix=path.suffix)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    # ------------------------------------------------------------------
+    # JSON payloads
+    # ------------------------------------------------------------------
+
+    def get_json(self, key: str):
+        """Load a JSON entry, or ``None`` on a miss.
+
+        Parameters
+        ----------
+        key : str
+            A :func:`content_key` hash.
+        """
+        path = self._path(key, ".json")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put_json(self, key: str, payload) -> None:
+        """Atomically store a JSON-serializable payload under *key*."""
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._atomic_write(self._path(key, ".json"), data)
+
+    # ------------------------------------------------------------------
+    # array bundles
+    # ------------------------------------------------------------------
+
+    def get_arrays(self, key: str) -> "dict[str, np.ndarray] | None":
+        """Load an array bundle (name -> ndarray), or ``None``."""
+        path = self._path(key, ".npz")
+        try:
+            with np.load(path) as archive:
+                bundle = {name: archive[name] for name in archive.files}
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return bundle
+
+    def put_arrays(self, key: str,
+                   bundle: "dict[str, np.ndarray]") -> None:
+        """Atomically store a dict of arrays under *key*."""
+        buffer = io.BytesIO()
+        np.savez(buffer, **bundle)
+        self._atomic_write(self._path(key, ".npz"),
+                           buffer.getvalue())
+
+    # ------------------------------------------------------------------
+    # introspection / maintenance
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk (current schema)."""
+        if not self._schema_dir.is_dir():
+            return 0
+        return sum(1 for path in self._schema_dir.glob("*/*")
+                   if path.suffix in (".json", ".npz"))
+
+    def info(self) -> dict:
+        """Counters and location: ``{dir, hits, misses, writes,
+        entries}``."""
+        return {"dir": str(self.root), "hits": self.hits,
+                "misses": self.misses, "writes": self.writes,
+                "entries": len(self)}
+
+    def clear(self) -> int:
+        """Delete every entry of the current schema; returns the
+        number of removed files."""
+        removed = 0
+        if self._schema_dir.is_dir():
+            for path in sorted(self._schema_dir.glob("*/*")):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - racing writer
+                    pass
+        return removed
+
+    def __repr__(self) -> str:
+        return (f"DiskCache({str(self.root)!r}, hits={self.hits}, "
+                f"misses={self.misses})")
+
+
+#: Explicitly configured store (wins over the environment);
+#: ``_UNSET`` means "fall back to REPRO_CACHE_DIR".
+_UNSET = object()
+_CONFIGURED = _UNSET
+#: Per-root instances, so counters aggregate process-wide.
+_STORES: dict[str, DiskCache] = {}
+
+
+def _store_for(root: "str | Path") -> DiskCache:
+    key = str(Path(root))
+    if key not in _STORES:
+        _STORES[key] = DiskCache(key)
+    return _STORES[key]
+
+
+def configure(cache_dir: "str | Path | None"):
+    """Set (or clear) the process-wide cache root explicitly.
+
+    Parameters
+    ----------
+    cache_dir : str or Path or None
+        Cache root directory; ``None`` disables the cache even if
+        ``REPRO_CACHE_DIR`` is set.
+
+    Returns
+    -------
+    DiskCache or None
+        The active store after reconfiguration.
+
+    Notes
+    -----
+    Explicit configuration is process-wide — it is what
+    ``Session(cache_dir=...)`` uses, and parallel workers started
+    *after* the call inherit it on fork platforms.  Call
+    :func:`unconfigure` to fall back to the environment.
+    """
+    global _CONFIGURED
+    _CONFIGURED = None if cache_dir is None else _store_for(cache_dir)
+    return _CONFIGURED
+
+
+def unconfigure() -> None:
+    """Drop the explicit configuration (environment rules again)."""
+    global _CONFIGURED
+    _CONFIGURED = _UNSET
+
+
+def get_store() -> "DiskCache | None":
+    """The active persistent store, or ``None`` when caching is off.
+
+    Explicit :func:`configure` wins; otherwise ``REPRO_CACHE_DIR``
+    is consulted on every call (so tests and subprocesses may flip
+    it at runtime).
+    """
+    if _CONFIGURED is not _UNSET:
+        return _CONFIGURED
+    root = os.environ.get(ENV_VAR)
+    if not root:
+        return None
+    return _store_for(root)

@@ -25,14 +25,19 @@ worst case (GND) when their analog history is unknown.
 Besides the scalar trace interface, the model is *array-native* over
 Δ-vectors: :meth:`GeneralizedNorModel.delays_falling_batch` /
 :meth:`~GeneralizedNorModel.delays_rising_batch` evaluate whole
-``(..., n−1)`` grids of sibling offsets at once.  The per-mode
-eigendecompositions are computed once per ``(params, input-state)``
-and cached; rows sharing an event ordering share their mode chain, so
-the state propagation and the threshold-crossing search run as
-lockstep NumPy batches (bracketing on the scalar path's sampling grid,
-then bisection to adjacent-float precision).  This is the engine
-behind the ``delays_falling_n`` / ``delays_rising_n`` entry points of
-:mod:`repro.engine`.
+``(..., n−1)`` grids of sibling offsets at once through a
+:class:`CompiledNorKernel`.  The kernel stacks the per-input-state
+eigendecompositions into dense ``(2^n, ...)`` tensors (persisted
+across processes via :mod:`repro.cache` when a cache directory is
+configured), assigns every ``(row, segment)`` its mode id with one
+vectorized cumulative sum over the event ordering, and walks all rows
+segment-lockstep: state propagation and eigen-projection are batched
+einsums over the per-row mode tensors, threshold crossings are
+bracketed on a *shared* time grid (one ``exp`` basis per phase, one
+GEMM for the whole batch) and refined by a safeguarded vectorized
+Newton iteration with a lockstep-bisection fallback.  This is the
+engine behind the ``delays_falling_n`` / ``delays_rising_n`` entry
+points of :mod:`repro.engine`.
 """
 
 from __future__ import annotations
@@ -49,7 +54,8 @@ from ..errors import NoCrossingError, ParameterError
 from .parameters import PAPER_TABLE_I, NorGateParameters
 from .solutions import ExpSum
 
-__all__ = ["GeneralizedNorParameters", "GeneralizedNorModel",
+__all__ = ["CompiledNorKernel", "GeneralizedNorParameters",
+           "GeneralizedNorModel", "compiled_nor_kernel",
            "delta_vector_grid", "generalized_model",
            "paper_generalized", "sibling_offsets"]
 
@@ -57,12 +63,21 @@ __all__ = ["GeneralizedNorParameters", "GeneralizedNorModel",
 _IMAG_TOL = 1e-8
 #: Samples used to bracket output crossings per segment.
 _CROSSING_SAMPLES = 1024
-#: Lockstep bisection steps of the batched crossing refinement.
+#: Safeguarded Newton iterations of the batched crossing refinement
+#: (quadratic convergence lands well inside this; leftover rows fall
+#: back to lockstep bisection).
+_NEWTON_STEPS = 12
+#: Lockstep bisection steps of the non-convergence fallback.
 _BATCH_BISECT_STEPS = 128
 #: Bracketing samples per 8-τ phase of the batched crossing search.
-_BATCH_SAMPLES = 257
+#: 129 keeps the bracket cells (τ/16) finer than the scalar
+#: reference's coarsest sampling (its 1024-point grid over a 60-τ
+#: final segment is ~τ/17), so the batch path never misses a feature
+#: the reference resolves.
+_BATCH_SAMPLES = 129
 #: Row chunk of the batched crossing search (bounds the temporary
-#: ``rows x samples x modes`` exponential tensor to a few tens of MB).
+#: ``rows x samples`` value matrix / exponential tensor to a few
+#: tens of MB).
 _BATCH_CHUNK = 2048
 #: Finite stand-in span for ``±inf`` sibling offsets, seconds.  One
 #: second is ~9 orders of magnitude beyond any gate's settling region,
@@ -147,6 +162,114 @@ def offset_rows(num_inputs: int, deltas
     if np.isnan(flat).any():
         raise ParameterError("sibling offsets must not be NaN")
     return flat, d.shape[:-1]
+
+
+def _first_bracket(values: np.ndarray, downward: bool
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """First directed sign change along each row of sampled values.
+
+    *values* is ``(rows, samples)`` of ``f(t) − threshold`` on a
+    monotone time grid.  Returns ``(has, first)`` — whether each row
+    brackets a crossing and the index of the grid cell that does.
+    """
+    above = values > 0.0
+    if downward:
+        hit = above[:, :-1] & ~above[:, 1:]
+    else:
+        hit = ~above[:, :-1] & above[:, 1:]
+    return hit.any(axis=1), np.argmax(hit, axis=1)
+
+
+def _newton_bisect_refine(weights, rates, lo, hi, threshold: float,
+                          downward: bool,
+                          newton_steps: "int | None" = None
+                          ) -> np.ndarray:
+    """Refine bracketed exp-sum crossings: vectorized Newton with a
+    lockstep-bisection fallback.
+
+    Solves ``f(t) = Σ_k weights[r, k]·exp(rates[k]·t) − threshold = 0``
+    per row inside the bracket ``[lo[r], hi[r]]``.  Every Newton step
+    first shrinks the bracket with the current iterate (so the
+    invariant — downward: ``f(lo) > 0 ≥ f(hi)``, upward: ``f(lo) ≤ 0 <
+    f(hi)`` — is preserved), then takes the Newton candidate when it
+    lands strictly inside the bracket and the midpoint otherwise.  A
+    row is converged when its bracket is adjacent-float tight *or*
+    its Newton step shrinks below the same tolerance (Newton
+    typically approaches the root from one side, so only one bracket
+    end tightens).  Rows with neither after *newton_steps* iterations
+    finish under plain lockstep bisection, so the result is always a
+    point within ``1e-15·|t| + 1e-26`` of the bracketed root, the
+    same precision as the pre-Newton lockstep search.
+
+    Parameters
+    ----------
+    weights : array_like of float
+        Per-row exponential coefficients, shape ``(rows, modes)``.
+    rates : array_like of float
+        Shared exponential rates, shape ``(modes,)``.
+    lo, hi : array_like of float
+        Bracket endpoints per row (finite; ``lo < hi``).
+    threshold : float
+        Crossing level.
+    downward : bool
+        Crossing direction (decides which bracket side an iterate
+        updates).
+    newton_steps : int, optional
+        Newton iteration budget before the bisection fallback
+        (default :data:`_NEWTON_STEPS`).
+
+    Returns
+    -------
+    numpy.ndarray
+        Bracket midpoints after refinement, shape ``(rows,)``.
+    """
+    if newton_steps is None:
+        newton_steps = _NEWTON_STEPS
+    weights = np.asarray(weights, dtype=float)
+    rates = np.asarray(rates, dtype=float)
+    lo = np.array(lo, dtype=float)
+    hi = np.array(hi, dtype=float)
+    wr = weights * rates[None, :]
+    t = 0.5 * (lo + hi)
+    step = np.full(t.shape, math.inf)
+    # Lockstep over the full batch: every row converges within a few
+    # iterations of its neighbours, so index compression would cost
+    # more in small-array dispatch than the spare iterations do.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for iteration in range(newton_steps):
+            e = np.exp(t[:, None] * rates[None, :])
+            f = np.einsum("rk,rk->r", weights, e) - threshold
+            side = f > 0.0 if downward else f <= 0.0
+            lo = np.where(side, t, lo)
+            hi = np.where(side, hi, t)
+            fp = np.einsum("rk,rk->r", wr, e)
+            tn = t - f / fp
+            # Non-strict bounds: a candidate tying the bracket end it
+            # just updated is the converged root, not an escape (NaN
+            # and ±inf candidates compare False and take the
+            # midpoint).
+            inside = (tn >= lo) & (tn <= hi)
+            tn = np.where(inside, tn, 0.5 * (lo + hi))
+            step = np.abs(tn - t)
+            t = tn
+            if (iteration >= 3
+                    and np.all(step <= 1e-15 * np.abs(t) + 1e-26)):
+                break
+    pending = np.nonzero(step > 1e-15 * np.abs(t) + 1e-26)[0]
+    if pending.size:
+        la, ha, w = lo[pending], hi[pending], weights[pending]
+        for _ in range(_BATCH_BISECT_STEPS):
+            mid = 0.5 * (la + ha)
+            value = np.einsum(
+                "rk,rk->r", w,
+                np.exp(mid[:, None] * rates[None, :])) - threshold
+            upper = value > 0.0 if downward else value <= 0.0
+            la = np.where(upper, mid, la)
+            ha = np.where(upper, ha, mid)
+            if np.all(ha - la <= 1e-15 * np.abs(ha) + 1e-26):
+                break
+        t[pending] = 0.5 * (la + ha)
+    return t
 
 
 @dataclasses.dataclass(frozen=True)
@@ -309,6 +432,7 @@ class GeneralizedNorModel:
         #: would pin every model instance alive globally).
         self._eig_cache: dict[tuple[int, ...], tuple] = {}
         self._settle: float | None = None
+        self._kernel: "CompiledNorKernel | None" = None
 
     # ------------------------------------------------------------------
     # per-mode linear systems
@@ -485,80 +609,17 @@ class GeneralizedNorModel:
             self._settle = 60.0 * slowest
         return self._settle
 
-    def _batch_segment_crossings(self, weights: np.ndarray,
-                                 rates: np.ndarray,
-                                 windows: np.ndarray,
-                                 downward: bool,
-                                 slowest: float) -> np.ndarray:
-        """First directed Vth crossing per row within ``[0, window]``.
+    def kernel(self) -> "CompiledNorKernel":
+        """The flattened batch evaluator, compiled once per model.
 
-        *weights* is ``(rows, modes)`` — per-row output coefficients
-        over the segment's shared eigenrates; rows that do not cross
-        report NaN.  The search is *phased*: the window is walked in
-        ``8 x slowest-τ`` spans sampled at :data:`_BATCH_SAMPLES`
-        points (a finer grid than the scalar path's
-        :data:`_CROSSING_SAMPLES` over the full 60 τ horizon), and
-        only rows still unresolved continue into the next phase — on
-        typical MIS workloads almost every crossing lands in the
-        first span.  Bracketed rows are refined by a lockstep
-        bisection to adjacent-float precision.
+        Building the kernel stacks (or loads from the persistent
+        :mod:`repro.cache` store) the eigendecompositions of all
+        ``2^n`` input states; both batched delay entry points
+        delegate to it.
         """
-        vth = self.params.vth
-        rows = weights.shape[0]
-        out = np.full(rows, math.nan)
-        grid = np.linspace(0.0, 1.0, _BATCH_SAMPLES)
-        phase_len = 8.0 * slowest
-        pending = np.nonzero(windows > 0.0)[0]
-        phase_start = np.zeros(rows)
-        while pending.size:
-            idx = pending
-            span = np.minimum(windows[idx] - phase_start[idx],
-                              phase_len)
-            lo = hi = None
-            for start in range(0, idx.size, _BATCH_CHUNK):
-                chunk = idx[start:start + _BATCH_CHUNK]
-                sub = slice(start, start + _BATCH_CHUNK)
-                t = (phase_start[chunk, None]
-                     + span[sub, None] * grid[None, :])
-                values = np.einsum(
-                    "rk,rsk->rs", weights[chunk],
-                    np.exp(t[:, :, None] * rates)) - vth
-                above = values > 0.0
-                if downward:
-                    hit = above[:, :-1] & ~above[:, 1:]
-                else:
-                    hit = ~above[:, :-1] & above[:, 1:]
-                has = hit.any(axis=1)
-                first = np.argmax(hit, axis=1)
-                local = np.nonzero(has)[0]
-                c_lo = t[local, first[local]]
-                c_hi = t[local, first[local] + 1]
-                bracketed = chunk[local]
-                if lo is None:
-                    lo, hi, found = c_lo, c_hi, bracketed
-                else:
-                    lo = np.concatenate([lo, c_lo])
-                    hi = np.concatenate([hi, c_hi])
-                    found = np.concatenate([found, bracketed])
-            if lo is not None and lo.size:
-                w = weights[found]
-                for _ in range(_BATCH_BISECT_STEPS):
-                    mid = 0.5 * (lo + hi)
-                    value = np.einsum(
-                        "rk,rk->r", w,
-                        np.exp(mid[:, None] * rates)) - vth
-                    upper = (value > 0.0 if downward
-                             else value <= 0.0)
-                    lo = np.where(upper, mid, lo)
-                    hi = np.where(upper, hi, mid)
-                    if np.all(hi - lo <= 1e-15 * np.abs(hi) + 1e-26):
-                        break
-                out[found] = 0.5 * (lo + hi)
-            phase_start[idx] += span
-            still = np.isnan(out[idx]) & (phase_start[idx]
-                                          < windows[idx])
-            pending = idx[still]
-        return out
+        if self._kernel is None:
+            self._kernel = CompiledNorKernel(self)
+        return self._kernel
 
     def _delays_batch(self, deltas, direction: str,
                       internal_init: float = 0.0) -> np.ndarray:
@@ -567,74 +628,7 @@ class GeneralizedNorModel:
         See :meth:`delays_falling_batch` / :meth:`delays_rising_batch`
         for the per-direction conventions.
         """
-        n = self._n
-        flat, shape = offset_rows(n, deltas)
-        settle = self.settle_time()
-        offsets = np.clip(flat, -settle, settle)
-        rows = offsets.shape[0]
-        times = np.concatenate(
-            [np.zeros((rows, 1)), offsets], axis=1)
-        times -= times.min(axis=1, keepdims=True)
-
-        if direction == "falling":
-            start_value, flip_to, downward = 0, 1, True
-            state0 = self.resting_state((0,) * n)
-            reference = np.zeros(rows)
-        elif direction == "rising":
-            start_value, flip_to, downward = 1, 0, False
-            state0 = np.array([float(internal_init)] * (n - 1) + [0.0])
-            reference = times.max(axis=1)
-        else:
-            raise ParameterError(
-                f"direction must be 'falling' or 'rising', got "
-                f"{direction!r}")
-
-        result = np.full(rows, math.nan)
-        order = np.argsort(times, axis=1, kind="stable")
-        sorted_times = np.take_along_axis(times, order, axis=1)
-        # Rows sharing an event ordering share their mode chain.
-        for perm in np.unique(order, axis=0):
-            group = np.nonzero((order == perm[None, :]).all(axis=1))[0]
-            events = sorted_times[group]
-            state = np.broadcast_to(state0,
-                                    (group.size, n)).copy()
-            mode = [start_value] * n
-            active = np.arange(group.size)
-            for k in range(n):
-                mode[int(perm[k])] = flip_to
-                seg_start = events[:, k]
-                duration = (events[:, k + 1] - seg_start
-                            if k + 1 < n else None)
-                rates, vectors, inverse, slowest = self._mode_eig(
-                    tuple(mode))
-                aug = np.concatenate(
-                    [state, np.ones((state.shape[0], 1))], axis=1)
-                coeffs = aug @ inverse.T
-                if duration is None:
-                    windows = np.full(active.size,
-                                      60.0 * slowest + 1e-15)
-                else:
-                    windows = duration[active]
-                out_weights = coeffs[active] * vectors[n - 1]
-                local = self._batch_segment_crossings(
-                    out_weights, rates, windows, downward, slowest)
-                crossed = ~np.isnan(local)
-                if crossed.any():
-                    hits = active[crossed]
-                    result[group[hits]] = (seg_start[hits]
-                                           + local[crossed])
-                    active = active[~crossed]
-                if not active.size or duration is None:
-                    break
-                growth = np.exp(duration[:, None] * rates[None, :])
-                state = (coeffs * growth) @ vectors.T
-                state = state[:, :n]
-            if active.size:  # pragma: no cover - defensive
-                raise NoCrossingError(
-                    "batched crossing search exhausted all segments "
-                    "without finding the output transition")
-        delays = result - reference + self.params.delta_min
-        return delays.reshape(shape)
+        return self.kernel().evaluate(deltas, direction, internal_init)
 
     def delays_falling_batch(self, deltas) -> np.ndarray:
         """Falling MIS delays for a grid of sibling offset vectors.
@@ -881,6 +875,294 @@ class GeneralizedNorModel:
             if value == 1:
                 return t - latest
         raise NoCrossingError("output never rises")
+
+
+class CompiledNorKernel:
+    """Flattened, mode-stacked evaluator of the batched Δ-vector path.
+
+    Compiling the kernel materializes the eigendecompositions of all
+    ``2^n`` input states of one :class:`GeneralizedNorModel` into
+    dense tensors indexed by *mode id* (the integer whose bit ``i`` is
+    the value of input ``i``)::
+
+        rates    (2^n, n+1)        eigenrates of the augmented system
+        vectors  (2^n, n+1, n+1)   eigenvectors (columns)
+        inverse  (2^n, n+1, n+1)   eigenvector inverses
+        out      (2^n, n+1)        output row of ``vectors``
+        slow     (2^n,)            slowest time constant per mode
+
+    With the per-mode data stacked, :meth:`evaluate` needs no
+    per-event-ordering Python grouping: each ``(row, segment)`` pair
+    gets its mode id from one cumulative sum over the sorted event
+    bits, eigen-projection and state propagation are batched einsums
+    over the per-row mode tensors, and the threshold-crossing search
+    runs segment-lockstep with at most one call per *mode* (``≤ 2^n``
+    total instead of ``orderings × n``).
+
+    The crossing search brackets on a **shared** time grid: rows of
+    one mode walking the same 8-τ phase all sample the identical
+    instants, so the exponential basis ``exp(t ⊗ rates)`` is computed
+    once per phase and the sampled values are a single GEMM
+    (``weights @ basis.T``).  Rows whose remaining window is shorter
+    than a phase (at most once per row) fall back to per-row grids.
+    Bracketed rows are refined by :func:`_newton_bisect_refine`.
+
+    When a persistent store is active (see :mod:`repro.cache`), the
+    stacked eigen tensors are loaded from / saved to disk keyed on the
+    parameter content, so any process sharing the cache directory
+    skips the ``2^n`` eigendecompositions entirely.
+    """
+
+    def __init__(self, model: GeneralizedNorModel):
+        self._model = model
+        self.num_inputs = model._n
+        self._vth = model.params.vth
+        n = model._n
+        modes = 1 << n
+        bundle = self._load(modes)
+        if bundle is None:
+            rates = np.empty((modes, n + 1))
+            vectors = np.empty((modes, n + 1, n + 1))
+            inverse = np.empty((modes, n + 1, n + 1))
+            slow = np.empty(modes)
+            for mode in range(modes):
+                inputs = tuple((mode >> i) & 1 for i in range(n))
+                (rates[mode], vectors[mode], inverse[mode],
+                 slow[mode]) = model._mode_eig(inputs)
+            self._store(rates, vectors, inverse, slow)
+        else:
+            rates, vectors, inverse, slow = bundle
+            # Seed the model's per-mode cache so the scalar paths and
+            # settle_time() share the loaded decompositions.
+            for mode in range(modes):
+                inputs = tuple((mode >> i) & 1 for i in range(n))
+                model._eig_cache.setdefault(
+                    inputs, (rates[mode], vectors[mode],
+                             inverse[mode], float(slow[mode])))
+        self._rates = rates
+        self._vectors = vectors
+        self._inverse = inverse
+        self._out = np.ascontiguousarray(vectors[:, n - 1, :])
+        self._slow = slow
+
+    # ------------------------------------------------------------------
+    # persistent eigendecomposition cache
+    # ------------------------------------------------------------------
+
+    def _cache_key(self) -> str:
+        from .. import cache
+        return cache.content_key({
+            "kind": "nor-eig",
+            "schema": cache.SCHEMA_VERSION,
+            "params": self._model.params.as_dict(),
+        })
+
+    def _load(self, modes: int):
+        from .. import cache
+        store = cache.get_store()
+        if store is None:
+            return None
+        bundle = store.get_arrays(self._cache_key())
+        if bundle is None:
+            return None
+        n = self.num_inputs
+        try:
+            rates = bundle["rates"]
+            vectors = bundle["vectors"]
+            inverse = bundle["inverse"]
+            slow = bundle["slow"]
+        except KeyError:
+            return None
+        if (rates.shape != (modes, n + 1)
+                or vectors.shape != (modes, n + 1, n + 1)
+                or inverse.shape != (modes, n + 1, n + 1)
+                or slow.shape != (modes,)):
+            return None
+        return rates, vectors, inverse, slow
+
+    def _store(self, rates, vectors, inverse, slow) -> None:
+        from .. import cache
+        store = cache.get_store()
+        if store is None:
+            return
+        store.put_arrays(self._cache_key(), {
+            "rates": rates, "vectors": vectors,
+            "inverse": inverse, "slow": slow,
+        })
+
+    # ------------------------------------------------------------------
+    # crossing search
+    # ------------------------------------------------------------------
+
+    def _mode_crossings(self, weights: np.ndarray, mode: int,
+                        windows: np.ndarray,
+                        downward: bool) -> np.ndarray:
+        """First directed Vth crossing per row within ``[0, window]``.
+
+        All rows share one mode's eigensystem; rows that do not cross
+        report NaN.  The window is walked in 8-τ phases on a *shared*
+        time grid: one exponential basis per phase, one GEMM per
+        chunk.  Rows whose window ends inside the phase have their
+        out-of-window samples replaced by the value *at* the window
+        end, so the final grid cell brackets ``[last in-window
+        sample, window end]`` and no crossing inside the window is
+        lost to the shared grid.
+        """
+        rates = self._rates[mode]
+        phase_len = 8.0 * float(self._slow[mode])
+        vth = self._vth
+        out = np.full(weights.shape[0], math.nan)
+        grid = np.linspace(0.0, 1.0, _BATCH_SAMPLES)
+        pending = np.nonzero(windows > 0.0)[0]
+        phase = 0
+        while pending.size:
+            start = phase * phase_len
+            pending = pending[windows[pending] > start]
+            if not pending.size:
+                break
+            t = start + phase_len * grid
+            basis = np.exp(t[:, None] * rates[None, :])
+            for c0 in range(0, pending.size, _BATCH_CHUNK):
+                chunk = pending[c0:c0 + _BATCH_CHUNK]
+                values = weights[chunk] @ basis.T - vth
+                ends = windows[chunk]
+                clipped = np.nonzero(ends < t[-1])[0]
+                if clipped.size:
+                    rows = chunk[clipped]
+                    end_values = np.einsum(
+                        "rk,rk->r", weights[rows],
+                        np.exp(ends[clipped, None]
+                               * rates[None, :])) - vth
+                    values[clipped] = np.where(
+                        t[None, :] <= ends[clipped, None],
+                        values[clipped], end_values[:, None])
+                has, first = _first_bracket(values, downward)
+                local = np.nonzero(has)[0]
+                if local.size:
+                    lo = t[first[local]]
+                    hi = np.minimum(t[first[local] + 1], ends[local])
+                    out[chunk[local]] = _newton_bisect_refine(
+                        weights[chunk[local]], rates, lo, hi, vth,
+                        downward)
+            pending = pending[np.isnan(out[pending])]
+            phase += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # the flattened segment walk
+    # ------------------------------------------------------------------
+
+    def evaluate(self, deltas, direction: str,
+                 internal_init: float = 0.0) -> np.ndarray:
+        """Batched MIS delays over a grid of sibling offset vectors.
+
+        The array-native core behind
+        :meth:`GeneralizedNorModel.delays_falling_batch` /
+        :meth:`~GeneralizedNorModel.delays_rising_batch`; see those
+        for the per-direction event conventions.
+
+        Parameters
+        ----------
+        deltas : array_like of float
+            Sibling offsets, shape ``(..., n−1)``; ``±inf`` clips to
+            the SIS plateaus, NaN rejected.
+        direction : {'falling', 'rising'}
+            Output transition searched for.
+        internal_init : float, optional
+            Rising-only: initial voltage of every internal chain
+            node, volts.
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), shape
+            ``deltas.shape[:-1]``.
+        """
+        model = self._model
+        n = self.num_inputs
+        flat, shape = offset_rows(n, deltas)
+        settle = model.settle_time()
+        offsets = np.clip(flat, -settle, settle)
+        rows = offsets.shape[0]
+        times = np.concatenate(
+            [np.zeros((rows, 1)), offsets], axis=1)
+        times -= times.min(axis=1, keepdims=True)
+
+        if direction == "falling":
+            downward = True
+            state0 = model.resting_state((0,) * n)
+            reference = np.zeros(rows)
+        elif direction == "rising":
+            downward = False
+            state0 = np.array([float(internal_init)] * (n - 1) + [0.0])
+            reference = times.max(axis=1)
+        else:
+            raise ParameterError(
+                f"direction must be 'falling' or 'rising', got "
+                f"{direction!r}")
+
+        order = np.argsort(times, axis=1, kind="stable")
+        sorted_times = np.take_along_axis(times, order, axis=1)
+        # Mode id of segment k = input state once the first k+1 events
+        # have fired: falling starts all-zero and each event sets a
+        # bit, rising starts all-one and each event clears one.
+        flipped = np.cumsum(1 << order, axis=1)
+        mode_ids = flipped if downward else ((1 << n) - 1) - flipped
+
+        result = np.full(rows, math.nan)
+        active = np.arange(rows)
+        state = np.broadcast_to(state0, (rows, n)).astype(float)
+        for k in range(n):
+            seg_start = sorted_times[active, k]
+            modes_k = mode_ids[active, k]
+            aug = np.concatenate(
+                [state, np.ones((active.size, 1))], axis=1)
+            coeffs = np.einsum("rj,rij->ri", aug,
+                               self._inverse[modes_k])
+            out_weights = coeffs * self._out[modes_k]
+            last = k + 1 == n
+            if last:
+                duration = None
+                windows = 60.0 * self._slow[modes_k] + 1e-15
+            else:
+                duration = sorted_times[active, k + 1] - seg_start
+                windows = duration
+            local = np.full(active.size, math.nan)
+            for mode in np.unique(modes_k):
+                sel = np.nonzero(modes_k == mode)[0]
+                local[sel] = self._mode_crossings(
+                    out_weights[sel], int(mode), windows[sel],
+                    downward)
+            crossed = ~np.isnan(local)
+            if crossed.any():
+                result[active[crossed]] = (seg_start[crossed]
+                                           + local[crossed])
+            keep = ~crossed
+            active = active[keep]
+            if last or not active.size:
+                break
+            modes_kept = modes_k[keep]
+            growth = np.exp(duration[keep, None]
+                            * self._rates[modes_kept])
+            state = np.einsum("ri,rji->rj", coeffs[keep] * growth,
+                              self._vectors[modes_kept])[:, :n]
+        if active.size:  # pragma: no cover - defensive
+            raise NoCrossingError(
+                "batched crossing search exhausted all segments "
+                "without finding the output transition")
+        delays = result - reference + model.params.delta_min
+        return delays.reshape(shape)
+
+
+def compiled_nor_kernel(params: GeneralizedNorParameters
+                        ) -> CompiledNorKernel:
+    """The shared :class:`CompiledNorKernel` of a parameter set.
+
+    Resolves through :func:`generalized_model` so every caller — the
+    engine backends, parallel workers, characterization — shares one
+    compiled kernel (and its stacked eigen tensors) per parameter set.
+    """
+    return generalized_model(params).kernel()
 
 
 def delta_vector_grid(params: GeneralizedNorParameters,

@@ -6,21 +6,38 @@ pool, each worker running an ordinary *inner* backend (the NumPy
 ``vectorized`` engine by default).  Because every delay is a pure
 function of ``(params, Δ)``, sharding is embarrassingly parallel; the
 shard boundaries do not enter the result beyond the termination
-half-step of the inner backend's lockstep bisection (observed
+precision of the inner backend's batch root search (observed
 ``< 1e-25 s``, i.e. twelve orders of magnitude below the engine
 parity bound).
 
-When a sweep is too small to amortize the inter-process round trip
-(fewer than :attr:`ParallelEngine.min_shard_points` separations), the
-call is served inline by the inner backend — so the ``parallel`` name
-is always safe to select, even for scalar probes.  The pool is created
+Sharded sweeps move **zero-copy** through
+:mod:`multiprocessing.shared_memory`: the parent stages the flattened
+Δ array and the result vector in two shared blocks and sends each
+worker only ``(block names, row range)``.  Workers map the blocks,
+evaluate their row slice in place, and write delays straight into the
+result block — no Δ shard or result array is ever pickled.  The
+parent owns the blocks and closes + unlinks them as soon as the sweep
+returns (also on worker failure); workers unregister the mappings
+from their own :mod:`resource_tracker` so the segment is released
+exactly once.
+
+Shard sizing is load-aware rather than fixed: every sweep is cut into
+at least one shard per worker, and large sweeps into up to four per
+worker so that faster workers pick up extra slices instead of idling
+behind a straggler.  When a sweep is too small to amortize the
+inter-process round trip (fewer than
+:attr:`ParallelEngine.min_shard_points` separations), the call is
+served inline by the inner backend — so the ``parallel`` name is
+always safe to select, even for scalar probes.  The pool is created
 lazily on the first sharded call, reused for the lifetime of the
-process, and torn down atexit.
+process, and torn down atexit; the engine is also a context manager
+(``with ParallelEngine() as engine: ...``) for deterministic
+teardown.
 
 Where it pays off
 -----------------
 A single dense sweep is usually memory-bound and the vectorized
-backend already saturates one core, so the pool's pickling overhead
+backend already saturates one core, so the pool's round-trip overhead
 only wins for *large* workloads: library characterization grids
 (many gates x technologies x Δ grids, see :mod:`repro.library`),
 Monte-Carlo parameter studies, and million-point sweeps.  The
@@ -31,6 +48,9 @@ Environment
 -----------
 ``REPRO_PARALLEL_PROCESSES`` overrides the worker count (useful on CI
 runners whose advertised core count exceeds the usable quota).
+``REPRO_CACHE_DIR`` (see :mod:`repro.cache`) is inherited by the
+workers, so all of them share one persistent eigendecomposition
+store instead of re-deriving per process.
 """
 
 from __future__ import annotations
@@ -38,6 +58,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
@@ -54,9 +75,47 @@ __all__ = ["ParallelEngine"]
 #: pool round trip costs more than the sweep itself.
 _MIN_SHARD_POINTS = 1024
 
+#: Upper bound on shards handed to each worker for one sweep; more
+#: shards than workers lets the pool load-balance, more than this
+#: just adds task dispatch overhead.
+_SHARDS_PER_WORKER = 4
 
-def _worker_evaluate(inner: str, direction: str, params,
-                     shard: np.ndarray, state: float) -> np.ndarray:
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Map an existing shared block inside a worker process.
+
+    The *parent* owns every segment (it created them and unlinks them
+    when the sweep completes), but attaching re-registers the name
+    with this process's ``resource_tracker``, which would unlink it a
+    second time at worker shutdown.  Unregister immediately so
+    cleanup happens exactly once, in the owner.
+    """
+    block = shared_memory.SharedMemory(name=name)
+    try:
+        resource_tracker.unregister(block._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker impl detail
+        pass
+    return block
+
+
+def _evaluate_rows(inner: str, direction: str, params, state: float,
+                   in_block, out_block, shape, start: int,
+                   stop: int) -> None:
+    """Evaluate rows ``[start, stop)`` of the staged sweep in place.
+
+    Kept as its own frame so the NumPy views over the shared buffers
+    are dropped the moment it returns — the caller must be able to
+    ``close()`` the mappings afterwards.
+    """
+    flat = np.ndarray(shape, dtype=np.float64, buffer=in_block.buf)
+    out = np.ndarray(shape[:1], dtype=np.float64, buffer=out_block.buf)
+    out[start:stop] = delays_for_direction(
+        get_engine(inner), direction, params, flat[start:stop], state)
+
+
+def _worker_shard(inner: str, direction: str, params, state: float,
+                  in_name: str, out_name: str, shape: tuple,
+                  start: int, stop: int) -> None:
     """Evaluate one shard inside a worker process.
 
     Must stay a module-level function so it pickles under every
@@ -66,9 +125,42 @@ def _worker_evaluate(inner: str, direction: str, params,
     parameter kind — :func:`~repro.engine.base.delays_for_direction`
     picks the matching entry points, so 2-input shards are flat Δ
     slices and n-input shards are ``(rows, n−1)`` Δ-matrix blocks.
+    Results travel back through the shared result block, not the
+    pool's pickle channel.
     """
-    return delays_for_direction(get_engine(inner), direction, params,
-                                shard, state)
+    in_block = _attach(in_name)
+    try:
+        out_block = _attach(out_name)
+    except BaseException:  # pragma: no cover - second attach failing
+        in_block.close()
+        raise
+    try:
+        _evaluate_rows(inner, direction, params, state, in_block,
+                       out_block, shape, start, stop)
+    except BaseException as exc:
+        # Traceback frames pin the buffer views and would make
+        # ``close()`` below fail with BufferError; drop the inner
+        # frames (the message still reaches the parent).
+        trace = exc.__traceback__
+        while trace is not None:
+            if trace.tb_frame.f_code is not _worker_shard.__code__:
+                try:
+                    trace.tb_frame.clear()
+                except RuntimeError:  # pragma: no cover - executing
+                    pass
+            trace = trace.tb_next
+        raise
+    finally:
+        in_block.close()
+        out_block.close()
+
+
+def _release(block: shared_memory.SharedMemory) -> None:
+    """Unmap and remove one owned shared block."""
+    try:
+        block.close()
+    finally:
+        block.unlink()
 
 
 def _default_processes() -> int:
@@ -132,6 +224,7 @@ class ParallelEngine:
             raise ParameterError("processes must be >= 1")
         self.min_shard_points = int(min_shard_points)
         self._pool = None
+        self._atexit_registered = False
 
     # ------------------------------------------------------------------
     # pool lifecycle
@@ -145,7 +238,9 @@ class ParallelEngine:
             context = multiprocessing.get_context(
                 "fork" if "fork" in methods else None)
             self._pool = context.Pool(self.processes)
-            atexit.register(self.close)
+            if not self._atexit_registered:
+                atexit.register(self.close)
+                self._atexit_registered = True
         return self._pool
 
     def close(self) -> None:
@@ -155,9 +250,30 @@ class ParallelEngine:
             self._pool.join()
             self._pool = None
 
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     # sharded evaluation
     # ------------------------------------------------------------------
+
+    def _shard_bounds(self, rows: int) -> "list[tuple[int, int]]":
+        """Load-aware row ranges for one sweep.
+
+        Always at least one shard per worker (so every process takes
+        part), growing to :data:`_SHARDS_PER_WORKER` shards per
+        worker once the sweep is large enough that each still holds
+        ``min_shard_points`` rows — the surplus shards let the pool
+        hand extra slices to whichever workers finish first instead
+        of idling behind a straggler.
+        """
+        num = min(rows, _SHARDS_PER_WORKER * self.processes,
+                  max(self.processes, rows // self.min_shard_points))
+        return [(rows * i // num, rows * (i + 1) // num)
+                for i in range(num)]
 
     def _run(self, direction: str, params, deltas,
              state: float) -> np.ndarray:
@@ -167,7 +283,10 @@ class ParallelEngine:
         for n-input parameters the grid is flattened to ``(rows,
         n−1)`` Δ-vectors and sharded row-wise — either way the shard
         count the inline-fallback threshold sees is the number of
-        *evaluations*, not raw floats.
+        *evaluations*, not raw floats.  The flattened sweep and the
+        result vector are staged in shared-memory blocks owned (and
+        finally unlinked) by this process; workers receive only block
+        names and row ranges.
         """
         d = np.asarray(deltas, dtype=float)
         if isinstance(params, GeneralizedNorParameters):
@@ -182,13 +301,30 @@ class ParallelEngine:
                                         state)
         if np.isnan(flat).any():
             raise ParameterError("input separations must not be NaN")
-        shards = np.array_split(flat, self.processes)
+        rows = flat.shape[0]
         pool = self._ensure_pool()
-        results = pool.starmap(
-            _worker_evaluate,
-            [(self.inner, direction, params, shard, state)
-             for shard in shards if shard.shape[0]])
-        return np.concatenate(results).reshape(shape)
+        in_block = shared_memory.SharedMemory(create=True,
+                                              size=flat.nbytes)
+        try:
+            out_block = shared_memory.SharedMemory(
+                create=True, size=rows * flat.itemsize)
+        except BaseException:  # pragma: no cover - allocation failure
+            _release(in_block)
+            raise
+        try:
+            np.ndarray(flat.shape, dtype=np.float64,
+                       buffer=in_block.buf)[...] = flat
+            pool.starmap(
+                _worker_shard,
+                [(self.inner, direction, params, state, in_block.name,
+                  out_block.name, flat.shape, start, stop)
+                 for start, stop in self._shard_bounds(rows)])
+            return np.array(np.ndarray(
+                (rows,), dtype=np.float64,
+                buffer=out_block.buf)).reshape(shape)
+        finally:
+            _release(in_block)
+            _release(out_block)
 
     def delays_falling(self, params: NorGateParameters,
                        deltas) -> np.ndarray:

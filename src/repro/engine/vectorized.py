@@ -35,7 +35,8 @@ import numpy as np
 from ..core.hybrid_model import settle_time
 from ..core.modes import CoupledModeConstants, Mode, mode_00_constants
 from ..core.multi_input import (GeneralizedNorParameters,
-                                generalized_model)
+                                _newton_bisect_refine,
+                                compiled_nor_kernel)
 from ..core.parameters import NorGateParameters
 from ..core.solutions import ExpSum, solve_mode
 from ..core.trajectory import all_crossings
@@ -44,9 +45,6 @@ from .base import register_engine
 
 __all__ = ["VectorizedEngine"]
 
-#: Hard cap on bisection refinement steps (converges to adjacent
-#: floats long before this for any physical time scale).
-_BISECT_STEPS = 128
 #: Expansion attempts when bracketing a crossing towards t → ∞.
 _BRACKET_STEPS = 200
 
@@ -149,10 +147,12 @@ def _batch_crossing_00(ctx: _RisingContext, vn0: np.ndarray,
     """First upward Vth crossing of mode (0,0) entered at ``(vn0, vo0)``.
 
     All elements share the eigenvalues ``λ1, λ2``; only the two
-    exponential coefficients vary, so the whole batch is bisected in
-    lockstep.  Every element must start below the threshold (guaranteed
-    by the callers: the output either never left GND or was handed over
-    before its first upward crossing).
+    exponential coefficients vary, so the whole batch is refined in
+    lockstep by the safeguarded Newton iteration of the n-input
+    kernel (:func:`repro.core.multi_input._newton_bisect_refine`,
+    bisection fallback included).  Every element must start below the
+    threshold (guaranteed by the callers: the output either never
+    left GND or was handed over before its first upward crossing).
     """
     c = ctx.c00
     l1, l2 = c.lambda1, c.lambda2
@@ -210,15 +210,11 @@ def _batch_crossing_00(ctx: _RisingContext, vn0: np.ndarray,
             raise NoCrossingError("failed to bracket a (0,0) crossing "
                                   "that the limit analysis promised")
 
-    # Lockstep bisection to adjacent-float precision.
-    for _ in range(_BISECT_STEPS):
-        mid = 0.5 * (lo + hi)
-        below = f(mid) < 0.0
-        lo = np.where(below, mid, lo)
-        hi = np.where(below, hi, mid)
-        if np.all(hi - lo <= 1e-15 * hi + 1e-26):
-            break
-    return 0.5 * (lo + hi)
+    # Newton refinement to adjacent-float precision: the exp-sum is
+    # k1·e^{λ1 t} + k2·e^{λ2 t}, crossing the level −offset upwards.
+    return _newton_bisect_refine(
+        np.stack([k1, k2], axis=-1), np.array([l1, l2]), lo, hi,
+        -offset, downward=False)
 
 
 # ----------------------------------------------------------------------
@@ -345,12 +341,12 @@ class VectorizedEngine:
                          deltas) -> np.ndarray:
         """Falling n-input MIS delays, batched over a Δ-vector grid.
 
-        Runs the array-native eigen-solver of
-        :meth:`~repro.core.multi_input.GeneralizedNorModel.delays_falling_batch`
-        with the shared per-``(params, input-state)`` solution caches.
-        For ``n = 2`` it agrees with the closed-form
-        :meth:`delays_falling` path to ≤ 1e-12 s (asserted by the
-        parity suite).
+        Runs the flattened
+        :class:`~repro.core.multi_input.CompiledNorKernel` (stacked
+        eigen tensors, shared per parameter set and persisted via
+        :mod:`repro.cache` when configured).  For ``n = 2`` it agrees
+        with the closed-form :meth:`delays_falling` path to
+        ≤ 1e-12 s (asserted by the parity suite).
 
         Parameters
         ----------
@@ -366,7 +362,7 @@ class VectorizedEngine:
             Delays in seconds (``δ_min`` included), shape
             ``deltas.shape[:-1]``.
         """
-        return generalized_model(params).delays_falling_batch(deltas)
+        return compiled_nor_kernel(params).evaluate(deltas, "falling")
 
     def delays_rising_n(self, params: GeneralizedNorParameters,
                         deltas, internal_init: float = 0.0
@@ -390,8 +386,8 @@ class VectorizedEngine:
             Delays in seconds (``δ_min`` included), shape
             ``deltas.shape[:-1]``.
         """
-        return generalized_model(params).delays_rising_batch(
-            deltas, internal_init)
+        return compiled_nor_kernel(params).evaluate(
+            deltas, "rising", float(internal_init))
 
 
 register_engine(VectorizedEngine.name, VectorizedEngine)

@@ -29,6 +29,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from .. import cache
 from ..core.hybrid_model import settle_time
 from ..core.multi_input import (GeneralizedNorParameters,
                                 generalized_model, paper_generalized)
@@ -299,6 +300,33 @@ def generalized_jobs(num_inputs: int,
                                 technology),)
 
 
+def _job_descriptor(job: CharacterizationJob, engine_name: str,
+                    deltas: np.ndarray) -> dict:
+    """Persistent-cache content descriptor of one job.
+
+    Grids are recorded *resolved*, so an explicit grid equal to the
+    default hashes to the same key as the default.  The engine name
+    is part of the key: tables record their engine provenance, and
+    backends only agree to the parity bound, not bit-exactly.
+    """
+    descriptor = {
+        "kind": "gate-table",
+        "schema": cache.SCHEMA_VERSION,
+        "cell": job.cell,
+        "gate": job.gate,
+        "technology": job.technology,
+        "engine": engine_name,
+        "params": job.params.as_dict(),
+        "deltas": [float(d) for d in deltas],
+    }
+    if job.gate in GATE_TYPES:
+        descriptor["state_grid"] = [
+            float(s) for s in job.resolved_state_grid()]
+    else:
+        descriptor["internal_state"] = float(job.internal_state)
+    return descriptor
+
+
 def characterize_gate(job: CharacterizationJob,
                       engine=None) -> GateDelayTable:
     """Characterize one gate into an interpolated delay table.
@@ -317,11 +345,39 @@ def characterize_gate(job: CharacterizationJob,
     GateDelayTable
         Both output-direction surfaces, delays in seconds with
         ``δ_min`` included.
+
+    Notes
+    -----
+    When the persistent cache is active (see :mod:`repro.cache`),
+    the finished table is stored under a content key derived from
+    the job and engine name, and later calls — including from other
+    processes sharing the same ``REPRO_CACHE_DIR`` — return the
+    stored table without touching the engine.
     """
     backend = get_engine(engine)
-    params = job.params
     mis_gate_inputs(job.gate)  # reject unknown gate types early
     deltas = job.resolved_deltas()
+    store = cache.get_store()
+    key = None
+    if store is not None:
+        key = cache.content_key(
+            _job_descriptor(job, backend.name, deltas))
+        payload = store.get_json(key)
+        if payload is not None:
+            try:
+                return GateDelayTable.from_dict(payload)
+            except (ParameterError, KeyError, TypeError, ValueError):
+                pass  # corrupt entry: recompute and overwrite below
+    table = _characterize_gate_direct(job, backend, deltas)
+    if store is not None:
+        store.put_json(key, table.to_dict())
+    return table
+
+
+def _characterize_gate_direct(job: CharacterizationJob, backend,
+                              deltas: np.ndarray) -> GateDelayTable:
+    """Evaluate one job through the engine (no persistent cache)."""
+    params = job.params
     if job.gate not in GATE_TYPES:
         return _characterize_vector_gate(job, backend, deltas)
     states = job.resolved_state_grid()

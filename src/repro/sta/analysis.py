@@ -128,17 +128,36 @@ def _record_delta(record: _ArcRecord, corner: int = 0):
     return float(value)
 
 
+def _corner_groups(corner_params):
+    """Group corner lanes by parameter set, once per propagation.
+
+    ``corner_params`` is ``None`` (no re-targeting) or a sequence of
+    parameter sets, one per corner lane.  Returns ``None`` or a list
+    of ``(params, lane_index_array)`` pairs in first-appearance
+    order.  Hashing every lane per *arc* was the sweep's second
+    hottest path — the grouping depends only on the corner axis, so
+    every arc of a propagation shares this one pass.
+    """
+    if corner_params is None:
+        return None
+    groups: dict[NorGateParameters, list[int]] = {}
+    for lane, params in enumerate(corner_params):
+        groups.setdefault(params, []).append(lane)
+    return [(params, np.asarray(lanes))
+            for params, lanes in groups.items()]
+
+
 def _grouped_delays(arc: TimingArc, deltas: np.ndarray,
-                    corner_params) -> np.ndarray:
+                    corner_groups) -> np.ndarray:
     """Evaluate an arc's delay model, batched per parameter corner.
 
     *deltas* is the scalar separation per lane (2-input and
     single-input arcs) or a ``(lanes, n−1)`` Δ-vector matrix
     (n-input arcs) — the matching model entry point is picked here.
-    ``corner_params`` is ``None`` (no re-targeting) or a sequence of
-    parameter sets, one per corner lane; lanes sharing a parameter
-    set are evaluated in a single model call.  NaN lanes (no
-    crossing to condition on) are left NaN.
+    ``corner_groups`` is ``None`` (no re-targeting) or the
+    :func:`_corner_groups` precompute; lanes sharing a parameter set
+    are evaluated in a single model call.  NaN lanes (no crossing to
+    condition on) are left NaN.
     """
     direction = DIRECTION[arc.target.transition]
     if deltas.ndim == 2:
@@ -148,18 +167,15 @@ def _grouped_delays(arc: TimingArc, deltas: np.ndarray,
         valid = ~np.isnan(deltas)
         evaluate = arc.model.delays
     delays = np.full(valid.shape, math.nan)
-    if corner_params is None or not arc.model.retargetable:
+    if corner_groups is None or not arc.model.retargetable:
         if valid.any():
             delays[valid] = evaluate(direction, deltas[valid])
         return delays
-    groups: dict[NorGateParameters, list[int]] = {}
-    for lane, params in enumerate(corner_params):
-        if valid[lane]:
-            groups.setdefault(params, []).append(lane)
-    for params, lanes in groups.items():
-        index = np.asarray(lanes)
-        delays[index] = evaluate(direction, deltas[index],
-                                 params=params)
+    for params, lanes in corner_groups:
+        index = lanes[valid[lanes]]
+        if index.size:
+            delays[index] = evaluate(direction, deltas[index],
+                                     params=params)
     return delays
 
 
@@ -181,6 +197,7 @@ def _propagate(graph: TimingGraph,
     arrival: dict[TimingNode, np.ndarray] = dict(input_arrivals)
     shape = next(iter(arrival.values())).shape
     records: dict[TimingNode, list[_ArcRecord]] = {}
+    corner_groups = _corner_groups(corner_params)
 
     for signal in graph.signal_order:
         for transition in ("rise", "fall"):
@@ -225,7 +242,7 @@ def _propagate(graph: TimingGraph,
                                              offsets, math.nan)
                             lookup = delta
                         delay = _grouped_delays(arc, lookup,
-                                                corner_params)
+                                                corner_groups)
                         candidate = np.where(
                             finite,
                             reference + np.nan_to_num(delay),
@@ -234,7 +251,8 @@ def _propagate(graph: TimingGraph,
                     delta, delay, candidate = pair_cache[key]
                 else:
                     delta = np.zeros(shape)
-                    delay = _grouped_delays(arc, delta, corner_params)
+                    delay = _grouped_delays(arc, delta,
+                                            corner_groups)
                     candidate = t_source + delay
                 candidates.append(candidate)
                 if keep_records:

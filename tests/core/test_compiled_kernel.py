@@ -1,0 +1,219 @@
+"""Property tests for the flattened n-input eigen kernel (ISSUE 6).
+
+The :class:`CompiledNorKernel` is the raw-speed path every engine
+routes n-input sweeps through, so its contract is tested
+property-based: random gate widths, random (ragged) Δ-matrix shapes
+and ±inf sibling encodings must agree with the scalar trace solver —
+the slow, segment-by-segment reference authority — to the engine
+parity bound.  The Newton refinement's bisection fallback is pinned
+by forcing zero Newton iterations and comparing against the
+converged result.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multi_input import (CompiledNorKernel,
+                                    GeneralizedNorParameters,
+                                    _newton_bisect_refine,
+                                    compiled_nor_kernel,
+                                    generalized_model,
+                                    paper_generalized)
+from repro.engine import get_engine
+from repro.units import PS
+
+#: Engine-wide parity bound, seconds (ISSUE acceptance).
+PARITY_TOL = 1e-12
+
+_resistance = st.floats(min_value=1e4, max_value=4e5)
+_cint = st.floats(min_value=2e-17, max_value=4e-16)
+_cout = st.floats(min_value=1e-16, max_value=2e-15)
+
+
+@st.composite
+def wide_params(draw, max_inputs=4) -> GeneralizedNorParameters:
+    """Random n-input parameter sets across widths 2..max_inputs."""
+    n = draw(st.integers(2, max_inputs))
+    return GeneralizedNorParameters(
+        r_pullup=tuple(draw(_resistance) for _ in range(n)),
+        r_pulldown=tuple(draw(_resistance) for _ in range(n)),
+        c_internal=tuple(draw(_cint) for _ in range(n - 1)),
+        co=draw(_cout), vdd=draw(st.sampled_from([0.8, 1.2])),
+        delta_min=draw(st.sampled_from([0.0, 18.0 * PS])))
+
+
+@st.composite
+def delta_rows(draw, num_siblings: int) -> np.ndarray:
+    """A small ragged batch of Δ-vectors, ±inf encodings included."""
+    rows = draw(st.integers(1, 5))
+    finite = st.floats(min_value=-400.0 * PS, max_value=400.0 * PS)
+    entry = st.one_of(finite, st.sampled_from([math.inf, -math.inf]))
+    return np.array([[draw(entry) for _ in range(num_siblings)]
+                     for _ in range(rows)])
+
+
+def _scalar_delays(model, deltas, direction, internal_init=0.0):
+    """Per-row trace-solver delays — the reference authority."""
+    out = []
+    for row in deltas:
+        clipped = np.clip(row, -model.settle_time(),
+                          model.settle_time())
+        times = np.concatenate([[0.0], clipped])
+        times -= times.min()
+        if direction == "falling":
+            out.append(model.delay_falling(times))
+        else:
+            chain = [internal_init] * (len(row))
+            out.append(model.delay_rising(times,
+                                          internal_init=chain))
+    return np.array(out)
+
+
+class TestKernelVsScalarReference:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data(), params=wide_params())
+    def test_falling(self, data, params):
+        model = generalized_model(params)
+        deltas = data.draw(delta_rows(params.num_inputs - 1))
+        kernel = model.kernel()
+        batched = kernel.evaluate(deltas, "falling")
+        expected = _scalar_delays(model, deltas, "falling")
+        assert float(np.max(np.abs(batched - expected))) <= PARITY_TOL
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data(), params=wide_params(),
+           x_fraction=st.sampled_from([0.0, 0.5, 1.0]))
+    def test_rising(self, data, params, x_fraction):
+        model = generalized_model(params)
+        deltas = data.draw(delta_rows(params.num_inputs - 1))
+        init = x_fraction * params.vdd
+        batched = model.kernel().evaluate(deltas, "rising", init)
+        expected = _scalar_delays(model, deltas, "rising", init)
+        assert float(np.max(np.abs(batched - expected))) <= PARITY_TOL
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data(), params=wide_params(max_inputs=3))
+    def test_reference_engine_agrees(self, data, params):
+        """The kernel matches the reference *engine* seam too."""
+        deltas = data.draw(delta_rows(params.num_inputs - 1))
+        reference = get_engine("reference")
+        batched = compiled_nor_kernel(params).evaluate(deltas,
+                                                       "falling")
+        expected = reference.delays_falling_n(params, deltas)
+        assert float(np.max(np.abs(batched - expected))) <= PARITY_TOL
+
+
+class TestGridShapes:
+    """Ragged / multi-dimensional grid handling."""
+
+    @pytest.mark.parametrize("shape", [(1,), (7,), (3, 5), (2, 3, 4)])
+    def test_leading_shape_preserved(self, shape):
+        params = paper_generalized(3)
+        rng = np.random.default_rng(3)
+        deltas = rng.uniform(-200 * PS, 200 * PS, size=shape + (2,))
+        out = compiled_nor_kernel(params).evaluate(deltas, "falling")
+        assert out.shape == shape
+        assert np.all(np.isfinite(out))
+
+    def test_single_vector(self):
+        params = paper_generalized(4)
+        out = compiled_nor_kernel(params).evaluate(
+            np.zeros(3), "falling")
+        assert out.shape == ()
+
+    def test_all_infinite_rows(self):
+        """Pure SIS encodings (every sibling at ±inf) stay finite."""
+        params = paper_generalized(3)
+        deltas = np.array([[math.inf, math.inf],
+                           [-math.inf, -math.inf],
+                           [math.inf, -math.inf]])
+        out = compiled_nor_kernel(params).evaluate(deltas, "falling")
+        assert np.all(np.isfinite(out))
+
+
+class TestKernelObject:
+    def test_memoized_per_model(self):
+        params = paper_generalized(3)
+        assert compiled_nor_kernel(params) is compiled_nor_kernel(
+            params)
+        assert isinstance(compiled_nor_kernel(params),
+                          CompiledNorKernel)
+
+    def test_covers_every_mode(self):
+        params = paper_generalized(3)
+        kernel = compiled_nor_kernel(params)
+        n = params.num_inputs
+        assert kernel._rates.shape == (1 << n, n + 1)
+        assert kernel._vectors.shape == (1 << n, n + 1, n + 1)
+        # Rates are decay rates of a passive RC network.
+        assert np.all(kernel._rates <= 0.0)
+
+    def test_unknown_direction_rejected(self):
+        from repro.errors import ParameterError
+        params = paper_generalized(3)
+        with pytest.raises(ParameterError):
+            compiled_nor_kernel(params).evaluate(np.zeros((1, 2)),
+                                                 "sideways")
+
+
+class TestNewtonRefinement:
+    """The vectorized Newton stage and its bisection fallback."""
+
+    def _random_rows(self, rng, rows):
+        """Exp-sum crossings with a guaranteed bracket.
+
+        Decaying single-exponential drops from w0 > threshold toward
+        0: f(t) = w0·exp(r·t) crosses threshold inside [0, T] by
+        construction.
+        """
+        rates = np.array([-1.0e9, -3.0e9])
+        w0 = rng.uniform(1.0, 2.0, size=rows)
+        weights = np.stack([w0, np.zeros(rows)], axis=-1)
+        threshold = 0.5
+        lo = np.zeros(rows)
+        hi = np.full(rows, 5.0e-9)
+        return weights, rates, lo, hi, threshold
+
+    def test_matches_bisection_fallback(self):
+        rng = np.random.default_rng(11)
+        weights, rates, lo, hi, threshold = self._random_rows(rng, 64)
+        newton = _newton_bisect_refine(weights, rates, lo, hi,
+                                       threshold, downward=True)
+        # newton_steps=0 sends every row through the pure-bisection
+        # fallback — the non-convergence escape hatch.
+        bisect = _newton_bisect_refine(weights, rates, lo, hi,
+                                       threshold, downward=True,
+                                       newton_steps=0)
+        exact = np.log(threshold / weights[:, 0]) / rates[0]
+        assert np.max(np.abs(newton - exact)) <= 1e-15 * np.max(hi)
+        assert np.max(np.abs(bisect - exact)) <= 1e-15 * np.max(hi)
+
+    def test_upward_crossings(self):
+        """Rising exp-sums (downward=False) refine correctly too."""
+        rates = np.array([-2.0e9, -5.0e9])
+        # f(t) = 1 − exp(−2e9 t) climbs through 0.5 at ln(2)/2e9.
+        weights = np.array([[-1.0, 0.0]])
+        root = _newton_bisect_refine(weights, rates,
+                                     np.zeros(1), np.full(1, 5e-9),
+                                     -0.5, downward=False)
+        assert abs(root[0] - math.log(2.0) / 2.0e9) <= 1e-24
+
+    def test_flat_derivative_falls_back(self):
+        """Rows whose Newton step degenerates still converge.
+
+        A weight vector summing to ~0 slope at the midpoint makes
+        f' vanish there; the refinement must recover via midpoint
+        resets or the bisection fallback, never return NaN.
+        """
+        rates = np.array([-1.0e9, -1.0e9])
+        weights = np.array([[2.0, -1.0]])  # f(t) = exp(-1e9 t)
+        root = _newton_bisect_refine(weights, rates, np.zeros(1),
+                                     np.full(1, 10e-9), 0.5,
+                                     downward=True)
+        assert np.isfinite(root[0])
+        value = weights[0] @ np.exp(root[0] * rates)
+        assert abs(value - 0.5) <= 1e-12

@@ -262,3 +262,91 @@ class TestRegistryAndConfig:
                                     np.linspace(-10 * PS, 10 * PS, 16))
         assert out.shape == (16,)
         engine.close()
+
+
+class TestPoolLifecycle:
+    """No leaked worker processes or shared-memory segments."""
+
+    def test_no_daemon_processes_leak_across_instances(self):
+        import multiprocessing
+        deltas = np.linspace(-10 * PS, 10 * PS, 32)
+        before = len(multiprocessing.active_children())
+        for _ in range(3):
+            engine = ParallelEngine(processes=2, min_shard_points=4)
+            engine.delays_falling(PAPER_TABLE_I, deltas)
+            assert len(multiprocessing.active_children()) > before
+            engine.close()
+            assert len(multiprocessing.active_children()) == before
+
+    def test_no_shared_memory_segments_leak(self, tmp_path):
+        import glob
+        before = set(glob.glob("/dev/shm/*"))
+        with ParallelEngine(processes=2, min_shard_points=4) as engine:
+            engine.delays_falling(PAPER_TABLE_I,
+                                  np.linspace(-10 * PS, 10 * PS, 64))
+            engine.delays_rising(PAPER_TABLE_I,
+                                 np.linspace(-10 * PS, 10 * PS, 64))
+        assert set(glob.glob("/dev/shm/*")) == before
+
+    def test_context_manager_closes_pool(self):
+        with ParallelEngine(processes=2, min_shard_points=4) as engine:
+            engine.delays_falling(PAPER_TABLE_I,
+                                  np.linspace(-10 * PS, 10 * PS, 16))
+            assert engine._pool is not None
+        assert engine._pool is None
+
+    def test_atexit_registered_once_across_recreations(self,
+                                                       monkeypatch):
+        """close() + lazy recreation must not stack atexit hooks."""
+        import atexit
+        calls = []
+        real_register = atexit.register
+        monkeypatch.setattr(
+            atexit, "register",
+            lambda fn, *a, **k: (calls.append(fn),
+                                 real_register(fn, *a, **k))[-1])
+        engine = ParallelEngine(processes=2, min_shard_points=4)
+        deltas = np.linspace(-10 * PS, 10 * PS, 16)
+        try:
+            engine.delays_falling(PAPER_TABLE_I, deltas)
+            engine.close()
+            engine.delays_falling(PAPER_TABLE_I, deltas)
+            assert calls.count(engine.close) == 1
+        finally:
+            engine.close()
+            atexit.unregister(engine.close)
+
+
+class TestSharedMemoryTransport:
+    """The zero-copy shard path agrees with in-process evaluation."""
+
+    def test_n_input_rows_shard_through_shared_memory(self, sharded,
+                                                      vectorized):
+        from repro.core.multi_input import paper_generalized
+        params = paper_generalized(3)
+        rng = np.random.default_rng(5)
+        deltas = rng.uniform(-300 * PS, 300 * PS, size=(96, 2))
+        deltas[::17] = np.inf
+        deltas[1::17] = -np.inf
+        actual = sharded.delays_falling_n(params, deltas)
+        expected = vectorized.delays_falling_n(params, deltas)
+        assert np.max(np.abs(actual - expected)) <= PARITY_TOL
+        rising = sharded.delays_rising_n(params, deltas, 0.2)
+        rising_ref = vectorized.delays_rising_n(params, deltas, 0.2)
+        assert np.max(np.abs(rising - rising_ref)) <= PARITY_TOL
+
+    def test_load_aware_shard_bounds(self):
+        engine = ParallelEngine(processes=2, min_shard_points=8)
+        # Small sharded sweep: one shard per worker.
+        bounds = engine._shard_bounds(16)
+        assert len(bounds) == 2
+        # Large sweep: up to 4 shards per worker for load balancing.
+        bounds = engine._shard_bounds(1_000_000)
+        assert len(bounds) == 8
+        # Bounds tile [0, rows) without gaps or overlaps.
+        assert bounds[0][0] == 0 and bounds[-1][1] == 1_000_000
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+        # Never more shards than rows.
+        assert len(engine._shard_bounds(3)) <= 3
+        engine.close()
