@@ -1,0 +1,240 @@
+"""HTTP service benchmark: sustained req/s and latency under load.
+
+Starts an in-process :class:`repro.server.ReproServer` on a random
+free port and hammers ``POST /v1/run`` from concurrent keep-alive
+clients (a :class:`~concurrent.futures.ThreadPoolExecutor`, one
+``http.client.HTTPConnection`` per worker).  The request mix cycles
+through a pool of small distinct :class:`~repro.api.DelayRequest`
+envelopes, so after the first pass the session memo serves them —
+the measurement targets the serving stack (HTTP parse, dispatch,
+envelope encode), not the delay kernel.
+
+Recorded in ``BENCH_server.json`` at the repository root:
+
+* ``rps`` — sustained requests/second across the whole run,
+* ``latency_ms`` — per-request p50 / p99 / mean / max,
+* ``batch`` — lines/second of an asynchronous batch job driven
+  through the upload -> poll -> download lifecycle.
+
+The module doubles as a CI smoke check::
+
+    python benchmarks/bench_server.py --smoke
+
+which runs a reduced request count and exits non-zero on any failed
+request; ``benchmarks/check_perf_floor.py`` additionally guards the
+measured ``rps`` against the committed floor.
+"""
+
+import argparse
+import concurrent.futures
+import http.client
+import json
+import pathlib
+import socket
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.api import DelayRequest
+from repro.server import ReproServer, percentile
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from bench_common import environment_metadata, repeat_median  # noqa: E402
+
+#: Machine-readable record tracked across PRs.
+_JSON_PATH = pathlib.Path(__file__).parents[1] / "BENCH_server.json"
+
+#: Concurrent clients (the acceptance bar is >= 8).
+CLIENTS = 8
+
+#: Full / smoke request counts for the /v1/run hammering.
+FULL_REQUESTS = 4000
+SMOKE_REQUESTS = 800
+
+#: Distinct request envelopes cycled through the run.
+_POOL_SIZE = 32
+
+#: Batch-lifecycle workload (JSONL lines).
+FULL_BATCH_LINES = 256
+SMOKE_BATCH_LINES = 32
+
+
+def _request_pool() -> "list[bytes]":
+    """Distinct small envelopes, one 4-point sweep each."""
+    pool = []
+    for index in range(_POOL_SIZE):
+        deltas = tuple(
+            (float(d),) for d in np.linspace(-40e-12, 40e-12, 4)
+            + index * 1e-13)
+        pool.append(DelayRequest(deltas=deltas).to_json()
+                    .encode("utf-8"))
+    return pool
+
+
+def _connect(host: str, port: int) -> http.client.HTTPConnection:
+    """A keep-alive client connection with Nagle disabled (the
+    header/body write pair must not wait out a delayed ACK)."""
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    connection.connect()
+    connection.sock.setsockopt(socket.IPPROTO_TCP,
+                               socket.TCP_NODELAY, 1)
+    return connection
+
+
+def _client_worker(host: str, port: int, bodies: "list[bytes]",
+                   indices: range) -> "tuple[list[float], int]":
+    """One keep-alive client; returns (latencies, error count)."""
+    connection = _connect(host, port)
+    latencies, errors = [], 0
+    for index in indices:
+        body = bodies[index % len(bodies)]
+        start = time.perf_counter()
+        try:
+            connection.request(
+                "POST", "/v1/run", body=body,
+                headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            payload = response.read()
+            if response.status != 200 or not payload:
+                errors += 1
+        except OSError:
+            errors += 1
+            connection.close()
+            connection = _connect(host, port)
+            continue
+        latencies.append(time.perf_counter() - start)
+    connection.close()
+    return latencies, errors
+
+
+def _run_batch(host: str, port: int, lines: int) -> dict:
+    """Drive one upload -> poll -> download lifecycle; timed."""
+    deltas = np.linspace(-50e-12, 50e-12, lines)
+    upload = "\n".join(
+        DelayRequest(deltas=((float(d),),)).to_json()
+        for d in deltas) + "\n"
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    start = time.perf_counter()
+    connection.request("POST", "/v1/batches", body=upload)
+    meta = json.loads(connection.getresponse().read())
+    job_id = meta["id"]
+    while meta["status"] not in ("completed", "completed_with_errors"):
+        time.sleep(0.01)
+        connection.request("GET", f"/v1/batches/{job_id}")
+        meta = json.loads(connection.getresponse().read())
+    connection.request("GET", f"/v1/batches/{job_id}/results")
+    records = [json.loads(line) for line in
+               connection.getresponse().read().decode().splitlines()]
+    elapsed = time.perf_counter() - start
+    connection.close()
+    ok = sum(1 for record in records if record["status"] == "ok")
+    return {"lines": lines, "ok": ok,
+            "errors": len(records) - ok,
+            "wall_seconds": elapsed,
+            "lines_per_second": lines / elapsed,
+            "status": meta["status"]}
+
+
+def measure_server(requests: int, batch_lines: int) -> dict:
+    """Serve *requests* from :data:`CLIENTS` concurrent clients."""
+    with tempfile.TemporaryDirectory() as job_dir, \
+            ReproServer(port=0, job_dir=job_dir) as server:
+        bodies = _request_pool()
+        # Warm pass: resolve the engine, populate the session memo.
+        warm, errors = _client_worker(server.host, server.port,
+                                      bodies, range(len(bodies)))
+        if errors:
+            raise RuntimeError(f"{errors} warmup request(s) failed")
+        shards = [range(start, requests, CLIENTS)
+                  for start in range(CLIENTS)]
+        start = time.perf_counter()
+        with concurrent.futures.ThreadPoolExecutor(CLIENTS) as pool:
+            outcomes = list(pool.map(
+                lambda indices: _client_worker(
+                    server.host, server.port, bodies, indices),
+                shards))
+        wall = time.perf_counter() - start
+        batch = _run_batch(server.host, server.port, batch_lines)
+        stats = server.stats_payload()
+    latencies = [value for outcome in outcomes for value in outcome[0]]
+    errors = sum(outcome[1] for outcome in outcomes)
+    served = len(latencies)
+    ms = [value * 1e3 for value in latencies]
+    return {
+        "workload": f"POST /v1/run of {_POOL_SIZE} distinct 4-point "
+                    f"DelayRequests from {CLIENTS} concurrent "
+                    "keep-alive clients (memo-warm session), plus "
+                    "one async batch lifecycle",
+        "clients": CLIENTS,
+        "requests": served,
+        "errors": errors,
+        "wall_seconds": wall,
+        "rps": served / wall,
+        "latency_ms": {"p50": percentile(ms, 50.0),
+                       "p99": percentile(ms, 99.0),
+                       "mean": sum(ms) / len(ms),
+                       "max": max(ms)},
+        "batch": batch,
+        "server_requests_total": stats["requests"]["total"],
+    }
+
+
+def test_server_throughput_record(benchmark, write_result):
+    """Sustained req/s + p50/p99 record -> BENCH_server.json."""
+    payload = benchmark.pedantic(
+        lambda: repeat_median(
+            lambda: measure_server(FULL_REQUESTS, FULL_BATCH_LINES),
+            "wall_seconds"),
+        rounds=1, iterations=1)
+    _JSON_PATH.write_text(json.dumps(payload, indent=2,
+                                     sort_keys=True) + "\n")
+    write_result("server", json.dumps(payload, indent=2,
+                                      sort_keys=True))
+    benchmark.extra_info["rps"] = round(payload["rps"], 1)
+    benchmark.extra_info["p99_ms"] = round(
+        payload["latency_ms"]["p99"], 2)
+    assert payload["errors"] == 0
+    assert payload["batch"]["status"] == "completed"
+
+
+def main(argv=None) -> int:
+    """Script entry point (CI smoke mode without pytest)."""
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"reduced load ({SMOKE_REQUESTS} "
+                             "requests) for fast CI checks")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timed repetitions; the median run is "
+                             "recorded")
+    args = parser.parse_args(argv)
+    requests = SMOKE_REQUESTS if args.smoke else FULL_REQUESTS
+    batch_lines = (SMOKE_BATCH_LINES if args.smoke
+                   else FULL_BATCH_LINES)
+    payload = repeat_median(
+        lambda: measure_server(requests, batch_lines),
+        "wall_seconds", repeats=args.repeats)
+    payload["environment"] = environment_metadata()
+    _JSON_PATH.write_text(json.dumps(payload, indent=2,
+                                     sort_keys=True) + "\n")
+    print(f"{payload['requests']} requests, {payload['clients']} "
+          f"clients: {payload['rps']:.0f} req/s, p50 "
+          f"{payload['latency_ms']['p50']:.2f} ms, p99 "
+          f"{payload['latency_ms']['p99']:.2f} ms; batch "
+          f"{payload['batch']['lines_per_second']:.0f} lines/s")
+    print(f"wrote {_JSON_PATH}")
+    if payload["errors"]:
+        print(f"FAIL: {payload['errors']} request(s) failed",
+              file=sys.stderr)
+        return 1
+    if payload["batch"]["status"] != "completed":
+        print(f"FAIL: batch finished {payload['batch']['status']}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

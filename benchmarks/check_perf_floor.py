@@ -27,17 +27,20 @@ import sys
 HERE = pathlib.Path(__file__).parent
 ROOT = HERE.parent
 
-#: (benchmark script, record it writes, committed full-workload
-#: floor). The guard trips below ``0.5 * floor``.
+#: (benchmark script, record it writes, guarded metric key, committed
+#: full-workload floor, unit suffix).  The guard trips below
+#: ``0.5 * floor``.
 CHECKS = [
-    ("bench_multi_input.py", "BENCH_multi_input.json", 10.0),
-    ("bench_sta.py", "BENCH_sta.json", 10.0),
+    ("bench_multi_input.py", "BENCH_multi_input.json", "speedup",
+     10.0, "x"),
+    ("bench_sta.py", "BENCH_sta.json", "speedup", 10.0, "x"),
+    ("bench_server.py", "BENCH_server.json", "rps", 400.0, " req/s"),
 ]
 
 
 def main() -> int:
     failures = 0
-    for script, record, committed_floor in CHECKS:
+    for script, record, metric, committed_floor, unit in CHECKS:
         guard = 0.5 * committed_floor
         record_path = ROOT / record
         committed = record_path.read_bytes() \
@@ -53,19 +56,20 @@ def main() -> int:
                       f"{result.returncode}", file=sys.stderr)
                 failures += 1
                 continue
-            speedup = json.loads(
-                record_path.read_text())["speedup"]
+            measured = json.loads(
+                record_path.read_text())[metric]
         finally:
             if committed is not None:
                 record_path.write_bytes(committed)
-        if speedup < guard:
-            print(f"FAIL: {script} smoke speedup {speedup:.1f}x "
-                  f"below {guard:.1f}x (0.5 x committed "
-                  f"{committed_floor:.0f}x floor)", file=sys.stderr)
+        if measured < guard:
+            print(f"FAIL: {script} smoke {metric} {measured:.1f}"
+                  f"{unit} below {guard:.1f}{unit} (0.5 x committed "
+                  f"{committed_floor:.0f}{unit} floor)",
+                  file=sys.stderr)
             failures += 1
         else:
-            print(f"OK: {script} smoke speedup {speedup:.1f}x "
-                  f">= {guard:.1f}x guard")
+            print(f"OK: {script} smoke {metric} {measured:.1f}{unit} "
+                  f">= {guard:.1f}{unit} guard")
     return 1 if failures else 0
 
 

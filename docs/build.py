@@ -45,6 +45,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 API_MODULES = [
     "repro",
     "repro.api",
+    "repro.server",
     "repro.core",
     "repro.engine",
     "repro.library",
@@ -71,6 +72,7 @@ NAV: list[tuple[str, list[tuple[str, str]]]] = [
     ]),
     ("Guides", [
         ("api.md", "Session API"),
+        ("server.md", "HTTP service"),
         ("engines.md", "Engine backends"),
         ("performance.md", "Performance"),
         ("library.md", "Library characterization"),

@@ -40,9 +40,9 @@ from .requests import (CharacterizeRequest, DelayRequest,
                        LibraryRequest, MultiInputRequest, Request,
                        StaRequest, SweepRequest, VersionRequest)
 from .results import (CharacterizeResult, DelayResult, DescribeResult,
-                      ExperimentResult, LibraryInspectResult,
-                      MultiInputResult, Result, StaRunResult,
-                      SweepResult, VersionResult)
+                      ErrorResult, ExperimentResult,
+                      LibraryInspectResult, MultiInputResult, Result,
+                      StaRunResult, SweepResult, VersionResult)
 from .serialization import (API_SCHEMA, API_SCHEMA_VERSION, ApiRecord,
                             check_schema, from_json, known_kinds)
 from .session import Session
@@ -58,6 +58,7 @@ __all__ = [
     "DescribeRequest",
     "DescribeResult",
     "EXPERIMENT_DESCRIPTIONS",
+    "ErrorResult",
     "ExperimentRequest",
     "ExperimentResult",
     "GATE_CHOICES",

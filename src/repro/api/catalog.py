@@ -51,6 +51,8 @@ WORKFLOW_DESCRIPTIONS: dict[str, str] = {
     "sta": "MIS-aware static timing analysis (report, corner "
            "sweeps, cross-validation)",
     "delay": "evaluate MIS delays at explicit input separations",
+    "serve": "run the HTTP delay service (POST /v1/run + async "
+             "batch jobs)",
     "version": "print the package version",
 }
 

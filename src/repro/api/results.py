@@ -24,6 +24,7 @@ __all__ = [
     "CharacterizeResult",
     "DelayResult",
     "DescribeResult",
+    "ErrorResult",
     "ExperimentResult",
     "LibraryInspectResult",
     "MultiInputResult",
@@ -36,6 +37,64 @@ __all__ = [
 
 class Result(ApiRecord):
     """Marker base class of everything :meth:`Session.run` returns."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorResult(Result):
+    """A failed request, as a first-class envelope.
+
+    :meth:`Session.run` *raises* on bad requests (the CLI turns that
+    into exit code 2); transports that must keep going — the HTTP
+    service of :mod:`repro.server`, a batch job where one bad JSONL
+    line must not abort the others — wrap the failure in this record
+    instead, so error outcomes travel through exactly the same
+    schema-versioned envelope as successes.
+
+    Parameters
+    ----------
+    error : str
+        One-line human-readable failure message.
+    exception : str
+        Class name of the underlying exception (``"ParameterError"``,
+        ``"TimeoutError"``, ...).
+    request_kind : str, optional
+        ``kind`` tag of the offending request, when it decoded far
+        enough to tell.
+    status : int
+        The HTTP status the service mapped the failure to (400 bad
+        request, 404 unknown resource, 504 timeout, 500 internal);
+        ``0`` outside an HTTP context.
+    text : str
+        The rendered one-line error (what a CLI would print).
+    """
+
+    kind: ClassVar[str] = "error"
+    error: str = ""
+    exception: str = ""
+    request_kind: str | None = None
+    status: int = 0
+    text: str = ""
+
+    @classmethod
+    def from_exception(cls, exc: BaseException,
+                       request_kind: str | None = None,
+                       status: int = 0) -> "ErrorResult":
+        """Wrap an exception into the envelope.
+
+        Parameters
+        ----------
+        exc : BaseException
+            The failure; its ``str()`` becomes the message (falling
+            back to the class name for message-less exceptions).
+        request_kind : str, optional
+            ``kind`` tag of the offending request, if known.
+        status : int, optional
+            HTTP status code the caller maps the failure to.
+        """
+        message = str(exc) or type(exc).__name__
+        return cls(error=message, exception=type(exc).__name__,
+                   request_kind=request_kind, status=status,
+                   text=f"error: {message}")
 
 
 @dataclasses.dataclass(frozen=True)

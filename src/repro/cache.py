@@ -21,7 +21,11 @@ Keys are SHA-256 hashes of a canonical-JSON *content descriptor*
 any input — parameters, grid, engine, schema — and the key changes
 with it.  Writes are atomic (temp file + ``os.replace``) so concurrent
 writers at worst duplicate work, never corrupt an entry; readers that
-find a corrupt or truncated entry treat it as a miss and overwrite it.
+find a corrupt or truncated entry treat it as a miss and overwrite it,
+but the event is **not** silent: it increments the store's ``corrupt``
+counter (reported by :meth:`DiskCache.info` and therefore visible in
+``Session.cache_info()["disk"]``), so an operator can tell recompute-
+because-new from recompute-because-damaged.
 
 Activation
 ----------
@@ -45,6 +49,7 @@ import io
 import json
 import os
 import tempfile
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -102,6 +107,7 @@ class DiskCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.corrupt = 0
 
     # ------------------------------------------------------------------
     # paths
@@ -137,6 +143,10 @@ class DiskCache:
     def get_json(self, key: str):
         """Load a JSON entry, or ``None`` on a miss.
 
+        A present-but-unreadable entry (truncated write the atomic
+        rename should have prevented, disk damage, foreign bytes) is
+        still a miss, but additionally counted in :attr:`corrupt`.
+
         Parameters
         ----------
         key : str
@@ -146,7 +156,11 @@ class DiskCache:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.corrupt += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -162,12 +176,21 @@ class DiskCache:
     # ------------------------------------------------------------------
 
     def get_arrays(self, key: str) -> "dict[str, np.ndarray] | None":
-        """Load an array bundle (name -> ndarray), or ``None``."""
+        """Load an array bundle (name -> ndarray), or ``None``.
+
+        Unreadable entries (bad zip container, truncated arrays) are
+        misses that also increment :attr:`corrupt`; a missing file is
+        a plain miss.
+        """
         path = self._path(key, ".npz")
         try:
             with np.load(path) as archive:
                 bundle = {name: archive[name] for name in archive.files}
-        except (OSError, ValueError, KeyError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            self.corrupt += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -194,10 +217,14 @@ class DiskCache:
 
     def info(self) -> dict:
         """Counters and location: ``{dir, hits, misses, writes,
-        entries}``."""
+        corrupt, entries}``.
+
+        ``corrupt`` counts reads that found an entry on disk but could
+        not decode it (every one is also included in ``misses``).
+        """
         return {"dir": str(self.root), "hits": self.hits,
                 "misses": self.misses, "writes": self.writes,
-                "entries": len(self)}
+                "corrupt": self.corrupt, "entries": len(self)}
 
     def clear(self) -> int:
         """Delete every entry of the current schema; returns the

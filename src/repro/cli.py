@@ -19,6 +19,9 @@ workflow commands are:
 * ``repro sta`` runs the MIS-aware static timing analyzer over a
   built-in NOR circuit (report, JSON output, corner sweeps, and the
   STA-vs-event-simulation cross-validation);
+* ``repro serve`` runs the long-lived HTTP delay service
+  (:mod:`repro.server`): ``POST /v1/run`` plus asynchronous batch
+  jobs with a crash-safe on-disk store;
 * ``repro version`` / ``repro --version`` print the package version.
 
 Error contract: unknown gate/engine/library/circuit names and other
@@ -186,6 +189,43 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--name", default="repro-hybrid",
                      help="library name stored in the JSON header")
 
+    cmd = sub.add_parser("serve", help=WORKFLOW_DESCRIPTIONS["serve"])
+    cmd.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: 127.0.0.1)")
+    cmd.add_argument("--port", type=int, default=8080,
+                     help="bind port; 0 picks a random free port "
+                          "(default: 8080)")
+    cmd.add_argument("--engine", choices=available_engines(),
+                     default=None,
+                     help="delay evaluation backend shared by every "
+                          "request (default: "
+                          f"{DEFAULT_ENGINE}; parallel shards heavy "
+                          "requests across the shared-memory worker "
+                          "pool)")
+    cmd.add_argument("--tech", choices=sorted(TECHNOLOGIES),
+                     default="finfet15",
+                     help="technology card bound to the session")
+    cmd.add_argument("--jobs-dir", default="repro_jobs",
+                     metavar="DIR",
+                     help="crash-safe batch-job store root; "
+                          "incomplete jobs found here resume on "
+                          "startup (default: repro_jobs)")
+    cmd.add_argument("--run-workers", type=_positive_int, default=8,
+                     metavar="N",
+                     help="bound on concurrently executing /v1/run "
+                          "requests (default: 8)")
+    cmd.add_argument("--batch-workers", type=_positive_int, default=2,
+                     metavar="N",
+                     help="bound on concurrently executing batch "
+                          "jobs (default: 2)")
+    cmd.add_argument("--timeout", type=float, default=30.0,
+                     metavar="S",
+                     help="per-request service timeout of /v1/run in "
+                          "seconds (default: 30)")
+    cmd.add_argument("--access-log", action="store_true",
+                     help="emit one structured JSON log line per "
+                          "request on stderr")
+
     cmd = sub.add_parser("sta", help=WORKFLOW_DESCRIPTIONS["sta"])
     _add_json_flag(cmd)
     cmd.add_argument("--circuit", default="tree",
@@ -286,6 +326,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "serve":
+        from .server import serve
+        try:
+            return serve(host=args.host, port=args.port,
+                         tech=args.tech, engine=args.engine,
+                         job_dir=args.jobs_dir,
+                         run_workers=args.run_workers,
+                         batch_workers=args.batch_workers,
+                         request_timeout=args.timeout,
+                         log_stream=(sys.stderr if args.access_log
+                                     else None))
+        except (ReproError, ValueError) as error:
+            print(f"repro serve: {error}", file=sys.stderr)
+            return 2
     json_spec = getattr(args, "json", None)
     try:
         session = Session(tech=getattr(args, "tech", "finfet15"),

@@ -1,0 +1,156 @@
+"""Request counters, latency percentiles and structured logging.
+
+Every request the HTTP layer serves is recorded twice:
+
+* **Aggregated** in :class:`ServerStats` — per-endpoint counts,
+  status-class counts, timeout count, and a bounded ring of recent
+  latencies from which ``GET /v1/stats`` reports p50/p99/mean/max.
+* **Individually** as one JSON object per line on the configured log
+  stream (:class:`RequestLog`) — machine-parseable structured logs
+  with method, route, status, latency and a monotonically increasing
+  sequence number.
+
+Both are thread-safe; the HTTP layer calls them from its per-
+connection handler threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import Counter, deque
+
+__all__ = ["RequestLog", "ServerStats", "percentile"]
+
+#: Number of most-recent request latencies kept for the percentile
+#: report; old samples fall off so /v1/stats reflects current load.
+_LATENCY_WINDOW = 4096
+
+
+def percentile(samples: "list[float]", q: float) -> float:
+    """Nearest-rank percentile of a non-empty sample list.
+
+    Parameters
+    ----------
+    samples : list of float
+        Observations (not necessarily sorted).
+    q : float
+        Percentile in ``[0, 100]``.
+
+    Returns
+    -------
+    float
+        The nearest-rank percentile value.
+
+    Raises
+    ------
+    ValueError
+        On an empty sample list or a percentile outside ``[0, 100]``.
+    """
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if q == 0.0:
+        return ordered[0]
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math
+    return ordered[int(rank) - 1]
+
+
+class ServerStats:
+    """Thread-safe request counters for one server instance."""
+
+    def __init__(self) -> None:
+        self.started = time.time()
+        self._lock = threading.Lock()
+        self._by_route: Counter = Counter()
+        self._by_class: Counter = Counter()
+        self._timeouts = 0
+        self._latencies: deque = deque(maxlen=_LATENCY_WINDOW)
+
+    def record(self, route: str, status: int, seconds: float,
+               timed_out: bool = False) -> None:
+        """Account one served request.
+
+        Parameters
+        ----------
+        route : str
+            The route pattern (e.g. ``"/v1/batches/<id>"``), so
+            counters aggregate per endpoint, not per job id.
+        status : int
+            HTTP status sent.
+        seconds : float
+            Wall-clock service latency.
+        timed_out : bool, optional
+            Whether the request hit the service timeout.
+        """
+        with self._lock:
+            self._by_route[route] += 1
+            self._by_class[f"{status // 100}xx"] += 1
+            if timed_out:
+                self._timeouts += 1
+            self._latencies.append(seconds)
+
+    def snapshot(self) -> dict:
+        """A JSON-shaped report of everything recorded so far.
+
+        Returns
+        -------
+        dict
+            ``{"uptime_s", "requests": {"total", "by_route",
+            "by_status_class", "timeouts"}, "latency_ms": {"count",
+            "mean", "p50", "p99", "max"}}`` — the latency block is
+            ``None`` before the first request.
+        """
+        with self._lock:
+            samples = list(self._latencies)
+            by_route = dict(self._by_route)
+            by_class = dict(self._by_class)
+            timeouts = self._timeouts
+        latency = None
+        if samples:
+            ms = [value * 1e3 for value in samples]
+            latency = {"count": len(ms),
+                       "mean": sum(ms) / len(ms),
+                       "p50": percentile(ms, 50.0),
+                       "p99": percentile(ms, 99.0),
+                       "max": max(ms)}
+        return {"uptime_s": time.time() - self.started,
+                "requests": {"total": sum(by_route.values()),
+                             "by_route": by_route,
+                             "by_status_class": by_class,
+                             "timeouts": timeouts},
+                "latency_ms": latency}
+
+
+class RequestLog:
+    """One JSON object per served request, written to a stream.
+
+    Parameters
+    ----------
+    stream : file-like or None
+        Destination with ``write``/``flush``; ``None`` disables
+        logging (every call becomes a no-op).
+    """
+
+    def __init__(self, stream=None):
+        self._stream = stream
+        self._lock = threading.Lock()
+        self._sequence = 0
+
+    def write(self, **fields) -> None:
+        """Emit one structured log record (adds ``ts`` and ``seq``)."""
+        if self._stream is None:
+            return
+        with self._lock:
+            self._sequence += 1
+            record = {"ts": time.time(), "seq": self._sequence,
+                      **fields}
+            self._stream.write(json.dumps(record, sort_keys=True)
+                               + "\n")
+            try:
+                self._stream.flush()
+            except (OSError, ValueError):  # closed/broken stream
+                pass

@@ -16,7 +16,8 @@ from hypothesis import strategies as st
 from repro.api import (API_SCHEMA, API_SCHEMA_VERSION, ApiRecord,
                        CharacterizeRequest, CharacterizeResult,
                        DelayRequest, DelayResult, DescribeRequest,
-                       DescribeResult, ExperimentRequest,
+                       DescribeResult, ErrorResult,
+                       ExperimentRequest,
                        ExperimentResult, LibraryInspectResult,
                        LibraryRequest, MultiInputRequest,
                        MultiInputResult, StaRequest, StaRunResult,
@@ -86,6 +87,10 @@ STRATEGIES = {
     DescribeResult: st.builds(
         DescribeResult, version=names, engines=name_tuples,
         experiments=str_dicts, workflows=str_dicts, text=names),
+    ErrorResult: st.builds(
+        ErrorResult, error=names, exception=names,
+        request_kind=st.none() | names,
+        status=st.integers(min_value=0, max_value=599), text=names),
     VersionResult: st.builds(VersionResult, version=names,
                              text=names),
     DelayResult: st.builds(
@@ -136,6 +141,21 @@ def test_every_kind_is_registered():
     kinds = known_kinds()
     assert len(kinds) == len(ALL_TYPES)
     assert {cls.kind for cls in ALL_TYPES} == set(kinds)
+
+
+def test_error_result_wraps_exceptions():
+    error = ErrorResult.from_exception(ValueError("bad input"),
+                                       request_kind="delay",
+                                       status=400)
+    assert error.error == "bad input"
+    assert error.exception == "ValueError"
+    assert error.request_kind == "delay"
+    assert error.status == 400
+    assert error.text == "error: bad input"
+    assert from_json(error.to_json()) == error
+    # Message-less exceptions fall back to the class name.
+    assert ErrorResult.from_exception(RuntimeError()).error \
+        == "RuntimeError"
 
 
 def test_infinities_travel_as_strings():

@@ -1,0 +1,114 @@
+"""Shared fixtures for the HTTP-service tests.
+
+The central fixture is an **in-process** :class:`repro.server.
+ReproServer` bound to a random free port (``port=0``) with its job
+store under the test's ``tmp_path``, torn down unconditionally after
+the test.  A small :class:`Client` helper talks real HTTP to it
+through :mod:`http.client` — one fresh connection per call, so tests
+never depend on keep-alive state.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.server import ReproServer
+
+
+class Client:
+    """Minimal HTTP test client (fresh connection per request)."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+
+    def request(self, method: str, path: str, body=None,
+                headers=None):
+        """One request; returns ``(status, headers, body_bytes)``."""
+        if isinstance(body, str):
+            body = body.encode("utf-8")
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=30)
+        try:
+            connection.request(method, path, body=body,
+                               headers=headers or {})
+            response = connection.getresponse()
+            return (response.status, dict(response.getheaders()),
+                    response.read())
+        finally:
+            connection.close()
+
+    def get(self, path: str):
+        """GET; returns ``(status, decoded JSON body)``."""
+        status, _, body = self.request("GET", path)
+        return status, json.loads(body)
+
+    def post(self, path: str, body):
+        """POST; returns ``(status, decoded JSON body)``."""
+        status, _, body = self.request("POST", path, body=body)
+        return status, json.loads(body)
+
+    def run(self, record):
+        """POST a request object to ``/v1/run``; returns
+        ``(status, raw bytes)``."""
+        status, _, body = self.request("POST", "/v1/run",
+                                       body=record.to_json())
+        return status, body
+
+    def wait_job(self, job_id: str, timeout: float = 30.0) -> dict:
+        """Poll a job until it reaches a terminal status."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, meta = self.get(f"/v1/batches/{job_id}")
+            assert status == 200, meta
+            if meta["status"] in ("completed",
+                                  "completed_with_errors"):
+                return meta
+            time.sleep(0.02)
+        raise AssertionError(f"job {job_id} did not finish: {meta}")
+
+
+@pytest.fixture()
+def make_server(tmp_path):
+    """Factory for in-process servers (random port, auto-teardown)."""
+    started = []
+
+    def factory(**kwargs) -> ReproServer:
+        kwargs.setdefault("job_dir", tmp_path / "jobs")
+        kwargs.setdefault("port", 0)
+        server = ReproServer(**kwargs)
+        server.start()
+        started.append(server)
+        return server
+
+    yield factory
+    for server in started:
+        server.stop(drain=False, timeout=10.0)
+
+
+@pytest.fixture()
+def server(make_server) -> ReproServer:
+    """One running server with default bindings."""
+    return make_server()
+
+
+@pytest.fixture()
+def make_client():
+    """Factory building a :class:`Client` for any running server."""
+
+    def factory(server) -> Client:
+        bound = Client(server.host, server.port)
+        bound.server = server  # in-process app, for white-box asserts
+        return bound
+
+    return factory
+
+
+@pytest.fixture()
+def client(server, make_client) -> Client:
+    """HTTP client bound to the ``server`` fixture."""
+    return make_client(server)

@@ -1,0 +1,179 @@
+"""Async batch jobs: submit -> poll -> download, resume, idempotency."""
+
+import json
+
+from repro.api import DelayRequest, VersionRequest
+from repro.server import JobStore
+
+VALID_LINES = [
+    DelayRequest(deltas=((0.0,),)).to_json(),
+    VersionRequest().to_json(),
+    DelayRequest(deltas=((12e-12,), (-12e-12,))).to_json(),
+]
+
+
+def test_submit_poll_download_happy_path(client):
+    upload = "\n".join(VALID_LINES) + "\n"
+    status, meta = client.post("/v1/batches", upload)
+    assert status == 202
+    assert meta["total"] == 3
+    final = client.wait_job(meta["id"])
+    assert final["status"] == "completed"
+    assert final["done"] == final["ok"] == 3
+    assert final["errors"] == 0
+
+    status, headers, body = client.request(
+        "GET", f"/v1/batches/{meta['id']}/results")
+    assert status == 200
+    assert headers["Content-Type"] == "application/x-ndjson"
+    assert headers["X-Repro-Job-Status"] == "completed"
+    records = [json.loads(line) for line in
+               body.decode().splitlines()]
+    assert [record["line"] for record in records] == [1, 2, 3]
+    assert all(record["status"] == "ok" for record in records)
+    kinds = [record["envelope"]["kind"] for record in records]
+    assert kinds == ["delay_result", "version_result", "delay_result"]
+
+
+def test_mixed_valid_and_invalid_lines(client):
+    upload = "\n".join([
+        VALID_LINES[0],
+        "this is not json",
+        json.dumps({"schema": "repro.api/1", "kind": "delay",
+                    "data": {"gate": "nor99"}}),
+        VALID_LINES[1],
+    ]) + "\n"
+    status, meta = client.post("/v1/batches", upload)
+    assert status == 202
+    final = client.wait_job(meta["id"])
+    assert final["status"] == "completed_with_errors"
+    assert final["done"] == 4
+    assert final["ok"] == 2
+    assert final["errors"] == 2
+
+    _, _, body = client.request(
+        "GET", f"/v1/batches/{meta['id']}/results")
+    records = {record["line"]: record for record in
+               (json.loads(line) for line in
+                body.decode().splitlines())}
+    assert records[1]["status"] == "ok"
+    assert records[4]["status"] == "ok"
+    for line in (2, 3):
+        assert records[line]["status"] == "error"
+        envelope = records[line]["envelope"]
+        assert envelope["kind"] == "error"
+        assert envelope["data"]["error"]
+        assert envelope["data"]["exception"]
+    # The decodable-but-bad line still reports its request kind.
+    assert records[3]["envelope"]["data"]["request_kind"] == "delay"
+
+
+def test_resubmission_is_idempotent(client):
+    upload = "\n".join(VALID_LINES) + "\n"
+    _, meta = client.post("/v1/batches", upload)
+    final = client.wait_job(meta["id"])
+    _, _, first_results = client.request(
+        "GET", f"/v1/batches/{meta['id']}/results")
+
+    status, again = client.post("/v1/batches", upload)
+    assert status == 202
+    assert again["id"] == meta["id"]
+    assert again["status"] == final["status"] == "completed"
+    assert again["done"] == 3  # not reset, not re-run
+    _, _, second_results = client.request(
+        "GET", f"/v1/batches/{meta['id']}/results")
+    assert second_results == first_results
+
+
+def test_empty_upload_is_rejected(client):
+    status, payload = client.post("/v1/batches", "\n \n")
+    assert status == 400
+    assert payload["kind"] == "error"
+    assert "no request lines" in payload["data"]["error"]
+
+
+def test_results_of_unfinished_job_are_409(make_server, make_client):
+    server = make_server()
+    # Register a job directly in the store, never enqueued: it stays
+    # "queued" so the results route must refuse with progress info.
+    meta = server.store.create("\n".join(VALID_LINES) + "\n")
+    client = make_client(server)
+    status, payload = client.get(f"/v1/batches/{meta['id']}/results")
+    assert status == 409
+    assert payload["kind"] == "error"
+    assert "queued" in payload["data"]["error"]
+    assert "0/3" in payload["data"]["error"]
+    # ... while the status route happily reports it.
+    status, polled = client.get(f"/v1/batches/{meta['id']}")
+    assert status == 200
+    assert polled["status"] == "queued"
+
+
+def test_unknown_job_is_404(client):
+    for path in (f"/v1/batches/{'0' * 64}",
+                 f"/v1/batches/{'0' * 64}/results"):
+        status, payload = client.get(path)
+        assert status == 404
+        assert payload["kind"] == "error"
+        assert "no such job" in payload["data"]["error"]
+
+
+def test_restart_resumes_half_finished_job(tmp_path, make_server,
+                                           make_client):
+    """Lines finished before a crash are never re-executed."""
+    job_dir = tmp_path / "jobs"
+    store = JobStore(job_dir)
+    upload = "\n".join(VALID_LINES) + "\n"
+    meta = store.create(upload)
+    # Simulate a crash after line 1: its (sentinel) result is on
+    # disk, the job is still queued.
+    sentinel = {"line": 1, "status": "ok",
+                "envelope": {"kind": "version_result",
+                             "sentinel": True}}
+    store.append_result(meta["id"], sentinel)
+
+    server = make_server(job_dir=job_dir)  # start() resumes the store
+    client = make_client(server)
+    final = client.wait_job(meta["id"])
+    assert final["status"] == "completed"
+    assert final["done"] == 3
+
+    records = {record["line"]: record for record in
+               store.result_records(meta["id"])}
+    assert records[1] == sentinel  # preserved, not recomputed
+    assert records[2]["envelope"]["kind"] == "version_result"
+    assert records[3]["envelope"]["kind"] == "delay_result"
+
+
+def test_restart_reruns_torn_final_line(tmp_path, make_server,
+                                        make_client):
+    job_dir = tmp_path / "jobs"
+    store = JobStore(job_dir)
+    meta = store.create("\n".join(VALID_LINES) + "\n")
+    store.append_result(meta["id"], {
+        "line": 1, "status": "ok",
+        "envelope": {"kind": "version_result"}})
+    with open(store.results_path(meta["id"]), "a") as handle:
+        handle.write('{"line": 2, "status": "ok", "env')  # torn
+
+    server = make_server(job_dir=job_dir)
+    client = make_client(server)
+    final = client.wait_job(meta["id"])
+    assert final["status"] == "completed"
+    assert final["done"] == 3
+    # The torn line re-executed and produced a complete record.
+    records = {record["line"]: record for record in
+               store.result_records(meta["id"])}
+    assert records[2]["status"] == "ok"
+    assert records[2]["envelope"]["kind"] == "version_result"
+
+
+def test_stats_report_job_counters(client):
+    _, meta = client.post("/v1/batches",
+                          "\n".join(VALID_LINES) + "\n")
+    client.wait_job(meta["id"])
+    status, stats = client.get("/v1/stats")
+    assert status == 200
+    assert stats["jobs"]["total"] == 1
+    assert stats["jobs"]["by_status"] == {"completed": 1}
+    assert stats["jobs"]["pending"] == 0

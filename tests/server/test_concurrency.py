@@ -1,0 +1,81 @@
+"""Concurrent clients: shared session, zero cross-request bleed."""
+
+import concurrent.futures
+import json
+
+from repro.api import (DelayRequest, DescribeRequest, Session,
+                       VersionRequest)
+
+
+def test_concurrent_hammering_no_cross_request_bleed(client):
+    """48 distinct requests from 8 threads: every response must be
+    byte-identical to what a private session computes for *that*
+    request — a swapped or blended response fails loudly."""
+    requests = [DelayRequest(deltas=((index * 1e-12,),
+                                     (((index % 7) - 3) * 5e-12,)))
+                for index in range(48)]
+    twin = Session()
+    expected = {request: twin.run_json(request.to_json()).to_json()
+                           .encode("utf-8")
+                for request in requests}
+
+    def roundtrip(request):
+        status, body = client.run(request)
+        return request, status, body
+
+    with concurrent.futures.ThreadPoolExecutor(8) as pool:
+        outcomes = list(pool.map(roundtrip, requests))
+    for request, status, body in outcomes:
+        assert status == 200
+        assert body == expected[request]
+
+
+def test_concurrent_mixed_kinds(client):
+    """Interleaved kinds keep their response types apart."""
+    mix = [VersionRequest(), DescribeRequest(),
+           DelayRequest(deltas=((3e-12,),))] * 6
+    result_kinds = {"version": "version_result",
+                    "describe": "describe_result",
+                    "delay": "delay_result"}
+
+    def roundtrip(request):
+        status, body = client.run(request)
+        return request, status, json.loads(body)
+
+    with concurrent.futures.ThreadPoolExecutor(6) as pool:
+        outcomes = list(pool.map(roundtrip, mix))
+    for request, status, envelope in outcomes:
+        assert status == 200
+        assert envelope["kind"] == result_kinds[type(request).kind]
+
+
+def test_concurrent_batch_submissions(client):
+    """Distinct uploads become distinct jobs, all of which finish."""
+    uploads = ["\n".join(DelayRequest(
+        deltas=((job * 1e-12 + line * 1e-13,),)).to_json()
+        for line in range(3)) + "\n" for job in range(6)]
+
+    def submit(upload):
+        status, meta = client.post("/v1/batches", upload)
+        assert status == 202
+        return meta["id"]
+
+    with concurrent.futures.ThreadPoolExecutor(6) as pool:
+        job_ids = list(pool.map(submit, uploads))
+    assert len(set(job_ids)) == 6
+    for job_id in job_ids:
+        final = client.wait_job(job_id)
+        assert final["status"] == "completed"
+        assert final["ok"] == 3
+
+
+def test_runs_and_batches_share_the_session_memo(client):
+    """Both paths hit one session: a /v1/run warm-up turns the same
+    batch lines into memo hits."""
+    request = DelayRequest(deltas=((9e-12,),))
+    status, _ = client.run(request)
+    assert status == 200
+    before = client.server.session.cache_info()["hits"]
+    _, meta = client.post("/v1/batches", request.to_json() + "\n")
+    client.wait_job(meta["id"])
+    assert client.server.session.cache_info()["hits"] > before

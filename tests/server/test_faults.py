@@ -1,0 +1,219 @@
+"""Fault injection: bad inputs, handler bugs, timeouts, disconnects.
+
+Every failure mode must come back as a clean JSON error envelope with
+the right 4xx/5xx status — and, crucially, the server must keep
+serving afterwards.  Each test therefore ends by proving the next
+request still succeeds.
+"""
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.api import DelayRequest, VersionRequest
+from repro.api.handlers import HANDLERS
+from repro.server import JobStore
+
+
+def _alive(client) -> None:
+    """The server must still answer after whatever just happened."""
+    status, payload = client.get("/v1/health")
+    assert status == 200 and payload["status"] == "ok"
+
+
+class TestBadBodies:
+    def test_malformed_json_is_400(self, client):
+        status, payload = client.post("/v1/run", "{not json")
+        assert status == 400
+        assert payload["kind"] == "error"
+        assert payload["data"]["status"] == 400
+        _alive(client)
+
+    def test_non_envelope_json_is_400(self, client):
+        status, payload = client.post("/v1/run", "[1, 2, 3]")
+        assert status == 400
+        assert payload["kind"] == "error"
+        _alive(client)
+
+    def test_unknown_kind_is_400_with_request_kind(self, client):
+        body = json.dumps({"schema": "repro.api/1", "kind": "nope",
+                           "data": {}})
+        status, payload = client.post("/v1/run", body)
+        assert status == 400
+        assert payload["data"]["request_kind"] == "nope"
+        _alive(client)
+
+    def test_posting_a_result_envelope_is_400(self, client):
+        from repro.api import VersionResult
+        status, payload = client.post(
+            "/v1/run", VersionResult(version="1").to_json())
+        assert status == 400
+        assert "is a result" in payload["data"]["error"]
+        _alive(client)
+
+    def test_invalid_utf8_is_400(self, client):
+        status, _, body = client.request("POST", "/v1/run",
+                                         body=b"\xff\xfe{}")
+        assert status == 400
+        assert json.loads(body)["kind"] == "error"
+        _alive(client)
+
+    def test_missing_content_length_is_411(self, server, make_client):
+        with socket.create_connection(
+                (server.host, server.port), timeout=10) as sock:
+            sock.sendall(b"POST /v1/run HTTP/1.1\r\n"
+                         b"Host: test\r\n\r\n")
+            reply = sock.recv(4096).decode("utf-8", "replace")
+        assert reply.startswith("HTTP/1.1 411")
+        assert '"kind": "error"' in reply
+        _alive(make_client(server))
+
+    def test_oversized_body_is_413(self, make_server, make_client):
+        server = make_server(max_body=1024)
+        client = make_client(server)
+        status, payload = client.post("/v1/run", "x" * 4096)
+        assert status == 413
+        assert "exceeds" in payload["data"]["error"]
+        _alive(client)
+
+    def test_unknown_endpoint_is_404(self, client):
+        status, payload = client.get("/v1/nope")
+        assert status == 404
+        assert payload["kind"] == "error"
+        _alive(client)
+
+
+class TestHandlerBugs:
+    def test_handler_bug_is_500_and_server_survives(self, client,
+                                                    monkeypatch):
+        def boom(session, request):
+            raise RuntimeError("injected handler bug")
+
+        monkeypatch.setitem(HANDLERS, VersionRequest, boom)
+        status, payload = client.post("/v1/run",
+                                      VersionRequest().to_json())
+        assert status == 500
+        assert payload["data"]["exception"] == "RuntimeError"
+        assert payload["data"]["error"] == "injected handler bug"
+        # An unaffected kind still works on the same server.
+        status, _ = client.run(DelayRequest(deltas=((1e-12,),)))
+        assert status == 200
+        _alive(client)
+
+    def test_handler_bug_mid_batch_is_per_line(self, client,
+                                               monkeypatch):
+        def boom(session, request):
+            raise RuntimeError("injected handler bug")
+
+        monkeypatch.setitem(HANDLERS, VersionRequest, boom)
+        upload = "\n".join([
+            DelayRequest(deltas=((2e-12,),)).to_json(),
+            VersionRequest().to_json(),  # the poisoned line
+            DelayRequest(deltas=((4e-12,),)).to_json(),
+        ]) + "\n"
+        _, meta = client.post("/v1/batches", upload)
+        final = client.wait_job(meta["id"])
+        assert final["status"] == "completed_with_errors"
+        assert final["ok"] == 2 and final["errors"] == 1
+        records = {record["line"]: record for record in
+                   client.server.store.result_records(meta["id"])}
+        assert records[1]["status"] == "ok"
+        assert records[3]["status"] == "ok"
+        assert records[2]["envelope"]["data"]["exception"] \
+            == "RuntimeError"
+        assert records[2]["envelope"]["data"]["request_kind"] \
+            == "version"
+
+
+class TestTimeouts:
+    def test_slow_handler_times_out_with_504(self, make_server,
+                                             make_client,
+                                             monkeypatch):
+        original = HANDLERS[VersionRequest]
+
+        def stall(session, request):
+            time.sleep(2.0)
+            return original(session, request)
+
+        monkeypatch.setitem(HANDLERS, VersionRequest, stall)
+        server = make_server(request_timeout=0.3)
+        client = make_client(server)
+        start = time.monotonic()
+        status, payload = client.post("/v1/run",
+                                      VersionRequest().to_json())
+        elapsed = time.monotonic() - start
+        assert status == 504
+        assert payload["data"]["exception"] == "TimeoutError"
+        assert payload["data"]["request_kind"] == "version"
+        assert elapsed < 1.5  # did not wait out the slow handler
+        # The timeout is visible in the counters, and the server
+        # still serves fast requests.
+        status, _ = client.run(DelayRequest(deltas=((1e-12,),)))
+        assert status == 200
+        _, stats = client.get("/v1/stats")
+        assert stats["requests"]["timeouts"] == 1
+        _alive(client)
+
+
+class TestDisconnects:
+    def test_client_vanishing_mid_request_is_survived(
+            self, client, server):
+        # Claim a large body, send almost none of it, hang up: the
+        # handler's read comes up short and its error response hits a
+        # closed socket.
+        with socket.create_connection(
+                (server.host, server.port), timeout=10) as sock:
+            sock.sendall(b"POST /v1/run HTTP/1.1\r\n"
+                         b"Host: test\r\n"
+                         b"Content-Length: 1000000\r\n\r\n{")
+        time.sleep(0.1)
+        _alive(client)
+
+    def test_disconnect_mid_results_stream_is_survived(
+            self, tmp_path, make_server, make_client):
+        # A finished job with a multi-megabyte results file, built
+        # directly on disk so the test needs no compute.
+        job_dir = tmp_path / "jobs"
+        store = JobStore(job_dir)
+        meta = store.create(VersionRequest().to_json() + "\n")
+        filler = "x" * 512
+        with open(store.results_path(meta["id"]), "w") as handle:
+            for line in range(1, 4097):
+                handle.write(json.dumps(
+                    {"line": line, "status": "ok",
+                     "envelope": {"kind": "version_result",
+                                  "filler": filler}}) + "\n")
+        meta["status"] = "completed"
+        meta["done"] = meta["ok"] = 4096
+        store.write_meta(meta)
+
+        server = make_server(job_dir=job_dir)
+        client = make_client(server)
+        with socket.create_connection(
+                (server.host, server.port), timeout=10) as sock:
+            sock.sendall(f"GET /v1/batches/{meta['id']}/results "
+                         "HTTP/1.1\r\nHost: test\r\n\r\n"
+                         .encode("utf-8"))
+            sock.recv(1024)  # read a first chunk, then hang up
+        # The streaming thread hits the broken pipe; the server
+        # must shrug it off and keep serving.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            status, payload = client.get("/v1/health")
+            if status == 200:
+                break
+            time.sleep(0.05)
+        assert status == 200 and payload["status"] == "ok"
+        status, _ = client.run(DelayRequest(deltas=((1e-12,),)))
+        assert status == 200
+
+
+class TestConstruction:
+    def test_bad_server_parameters_are_rejected(self, tmp_path):
+        from repro.server import ReproServer
+        for kwargs in ({"run_workers": 0}, {"request_timeout": 0.0},
+                       {"max_body": 0}):
+            with pytest.raises(ValueError):
+                ReproServer(job_dir=tmp_path / "jobs", **kwargs)

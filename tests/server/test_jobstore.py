@@ -1,0 +1,146 @@
+"""Unit tests for the crash-safe on-disk batch-job store."""
+
+import json
+
+import pytest
+
+from repro.api import DelayRequest, VersionRequest
+from repro.server import JOB_SCHEMA_VERSION, JobStore
+
+UPLOAD = (VersionRequest().to_json() + "\n"
+          + DelayRequest(deltas=((5e-12,),)).to_json() + "\n")
+
+
+@pytest.fixture()
+def store(tmp_path) -> JobStore:
+    return JobStore(tmp_path / "jobs")
+
+
+class TestIdentity:
+    def test_job_id_is_a_content_hash(self):
+        first = JobStore.job_id_for(UPLOAD)
+        assert first == JobStore.job_id_for(UPLOAD)
+        assert first != JobStore.job_id_for(UPLOAD + "{}\n")
+        # content_key hex digests double as path components
+        assert len(first) == 64 and first.isalnum()
+
+    def test_layout_is_schema_versioned(self, store):
+        meta = store.create(UPLOAD)
+        directory = store.job_dir(meta["id"])
+        assert directory.parts[-3] == f"v{JOB_SCHEMA_VERSION}"
+        assert directory.parts[-2] == meta["id"][:2]
+        assert (directory / "input.jsonl").read_text() == UPLOAD
+        assert (directory / "meta.json").is_file()
+
+
+class TestCreate:
+    def test_create_registers_a_queued_job(self, store):
+        meta = store.create(UPLOAD)
+        assert meta["status"] == "queued"
+        assert meta["total"] == 2
+        assert meta["done"] == meta["ok"] == meta["errors"] == 0
+        assert meta["created"] <= meta["updated"]
+
+    def test_create_is_idempotent_on_content(self, store):
+        first = store.create(UPLOAD)
+        # Mutate the stored state; resubmission must return it as-is
+        # instead of resetting the job.
+        first["status"] = "completed"
+        first["done"] = first["ok"] = 2
+        store.write_meta(first)
+        again = store.create(UPLOAD)
+        assert again["id"] == first["id"]
+        assert again["status"] == "completed"
+        assert again["done"] == 2
+
+    def test_create_rejects_blank_uploads(self, store):
+        with pytest.raises(ValueError, match="no request lines"):
+            store.create("\n  \n\t\n")
+
+    def test_blank_lines_are_skipped_but_numbering_is_kept(
+            self, store):
+        text = "\n" + UPLOAD.replace("\n", "\n\n", 1)
+        meta = store.create(text)
+        assert meta["total"] == 2
+        numbers = [number for number, _ in
+                   store.input_lines(meta["id"])]
+        assert numbers == [2, 4]  # 1-based positions in the file
+
+
+class TestResults:
+    def test_append_and_read_back_round_trip(self, store):
+        meta = store.create(UPLOAD)
+        records = [{"line": 1, "status": "ok", "envelope": {"a": 1}},
+                   {"line": 2, "status": "error",
+                    "envelope": {"b": 2}}]
+        for record in records:
+            store.append_result(meta["id"], record)
+        assert store.result_records(meta["id"]) == records
+        assert store.completed_lines(meta["id"]) == {
+            1: records[0], 2: records[1]}
+
+    def test_no_results_file_reads_as_empty(self, store):
+        meta = store.create(UPLOAD)
+        assert store.completed_lines(meta["id"]) == {}
+        assert store.result_records(meta["id"]) == []
+
+    def test_torn_final_line_is_discarded(self, store):
+        meta = store.create(UPLOAD)
+        good = {"line": 1, "status": "ok", "envelope": {}}
+        store.append_result(meta["id"], good)
+        with open(store.results_path(meta["id"]), "a") as handle:
+            handle.write('{"line": 2, "status": "o')  # crash torn
+        assert store.completed_lines(meta["id"]) == {1: good}
+
+    def test_append_after_torn_line_repairs_the_newline(self, store):
+        """A torn fragment must not swallow the next append."""
+        meta = store.create(UPLOAD)
+        good = {"line": 1, "status": "ok", "envelope": {}}
+        store.append_result(meta["id"], good)
+        with open(store.results_path(meta["id"]), "a") as handle:
+            handle.write('{"line": 2, "status')  # no newline: torn
+        replacement = {"line": 2, "status": "ok", "envelope": {}}
+        store.append_result(meta["id"], replacement)
+        assert store.completed_lines(meta["id"]) == {
+            1: good, 2: replacement}
+
+    def test_duplicate_line_records_first_wins(self, store):
+        meta = store.create(UPLOAD)
+        first = {"line": 1, "status": "ok", "envelope": {"v": 1}}
+        duplicate = {"line": 1, "status": "ok", "envelope": {"v": 2}}
+        store.append_result(meta["id"], first)
+        store.append_result(meta["id"], duplicate)
+        assert store.completed_lines(meta["id"])[1] == first
+
+
+class TestListings:
+    def test_jobs_sorted_and_incomplete_filtered(self, store):
+        first = store.create(UPLOAD)
+        second = store.create(UPLOAD + VersionRequest().to_json()
+                              + "\n")
+        first["status"] = "completed"
+        store.write_meta(first)
+        listed = store.jobs()
+        assert [meta["id"] for meta in listed] \
+            == [first["id"], second["id"]]
+        assert [meta["id"] for meta in store.incomplete()] \
+            == [second["id"]]
+
+    def test_unknown_or_corrupt_meta_is_none(self, store):
+        assert store.meta("0" * 64) is None
+        meta = store.create(UPLOAD)
+        (store.job_dir(meta["id"]) / "meta.json").write_text("{nope")
+        assert store.meta(meta["id"]) is None
+        assert store.jobs() == []  # broken entries are skipped
+
+    def test_meta_writes_are_atomic_no_temp_residue(self, store):
+        meta = store.create(UPLOAD)
+        for _ in range(5):
+            store.write_meta(meta)
+        leftovers = [path for path in
+                     store.job_dir(meta["id"]).iterdir()
+                     if path.name.startswith(".tmp-")]
+        assert leftovers == []
+        stored = json.loads(
+            (store.job_dir(meta["id"]) / "meta.json").read_text())
+        assert stored["id"] == meta["id"]

@@ -1,0 +1,109 @@
+"""Property: HTTP responses are byte-identical to direct dispatch.
+
+For any sequence of valid (deterministic) request envelopes, the body
+``POST /v1/run`` returns must equal — byte for byte — what an
+identically-bound :class:`repro.api.Session` returns from
+``run_json`` directly.  The HTTP layer is a transport, not a
+transform.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.api import (DelayRequest, DescribeRequest, Session,
+                       VersionRequest)
+
+# Deterministic request kinds only: sweep/STA/experiment results
+# embed wall-clock timings, which legitimately differ run to run.
+_PS = 1e-12
+
+_delays = st.builds(
+    DelayRequest,
+    direction=st.sampled_from(["falling", "rising"]),
+    gate=st.just("nor2"),
+    deltas=st.lists(
+        st.tuples(st.floats(min_value=-80.0, max_value=80.0,
+                            allow_nan=False)
+                  .map(lambda ps: round(ps, 3) * _PS)),
+        min_size=1, max_size=4).map(tuple),
+    vn_init=st.sampled_from([0.0, 0.35, 0.8]))
+
+_requests = st.one_of(
+    st.just(VersionRequest()),
+    st.just(DescribeRequest()),
+    _delays)
+
+
+@pytest.fixture(scope="module")
+def running_server(tmp_path_factory):
+    from repro.server import ReproServer
+    server = ReproServer(
+        port=0, job_dir=tmp_path_factory.mktemp("jobs"))
+    server.start()
+    yield server
+    server.stop(drain=False, timeout=10.0)
+
+
+@pytest.fixture(scope="module")
+def twin_session(running_server):
+    """A separate session with identical bindings.
+
+    Version/describe results embed the process-wide persistent-cache
+    counters at first-dispatch time; priming both memos back to back
+    (before any delay evaluation can move those counters) keeps the
+    two sessions byte-comparable for the whole module.
+    """
+    twin = Session()  # same default bindings as the server
+    for request in (VersionRequest(), DescribeRequest()):
+        envelope = request.to_json()
+        running_server.session.run_json(envelope)
+        twin.run_json(envelope)
+    return twin
+
+
+@given(sequence=st.lists(_requests, min_size=1, max_size=4))
+def test_http_equals_run_json_byte_for_byte(running_server,
+                                            twin_session, sequence):
+    import http.client
+    connection = http.client.HTTPConnection(
+        running_server.host, running_server.port, timeout=30)
+    try:
+        for request in sequence:
+            envelope = request.to_json()
+            connection.request("POST", "/v1/run", body=envelope)
+            response = connection.getresponse()
+            body = response.read()
+            assert response.status == 200
+            assert body == twin_session.run_json(envelope).to_json() \
+                .encode("utf-8")
+    finally:
+        connection.close()
+
+
+@given(gate=st.sampled_from(["nor3", "nor4"]),
+       offsets=st.lists(
+           st.floats(min_value=-40.0, max_value=40.0,
+                     allow_nan=False).map(lambda ps: round(ps, 2)),
+           min_size=1, max_size=3))
+def test_http_equals_run_json_for_n_input_gates(running_server,
+                                                twin_session, gate,
+                                                offsets):
+    width = int(gate[len("nor"):])
+    deltas = tuple(
+        tuple(offset * _PS * (axis + 1)
+              for axis in range(width - 1))
+        for offset in offsets)
+    request = DelayRequest(gate=gate, deltas=deltas)
+    import http.client
+    connection = http.client.HTTPConnection(
+        running_server.host, running_server.port, timeout=30)
+    try:
+        connection.request("POST", "/v1/run", body=request.to_json())
+        response = connection.getresponse()
+        body = response.read()
+    finally:
+        connection.close()
+    assert response.status == 200
+    assert body == twin_session.run_json(
+        request.to_json()).to_json().encode("utf-8")

@@ -1,0 +1,107 @@
+"""Request counters, latency percentiles, structured logging."""
+
+import io
+import json
+
+import pytest
+
+from repro._version import __version__
+from repro.api import DelayRequest, VersionRequest
+from repro.server import ServerStats, percentile
+
+
+class TestPercentile:
+    def test_nearest_rank_values(self):
+        samples = list(range(1, 101))  # 1..100
+        assert percentile(samples, 50.0) == 50
+        assert percentile(samples, 99.0) == 99
+        assert percentile(samples, 100.0) == 100
+        assert percentile([7.0], 50.0) == 7.0
+
+    def test_unsorted_input_is_fine(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_zero_is_the_minimum(self):
+        assert percentile([5.0, 1.0, 9.0], 0.0) == 1.0
+
+    def test_empty_and_out_of_range_raise(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestServerStats:
+    def test_snapshot_aggregates(self):
+        stats = ServerStats()
+        stats.record("/v1/run", 200, 0.010, timed_out=False)
+        stats.record("/v1/run", 400, 0.020, timed_out=False)
+        stats.record("/v1/stats", 200, 0.001, timed_out=False)
+        snapshot = stats.snapshot()
+        assert snapshot["requests"]["total"] == 3
+        assert snapshot["requests"]["by_route"]["/v1/run"] == 2
+        assert snapshot["requests"]["by_status_class"] == {"2xx": 2,
+                                                           "4xx": 1}
+        assert snapshot["requests"]["timeouts"] == 0
+        latency = snapshot["latency_ms"]
+        assert latency["count"] == 3
+        assert latency["p50"] <= latency["p99"] <= latency["max"]
+
+    def test_empty_stats_have_no_latency_block(self):
+        snapshot = ServerStats().snapshot()
+        assert snapshot["requests"]["total"] == 0
+        assert snapshot["latency_ms"] is None
+        assert snapshot["uptime_s"] >= 0.0
+
+
+class TestStatsEndpoint:
+    def test_stats_reflect_served_requests(self, client):
+        client.run(DelayRequest(deltas=((1e-12,),)))
+        client.run(VersionRequest())
+        client.post("/v1/run", "{broken")
+        status, stats = client.get("/v1/stats")
+        assert status == 200
+        assert stats["version"] == __version__
+        assert stats["requests"]["by_route"]["/v1/run"] == 3
+        assert stats["requests"]["by_status_class"]["2xx"] >= 2
+        assert stats["requests"]["by_status_class"]["4xx"] == 1
+        assert stats["latency_ms"]["count"] >= 3
+        # The shared session's memo and counters are visible.
+        assert stats["session_cache"]["misses"] >= 2
+
+    def test_session_cache_hits_show_up(self, client):
+        request = DelayRequest(deltas=((2e-12,),))
+        client.run(request)
+        client.run(request)
+        _, stats = client.get("/v1/stats")
+        assert stats["session_cache"]["hits"] >= 1
+
+
+class TestRequestLog:
+    def test_structured_lines_per_request(self, make_server,
+                                          make_client):
+        stream = io.StringIO()
+        server = make_server(log_stream=stream)
+        client = make_client(server)
+        client.run(VersionRequest())
+        client.get("/v1/health")
+        client.post("/v1/run", "{broken")
+        lines = [json.loads(line) for line in
+                 stream.getvalue().splitlines()]
+        assert len(lines) == 3
+        for entry in lines:
+            assert {"ts", "seq", "method", "path", "route", "status",
+                    "ms"} <= set(entry)
+        sequences = [entry["seq"] for entry in lines]
+        assert sequences == sorted(sequences)
+        assert [entry["status"] for entry in lines] == [200, 200, 400]
+        assert lines[0]["method"] == "POST"
+        assert lines[1]["route"] == "/v1/health"
+
+    def test_no_stream_means_no_logging(self, client):
+        # The default fixture server has log_stream=None; serving
+        # must not fail on the disabled logger.
+        status, _ = client.run(VersionRequest())
+        assert status == 200

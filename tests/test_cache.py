@@ -85,7 +85,7 @@ class TestDiskCache:
         assert np.array_equal(loaded["rates"], bundle["rates"])
         assert np.array_equal(loaded["vectors"], bundle["vectors"])
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_counted(self, tmp_path):
         store = cache.DiskCache(tmp_path)
         key = cache.content_key({"k": 2})
         store.put_json(key, {"fine": True})
@@ -93,9 +93,34 @@ class TestDiskCache:
         path.write_text("{ truncated")
         assert store.get_json(key) is None
         assert store.misses == 1
+        assert store.corrupt == 1  # visible, not silent
         # And recoverable: the writer just overwrites it.
         store.put_json(key, {"fine": True})
         assert store.get_json(key) == {"fine": True}
+        assert store.corrupt == 1
+
+    def test_corrupt_array_entry_is_a_miss_and_counted(self,
+                                                       tmp_path):
+        store = cache.DiskCache(tmp_path)
+        key = cache.content_key({"k": "bad-npz"})
+        store.put_arrays(key, {"values": np.arange(4.0)})
+        path = store._path(key, ".npz")
+        # Truncate the zip container: zipfile.BadZipFile territory.
+        path.write_bytes(path.read_bytes()[:20])
+        assert store.get_arrays(key) is None
+        assert store.misses == 1
+        assert store.corrupt == 1
+        # Not-a-zip-at-all is also a counted miss, not a crash.
+        path.write_bytes(b"not an archive")
+        assert store.get_arrays(key) is None
+        assert store.corrupt == 2
+
+    def test_plain_misses_are_not_corrupt(self, tmp_path):
+        store = cache.DiskCache(tmp_path)
+        assert store.get_json(cache.content_key({"k": 4})) is None
+        assert store.get_arrays(cache.content_key({"k": 5})) is None
+        assert store.misses == 2
+        assert store.corrupt == 0
 
     def test_clear(self, tmp_path):
         store = cache.DiskCache(tmp_path)
@@ -118,7 +143,7 @@ class TestDiskCache:
         store = cache.DiskCache(tmp_path)
         info = store.info()
         assert info == {"dir": str(tmp_path), "hits": 0, "misses": 0,
-                        "writes": 0, "entries": 0}
+                        "writes": 0, "corrupt": 0, "entries": 0}
 
 
 class TestActivation:
@@ -240,7 +265,16 @@ class TestSessionWiring:
         info = session.cache_info()
         assert info["disk"]["dir"] == str(tmp_path)
         assert set(info["disk"]) == {"dir", "hits", "misses",
-                                     "writes", "entries"}
+                                     "writes", "corrupt", "entries"}
+
+    def test_corrupt_counter_surfaces_in_cache_info(self, tmp_path):
+        session = Session(cache_dir=str(tmp_path))
+        store = cache.get_store()
+        key = cache.content_key({"k": "session-corrupt"})
+        store.put_json(key, {"fine": True})
+        store._path(key, ".json").write_text("{ nope")
+        assert store.get_json(key) is None
+        assert session.cache_info()["disk"]["corrupt"] == 1
 
     def test_cache_info_has_no_disk_entry_when_off(self):
         assert "disk" not in Session().cache_info()
