@@ -1,0 +1,168 @@
+"""Observability-overhead benchmarks: the cost of the span layer.
+
+The observability layer (:mod:`repro.obs`) instruments every hot
+path in the package, so its *disabled* cost must be no-op-level and
+its *enabled* cost must stay a small fraction of real work.  Three
+quantities are measured:
+
+* **disabled span call** — ``repro.obs.trace.span(...)`` entered and
+  exited with tracing off: one activation check returning a shared
+  no-op singleton;
+* **enabled span call** — the same with an in-memory tracer active:
+  id assignment, parentage, ring append;
+* **enabled ratio** — a warm uncached 16-point
+  :class:`~repro.api.DelayRequest` dispatched untraced vs traced
+  (capture + spans + timings attach): untraced time / traced time,
+  so 1.0 means tracing is free and the committed floor guards the
+  worst acceptable slowdown.
+
+The record is written to ``BENCH_obs.json`` at the repository root
+and guarded by ``benchmarks/check_perf_floor.py``.
+
+The module doubles as a CI smoke check::
+
+    python benchmarks/bench_obs.py --smoke
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.api import DelayRequest, Session
+from repro.obs import trace
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from bench_common import environment_metadata  # noqa: E402
+
+#: A disabled span call must stay no-op-level (one module check).
+_DISABLED_CEILING_S = 5e-6
+#: Traced dispatch may cost at most this factor of untraced
+#: (ratio = untraced/traced; 0.5 means "at most 2x slower").
+_RATIO_FLOOR = 0.5
+#: Machine-readable record tracked across PRs.
+_JSON_PATH = pathlib.Path(__file__).parents[1] / "BENCH_obs.json"
+
+#: Full / smoke repeat counts.
+FULL_REPEATS = 2000
+SMOKE_REPEATS = 200
+
+#: Same probe request as ``bench_api.py``: small on purpose, so the
+#: observability overhead is visible against the dispatch seam.
+_REQUEST = DelayRequest(
+    deltas=tuple((float(d),) for d in np.linspace(-40e-12, 40e-12,
+                                                  16)))
+
+
+def _span_call_seconds(calls: int) -> float:
+    start = time.perf_counter()
+    for _ in range(calls):
+        with trace.span("bench.probe", n=2):
+            pass
+    return (time.perf_counter() - start) / calls
+
+
+def _dispatch_seconds(session: Session, repeats: int) -> float:
+    session.run(_REQUEST)  # warm engine + kernel caches
+    start = time.perf_counter()
+    for _ in range(repeats):
+        session.run(_REQUEST)
+    return (time.perf_counter() - start) / repeats
+
+
+def measure_obs(repeats: int) -> dict:
+    """Time the disabled/enabled regimes; returns the JSON payload."""
+    span_calls = repeats * 25
+    trace.configure(None)
+    try:
+        disabled_s = _span_call_seconds(span_calls)
+        untraced_s = _dispatch_seconds(Session(cache=False), repeats)
+
+        tracer = trace.configure(trace.Tracer())
+        enabled_s = _span_call_seconds(span_calls)
+        traced_s = _dispatch_seconds(Session(cache=False), repeats)
+        spans_recorded = len(tracer.records())
+    finally:
+        trace.unconfigure()
+
+    return {
+        "workload": "module-level span calls (tracing off/on) and a "
+                    "warm uncached 16-point DelayRequest dispatched "
+                    "untraced vs traced",
+        "repeats": repeats,
+        "disabled_span_seconds_per_call": disabled_s,
+        "enabled_span_seconds_per_call": enabled_s,
+        "untraced_seconds_per_request": untraced_s,
+        "traced_seconds_per_request": traced_s,
+        "enabled_ratio": untraced_s / traced_s,
+        "spans_recorded": spans_recorded,
+        "environment": environment_metadata(),
+    }
+
+
+def test_obs_overhead_record(benchmark, write_result):
+    """Disabled/enabled overhead record -> BENCH_obs.json."""
+    payload = benchmark.pedantic(
+        lambda: measure_obs(FULL_REPEATS), rounds=1, iterations=1)
+    _JSON_PATH.write_text(json.dumps(payload, indent=2,
+                                     sort_keys=True) + "\n")
+    write_result("obs", json.dumps(payload, indent=2,
+                                   sort_keys=True))
+    benchmark.extra_info["disabled_ns"] = round(
+        payload["disabled_span_seconds_per_call"] * 1e9, 1)
+    assert payload["disabled_span_seconds_per_call"] \
+        < _DISABLED_CEILING_S
+    assert payload["enabled_ratio"] >= _RATIO_FLOOR
+    assert payload["spans_recorded"] > 0
+
+
+def main(argv=None) -> int:
+    """Script entry point (CI smoke mode without pytest)."""
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"reduced repeats ({SMOKE_REPEATS}) "
+                             "for fast CI checks")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="override the repeat count")
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (SMOKE_REPEATS if args.smoke
+                               else FULL_REPEATS)
+    payload = measure_obs(repeats)
+    _JSON_PATH.write_text(json.dumps(payload, indent=2,
+                                     sort_keys=True) + "\n")
+    print(f"disabled span "
+          f"{payload['disabled_span_seconds_per_call'] * 1e9:.0f} "
+          f"ns/call, enabled span "
+          f"{payload['enabled_span_seconds_per_call'] * 1e9:.0f} "
+          f"ns/call, untraced "
+          f"{payload['untraced_seconds_per_request'] * 1e6:.1f} "
+          f"us/req, traced "
+          f"{payload['traced_seconds_per_request'] * 1e6:.1f} "
+          f"us/req (ratio {payload['enabled_ratio']:.2f}x)")
+    print(f"wrote {_JSON_PATH}")
+    if payload["disabled_span_seconds_per_call"] \
+            >= _DISABLED_CEILING_S:
+        print(f"FAIL: disabled span call "
+              f"{payload['disabled_span_seconds_per_call'] * 1e9:.0f}"
+              f" ns above "
+              f"{_DISABLED_CEILING_S * 1e9:.0f} ns ceiling",
+              file=sys.stderr)
+        return 1
+    if payload["enabled_ratio"] < _RATIO_FLOOR:
+        print(f"FAIL: traced dispatch ratio "
+              f"{payload['enabled_ratio']:.2f}x below "
+              f"{_RATIO_FLOOR:.2f}x floor", file=sys.stderr)
+        return 1
+    if payload["spans_recorded"] == 0:
+        print("FAIL: traced dispatch recorded no spans",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

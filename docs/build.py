@@ -46,6 +46,7 @@ API_MODULES = [
     "repro",
     "repro.api",
     "repro.server",
+    "repro.obs",
     "repro.core",
     "repro.engine",
     "repro.library",
@@ -62,7 +63,8 @@ API_MODULES = [
 
 #: Modules whose public *methods* must also carry docstrings.
 STRICT_DOCSTRING_MODULES = {"repro", "repro.api", "repro.engine",
-                            "repro.library", "repro.sta"}
+                            "repro.library", "repro.obs",
+                            "repro.sta"}
 
 #: Site navigation: (section, [(source page, title), ...]).
 NAV: list[tuple[str, list[tuple[str, str]]]] = [
@@ -74,6 +76,7 @@ NAV: list[tuple[str, list[tuple[str, str]]]] = [
         ("api.md", "Session API"),
         ("server.md", "HTTP service"),
         ("engines.md", "Engine backends"),
+        ("observability.md", "Observability"),
         ("performance.md", "Performance"),
         ("library.md", "Library characterization"),
         ("sta.md", "Static timing analysis"),

@@ -50,6 +50,15 @@ or, one layer down, directly against the model::
     print(model.delay_falling(10e-12))   # MIS delay at Δ = 10 ps
 """
 
+import time as _time
+
+#: Wall-clock / monotonic stamps taken before any heavy import; the
+#: CLI's ``--trace`` mode uses them to record a ``cli.startup`` span
+#: covering interpreter bootstrap and package import time, so traces
+#: account for (nearly) the whole process wall time.
+_BOOT_TS = _time.time()
+_BOOT_T0 = _time.perf_counter()
+
 from ._version import __version__
 from .core import (
     PAPER_DELTA_MIN,

@@ -53,6 +53,8 @@ WORKFLOW_DESCRIPTIONS: dict[str, str] = {
     "delay": "evaluate MIS delays at explicit input separations",
     "serve": "run the HTTP delay service (POST /v1/run + async "
              "batch jobs)",
+    "metrics": "print Prometheus metrics (in-process, or scraped "
+               "from a running server with --url)",
     "version": "print the package version",
 }
 

@@ -68,6 +68,7 @@ def _describe(session: "Session",
                           + WORKFLOW_DESCRIPTIONS["library"])
     entries["sta"] = WORKFLOW_DESCRIPTIONS["sta"]
     entries["delay"] = WORKFLOW_DESCRIPTIONS["delay"]
+    entries["metrics"] = WORKFLOW_DESCRIPTIONS["metrics"]
     entries["version"] = WORKFLOW_DESCRIPTIONS["version"]
     width = max(len(name) for name in entries)
     text = "\n".join(f"{name:<{width}}  {description}"

@@ -35,8 +35,26 @@ __all__ = [
 ]
 
 
+@dataclasses.dataclass(frozen=True)
 class Result(ApiRecord):
-    """Marker base class of everything :meth:`Session.run` returns."""
+    """Base class of everything :meth:`Session.run` returns.
+
+    Parameters
+    ----------
+    timings : dict of str to float, optional
+        Per-request timing breakdown (span name -> seconds summed
+        over that request), attached by :meth:`Session.run` **only
+        while tracing is enabled** (``Session(trace=...)``,
+        ``REPRO_TRACE``, or ``repro ... --trace``).  ``None`` by
+        default and then omitted from the JSON envelope entirely, so
+        untraced envelopes are byte-identical to previous releases.
+    """
+
+    #: Fields dropped from the envelope when ``None`` (instead of
+    #: serializing as ``null``) — keeps ``timings`` schema-compatible.
+    _omit_none: ClassVar[frozenset] = frozenset({"timings"})
+
+    timings: dict[str, float] | None = None
 
 
 @dataclasses.dataclass(frozen=True)

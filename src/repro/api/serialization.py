@@ -184,6 +184,11 @@ class ApiRecord:
     #: Envelope tag of the concrete record type.
     kind: ClassVar[str] = ""
 
+    #: Field names to drop from the envelope when their value is
+    #: ``None`` (instead of serializing ``null``) — how optional
+    #: late additions like ``Result.timings`` stay schema-compatible.
+    _omit_none: ClassVar[frozenset] = frozenset()
+
     def __init_subclass__(cls, **kwargs: Any) -> None:
         """Register the subclass's ``kind`` in the dispatch table."""
         super().__init_subclass__(**kwargs)
@@ -193,8 +198,12 @@ class ApiRecord:
 
     def to_dict(self) -> dict[str, Any]:
         """The strict-JSON envelope as a plain dict."""
-        data = {field.name: _encode(getattr(self, field.name))
-                for field in dataclasses.fields(self)}
+        data = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value is None and field.name in self._omit_none:
+                continue
+            data[field.name] = _encode(value)
         return {"schema": _schema_tag(), "kind": type(self).kind,
                 "data": data}
 

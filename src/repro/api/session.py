@@ -27,10 +27,14 @@ when that matters.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import time
 from typing import Any
 
 from .. import cache as disk_cache
+from ..obs import metrics as _metrics
+from ..obs import trace as obs_trace
 from ..core.parameters import PAPER_TABLE_I, NorGateParameters
 from ..engine import DelayEngine, get_engine
 from ..errors import ParameterError
@@ -71,6 +75,16 @@ class Session:
         other processes.  ``None`` (default) leaves the process-wide
         setting alone — the ``REPRO_CACHE_DIR`` environment variable
         still applies.
+    trace : str or Tracer, optional
+        Enable span tracing process-wide (see
+        :mod:`repro.obs.trace`): ``"jsonl:<path>"`` (or a bare path)
+        appends finished spans to a JSONL file, ``"mem"`` records
+        into the in-memory buffer only, and a
+        :class:`~repro.obs.trace.Tracer` instance is used as-is.
+        While tracing is on, freshly computed results carry a
+        ``timings`` breakdown (span name -> seconds).  ``None``
+        (default) leaves the process-wide setting alone — the
+        ``REPRO_TRACE`` environment variable still applies.
 
     Raises
     ------
@@ -82,7 +96,9 @@ class Session:
                  engine: "str | DelayEngine | None" = None,
                  parameters: NorGateParameters | None = None,
                  cache: bool = True,
-                 cache_dir: "str | None" = None) -> None:
+                 cache_dir: "str | None" = None,
+                 trace: "str | obs_trace.Tracer | None" = None
+                 ) -> None:
         if isinstance(tech, str):
             try:
                 card = TECHNOLOGIES[tech]
@@ -100,11 +116,16 @@ class Session:
         self._cache_enabled = bool(cache)
         if cache_dir is not None:
             disk_cache.configure(cache_dir)
+        if trace is not None:
+            obs_trace.configure(trace)
         self._results: dict[Request, Result] = {}
         self._libraries: dict[str, GateLibrary] = {}
         self._graphs: dict[str, Any] = {}
         self._hits = 0
         self._misses = 0
+        # Pre-resolved registry instruments, keyed by (kind, outcome)
+        # or kind, so the hot dispatch path skips the registry lookup.
+        self._instruments: dict = {}
 
     # ------------------------------------------------------------------
     # bindings
@@ -215,6 +236,28 @@ class Session:
     # dispatch
     # ------------------------------------------------------------------
 
+    def _requests_total(self, kind: str, outcome: str):
+        key = (kind, outcome)
+        counter = self._instruments.get(key)
+        if counter is None:
+            counter = _metrics.registry().counter(
+                "repro_session_requests_total",
+                "session.run dispatches by request kind and memo "
+                "outcome",
+                labels={"kind": kind, "outcome": outcome})
+            self._instruments[key] = counter
+        return counter
+
+    def _run_seconds(self, kind: str):
+        histogram = self._instruments.get(kind)
+        if histogram is None:
+            histogram = _metrics.registry().histogram(
+                "repro_session_run_seconds",
+                "handler wall time per request kind",
+                labels={"kind": kind})
+            self._instruments[kind] = histogram
+        return histogram
+
     def run(self, request: Request) -> Result:
         """Dispatch a request to its handler; memoize the result.
 
@@ -227,7 +270,11 @@ class Session:
         -------
         Result
             The matching typed result (cached on repeats when the
-            session cache is enabled).
+            session cache is enabled).  While tracing is enabled
+            (see the *trace* parameter / ``REPRO_TRACE``), freshly
+            computed results additionally carry a ``timings``
+            breakdown: span name -> seconds summed over this
+            request, ``session.run`` being the total.
 
         Raises
         ------
@@ -240,14 +287,38 @@ class Session:
                 f"not a known request: {type(request).__name__}; "
                 f"expected one of "
                 f"{', '.join(sorted(c.__name__ for c in HANDLERS))}")
+        kind = type(request).kind
         if self._cache_enabled and request in self._results:
             self._hits += 1
+            self._requests_total(kind, "hit").inc()
             return self._results[request]
         self._misses += 1
-        result = handler(self, request)
+        self._requests_total(kind, "miss").inc()
+        tracer = obs_trace.active_tracer()
+        if tracer is None:
+            started = time.perf_counter()
+            result = handler(self, request)
+            self._run_seconds(kind).observe(
+                time.perf_counter() - started)
+            if self._cache_enabled:
+                self._results[request] = result
+            return result
+        with tracer.capture() as captured:
+            with tracer.span("session.run", kind=kind):
+                result = handler(self, request)
         if self._cache_enabled:
+            # Memoize the result *without* timings: a later cache
+            # hit did not redo this work, so it must not replay the
+            # first computation's breakdown.
             self._results[request] = result
-        return result
+        timings: dict[str, float] = {}
+        for record in captured:
+            timings[record["name"]] = (timings.get(record["name"],
+                                                   0.0)
+                                       + record["dur_s"])
+        self._run_seconds(kind).observe(
+            timings.get("session.run", 0.0))
+        return dataclasses.replace(result, timings=timings)
 
     def run_json(self, payload: "str | dict[str, Any]") -> Result:
         """Decode a serialized request envelope and :meth:`run` it.

@@ -54,6 +54,9 @@ from pathlib import Path
 
 import numpy as np
 
+from .obs import metrics as _metrics
+from .obs.trace import span as _span
+
 __all__ = ["DiskCache", "configure", "get_store", "content_key",
            "SCHEMA_VERSION"]
 
@@ -104,10 +107,49 @@ class DiskCache:
 
     def __init__(self, root: "str | Path"):
         self.root = Path(root)
-        self.hits = 0
-        self.misses = 0
-        self.writes = 0
-        self.corrupt = 0
+        # The counters are named instruments in the process-global
+        # metrics registry (scraped at GET /v1/metrics), labeled by
+        # cache root so several stores stay distinguishable; the
+        # hits/misses/... attributes below read them back.
+        registry = _metrics.registry()
+        where = str(self.root)
+        self._hit_count = registry.counter(
+            "repro_cache_reads_total", "disk-cache read outcomes",
+            labels={"dir": where, "outcome": "hit"})
+        self._miss_count = registry.counter(
+            "repro_cache_reads_total", "disk-cache read outcomes",
+            labels={"dir": where, "outcome": "miss"})
+        self._corrupt_count = registry.counter(
+            "repro_cache_reads_total", "disk-cache read outcomes",
+            labels={"dir": where, "outcome": "corrupt"})
+        self._write_count = registry.counter(
+            "repro_cache_writes_total", "disk-cache entries written",
+            labels={"dir": where})
+
+    # ------------------------------------------------------------------
+    # counters (registry-backed)
+    # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Reads served from disk."""
+        return int(self._hit_count.value)
+
+    @property
+    def misses(self) -> int:
+        """Reads that found nothing usable (``corrupt`` included)."""
+        return int(self._miss_count.value
+                   + self._corrupt_count.value)
+
+    @property
+    def writes(self) -> int:
+        """Entries written."""
+        return int(self._write_count.value)
+
+    @property
+    def corrupt(self) -> int:
+        """Reads that found an undecodable entry on disk."""
+        return int(self._corrupt_count.value)
 
     # ------------------------------------------------------------------
     # paths
@@ -134,7 +176,7 @@ class DiskCache:
             except OSError:
                 pass
             raise
-        self.writes += 1
+        self._write_count.inc()
 
     # ------------------------------------------------------------------
     # JSON payloads
@@ -153,23 +195,29 @@ class DiskCache:
             A :func:`content_key` hash.
         """
         path = self._path(key, ".json")
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self.corrupt += 1
-            self.misses += 1
-            return None
-        self.hits += 1
-        return payload
+        with _span("cache.get", kind="json", key=key[:12]) as live:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except FileNotFoundError:
+                self._miss_count.inc()
+                live.set(outcome="miss")
+                return None
+            except (OSError, json.JSONDecodeError,
+                    UnicodeDecodeError):
+                self._corrupt_count.inc()
+                live.set(outcome="corrupt")
+                return None
+            self._hit_count.inc()
+            live.set(outcome="hit")
+            return payload
 
     def put_json(self, key: str, payload) -> None:
         """Atomically store a JSON-serializable payload under *key*."""
-        data = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self._atomic_write(self._path(key, ".json"), data)
+        with _span("cache.put", kind="json", key=key[:12]):
+            data = json.dumps(payload,
+                              sort_keys=True).encode("utf-8")
+            self._atomic_write(self._path(key, ".json"), data)
 
     # ------------------------------------------------------------------
     # array bundles
@@ -183,26 +231,33 @@ class DiskCache:
         a plain miss.
         """
         path = self._path(key, ".npz")
-        try:
-            with np.load(path) as archive:
-                bundle = {name: archive[name] for name in archive.files}
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
-            self.corrupt += 1
-            self.misses += 1
-            return None
-        self.hits += 1
-        return bundle
+        with _span("cache.get", kind="arrays",
+                   key=key[:12]) as live:
+            try:
+                with np.load(path) as archive:
+                    bundle = {name: archive[name]
+                              for name in archive.files}
+            except FileNotFoundError:
+                self._miss_count.inc()
+                live.set(outcome="miss")
+                return None
+            except (OSError, ValueError, KeyError,
+                    zipfile.BadZipFile):
+                self._corrupt_count.inc()
+                live.set(outcome="corrupt")
+                return None
+            self._hit_count.inc()
+            live.set(outcome="hit")
+            return bundle
 
     def put_arrays(self, key: str,
                    bundle: "dict[str, np.ndarray]") -> None:
         """Atomically store a dict of arrays under *key*."""
-        buffer = io.BytesIO()
-        np.savez(buffer, **bundle)
-        self._atomic_write(self._path(key, ".npz"),
-                           buffer.getvalue())
+        with _span("cache.put", kind="arrays", key=key[:12]):
+            buffer = io.BytesIO()
+            np.savez(buffer, **bundle)
+            self._atomic_write(self._path(key, ".npz"),
+                               buffer.getvalue())
 
     # ------------------------------------------------------------------
     # introspection / maintenance

@@ -22,7 +22,17 @@ workflow commands are:
 * ``repro serve`` runs the long-lived HTTP delay service
   (:mod:`repro.server`): ``POST /v1/run`` plus asynchronous batch
   jobs with a crash-safe on-disk store;
+* ``repro metrics`` prints the observability instruments in
+  Prometheus text format — the in-process registry, or a running
+  server's ``GET /v1/metrics`` with ``--url``;
 * ``repro version`` / ``repro --version`` print the package version.
+
+Every workflow subcommand also accepts ``--trace PATH``: the run
+executes under the hierarchical span tracer of :mod:`repro.obs` and
+the spans are written to *PATH* as JSON lines: a backdated
+``cli.startup`` root span covering interpreter + import time, plus
+one ``cli.run`` root span covering the whole dispatch with
+session/engine/kernel/cache children nested beneath it.
 
 Error contract: unknown gate/engine/library/circuit names and other
 bad inputs exit with status 2 and a one-line message on stderr —
@@ -32,7 +42,9 @@ never a traceback.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from collections.abc import Sequence
 
 from ._version import __version__
@@ -42,6 +54,7 @@ from .api import (CharacterizeRequest, DelayRequest, DescribeRequest,
                   SweepRequest, TECHNOLOGIES, VersionRequest)
 from .engine import DEFAULT_ENGINE, available_engines
 from .errors import ReproError
+from .obs import trace as obs_trace
 from .units import PS
 
 __all__ = ["main", "build_parser"]
@@ -65,6 +78,16 @@ def _add_json_flag(cmd: argparse.ArgumentParser) -> None:
                           "JSON envelope: bare --json prints it to "
                           "stdout, --json PATH writes it alongside "
                           "the normal report")
+    _add_trace_flag(cmd)
+
+
+def _add_trace_flag(cmd: argparse.ArgumentParser) -> None:
+    """The uniform ``--trace PATH`` profiling mode."""
+    cmd.add_argument("--trace", default=None, metavar="PATH",
+                     help="record a hierarchical span trace of this "
+                          "run as JSON lines at PATH (one object per "
+                          "span: name, id, parent, start, duration, "
+                          "attributes)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -225,6 +248,14 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--access-log", action="store_true",
                      help="emit one structured JSON log line per "
                           "request on stderr")
+    _add_trace_flag(cmd)
+
+    cmd = sub.add_parser("metrics",
+                         help=WORKFLOW_DESCRIPTIONS["metrics"])
+    cmd.add_argument("--url", default=None, metavar="URL",
+                     help="scrape GET /v1/metrics of a running repro "
+                          "server at this base URL instead of "
+                          "rendering the in-process registry")
 
     cmd = sub.add_parser("sta", help=WORKFLOW_DESCRIPTIONS["sta"])
     _add_json_flag(cmd)
@@ -318,14 +349,90 @@ def request_from_args(args: argparse.Namespace) -> Request:
         seed=getattr(args, "seed", 0))
 
 
+def _metrics_command(args: argparse.Namespace) -> int:
+    """``repro metrics``: print Prometheus text exposition."""
+    if args.url is None:
+        from .obs import metrics as obs_metrics
+        sys.stdout.write(obs_metrics.render_prometheus(
+            obs_metrics.registry()))
+        return 0
+    import urllib.request
+    url = args.url.rstrip("/") + "/v1/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            sys.stdout.write(response.read().decode("utf-8"))
+    except (OSError, UnicodeDecodeError) as error:
+        print(f"repro metrics: {url}: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _startup_span_bounds() -> "tuple[float, float]":
+    """(wall-clock start, duration) of the process-startup phase.
+
+    The baseline is the import-time stamp taken at the top of the
+    package (numpy/scipy import dominates CLI startup); on Linux it
+    is widened to the kernel's process start time from
+    ``/proc/self/stat``, so interpreter bootstrap is covered too.
+    """
+    from . import _BOOT_T0, _BOOT_TS
+    duration_s = time.perf_counter() - _BOOT_T0
+    start_ts = _BOOT_TS
+    try:
+        with open("/proc/self/stat") as handle:
+            start_ticks = float(
+                handle.read().rsplit(") ", 1)[1].split()[19])
+        with open("/proc/uptime") as handle:
+            uptime_s = float(handle.read().split()[0])
+        ticks_per_s = os.sysconf("SC_CLK_TCK")
+        since_exec = uptime_s - start_ticks / ticks_per_s
+    except (OSError, ValueError, IndexError):
+        return start_ts, duration_s
+    if duration_s < since_exec < duration_s + 60.0:
+        start_ts -= since_exec - duration_s
+        duration_s = since_exec
+    return start_ts, duration_s
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code.
 
     Bad inputs (unknown gate/engine/library/circuit names, malformed
     values) exit with status 2 and a one-line message on stderr.
+    With ``--trace PATH`` the whole dispatch runs under a ``cli.run``
+    root span and the span records are written to *PATH* as JSON
+    lines before exit.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_spec = getattr(args, "trace", None)
+    if trace_spec is None:
+        return _execute(args)
+    tracer = obs_trace.configure(trace_spec)
+    try:
+        if tracer is not None:
+            # Backdate a root span over interpreter bootstrap and
+            # package import, so the trace accounts for the whole
+            # process wall time rather than just post-parse work.
+            start_ts, duration_s = _startup_span_bounds()
+            tracer.record("cli.startup", start_ts, duration_s)
+        with obs_trace.span("cli.run", command=args.command):
+            code = _execute(args)
+        tracer = obs_trace.active_tracer()
+        if tracer is not None:
+            tracer.flush()
+            if tracer.sink is not None:
+                print(f"repro: wrote trace spans to {tracer.sink}",
+                      file=sys.stderr)
+        return code
+    finally:
+        obs_trace.unconfigure()
+
+
+def _execute(args: argparse.Namespace) -> int:
+    """Run one parsed subcommand (the body of :func:`main`)."""
+    if args.command == "metrics":
+        return _metrics_command(args)
     if args.command == "serve":
         from .server import serve
         try:

@@ -51,6 +51,7 @@ import numpy as np
 from scipy.optimize import brentq
 
 from ..errors import NoCrossingError, ParameterError
+from ..obs.trace import span as _span
 from .parameters import PAPER_TABLE_I, NorGateParameters
 from .solutions import ExpSum
 
@@ -925,10 +926,12 @@ class CompiledNorKernel:
             vectors = np.empty((modes, n + 1, n + 1))
             inverse = np.empty((modes, n + 1, n + 1))
             slow = np.empty(modes)
-            for mode in range(modes):
-                inputs = tuple((mode >> i) & 1 for i in range(n))
-                (rates[mode], vectors[mode], inverse[mode],
-                 slow[mode]) = model._mode_eig(inputs)
+            with _span("kernel.eig", n=n, modes=modes):
+                for mode in range(modes):
+                    inputs = tuple((mode >> i) & 1
+                                   for i in range(n))
+                    (rates[mode], vectors[mode], inverse[mode],
+                     slow[mode]) = model._mode_eig(inputs)
             self._store(rates, vectors, inverse, slow)
         else:
             rates, vectors, inverse, slow = bundle
@@ -1008,6 +1011,13 @@ class CompiledNorKernel:
         sample, window end]`` and no crossing inside the window is
         lost to the shared grid.
         """
+        with _span("kernel.crossings", mode=mode,
+                   rows=int(weights.shape[0])):
+            return self._mode_crossings_inner(weights, mode,
+                                              windows, downward)
+
+    def _mode_crossings_inner(self, weights, mode, windows,
+                              downward):
         rates = self._rates[mode]
         phase_len = 8.0 * float(self._slow[mode])
         vth = self._vth
@@ -1041,9 +1051,11 @@ class CompiledNorKernel:
                 if local.size:
                     lo = t[first[local]]
                     hi = np.minimum(t[first[local] + 1], ends[local])
-                    out[chunk[local]] = _newton_bisect_refine(
-                        weights[chunk[local]], rates, lo, hi, vth,
-                        downward)
+                    with _span("kernel.newton",
+                               rows=int(local.size)):
+                        out[chunk[local]] = _newton_bisect_refine(
+                            weights[chunk[local]], rates, lo, hi,
+                            vth, downward)
             pending = pending[np.isnan(out[pending])]
             phase += 1
         return out
@@ -1081,6 +1093,15 @@ class CompiledNorKernel:
         model = self._model
         n = self.num_inputs
         flat, shape = offset_rows(n, deltas)
+        with _span("kernel.evaluate", n=n, direction=direction,
+                   rows=int(flat.shape[0])):
+            return self._evaluate_inner(flat, shape, direction,
+                                        internal_init)
+
+    def _evaluate_inner(self, flat, shape, direction,
+                        internal_init):
+        model = self._model
+        n = self.num_inputs
         settle = model.settle_time()
         offsets = np.clip(flat, -settle, settle)
         rows = offsets.shape[0]

@@ -20,12 +20,15 @@ to implement the protocol and call :func:`register_engine`.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
 from ..core.multi_input import GeneralizedNorParameters
 from ..core.parameters import NorGateParameters
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 
 __all__ = [
     "DEFAULT_ENGINE",
@@ -34,6 +37,7 @@ __all__ = [
     "delays_for_direction",
     "get_engine",
     "register_engine",
+    "traced_entry_point",
 ]
 
 #: Parameter kinds an engine evaluates: the paper's closed-form
@@ -210,6 +214,65 @@ def delays_for_direction(engine: "DelayEngine", direction: str,
     if direction == "falling":
         return engine.delays_falling(params, deltas)
     return engine.delays_rising(params, deltas, state)
+
+
+#: Memoized (engine, direction) -> call counter, so the per-call
+#: metrics cost is one dict lookup plus a locked increment.
+_CALL_COUNTERS: dict = {}
+
+
+def _call_counter(engine_name: str, direction: str):
+    key = (engine_name, direction)
+    counter = _CALL_COUNTERS.get(key)
+    if counter is None:
+        counter = _metrics.registry().counter(
+            "repro_engine_calls_total",
+            "delay-engine batch invocations",
+            labels={"engine": engine_name, "direction": direction})
+        _CALL_COUNTERS[key] = counter
+    return counter
+
+
+def traced_entry_point(span_name: str, direction: str):
+    """Instrument an engine entry point (decorator factory).
+
+    Wraps a ``delays_*`` method so every batch invocation increments
+    the ``repro_engine_calls_total{engine,direction}`` counter and —
+    when tracing is enabled — runs inside a span carrying the engine
+    name, direction, batch size, and (for n-input entry points) the
+    gate width.  All three backends decorate their public methods
+    with this, so traces and metrics stay uniform across engines.
+
+    Parameters
+    ----------
+    span_name : str
+        Span name, ``"engine.delays"`` (2-input entry points) or
+        ``"engine.delays_n"`` (Δ-vector entry points).
+    direction : str
+        ``"falling"`` or ``"rising"`` (a span/label attribute).
+
+    Returns
+    -------
+    callable
+        The method decorator.
+    """
+    def decorate(method):
+        @functools.wraps(method)
+        def wrapper(self, params, deltas, *args, **kwargs):
+            _call_counter(self.name, direction).inc()
+            tracer = _trace.active_tracer()
+            if tracer is None:
+                # Disabled path: the counter bump above and this
+                # check are the whole overhead (no attrs computed,
+                # nothing allocated).
+                return method(self, params, deltas, *args, **kwargs)
+            with tracer.span(span_name, engine=self.name,
+                             direction=direction,
+                             points=int(np.size(deltas)),
+                             n=getattr(params, "num_inputs", 2)):
+                return method(self, params, deltas, *args, **kwargs)
+        return wrapper
+    return decorate
 
 
 _FACTORIES: dict[str, Callable[[], DelayEngine]] = {}

@@ -65,7 +65,9 @@ import numpy as np
 from ..core.multi_input import GeneralizedNorParameters, offset_rows
 from ..core.parameters import NorGateParameters
 from ..errors import ParameterError
-from .base import delays_for_direction, get_engine, register_engine
+from ..obs.trace import span as _span
+from .base import (delays_for_direction, get_engine, register_engine,
+                   traced_entry_point)
 
 __all__ = ["ParallelEngine"]
 
@@ -135,8 +137,12 @@ def _worker_shard(inner: str, direction: str, params, state: float,
         in_block.close()
         raise
     try:
-        _evaluate_rows(inner, direction, params, state, in_block,
-                       out_block, shape, start, stop)
+        # Workers inherit REPRO_TRACE (fork), so shard spans land in
+        # the same JSONL sink tagged with the worker's own pid.
+        with _span("engine.parallel.shard", inner=inner,
+                   direction=direction, start=start, stop=stop):
+            _evaluate_rows(inner, direction, params, state, in_block,
+                           out_block, shape, start, stop)
     except BaseException as exc:
         # Traceback frames pin the buffer views and would make
         # ``close()`` below fail with BufferError; drop the inner
@@ -303,29 +309,39 @@ class ParallelEngine:
             raise ParameterError("input separations must not be NaN")
         rows = flat.shape[0]
         pool = self._ensure_pool()
-        in_block = shared_memory.SharedMemory(create=True,
-                                              size=flat.nbytes)
+        with _span("engine.parallel.stage", rows=rows) as staged:
+            in_block = shared_memory.SharedMemory(create=True,
+                                                  size=flat.nbytes)
+            try:
+                out_block = shared_memory.SharedMemory(
+                    create=True, size=rows * flat.itemsize)
+            except BaseException:  # pragma: no cover - alloc failure
+                _release(in_block)
+                raise
+            staged.set(bytes=flat.nbytes + rows * flat.itemsize)
         try:
-            out_block = shared_memory.SharedMemory(
-                create=True, size=rows * flat.itemsize)
-        except BaseException:  # pragma: no cover - allocation failure
-            _release(in_block)
-            raise
-        try:
-            np.ndarray(flat.shape, dtype=np.float64,
-                       buffer=in_block.buf)[...] = flat
-            pool.starmap(
-                _worker_shard,
-                [(self.inner, direction, params, state, in_block.name,
-                  out_block.name, flat.shape, start, stop)
-                 for start, stop in self._shard_bounds(rows)])
-            return np.array(np.ndarray(
-                (rows,), dtype=np.float64,
-                buffer=out_block.buf)).reshape(shape)
+            with _span("engine.parallel.copy_in", rows=rows):
+                np.ndarray(flat.shape, dtype=np.float64,
+                           buffer=in_block.buf)[...] = flat
+            bounds = self._shard_bounds(rows)
+            with _span("engine.parallel.fan_out",
+                       shards=len(bounds), rows=rows,
+                       processes=self.processes):
+                pool.starmap(
+                    _worker_shard,
+                    [(self.inner, direction, params, state,
+                      in_block.name, out_block.name, flat.shape,
+                      start, stop)
+                     for start, stop in bounds])
+            with _span("engine.parallel.copy_out", rows=rows):
+                return np.array(np.ndarray(
+                    (rows,), dtype=np.float64,
+                    buffer=out_block.buf)).reshape(shape)
         finally:
             _release(in_block)
             _release(out_block)
 
+    @traced_entry_point("engine.delays", "falling")
     def delays_falling(self, params: NorGateParameters,
                        deltas) -> np.ndarray:
         """Falling-output MIS delays ``δ↓_M(Δ)``, sharded across workers.
@@ -346,6 +362,7 @@ class ParallelEngine:
         """
         return self._run("falling", params, deltas, 0.0)
 
+    @traced_entry_point("engine.delays", "rising")
     def delays_rising(self, params: NorGateParameters, deltas,
                       vn_init: float = 0.0) -> np.ndarray:
         """Rising-output MIS delays ``δ↑_M(Δ)``, sharded across workers.
@@ -367,6 +384,7 @@ class ParallelEngine:
         """
         return self._run("rising", params, deltas, vn_init)
 
+    @traced_entry_point("engine.delays_n", "falling")
     def delays_falling_n(self, params: GeneralizedNorParameters,
                          deltas) -> np.ndarray:
         """Falling n-input MIS delays, Δ-vector rows sharded across
@@ -390,6 +408,7 @@ class ParallelEngine:
         """
         return self._run("falling", params, deltas, 0.0)
 
+    @traced_entry_point("engine.delays_n", "rising")
     def delays_rising_n(self, params: GeneralizedNorParameters,
                         deltas, internal_init: float = 0.0
                         ) -> np.ndarray:

@@ -18,7 +18,7 @@ from ..core.hybrid_model import HybridNorModel
 from ..core.multi_input import (GeneralizedNorParameters,
                                 generalized_model, offset_rows)
 from ..core.parameters import NorGateParameters
-from .base import register_engine
+from .base import register_engine, traced_entry_point
 
 __all__ = ["ReferenceEngine"]
 
@@ -41,6 +41,7 @@ class ReferenceEngine:
 
     name = "reference"
 
+    @traced_entry_point("engine.delays", "falling")
     def delays_falling(self, params: NorGateParameters,
                        deltas) -> np.ndarray:
         """Falling MIS delays ``δ↓_M(Δ)``, one exact root search per Δ.
@@ -64,6 +65,7 @@ class ReferenceEngine:
                         for x in np.ravel(d)])
         return out.reshape(d.shape)
 
+    @traced_entry_point("engine.delays", "rising")
     def delays_rising(self, params: NorGateParameters, deltas,
                       vn_init: float = 0.0) -> np.ndarray:
         """Rising MIS delays ``δ↑_M(Δ)``, one exact root search per Δ.
@@ -89,6 +91,7 @@ class ReferenceEngine:
                         for x in np.ravel(d)])
         return out.reshape(d.shape)
 
+    @traced_entry_point("engine.delays_n", "falling")
     def delays_falling_n(self, params: GeneralizedNorParameters,
                          deltas) -> np.ndarray:
         """Falling n-input MIS delays, one scalar eigen-solve per row.
@@ -121,6 +124,7 @@ class ReferenceEngine:
             out[i] = model.delay_falling(times - times.min())
         return out.reshape(shape)
 
+    @traced_entry_point("engine.delays_n", "rising")
     def delays_rising_n(self, params: GeneralizedNorParameters,
                         deltas, internal_init: float = 0.0
                         ) -> np.ndarray:

@@ -41,7 +41,7 @@ from ..core.parameters import NorGateParameters
 from ..core.solutions import ExpSum, solve_mode
 from ..core.trajectory import all_crossings
 from ..errors import NoCrossingError, ParameterError
-from .base import register_engine
+from .base import register_engine, traced_entry_point
 
 __all__ = ["VectorizedEngine"]
 
@@ -233,6 +233,7 @@ class VectorizedEngine:
 
     name = "vectorized"
 
+    @traced_entry_point("engine.delays", "falling")
     def delays_falling(self, params: NorGateParameters,
                        deltas) -> np.ndarray:
         """Falling MIS delays ``δ↓_M(Δ)`` for a whole Δ array at once.
@@ -280,6 +281,7 @@ class VectorizedEngine:
 
         return (crossing + ctx.delta_min).reshape(shape)
 
+    @traced_entry_point("engine.delays", "rising")
     def delays_rising(self, params: NorGateParameters, deltas,
                       vn_init: float = 0.0) -> np.ndarray:
         """Rising MIS delays ``δ↑_M(Δ)`` for a whole Δ array at once.
@@ -337,6 +339,7 @@ class VectorizedEngine:
 
         return (delay + ctx.delta_min).reshape(shape)
 
+    @traced_entry_point("engine.delays_n", "falling")
     def delays_falling_n(self, params: GeneralizedNorParameters,
                          deltas) -> np.ndarray:
         """Falling n-input MIS delays, batched over a Δ-vector grid.
@@ -364,6 +367,7 @@ class VectorizedEngine:
         """
         return compiled_nor_kernel(params).evaluate(deltas, "falling")
 
+    @traced_entry_point("engine.delays_n", "rising")
     def delays_rising_n(self, params: GeneralizedNorParameters,
                         deltas, internal_init: float = 0.0
                         ) -> np.ndarray:

@@ -15,6 +15,10 @@ crash-safe :class:`~repro.server.store.JobStore` and the
 ``GET /v1/batches/<id>/results``  JSONL download of per-line outcome
                           records, streamed in chunks
 ``GET /v1/stats``         request/latency/cache/job counters
+``GET /v1/metrics``       the same counters as named instruments, in
+                          Prometheus text exposition format (the
+                          process-global registry merged with this
+                          server's)
 ``GET /v1/health``        liveness + version
 ========================  ============================================
 
@@ -40,6 +44,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from .._version import __version__
 from ..api import ErrorResult, Session
 from ..errors import ReproError
+from ..obs import metrics as _obs_metrics
+from ..obs.trace import span as _span
 from .jobs import BatchRunner
 from .stats import RequestLog, ServerStats
 from .store import TERMINAL_STATUSES, JobStore
@@ -55,6 +61,22 @@ DEFAULT_MAX_BODY = 8 * 1024 * 1024
 
 #: Chunk size for streaming results downloads.
 _STREAM_CHUNK = 64 * 1024
+
+#: Sentinel for "caller did not pre-parse the request kind".
+_UNSET = object()
+
+
+def _request_kind(text: str) -> "str | None":
+    """The ``kind`` field of a request envelope, if it decodes."""
+    try:
+        decoded = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    if isinstance(decoded, dict):
+        kind = decoded.get("kind")
+        if isinstance(kind, str):
+            return kind
+    return None
 
 
 class _Disconnect(Exception):
@@ -97,25 +119,28 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         start = time.perf_counter()
         route, status, timed_out = self.path, 500, False
-        try:
-            route, status, timed_out = self._route(method)
-        except _Disconnect:
-            status = 499  # client closed the connection mid-response
-            self.close_connection = True
-        except Exception as exc:
-            # A bug in a route must not kill the connection thread
-            # silently nor leak a traceback to the client.
-            status = 500
+        self.log_fields = {}
+        with _span("server.request", method=method) as live:
             try:
-                self._send_error(500, exc)
-            except Exception:  # headers already sent / client gone
+                route, status, timed_out = self._route(method)
+            except _Disconnect:
+                status = 499  # client closed connection mid-response
                 self.close_connection = True
+            except Exception as exc:
+                # A bug in a route must not kill the connection thread
+                # silently nor leak a traceback to the client.
+                status = 500
+                try:
+                    self._send_error(500, exc)
+                except Exception:  # headers sent / client gone
+                    self.close_connection = True
+            live.set(route=route, status=status)
         elapsed = time.perf_counter() - start
         self.app.stats.record(route, status, elapsed,
                               timed_out=timed_out)
         self.app.log.write(method=method, path=self.path, route=route,
                            status=status, ms=elapsed * 1e3,
-                           timed_out=timed_out)
+                           timed_out=timed_out, **self.log_fields)
 
     def _route(self, method: str) -> "tuple[str, int, bool]":
         """Serve one request; returns (route pattern, status,
@@ -137,6 +162,8 @@ class _Handler(BaseHTTPRequestHandler):
                         False)
         if method == "GET" and path == "/v1/stats":
             return "/v1/stats", self._get_stats(), False
+        if method == "GET" and path == "/v1/metrics":
+            return "/v1/metrics", self._get_metrics(), False
         if method == "GET" and path == "/v1/health":
             return "/v1/health", self._get_health(), False
         self._send_error(
@@ -223,7 +250,11 @@ class _Handler(BaseHTTPRequestHandler):
         except UnicodeDecodeError as exc:
             self._send_error(400, exc)
             return 400, False
-        result, status, timed_out = self.app.run_envelope(text)
+        kind = _request_kind(text)
+        if kind is not None:
+            self.log_fields["kind"] = kind
+        result, status, timed_out = self.app.run_envelope(
+            text, request_kind=kind)
         if isinstance(result, ErrorResult):
             self._send_bytes(status,
                              (result.to_json() + "\n").encode("utf-8"))
@@ -245,10 +276,12 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._send_error(400, exc)
             return 400
+        self.log_fields["job"] = meta["id"]
         self._send_json(202, meta)
         return 202
 
     def _get_batch(self, job_id: str) -> int:
+        self.log_fields["job"] = job_id
         meta = self.app.store.meta(job_id)
         if meta is None:
             self._send_error(
@@ -258,6 +291,7 @@ class _Handler(BaseHTTPRequestHandler):
         return 200
 
     def _get_results(self, job_id: str) -> int:
+        self.log_fields["job"] = job_id
         meta = self.app.store.meta(job_id)
         if meta is None:
             self._send_error(
@@ -283,6 +317,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_stats(self) -> int:
         self._send_json(200, self.app.stats_payload())
+        return 200
+
+    def _get_metrics(self) -> int:
+        body = _obs_metrics.render_prometheus(
+            _obs_metrics.registry(),
+            self.app.stats.registry).encode("utf-8")
+        self._send_bytes(
+            200, body,
+            content_type="text/plain; version=0.0.4; charset=utf-8")
         return 200
 
     def _get_health(self) -> int:
@@ -442,13 +485,17 @@ class ReproServer:
     # request execution
     # ------------------------------------------------------------------
 
-    def run_envelope(self, text: str):
+    def run_envelope(self, text: str, request_kind=_UNSET):
         """Execute one ``/v1/run`` envelope on the bounded pool.
 
         Parameters
         ----------
         text : str
             The request envelope JSON.
+        request_kind : str or None, optional
+            The envelope's already-parsed ``kind`` (the HTTP layer
+            passes it so the body is only decoded once); omitted,
+            it is parsed here.  Used to label error envelopes.
 
         Returns
         -------
@@ -457,14 +504,8 @@ class ReproServer:
             the typed result on success or an :class:`ErrorResult`
             on failure.
         """
-        request_kind = None
-        try:
-            decoded = json.loads(text)
-            if isinstance(decoded, dict):
-                kind = decoded.get("kind")
-                request_kind = kind if isinstance(kind, str) else None
-        except json.JSONDecodeError:
-            pass
+        if request_kind is _UNSET:
+            request_kind = _request_kind(text)
         future = self._pool.submit(self.session.run_json, text)
         try:
             return future.result(self.request_timeout), 200, False

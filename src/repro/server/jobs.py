@@ -25,9 +25,26 @@ import threading
 import time
 
 from ..api import ErrorResult, Session
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
 from .store import TERMINAL_STATUSES, JobStore
 
 __all__ = ["BatchRunner"]
+
+#: Memoized outcome -> batch-line counter (module-level so every
+#: runner in the process shares the global-registry instruments).
+_LINE_COUNTERS: dict = {}
+
+
+def _line_counter(outcome: str):
+    counter = _LINE_COUNTERS.get(outcome)
+    if counter is None:
+        counter = _metrics.registry().counter(
+            "repro_batch_lines_total",
+            "batch-job request lines by outcome",
+            labels={"outcome": outcome})
+        _LINE_COUNTERS[outcome] = counter
+    return counter
 
 
 class BatchRunner:
@@ -177,24 +194,31 @@ class BatchRunner:
             success or an :class:`~repro.api.ErrorResult` on failure.
         """
         request_kind = None
-        try:
+        with _span("server.batch.line", line=number) as live:
             try:
-                decoded = json.loads(text)
-            except json.JSONDecodeError:
-                decoded = None
-            if isinstance(decoded, dict):
-                kind = decoded.get("kind")
-                request_kind = kind if isinstance(kind, str) else None
-            result = self.session.run_json(text)
-            return {"line": number, "status": "ok",
-                    "envelope": result.to_dict()}
-        except Exception as exc:
-            # Deliberately broad: one bad line (malformed JSON, bad
-            # parameters, a handler bug) must never abort the job.
-            error = ErrorResult.from_exception(
-                exc, request_kind=request_kind)
-            return {"line": number, "status": "error",
-                    "envelope": error.to_dict()}
+                try:
+                    decoded = json.loads(text)
+                except json.JSONDecodeError:
+                    decoded = None
+                if isinstance(decoded, dict):
+                    kind = decoded.get("kind")
+                    request_kind = (kind if isinstance(kind, str)
+                                    else None)
+                result = self.session.run_json(text)
+                _line_counter("ok").inc()
+                live.set(kind=request_kind, status="ok")
+                return {"line": number, "status": "ok",
+                        "envelope": result.to_dict()}
+            except Exception as exc:
+                # Deliberately broad: one bad line (malformed JSON,
+                # bad parameters, a handler bug) must never abort the
+                # job.
+                _line_counter("error").inc()
+                live.set(kind=request_kind, status="error")
+                error = ErrorResult.from_exception(
+                    exc, request_kind=request_kind)
+                return {"line": number, "status": "error",
+                        "envelope": error.to_dict()}
 
     def execute(self, job_id: str) -> "dict | None":
         """Run one job to completion (or to the stop signal).
@@ -212,6 +236,16 @@ class BatchRunner:
         meta = self.store.meta(job_id)
         if meta is None or meta["status"] in TERMINAL_STATUSES:
             return meta
+        with _span("server.batch.job", job=job_id,
+                   total=meta.get("total")) as live:
+            meta = self._execute_lines(job_id, meta)
+            live.set(status=meta["status"], done=meta["done"],
+                     errors=meta["errors"])
+        return meta
+
+    def _execute_lines(self, job_id: str, meta: dict) -> dict:
+        """Line-by-line body of :meth:`execute` (span-wrapped
+        there)."""
         done = self.store.completed_lines(job_id)
         meta["done"] = len(done)
         meta["ok"] = sum(1 for record in done.values()

@@ -2,16 +2,25 @@
 
 Every request the HTTP layer serves is recorded twice:
 
-* **Aggregated** in :class:`ServerStats` — per-endpoint counts,
-  status-class counts, timeout count, and a bounded ring of recent
-  latencies from which ``GET /v1/stats`` reports p50/p99/mean/max.
+* **Aggregated** in :class:`ServerStats` — whose instruments are
+  named metrics in a per-server :class:`repro.obs.MetricsRegistry`
+  (``repro_server_requests_total{route=...}``,
+  ``repro_server_responses_total{class=...}``,
+  ``repro_server_timeouts_total``, and the
+  ``repro_server_request_seconds`` histogram).  ``GET /v1/stats``
+  reports the familiar JSON snapshot from them, and ``GET
+  /v1/metrics`` scrapes the same registry in Prometheus text format.
 * **Individually** as one JSON object per line on the configured log
   stream (:class:`RequestLog`) — machine-parseable structured logs
-  with method, route, status, latency and a monotonically increasing
-  sequence number.
+  with method, route, request ``kind``, status, latency and a
+  monotonically increasing sequence number, joinable against traces.
 
 Both are thread-safe; the HTTP layer calls them from its per-
-connection handler threads.
+connection handler threads.  The latency percentiles are exact: the
+histogram keeps a bounded window of recent raw samples
+(:data:`_LATENCY_WINDOW`), so p50/p99 come from
+:func:`repro.obs.metrics.percentile` over real observations, not
+bucket boundaries.
 """
 
 from __future__ import annotations
@@ -19,7 +28,8 @@ from __future__ import annotations
 import json
 import threading
 import time
-from collections import Counter, deque
+
+from ..obs.metrics import MetricsRegistry, percentile
 
 __all__ = ["RequestLog", "ServerStats", "percentile"]
 
@@ -28,47 +38,54 @@ __all__ = ["RequestLog", "ServerStats", "percentile"]
 _LATENCY_WINDOW = 4096
 
 
-def percentile(samples: "list[float]", q: float) -> float:
-    """Nearest-rank percentile of a non-empty sample list.
+class ServerStats:
+    """Thread-safe request counters for one server instance.
 
     Parameters
     ----------
-    samples : list of float
-        Observations (not necessarily sorted).
-    q : float
-        Percentile in ``[0, 100]``.
-
-    Returns
-    -------
-    float
-        The nearest-rank percentile value.
-
-    Raises
-    ------
-    ValueError
-        On an empty sample list or a percentile outside ``[0, 100]``.
+    registry : MetricsRegistry, optional
+        The registry the instruments live in.  Defaults to a fresh
+        private registry (one per server instance, so several servers
+        in one process — common in tests — never cross-count);
+        :attr:`registry` is what ``GET /v1/metrics`` merges into the
+        scrape.
     """
-    if not samples:
-        raise ValueError("no samples")
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile must be in [0, 100], got {q}")
-    ordered = sorted(samples)
-    if q == 0.0:
-        return ordered[0]
-    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math
-    return ordered[int(rank) - 1]
 
-
-class ServerStats:
-    """Thread-safe request counters for one server instance."""
-
-    def __init__(self) -> None:
+    def __init__(self, registry: "MetricsRegistry | None" = None
+                 ) -> None:
         self.started = time.time()
+        self.registry = (registry if registry is not None
+                         else MetricsRegistry())
         self._lock = threading.Lock()
-        self._by_route: Counter = Counter()
-        self._by_class: Counter = Counter()
-        self._timeouts = 0
-        self._latencies: deque = deque(maxlen=_LATENCY_WINDOW)
+        self._by_route: dict = {}
+        self._by_class: dict = {}
+        self._timeouts = self.registry.counter(
+            "repro_server_timeouts_total",
+            "requests that hit the service timeout")
+        self._latency = self.registry.histogram(
+            "repro_server_request_seconds",
+            "request service latency",
+            window=_LATENCY_WINDOW)
+
+    def _route_counter(self, route: str):
+        counter = self._by_route.get(route)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_server_requests_total",
+                "served requests by route pattern",
+                labels={"route": route})
+            self._by_route[route] = counter
+        return counter
+
+    def _class_counter(self, status_class: str):
+        counter = self._by_class.get(status_class)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_server_responses_total",
+                "responses by status class",
+                labels={"class": status_class})
+            self._by_class[status_class] = counter
+        return counter
 
     def record(self, route: str, status: int, seconds: float,
                timed_out: bool = False) -> None:
@@ -87,11 +104,11 @@ class ServerStats:
             Whether the request hit the service timeout.
         """
         with self._lock:
-            self._by_route[route] += 1
-            self._by_class[f"{status // 100}xx"] += 1
+            self._route_counter(route).inc()
+            self._class_counter(f"{status // 100}xx").inc()
             if timed_out:
-                self._timeouts += 1
-            self._latencies.append(seconds)
+                self._timeouts.inc()
+            self._latency.observe(seconds)
 
     def snapshot(self) -> dict:
         """A JSON-shaped report of everything recorded so far.
@@ -102,13 +119,17 @@ class ServerStats:
             ``{"uptime_s", "requests": {"total", "by_route",
             "by_status_class", "timeouts"}, "latency_ms": {"count",
             "mean", "p50", "p99", "max"}}`` — the latency block is
-            ``None`` before the first request.
+            ``None`` before the first request.  Percentiles are
+            exact over the bounded recent-sample window of the
+            latency histogram.
         """
         with self._lock:
-            samples = list(self._latencies)
-            by_route = dict(self._by_route)
-            by_class = dict(self._by_class)
-            timeouts = self._timeouts
+            by_route = {route: int(counter.value)
+                        for route, counter in self._by_route.items()}
+            by_class = {cls: int(counter.value)
+                        for cls, counter in self._by_class.items()}
+            timeouts = int(self._timeouts.value)
+            samples = self._latency.samples()
         latency = None
         if samples:
             ms = [value * 1e3 for value in samples]
@@ -141,7 +162,13 @@ class RequestLog:
         self._sequence = 0
 
     def write(self, **fields) -> None:
-        """Emit one structured log record (adds ``ts`` and ``seq``)."""
+        """Emit one structured log record (adds ``ts`` and ``seq``).
+
+        The HTTP layer passes method/path/route/status/latency plus —
+        when the body decoded far enough to tell — the request
+        ``kind`` and, on batch routes, the ``job`` id, so log lines
+        can be joined against traces and job records.
+        """
         if self._stream is None:
             return
         with self._lock:

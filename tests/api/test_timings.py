@@ -1,0 +1,83 @@
+"""Per-request ``timings`` breakdowns on session results.
+
+While tracing is enabled, :meth:`repro.api.Session.run` attaches a
+span-name -> seconds breakdown to freshly computed results; with
+tracing off (the default) the field is ``None`` and the envelope is
+byte-identical to the pre-observability schema.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import DelayRequest, Session, StaRequest, from_json
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_activation(monkeypatch):
+    monkeypatch.delenv(trace.ENV_VAR, raising=False)
+    trace.unconfigure()
+    yield
+    trace.unconfigure()
+
+
+REQUEST = DelayRequest(deltas=((0.0,), (5e-12,)))
+
+
+class TestDisabled:
+    def test_timings_absent_by_default(self):
+        result = Session().run(REQUEST)
+        assert result.timings is None
+
+    def test_envelope_omits_null_timings(self):
+        """Schema compatibility: no ``"timings"`` key at all."""
+        envelope = json.loads(Session().run(REQUEST).to_json())
+        assert "timings" not in envelope
+
+    def test_pre_observability_envelope_still_decodes(self):
+        envelope = json.loads(Session().run(REQUEST).to_json())
+        envelope.pop("timings", None)
+        record = from_json(json.dumps(envelope))
+        assert record.timings is None
+
+
+class TestEnabled:
+    def test_traced_run_attaches_breakdown(self):
+        session = Session(trace=trace.Tracer())
+        result = session.run(REQUEST)
+        assert result.timings is not None
+        assert result.timings["session.run"] > 0.0
+        assert any(name.startswith("engine.")
+                   for name in result.timings)
+        # Child spans are covered by the dispatch total.
+        assert sum(v for k, v in result.timings.items()
+                   if k != "session.run") \
+            <= result.timings["session.run"] * 1.001
+
+    def test_timings_round_trip_through_the_envelope(self):
+        session = Session(trace=trace.Tracer())
+        result = session.run(StaRequest(circuit="nor2", top=1))
+        decoded = from_json(result.to_json())
+        assert decoded.timings == pytest.approx(result.timings)
+
+    def test_memo_hit_does_not_replay_first_timings(self):
+        """A cache hit did no work; it must not claim the first
+        computation's breakdown."""
+        session = Session(trace=trace.Tracer())
+        first = session.run(REQUEST)
+        second = session.run(REQUEST)
+        assert first.timings
+        assert second.timings is None
+        assert dataclasses.replace(first, timings=None) == second
+
+    def test_equality_ignores_presence_via_replace_only(self):
+        """Timings are data: two results differing only in timings
+        compare unequal (replace() strips them when needed)."""
+        session = Session(trace=trace.Tracer())
+        traced = session.run(REQUEST)
+        trace.configure(None)  # Session(trace=...) is process-wide
+        untraced = Session().run(REQUEST)
+        assert traced != untraced
+        assert dataclasses.replace(traced, timings=None) == untraced

@@ -1,0 +1,135 @@
+"""Server observability: ``GET /v1/metrics``, stats instruments, and
+the kind/job fields of the structured access log."""
+
+import io
+import json
+
+import pytest
+
+from repro.api import DelayRequest, VersionRequest
+from repro.obs.metrics import validate_exposition
+from repro.server.stats import ServerStats
+
+BATCH = (VersionRequest().to_json() + "\n"
+         + DelayRequest(deltas=((0.0,),)).to_json() + "\n")
+
+
+class TestMetricsEndpoint:
+    def test_scrape_is_valid_prometheus(self, client):
+        status, body = client.run(VersionRequest())
+        assert status == 200
+        status, headers, body = client.request("GET", "/v1/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        counts = validate_exposition(body.decode("utf-8"))
+        # Server-side instruments (the per-server registry) ...
+        assert counts["repro_server_requests_total"] >= 1
+        assert counts["repro_server_request_seconds"] >= 1
+        # ... merged with the process-global ones.
+        assert counts["repro_session_requests_total"] >= 1
+
+    def test_request_counters_move_with_traffic(self, client):
+        client.get("/v1/health")
+        before = self._route_count(client)
+        client.get("/v1/health")
+        client.get("/v1/health")
+        assert self._route_count(client) == before + 2
+
+    @staticmethod
+    def _route_count(client):
+        _, _, body = client.request("GET", "/v1/metrics")
+        for line in body.decode("utf-8").splitlines():
+            if (line.startswith("repro_server_requests_total")
+                    and 'route="/v1/health"' in line):
+                return float(line.rsplit(" ", 1)[1])
+        return 0.0
+
+    def test_two_servers_do_not_cross_count(self, make_server,
+                                            make_client):
+        first = make_client(make_server())
+        second = make_client(make_server())
+        first.get("/v1/health")
+        first.get("/v1/health")
+        second.get("/v1/health")
+        assert self._route_count(first) == 2.0
+        assert self._route_count(second) == 1.0
+
+
+class TestServerStats:
+    def test_snapshot_shape_without_traffic(self):
+        snap = ServerStats().snapshot()
+        assert snap["latency_ms"] is None  # empty ring: no report
+        assert snap["requests"]["total"] == 0
+
+    def test_single_sample_percentiles(self):
+        stats = ServerStats()
+        stats.record("/v1/run", 200, 0.25)
+        latency = stats.snapshot()["latency_ms"]
+        assert latency["count"] == 1
+        # One sample is every percentile of itself.
+        assert latency["p50"] == latency["p99"] == latency["max"] \
+            == pytest.approx(250.0)
+
+    def test_counters_aggregate_by_route_and_class(self):
+        stats = ServerStats()
+        stats.record("/v1/run", 200, 0.01)
+        stats.record("/v1/run", 400, 0.01)
+        stats.record("/v1/health", 200, 0.001, timed_out=False)
+        stats.record("/v1/run", 504, 0.5, timed_out=True)
+        snap = stats.snapshot()
+        assert snap["requests"]["by_route"] == {"/v1/run": 3,
+                                                "/v1/health": 1}
+        assert snap["requests"]["by_status_class"] == {"2xx": 2,
+                                                       "4xx": 1,
+                                                       "5xx": 1}
+        assert snap["requests"]["timeouts"] == 1
+
+    def test_registry_render_matches_snapshot(self):
+        stats = ServerStats()
+        stats.record("/v1/run", 200, 0.01)
+        counts = validate_exposition(stats.registry.render())
+        assert counts["repro_server_requests_total"] == 1
+        assert counts["repro_server_responses_total"] == 1
+
+
+class TestAccessLog:
+    @pytest.fixture()
+    def logged(self, make_server, make_client):
+        stream = io.StringIO()
+        client = make_client(make_server(log_stream=stream))
+        return client, stream
+
+    @staticmethod
+    def _lines(stream):
+        return [json.loads(line)
+                for line in stream.getvalue().splitlines()]
+
+    def test_run_lines_carry_request_kind(self, logged):
+        client, stream = logged
+        status, _ = client.run(DelayRequest(deltas=((0.0,),)))
+        assert status == 200
+        (line,) = self._lines(stream)
+        assert line["route"] == "/v1/run"
+        assert line["kind"] == "delay"
+        assert line["status"] == 200
+        assert line["ms"] >= 0.0
+
+    def test_malformed_body_has_no_kind_field(self, logged):
+        client, stream = logged
+        status, _, _ = client.request("POST", "/v1/run",
+                                      body="not json")
+        assert status == 400
+        (line,) = self._lines(stream)
+        assert "kind" not in line
+
+    def test_batch_routes_carry_job_id(self, logged):
+        client, stream = logged
+        status, meta = client.post("/v1/batches", BATCH)
+        assert status == 202
+        job_id = meta["id"]
+        client.wait_job(job_id)
+        client.request("GET", f"/v1/batches/{job_id}/results")
+        for line in self._lines(stream):
+            if line["route"].startswith("/v1/batches"):
+                assert line["job"] == job_id

@@ -375,3 +375,33 @@ class TestMultiInput:
                      "8"]) == 0
         out = capsys.readouterr().out
         assert "corner sweep: 8 corners" in out
+
+
+class TestTraceFlag:
+    """``--trace PATH``: span JSONL written, startup time covered."""
+
+    def test_trace_writes_startup_and_run_roots(self, capsys,
+                                                tmp_path):
+        from repro.obs.trace import read_jsonl
+        path = tmp_path / "spans.jsonl"
+        assert main(["delay", "--delta", "10", "--trace",
+                     str(path)]) == 0
+        assert f"wrote trace spans to {path}" in \
+            capsys.readouterr().err
+        records = read_jsonl(path)
+        by_name = {r["name"]: r for r in records}
+        assert by_name["cli.startup"]["parent"] is None
+        assert by_name["cli.startup"]["dur_s"] > 0.0
+        assert by_name["cli.run"]["parent"] is None
+        assert by_name["cli.run"]["attrs"]["command"] == "delay"
+        assert by_name["session.run"]["parent"] \
+            == by_name["cli.run"]["id"]
+
+    def test_trace_flag_does_not_leak_into_later_runs(self, capsys,
+                                                      tmp_path):
+        from repro.obs.trace import active_tracer
+        path = tmp_path / "spans.jsonl"
+        assert main(["version", "--trace", str(path)]) == 0
+        capsys.readouterr()
+        assert active_tracer() is None
+        assert main(["version"]) == 0
