@@ -36,6 +36,7 @@ CHECKS = [
     ("bench_sta.py", "BENCH_sta.json", "speedup", 10.0, "x"),
     ("bench_server.py", "BENCH_server.json", "rps", 400.0, " req/s"),
     ("bench_obs.py", "BENCH_obs.json", "enabled_ratio", 0.8, "x"),
+    ("bench_stats.py", "BENCH_stats.json", "speedup", 50.0, "x"),
 ]
 
 

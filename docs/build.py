@@ -52,6 +52,7 @@ API_MODULES = [
     "repro.library",
     "repro.cache",
     "repro.sta",
+    "repro.stats",
     "repro.spice",
     "repro.timing",
     "repro.models",
@@ -64,7 +65,7 @@ API_MODULES = [
 #: Modules whose public *methods* must also carry docstrings.
 STRICT_DOCSTRING_MODULES = {"repro", "repro.api", "repro.engine",
                             "repro.library", "repro.obs",
-                            "repro.sta"}
+                            "repro.sta", "repro.stats"}
 
 #: Site navigation: (section, [(source page, title), ...]).
 NAV: list[tuple[str, list[tuple[str, str]]]] = [
@@ -80,6 +81,7 @@ NAV: list[tuple[str, list[tuple[str, str]]]] = [
         ("performance.md", "Performance"),
         ("library.md", "Library characterization"),
         ("sta.md", "Static timing analysis"),
+        ("statistics.md", "Statistical delay"),
         ("multi_input.md", "n-input gates"),
     ]),
     ("Tutorials", [
@@ -87,6 +89,7 @@ NAV: list[tuple[str, list[tuple[str, str]]]] = [
         ("tutorials/api.md", "Session API walkthrough"),
         ("tutorials/timing-accuracy.md", "Timing accuracy study"),
         ("tutorials/sta.md", "STA walkthrough"),
+        ("tutorials/statistics.md", "Statistical delay walkthrough"),
         ("tutorials/multi-input.md", "n-input NOR walkthrough"),
     ]),
     ("API reference", [

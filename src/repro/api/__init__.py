@@ -38,11 +38,13 @@ from .catalog import (EXPERIMENT_DESCRIPTIONS, GATE_CHOICES,
 from .requests import (CharacterizeRequest, DelayRequest,
                        DescribeRequest, ExperimentRequest,
                        LibraryRequest, MultiInputRequest, Request,
-                       StaRequest, SweepRequest, VersionRequest)
+                       StaRequest, StatsRequest, SweepRequest,
+                       VersionRequest)
 from .results import (CharacterizeResult, DelayResult, DescribeResult,
                       ErrorResult, ExperimentResult,
                       LibraryInspectResult, MultiInputResult, Result,
-                      StaRunResult, SweepResult, VersionResult)
+                      StaRunResult, StatsResult, SweepResult,
+                      VersionResult)
 from .serialization import (API_SCHEMA, API_SCHEMA_VERSION, ApiRecord,
                             check_schema, from_json, known_kinds)
 from .session import Session
@@ -71,6 +73,8 @@ __all__ = [
     "Session",
     "StaRequest",
     "StaRunResult",
+    "StatsRequest",
+    "StatsResult",
     "SweepRequest",
     "SweepResult",
     "TECHNOLOGIES",

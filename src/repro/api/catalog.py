@@ -50,6 +50,8 @@ WORKFLOW_DESCRIPTIONS: dict[str, str] = {
                "(with a path)",
     "sta": "MIS-aware static timing analysis (report, corner "
            "sweeps, cross-validation)",
+    "stats": "statistical delay: vectorized Monte-Carlo, "
+             "collocation surrogate, timing yield",
     "delay": "evaluate MIS delays at explicit input separations",
     "serve": "run the HTTP delay service (POST /v1/run + async "
              "batch jobs)",

@@ -27,11 +27,12 @@ from .catalog import (EXPERIMENT_DESCRIPTIONS, GATE_CHOICES,
 from .requests import (CharacterizeRequest, DelayRequest,
                        DescribeRequest, ExperimentRequest,
                        LibraryRequest, MultiInputRequest, Request,
-                       StaRequest, SweepRequest, VersionRequest)
+                       StaRequest, StatsRequest, SweepRequest,
+                       VersionRequest)
 from .results import (CharacterizeResult, DelayResult, DescribeResult,
                       ExperimentResult, LibraryInspectResult,
                       MultiInputResult, Result, StaRunResult,
-                      SweepResult, VersionResult)
+                      StatsResult, SweepResult, VersionResult)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .session import Session
@@ -67,6 +68,7 @@ def _describe(session: "Session",
     entries["library"] = (EXPERIMENT_DESCRIPTIONS["library"] + "; "
                           + WORKFLOW_DESCRIPTIONS["library"])
     entries["sta"] = WORKFLOW_DESCRIPTIONS["sta"]
+    entries["stats"] = WORKFLOW_DESCRIPTIONS["stats"]
     entries["delay"] = WORKFLOW_DESCRIPTIONS["delay"]
     entries["metrics"] = WORKFLOW_DESCRIPTIONS["metrics"]
     entries["version"] = WORKFLOW_DESCRIPTIONS["version"]
@@ -434,6 +436,146 @@ def _sta(session: "Session", request: StaRequest) -> StaRunResult:
                         text="\n".join(lines))
 
 
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+
+def _stats_tuples(array) -> tuple:
+    return tuple(float(value) for value in array)
+
+
+def _render_summary(summary, title: str) -> str:
+    from ..analysis.reporting import ascii_table
+
+    headers = ["Δ [ps]", "mean [ps]", "std [ps]"]
+    headers += [f"p{level:g} [ps]"
+                for level in summary.percentile_levels]
+    rows = []
+    for j, delta in enumerate(summary.deltas):
+        row = [f"{to_ps(delta):+.2f}",
+               f"{to_ps(summary.mean[j]):.3f}",
+               f"{to_ps(summary.std[j]):.4f}"]
+        row += [f"{to_ps(summary.percentile_values[i][j]):.3f}"
+                for i in range(len(summary.percentile_levels))]
+        rows.append(tuple(row))
+    return ascii_table(headers, rows, title=title)
+
+
+def _stats(session: "Session", request: StatsRequest) -> StatsResult:
+    from ..stats import (ParameterDistribution, fit_surrogate,
+                         monte_carlo, timing_yield)
+    from ..stats.distributions import VARIABLE_PARAMS
+    from ..stats.montecarlo import summarize
+
+    if request.method not in ("mc", "surrogate", "yield"):
+        raise ParameterError(
+            f"unknown stats method {request.method!r}; choose "
+            "'mc', 'surrogate' or 'yield'")
+    sigma = request.sigma or tuple(
+        (name, 0.05) for name in VARIABLE_PARAMS)
+    distribution = ParameterDistribution(
+        session.parameters, sigma, kind=request.distribution,
+        correlation=request.correlation)
+
+    if request.method == "yield":
+        graph = session.timing_graph(request.circuit)
+        outcome = timing_yield(
+            graph, distribution, samples=request.samples,
+            seed=request.seed, required=request.required,
+            arrival_sigma=request.arrival_sigma)
+        summary = summarize(outcome.worst_arrival[:, None], [0.0],
+                            method="yield",
+                            percentiles=request.percentiles,
+                            bins=request.bins)
+        lines = [f"statistical STA: circuit '{request.circuit}', "
+                 f"{request.samples} corners, seed {request.seed}"]
+        stats = outcome.arrival_stats()
+        lines.append(f"  worst arrival: mean "
+                     f"{to_ps(stats['mean']):.3f} ps, std "
+                     f"{to_ps(stats['std']):.4f} ps, range "
+                     f"[{to_ps(stats['min']):.3f}, "
+                     f"{to_ps(stats['max']):.3f}] ps")
+        if request.required is not None:
+            lines.append(
+                f"  required {to_ps(request.required):.3f} ps -> "
+                f"timing yield {outcome.yield_fraction:.4f}")
+        else:
+            lines.append("  no requirement -> yield 1.0 by "
+                         "definition")
+        return StatsResult(
+            method="yield", gate=request.gate,
+            direction=request.direction, circuit=request.circuit,
+            samples=request.samples, deltas=(),
+            mean=_stats_tuples(summary.mean),
+            std=_stats_tuples(summary.std),
+            minimum=_stats_tuples(summary.minimum),
+            maximum=_stats_tuples(summary.maximum),
+            percentile_levels=_stats_tuples(
+                summary.percentile_levels),
+            percentile_values=tuple(
+                _stats_tuples(row)
+                for row in summary.percentile_values),
+            histogram_edges=(None if summary.histogram_edges is None
+                             else tuple(
+                                 _stats_tuples(row)
+                                 for row in summary.histogram_edges)),
+            histogram_counts=(None
+                              if summary.histogram_counts is None
+                              else tuple(
+                                  _stats_tuples(row)
+                                  for row in
+                                  summary.histogram_counts)),
+            yield_fraction=outcome.yield_fraction,
+            required=request.required,
+            text="\n".join(lines))
+
+    if request.method == "mc":
+        summary = monte_carlo(
+            distribution, request.deltas, samples=request.samples,
+            direction=request.direction, seed=request.seed,
+            gate=request.gate, vn_init=request.vn_init,
+            engine=session.engine, percentiles=request.percentiles,
+            bins=request.bins)
+        title = (f"Monte-Carlo delay statistics: {request.gate} "
+                 f"{request.direction}, {summary.samples} samples, "
+                 f"seed {request.seed}")
+    else:
+        surrogate = fit_surrogate(
+            distribution, request.deltas,
+            direction=request.direction, gate=request.gate,
+            vn_init=request.vn_init, degree=request.degree,
+            engine=session.engine)
+        summary = surrogate.summarize(
+            samples=request.samples, seed=request.seed,
+            percentiles=request.percentiles, bins=request.bins)
+        title = (f"collocation-surrogate delay statistics: "
+                 f"{request.gate} {request.direction}, "
+                 f"{summary.samples} model evaluations "
+                 f"(degree {request.degree}), seed {request.seed}")
+    return StatsResult(
+        method=request.method, gate=request.gate,
+        direction=request.direction, circuit=None,
+        samples=summary.samples,
+        deltas=_stats_tuples(summary.deltas),
+        mean=_stats_tuples(summary.mean),
+        std=_stats_tuples(summary.std),
+        minimum=_stats_tuples(summary.minimum),
+        maximum=_stats_tuples(summary.maximum),
+        percentile_levels=_stats_tuples(summary.percentile_levels),
+        percentile_values=tuple(
+            _stats_tuples(row) for row in summary.percentile_values),
+        histogram_edges=(None if summary.histogram_edges is None
+                         else tuple(
+                             _stats_tuples(row)
+                             for row in summary.histogram_edges)),
+        histogram_counts=(None if summary.histogram_counts is None
+                          else tuple(
+                              _stats_tuples(row)
+                              for row in summary.histogram_counts)),
+        yield_fraction=None, required=None,
+        text=_render_summary(summary, title))
+
+
 #: Request type -> handler, consumed by :meth:`Session.run`.
 HANDLERS: dict[type[Request],
                Callable[["Session", Request], Result]] = {
@@ -446,4 +588,5 @@ HANDLERS: dict[type[Request],
     CharacterizeRequest: _characterize,
     LibraryRequest: _library,
     StaRequest: _sta,
+    StatsRequest: _stats,
 }

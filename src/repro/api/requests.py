@@ -29,6 +29,7 @@ __all__ = [
     "MultiInputRequest",
     "Request",
     "StaRequest",
+    "StatsRequest",
     "SweepRequest",
     "VersionRequest",
 ]
@@ -248,3 +249,78 @@ class ExperimentRequest(Request):
     transitions: int | None = None
     repetitions: int | None = None
     seed: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class StatsRequest(Request):
+    """Statistical delay analysis (``repro stats``).
+
+    One request kind for the three statistical methods of
+    :mod:`repro.stats`: vectorized Monte-Carlo delay sampling
+    (``"mc"``), the probabilistic-collocation surrogate
+    (``"surrogate"``) and Monte-Carlo timing yield (``"yield"``).
+    The parameter distribution is centered on the session's bound
+    parameter set; the request carries only its shape.
+
+    Parameters
+    ----------
+    method : str
+        ``"mc"``, ``"surrogate"`` or ``"yield"``.
+    gate : str
+        ``"nor2"`` (block-kernel path), ``"nor3"`` or ``"nor4"``
+        (``mc`` / ``surrogate``).
+    direction : str
+        ``"falling"`` or ``"rising"`` (``mc`` / ``surrogate``).
+    deltas : tuple of float
+        Input separations in seconds, one statistics row each
+        (``mc`` / ``surrogate``).
+    samples : int
+        Monte-Carlo sample count; for ``surrogate`` the polynomial
+        *resample* count behind percentiles/histograms (the model-
+        evaluation cost is the fixed collocation design).
+    seed : int
+        Draw seed; identical seeds give byte-identical results
+        across processes and engine backends.
+    sigma : tuple of (str, float)
+        Relative spread per varied parameter, e.g.
+        ``(("r1", 0.1), ("co", 0.05))``; empty (default) varies all
+        six R/C parameters at 5 %.
+    distribution : str
+        Marginal family, ``"lognormal"`` (default) or ``"normal"``.
+    correlation : float
+        Equicorrelation ``0 <= rho < 1`` between the varied
+        parameters' underlying normals.
+    vn_init : float
+        Rising-direction internal-node voltage, volts.
+    percentiles : tuple of float
+        Reported percentile levels in percent.
+    bins : int
+        Histogram bin count per Δ (0 disables histograms).
+    degree : int
+        Total polynomial degree of the surrogate expansion, 1–5.
+    circuit : str
+        Built-in test circuit (``yield``).
+    required : float, optional
+        Endpoint requirement in seconds (``yield``).
+    arrival_sigma : float
+        Absolute σ of Gaussian input-arrival jitter, seconds
+        (``yield``).
+    """
+
+    kind: ClassVar[str] = "stats"
+    method: str = "mc"
+    gate: str = "nor2"
+    direction: str = "falling"
+    deltas: tuple[float, ...] = (0.0,)
+    samples: int = 1024
+    seed: int = 0
+    sigma: tuple[tuple[str, float], ...] = ()
+    distribution: str = "lognormal"
+    correlation: float = 0.0
+    vn_init: float = 0.0
+    percentiles: tuple[float, ...] = (1.0, 50.0, 99.0)
+    bins: int = 0
+    degree: int = 3
+    circuit: str = "tree"
+    required: float | None = None
+    arrival_sigma: float = 0.0

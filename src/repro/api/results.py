@@ -30,6 +30,7 @@ __all__ = [
     "MultiInputResult",
     "Result",
     "StaRunResult",
+    "StatsResult",
     "SweepResult",
     "VersionResult",
 ]
@@ -336,6 +337,74 @@ class StaRunResult(Result):
     engine: str = ""
     analysis: dict[str, Any] | None = None
     max_error: float | None = None
+    text: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class StatsResult(Result):
+    """Statistical delay analysis outcome (``repro stats``).
+
+    Deliberately carries **no** engine name: identical seeds produce
+    byte-identical envelopes across the ``reference`` /
+    ``vectorized`` / ``parallel`` backends (the determinism contract
+    of :mod:`repro.stats`), and an engine field would break that.
+
+    For ``method = "yield"`` the per-Δ statistics columns collapse
+    to one pseudo-column holding the worst-endpoint-arrival
+    distribution and ``deltas`` is empty.
+
+    Parameters
+    ----------
+    method : str
+        ``"mc"``, ``"surrogate"`` or ``"yield"``.
+    gate : str
+        Evaluated gate width (``mc`` / ``surrogate``).
+    direction : str
+        ``"falling"`` or ``"rising"`` (``mc`` / ``surrogate``).
+    circuit : str, optional
+        Analyzed circuit (``yield`` only, else ``None``).
+    samples : int
+        Samples behind the statistics; for ``surrogate`` the
+        model-evaluation count (the collocation design size).
+    deltas : tuple of float
+        The Δ grid, seconds (empty for ``yield``).
+    mean, std, minimum, maximum : tuple of float
+        Per-column moments/extremes, seconds (``std`` ddof = 1).
+    percentile_levels : tuple of float
+        Reported percentile levels in percent.
+    percentile_values : tuple of tuple of float
+        Per-level, per-column percentiles, seconds.
+    histogram_edges : tuple of tuple of float, optional
+        Per-column bin edges (``None`` when no histogram was
+        requested).
+    histogram_counts : tuple of tuple of float, optional
+        Per-column bin counts.
+    yield_fraction : float, optional
+        Fraction of corners with non-negative worst slack
+        (``yield`` only).
+    required : float, optional
+        Endpoint requirement, seconds (``yield`` only).
+    text : str
+        Rendered statistics table / yield report.
+    """
+
+    kind: ClassVar[str] = "stats_result"
+    method: str = "mc"
+    gate: str = "nor2"
+    direction: str = "falling"
+    circuit: str | None = None
+    samples: int = 0
+    deltas: tuple[float, ...] = ()
+    mean: tuple[float, ...] = ()
+    std: tuple[float, ...] = ()
+    minimum: tuple[float, ...] = ()
+    maximum: tuple[float, ...] = ()
+    percentile_levels: tuple[float, ...] = ()
+    percentile_values: tuple[tuple[float, ...], ...] = ()
+    histogram_edges: tuple[tuple[float, ...], ...] | None = None
+    histogram_counts: tuple[tuple[float, ...], ...] | None = None
+    yield_fraction: float | None = None
+    required: float | None = None
     text: str = ""
 
 

@@ -19,6 +19,10 @@ workflow commands are:
 * ``repro sta`` runs the MIS-aware static timing analyzer over a
   built-in NOR circuit (report, JSON output, corner sweeps, and the
   STA-vs-event-simulation cross-validation);
+* ``repro stats`` runs the statistical delay workloads of
+  :mod:`repro.stats`: vectorized Monte-Carlo delay sampling, the
+  collocation surrogate, and Monte-Carlo timing yield — seeded, so
+  results are byte-identical across processes and engine backends;
 * ``repro serve`` runs the long-lived HTTP delay service
   (:mod:`repro.server`): ``POST /v1/run`` plus asynchronous batch
   jobs with a crash-safe on-disk store;
@@ -51,7 +55,8 @@ from ._version import __version__
 from .api import (CharacterizeRequest, DelayRequest, DescribeRequest,
                   ExperimentRequest, GATE_CHOICES, LibraryRequest,
                   MultiInputRequest, Request, Session, StaRequest,
-                  SweepRequest, TECHNOLOGIES, VersionRequest)
+                  StatsRequest, SweepRequest, TECHNOLOGIES,
+                  VersionRequest)
 from .engine import DEFAULT_ENGINE, available_engines
 from .errors import ReproError
 from .obs import trace as obs_trace
@@ -257,6 +262,68 @@ def build_parser() -> argparse.ArgumentParser:
                           "server at this base URL instead of "
                           "rendering the in-process registry")
 
+    cmd = sub.add_parser("stats", help=WORKFLOW_DESCRIPTIONS["stats"])
+    _add_json_flag(cmd)
+    cmd.add_argument("--method", choices=("mc", "surrogate", "yield"),
+                     default="mc",
+                     help="statistical method (default: mc)")
+    cmd.add_argument("--delta", action="append", default=None,
+                     metavar="PS", dest="deltas", type=float,
+                     help="input separation in ps, one statistics "
+                          "row each; repeatable (default: 0)")
+    cmd.add_argument("--samples", type=_positive_int, default=1024,
+                     help="Monte-Carlo sample count / surrogate "
+                          "resample count (default: 1024)")
+    cmd.add_argument("--seed", type=int, default=0,
+                     help="draw seed (default: 0)")
+    cmd.add_argument("--sigma", action="append", default=None,
+                     metavar="NAME=REL",
+                     help="relative spread of one parameter, e.g. "
+                          "r1=0.1; repeatable (default: all six R/C "
+                          "parameters at 0.05)")
+    cmd.add_argument("--distribution",
+                     choices=("lognormal", "normal"),
+                     default="lognormal",
+                     help="marginal family (default: lognormal)")
+    cmd.add_argument("--correlation", type=float, default=0.0,
+                     metavar="RHO",
+                     help="equicorrelation between varied "
+                          "parameters, 0 <= rho < 1 (default: 0)")
+    cmd.add_argument("--direction", choices=("falling", "rising"),
+                     default="falling",
+                     help="output transition (default: falling)")
+    cmd.add_argument("--gate", choices=GATE_CHOICES, default="nor2",
+                     help="gate width (default: nor2)")
+    cmd.add_argument("--vn-init", type=float, default=0.0,
+                     metavar="V",
+                     help="initial internal-node voltage in volts "
+                          "(rising direction; default 0.0)")
+    cmd.add_argument("--percentile", action="append", default=None,
+                     metavar="P", dest="percentiles", type=float,
+                     help="reported percentile level in percent; "
+                          "repeatable (default: 1, 50, 99)")
+    cmd.add_argument("--bins", type=int, default=0,
+                     help="histogram bins per Δ in the JSON "
+                          "envelope (default: 0, disabled)")
+    cmd.add_argument("--degree", type=_positive_int, default=3,
+                     help="surrogate polynomial degree, 1-5 "
+                          "(default: 3)")
+    cmd.add_argument("--circuit", default="tree",
+                     help="built-in test circuit for --method yield "
+                          "(default: tree)")
+    cmd.add_argument("--required", type=float, default=None,
+                     metavar="PS",
+                     help="endpoint requirement in ps for --method "
+                          "yield (enables the yield fraction)")
+    cmd.add_argument("--arrival-sigma", type=float, default=0.0,
+                     metavar="PS",
+                     help="Gaussian input-arrival jitter sigma in ps "
+                          "for --method yield (default: 0)")
+    cmd.add_argument("--engine", choices=available_engines(),
+                     default=DEFAULT_ENGINE,
+                     help="delay evaluation backend (results are "
+                          "byte-identical across backends)")
+
     cmd = sub.add_parser("sta", help=WORKFLOW_DESCRIPTIONS["sta"])
     _add_json_flag(cmd)
     cmd.add_argument("--circuit", default="tree",
@@ -330,6 +397,40 @@ def request_from_args(args: argparse.Namespace) -> Request:
     if command == "library" and args.path is not None:
         return LibraryRequest(path=args.path, cell=args.cell,
                               verify=args.verify)
+    if command == "stats":
+        sigma = []
+        for spec in (args.sigma or ()):
+            name, separator, value = spec.partition("=")
+            if not separator:
+                raise ValueError(
+                    f"bad --sigma value {spec!r}: expected NAME=REL, "
+                    "e.g. r1=0.1")
+            try:
+                sigma.append((name, float(value)))
+            except ValueError:
+                raise ValueError(
+                    f"bad --sigma value {spec!r}: {value!r} is not "
+                    "a number") from None
+        return StatsRequest(
+            method=args.method,
+            gate=args.gate,
+            direction=args.direction,
+            deltas=tuple(value * PS
+                         for value in (args.deltas or [0.0])),
+            samples=args.samples,
+            seed=args.seed,
+            sigma=tuple(sigma),
+            distribution=args.distribution,
+            correlation=args.correlation,
+            vn_init=args.vn_init,
+            percentiles=(tuple(args.percentiles)
+                         if args.percentiles else (1.0, 50.0, 99.0)),
+            bins=args.bins,
+            degree=args.degree,
+            circuit=args.circuit,
+            required=(args.required * PS
+                      if args.required is not None else None),
+            arrival_sigma=args.arrival_sigma * PS)
     if command == "sta":
         required = (args.required * PS if args.required is not None
                     else None)

@@ -207,11 +207,14 @@ def _newton_bisect_refine(weights, rates, lo, hi, threshold: float,
     weights : array_like of float
         Per-row exponential coefficients, shape ``(rows, modes)``.
     rates : array_like of float
-        Shared exponential rates, shape ``(modes,)``.
+        Exponential rates: shape ``(modes,)`` when shared across the
+        batch (the n-input kernel), or ``(rows, modes)`` when every
+        row carries its own eigenvalues (the parameter-block kernels
+        of :mod:`repro.engine.blocks`).
     lo, hi : array_like of float
         Bracket endpoints per row (finite; ``lo < hi``).
-    threshold : float
-        Crossing level.
+    threshold : float or array_like of float
+        Crossing level — scalar, or one level per row.
     downward : bool
         Crossing direction (decides which bracket side an iterate
         updates).
@@ -228,9 +231,12 @@ def _newton_bisect_refine(weights, rates, lo, hi, threshold: float,
         newton_steps = _NEWTON_STEPS
     weights = np.asarray(weights, dtype=float)
     rates = np.asarray(rates, dtype=float)
+    threshold = np.asarray(threshold, dtype=float)
     lo = np.array(lo, dtype=float)
     hi = np.array(hi, dtype=float)
-    wr = weights * rates[None, :]
+    # Shared (modes,) and per-row (rows, modes) rates broadcast the
+    # same way against the (rows, modes) weights and (rows, 1) times.
+    wr = weights * rates
     t = 0.5 * (lo + hi)
     step = np.full(t.shape, math.inf)
     # Lockstep over the full batch: every row converges within a few
@@ -238,7 +244,7 @@ def _newton_bisect_refine(weights, rates, lo, hi, threshold: float,
     # more in small-array dispatch than the spare iterations do.
     with np.errstate(divide="ignore", invalid="ignore"):
         for iteration in range(newton_steps):
-            e = np.exp(t[:, None] * rates[None, :])
+            e = np.exp(t[:, None] * rates)
             f = np.einsum("rk,rk->r", weights, e) - threshold
             side = f > 0.0 if downward else f <= 0.0
             lo = np.where(side, t, lo)
@@ -259,11 +265,13 @@ def _newton_bisect_refine(weights, rates, lo, hi, threshold: float,
     pending = np.nonzero(step > 1e-15 * np.abs(t) + 1e-26)[0]
     if pending.size:
         la, ha, w = lo[pending], hi[pending], weights[pending]
+        r = rates[pending] if rates.ndim == 2 else rates
+        level = threshold[pending] if threshold.ndim else threshold
         for _ in range(_BATCH_BISECT_STEPS):
             mid = 0.5 * (la + ha)
             value = np.einsum(
                 "rk,rk->r", w,
-                np.exp(mid[:, None] * rates[None, :])) - threshold
+                np.exp(mid[:, None] * r)) - level
             upper = value > 0.0 if downward else value <= 0.0
             la = np.where(upper, mid, la)
             ha = np.where(upper, ha, mid)

@@ -17,7 +17,13 @@ Every backend serves both arities of the protocol: scalar-Δ entry
 points (``delays_falling`` / ``delays_rising``) for the paper's
 2-input cells, and Δ-vector entry points (``delays_falling_n`` /
 ``delays_rising_n``, trailing axis of n−1 sibling offsets) for the
-generalized n-input NOR of :mod:`repro.core.multi_input`.
+generalized n-input NOR of :mod:`repro.core.multi_input`.  A third
+axis batches over *parameter sets*: sample-block entry points
+(``delays_falling_block`` / ``delays_rising_block``, one structured
+record per parameter set — see :mod:`repro.engine.blocks`) evaluate N
+Monte-Carlo samples × M Δ-points in one call, dispatched through
+:func:`repro.engine.blocks.block_delays` with a per-sample loop
+fallback for backends without native block kernels.
 
 Sweeps throughout the package accept ``engine=`` (a name, an instance,
 or ``None`` for the default) and the CLI exposes ``--engine``::
@@ -35,18 +41,24 @@ New backends implement :class:`~repro.engine.base.DelayEngine` and call
 
 from .base import (DEFAULT_ENGINE, DelayEngine, available_engines,
                    delays_for_direction, get_engine, register_engine)
+from .blocks import (BLOCK_DTYPE, block_delays, block_from_parameters,
+                     parameters_at)
 from .parallel import ParallelEngine
 from .reference import ReferenceEngine
 from .vectorized import VectorizedEngine
 
 __all__ = [
+    "BLOCK_DTYPE",
     "DEFAULT_ENGINE",
     "DelayEngine",
     "ParallelEngine",
     "ReferenceEngine",
     "VectorizedEngine",
     "available_engines",
+    "block_delays",
+    "block_from_parameters",
     "delays_for_direction",
     "get_engine",
+    "parameters_at",
     "register_engine",
 ]

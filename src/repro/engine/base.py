@@ -56,6 +56,16 @@ class DelayEngine(Protocol):
     Implementations must be pure functions of ``(params, deltas)``:
     the same inputs always give the same delays, which is what makes
     per-parameter-set caching safe.
+
+    Backends may additionally expose *sample-block* entry points
+    (``delays_falling_block(block, deltas)`` /
+    ``delays_rising_block(block, deltas, vn_init)``) that batch over
+    the parameter axis — one structured record per parameter set, see
+    :mod:`repro.engine.blocks`.  They are optional:
+    :func:`repro.engine.blocks.block_delays` dispatches to them when
+    present and falls back to a per-sample loop otherwise, so the
+    protocol's required surface stays the four Δ-batched methods
+    below.
     """
 
     #: Registry name of the backend.

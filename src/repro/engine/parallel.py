@@ -161,6 +161,66 @@ def _worker_shard(inner: str, direction: str, params, state: float,
         out_block.close()
 
 
+def _evaluate_block_rows(inner: str, direction: str, state: float,
+                         in_block, out_block, shape, start: int,
+                         stop: int) -> None:
+    """Evaluate sample-block rows ``[start, stop)`` in place.
+
+    The staged matrix carries one sample per row: the parameter
+    fields in the leading columns (:data:`~repro.engine.blocks
+    .PARAM_FIELDS` order), that sample's Δ row after them.  Kept as
+    its own frame for the same ``close()`` reason as
+    :func:`_evaluate_rows`.
+    """
+    from .blocks import PARAM_FIELDS, block_delays, block_from_matrix
+
+    width = len(PARAM_FIELDS)
+    flat = np.ndarray(shape, dtype=np.float64, buffer=in_block.buf)
+    out = np.ndarray((shape[0], shape[1] - width), dtype=np.float64,
+                     buffer=out_block.buf)
+    rows = block_from_matrix(flat[start:stop, :width])
+    out[start:stop] = block_delays(get_engine(inner), direction,
+                                   rows, flat[start:stop, width:],
+                                   state)
+
+
+def _worker_block_shard(inner: str, direction: str, state: float,
+                        in_name: str, out_name: str, shape: tuple,
+                        start: int, stop: int) -> None:
+    """Evaluate one sample-block shard inside a worker process.
+
+    The block twin of :func:`_worker_shard`: sharding is over the
+    *sample* axis, so every worker rebuilds its slice of the
+    parameter block from the staged matrix and runs the inner
+    backend's block kernel on it.
+    """
+    in_block = _attach(in_name)
+    try:
+        out_block = _attach(out_name)
+    except BaseException:  # pragma: no cover - second attach failing
+        in_block.close()
+        raise
+    try:
+        with _span("engine.parallel.block_shard", inner=inner,
+                   direction=direction, start=start, stop=stop):
+            _evaluate_block_rows(inner, direction, state, in_block,
+                                 out_block, shape, start, stop)
+    except BaseException as exc:
+        trace = exc.__traceback__
+        while trace is not None:
+            if (trace.tb_frame.f_code
+                    is not _worker_block_shard.__code__):
+                try:
+                    trace.tb_frame.clear()
+                except RuntimeError:  # pragma: no cover - executing
+                    pass
+            trace = trace.tb_next
+        raise
+    finally:
+        in_block.close()
+        out_block.close()
+
+
 def _release(block: shared_memory.SharedMemory) -> None:
     """Unmap and remove one owned shared block."""
     try:
@@ -340,6 +400,121 @@ class ParallelEngine:
         finally:
             _release(in_block)
             _release(out_block)
+
+    def _run_block(self, direction: str, block, deltas,
+                   state: float) -> np.ndarray:
+        """Shard a sample-block sweep over the pool, or serve it
+        inline.
+
+        Sharding is over the *sample* axis: each worker receives a
+        contiguous slice of parameter records together with their Δ
+        rows, staged as one homogeneous ``(N, fields + M)`` matrix in
+        shared memory.  The inline-fallback threshold counts
+        evaluations (``N × M``), matching the Δ-sharded path.
+        """
+        from .blocks import (block_delays, field_matrix,
+                             validate_block)
+
+        block = validate_block(block)
+        d = np.asarray(deltas, dtype=float)
+        squeeze = d.ndim == 1
+        d2 = d[:, None] if squeeze else d
+        if (d2.ndim != 2 or d2.shape[0] != block.shape[0]
+                or np.isnan(d2).any()):
+            # Delegate malformed input to the kernel's validation for
+            # a uniform error message.
+            return block_delays(get_engine(self.inner), direction,
+                                block, deltas, state)
+        if (d2.size < self.min_shard_points or self.processes == 1):
+            return block_delays(get_engine(self.inner), direction,
+                                block, d, state)
+        staged = np.concatenate(
+            [field_matrix(block), np.ascontiguousarray(d2)], axis=1)
+        rows = staged.shape[0]
+        pool = self._ensure_pool()
+        out_bytes = d2.size * staged.itemsize
+        with _span("engine.parallel.stage", rows=rows) as stage_span:
+            in_block = shared_memory.SharedMemory(create=True,
+                                                  size=staged.nbytes)
+            try:
+                out_block = shared_memory.SharedMemory(
+                    create=True, size=out_bytes)
+            except BaseException:  # pragma: no cover - alloc failure
+                _release(in_block)
+                raise
+            stage_span.set(bytes=staged.nbytes + out_bytes)
+        try:
+            with _span("engine.parallel.copy_in", rows=rows):
+                np.ndarray(staged.shape, dtype=np.float64,
+                           buffer=in_block.buf)[...] = staged
+            bounds = self._shard_bounds(rows)
+            with _span("engine.parallel.fan_out",
+                       shards=len(bounds), rows=rows,
+                       processes=self.processes):
+                pool.starmap(
+                    _worker_block_shard,
+                    [(self.inner, direction, state, in_block.name,
+                      out_block.name, staged.shape, start, stop)
+                     for start, stop in bounds])
+            with _span("engine.parallel.copy_out", rows=rows):
+                out = np.array(np.ndarray(
+                    d2.shape, dtype=np.float64,
+                    buffer=out_block.buf))
+            return out[:, 0] if squeeze else out
+        finally:
+            _release(in_block)
+            _release(out_block)
+
+    @traced_entry_point("engine.delays_block", "falling")
+    def delays_falling_block(self, block, deltas) -> np.ndarray:
+        """Falling MIS delays for a parameter sample block, sample
+        rows sharded across workers.
+
+        Parameters
+        ----------
+        block : numpy.ndarray
+            Sample block of dtype
+            :data:`repro.engine.blocks.BLOCK_DTYPE`, shape ``(N,)``.
+        deltas : array_like of float
+            Input separations in seconds, shape ``(N,)`` or
+            ``(N, M)``; ``±inf`` allowed, NaN rejected.  Blocks with
+            fewer than :attr:`min_shard_points` evaluations are
+            served inline by the inner backend.
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), same shape as
+            *deltas*.
+        """
+        return self._run_block("falling", block, deltas, 0.0)
+
+    @traced_entry_point("engine.delays_block", "rising")
+    def delays_rising_block(self, block, deltas,
+                            vn_init: float = 0.0) -> np.ndarray:
+        """Rising MIS delays for a parameter sample block, sample
+        rows sharded across workers.
+
+        Parameters
+        ----------
+        block : numpy.ndarray
+            Sample block of dtype
+            :data:`repro.engine.blocks.BLOCK_DTYPE`, shape ``(N,)``.
+        deltas : array_like of float
+            Input separations in seconds, shape ``(N,)`` or
+            ``(N, M)``; ``±inf`` allowed, NaN rejected.
+        vn_init : float, optional
+            Mode-(1,1) internal-node voltage in volts, shared by the
+            block (default 0.0, the GND worst case).
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), same shape as
+            *deltas*.
+        """
+        return self._run_block("rising", block, deltas,
+                               float(vn_init))
 
     @traced_entry_point("engine.delays", "falling")
     def delays_falling(self, params: NorGateParameters,

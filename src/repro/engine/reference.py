@@ -91,6 +91,61 @@ class ReferenceEngine:
                         for x in np.ravel(d)])
         return out.reshape(d.shape)
 
+    @traced_entry_point("engine.delays_block", "falling")
+    def delays_falling_block(self, block, deltas) -> np.ndarray:
+        """Falling MIS delays for a parameter sample block, one
+        scalar sweep per record.
+
+        The per-sample loop
+        (:func:`repro.engine.blocks.block_delays_loop`) — the honest
+        scalar baseline of the Monte-Carlo throughput benchmark.
+
+        Parameters
+        ----------
+        block : numpy.ndarray
+            Sample block of dtype
+            :data:`repro.engine.blocks.BLOCK_DTYPE`, shape ``(N,)``.
+        deltas : array_like of float
+            Input separations in seconds, shape ``(N,)`` or
+            ``(N, M)``; ``±inf`` allowed, NaN rejected.
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), same shape as
+            *deltas*.
+        """
+        from .blocks import block_delays_loop
+        return block_delays_loop(self, "falling", block, deltas)
+
+    @traced_entry_point("engine.delays_block", "rising")
+    def delays_rising_block(self, block, deltas,
+                            vn_init: float = 0.0) -> np.ndarray:
+        """Rising MIS delays for a parameter sample block, one scalar
+        sweep per record.
+
+        Parameters
+        ----------
+        block : numpy.ndarray
+            Sample block of dtype
+            :data:`repro.engine.blocks.BLOCK_DTYPE`, shape ``(N,)``.
+        deltas : array_like of float
+            Input separations in seconds, shape ``(N,)`` or
+            ``(N, M)``; ``±inf`` allowed, NaN rejected.
+        vn_init : float, optional
+            Mode-(1,1) internal-node voltage in volts, shared by the
+            block (default 0.0, the GND worst case).
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), same shape as
+            *deltas*.
+        """
+        from .blocks import block_delays_loop
+        return block_delays_loop(self, "rising", block, deltas,
+                                 vn_init)
+
     @traced_entry_point("engine.delays_n", "falling")
     def delays_falling_n(self, params: GeneralizedNorParameters,
                          deltas) -> np.ndarray:

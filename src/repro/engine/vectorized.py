@@ -339,6 +339,60 @@ class VectorizedEngine:
 
         return (delay + ctx.delta_min).reshape(shape)
 
+    @traced_entry_point("engine.delays_block", "falling")
+    def delays_falling_block(self, block, deltas) -> np.ndarray:
+        """Falling MIS delays for a whole parameter sample block.
+
+        The parameter-axis batch entry point
+        (:func:`repro.engine.blocks.falling_delays_block`): sample
+        ``i`` of the block is evaluated at Δ row ``deltas[i]`` in one
+        NumPy pass — the Monte-Carlo hot path of
+        :mod:`repro.stats.montecarlo`.
+
+        Parameters
+        ----------
+        block : numpy.ndarray
+            Sample block of dtype
+            :data:`repro.engine.blocks.BLOCK_DTYPE`, shape ``(N,)``.
+        deltas : array_like of float
+            Input separations in seconds, shape ``(N,)`` or
+            ``(N, M)``; ``±inf`` allowed, NaN rejected.
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), same shape as
+            *deltas*.
+        """
+        from .blocks import falling_delays_block
+        return falling_delays_block(block, deltas)
+
+    @traced_entry_point("engine.delays_block", "rising")
+    def delays_rising_block(self, block, deltas,
+                            vn_init: float = 0.0) -> np.ndarray:
+        """Rising MIS delays for a whole parameter sample block.
+
+        Parameters
+        ----------
+        block : numpy.ndarray
+            Sample block of dtype
+            :data:`repro.engine.blocks.BLOCK_DTYPE`, shape ``(N,)``.
+        deltas : array_like of float
+            Input separations in seconds, shape ``(N,)`` or
+            ``(N, M)``; ``±inf`` allowed, NaN rejected.
+        vn_init : float, optional
+            Mode-(1,1) internal-node voltage in volts, shared by the
+            block (default 0.0, the GND worst case).
+
+        Returns
+        -------
+        numpy.ndarray
+            Delays in seconds (``δ_min`` included), same shape as
+            *deltas*.
+        """
+        from .blocks import rising_delays_block
+        return rising_delays_block(block, deltas, vn_init)
+
     @traced_entry_point("engine.delays_n", "falling")
     def delays_falling_n(self, params: GeneralizedNorParameters,
                          deltas) -> np.ndarray:

@@ -238,6 +238,70 @@ class TestCharacterizeAndLibraryParity:
                                 cell, "--verify"]) == detail
 
 
+class TestStatsParity:
+    """``repro stats`` prints the kernel statistics verbatim."""
+
+    def test_mc_matches_kernel_rendering(self, capsys):
+        from repro.analysis.reporting import ascii_table
+        from repro.core.parameters import PAPER_TABLE_I
+        from repro.stats import ParameterDistribution, monte_carlo
+        from repro.stats.distributions import VARIABLE_PARAMS
+        from repro.units import to_ps
+
+        distribution = ParameterDistribution(
+            PAPER_TABLE_I,
+            {name: 0.05 for name in VARIABLE_PARAMS})
+        summary = monte_carlo(distribution, (-10.0 * PS, 10.0 * PS),
+                              samples=200, seed=11)
+        headers = ["Δ [ps]", "mean [ps]", "std [ps]"]
+        headers += [f"p{level:g} [ps]"
+                    for level in summary.percentile_levels]
+        rows = []
+        for j, delta in enumerate(summary.deltas):
+            row = [f"{to_ps(delta):+.2f}",
+                   f"{to_ps(summary.mean[j]):.3f}",
+                   f"{to_ps(summary.std[j]):.4f}"]
+            row += [f"{to_ps(summary.percentile_values[i][j]):.3f}"
+                    for i in range(len(summary.percentile_levels))]
+            rows.append(tuple(row))
+        golden = ascii_table(
+            headers, rows,
+            title="Monte-Carlo delay statistics: nor2 falling, "
+                  "200 samples, seed 11")
+        out = run_cli(capsys, ["stats", "--delta", "-10", "--delta",
+                               "10", "--samples", "200", "--seed",
+                               "11"])
+        assert out == golden + "\n"
+
+    def test_yield_matches_kernel_rendering(self, capsys):
+        from repro.api import Session
+        from repro.core.parameters import PAPER_TABLE_I
+        from repro.stats import ParameterDistribution, timing_yield
+        from repro.stats.distributions import VARIABLE_PARAMS
+        from repro.units import to_ps
+
+        distribution = ParameterDistribution(
+            PAPER_TABLE_I,
+            {name: 0.05 for name in VARIABLE_PARAMS})
+        graph = Session().timing_graph("tree")
+        outcome = timing_yield(graph, distribution, samples=64,
+                               seed=5, required=90.0 * PS)
+        stats = outcome.arrival_stats()
+        golden = "\n".join([
+            "statistical STA: circuit 'tree', 64 corners, seed 5",
+            f"  worst arrival: mean {to_ps(stats['mean']):.3f} ps, "
+            f"std {to_ps(stats['std']):.4f} ps, range "
+            f"[{to_ps(stats['min']):.3f}, "
+            f"{to_ps(stats['max']):.3f}] ps",
+            f"  required 90.000 ps -> timing yield "
+            f"{outcome.yield_fraction:.4f}",
+        ]) + "\n"
+        out = run_cli(capsys, ["stats", "--method", "yield",
+                               "--samples", "64", "--seed", "5",
+                               "--required", "90"])
+        assert out == golden
+
+
 # ----------------------------------------------------------------------
 # timing-laden subcommands: identical stub on both sides
 # ----------------------------------------------------------------------
@@ -343,6 +407,9 @@ class TestJsonMode:
         ["multi_input", "--points", "5"],
         ["sta", "--circuit", "nor2"],
         ["sta", "--circuit", "chain", "--corners", "4"],
+        ["stats", "--delta", "0", "--samples", "64"],
+        ["stats", "--method", "yield", "--samples", "32",
+         "--required", "250"],
     ]
 
     @pytest.mark.parametrize("argv", FAST,

@@ -21,7 +21,8 @@ from repro.api import (API_SCHEMA, API_SCHEMA_VERSION, ApiRecord,
                        ExperimentResult, LibraryInspectResult,
                        LibraryRequest, MultiInputRequest,
                        MultiInputResult, StaRequest, StaRunResult,
-                       SweepRequest, SweepResult, VersionRequest,
+                       StatsRequest, StatsResult, SweepRequest,
+                       SweepResult, VersionRequest,
                        VersionResult, from_json, known_kinds)
 from repro.errors import ParameterError
 
@@ -118,6 +119,37 @@ STRATEGIES = {
         max_error=st.none() | maybe_inf, text=names),
     ExperimentResult: st.builds(ExperimentResult, name=names,
                                 text=names),
+    StatsRequest: st.builds(
+        StatsRequest,
+        method=st.sampled_from(["mc", "surrogate", "yield"]),
+        gate=gates,
+        direction=st.sampled_from(["falling", "rising"]),
+        deltas=float_tuples, samples=counts, seed=seeds,
+        sigma=st.lists(st.tuples(names, maybe_inf),
+                       max_size=4).map(tuple),
+        distribution=st.sampled_from(["lognormal", "normal"]),
+        correlation=finite, vn_init=finite,
+        percentiles=float_tuples, bins=counts,
+        degree=st.integers(min_value=1, max_value=5),
+        circuit=names, required=st.none() | maybe_inf,
+        arrival_sigma=finite),
+    StatsResult: st.builds(
+        StatsResult,
+        method=st.sampled_from(["mc", "surrogate", "yield"]),
+        gate=gates,
+        direction=st.sampled_from(["falling", "rising"]),
+        circuit=st.none() | names, samples=counts,
+        deltas=float_tuples, mean=float_tuples, std=float_tuples,
+        minimum=float_tuples, maximum=float_tuples,
+        percentile_levels=float_tuples,
+        percentile_values=st.lists(float_tuples,
+                                   max_size=3).map(tuple),
+        histogram_edges=st.none() | st.lists(
+            float_tuples, max_size=3).map(tuple),
+        histogram_counts=st.none() | st.lists(
+            float_tuples, max_size=3).map(tuple),
+        yield_fraction=st.none() | finite,
+        required=st.none() | maybe_inf, text=names),
 }
 
 ALL_TYPES = sorted(STRATEGIES, key=lambda cls: cls.__name__)

@@ -13,8 +13,8 @@ from repro._version import __version__
 from repro.api import (CharacterizeRequest, DelayRequest,
                        DescribeRequest, ExperimentRequest,
                        LibraryRequest, MultiInputRequest, Request,
-                       Session, StaRequest, SweepRequest,
-                       VersionRequest, from_json)
+                       Session, StaRequest, StatsRequest,
+                       SweepRequest, VersionRequest, from_json)
 
 #: (request, expected result envelope kind) for every request kind.
 CASES = [
@@ -30,6 +30,7 @@ CASES = [
      "characterize_result"),
     (StaRequest(circuit="tree", top=1), "sta_result"),
     (ExperimentRequest(name="multi_input"), "experiment_result"),
+    (StatsRequest(deltas=(0.0,), samples=64, seed=3), "stats_result"),
 ]
 
 

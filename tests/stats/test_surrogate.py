@@ -1,0 +1,156 @@
+"""Collocation surrogate: accuracy acceptance + persistent fits.
+
+Pins the ISSUE 9 surrogate criteria as tests: moments within 1 % of
+a same-seed Monte-Carlo at >= 20x fewer model evaluations, and
+fitted coefficients that persist in the :mod:`repro.cache` disk
+store so a second process pays zero engine evaluations (asserted via
+the ``repro_stats_surrogate_total{outcome=hit}`` counter).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro import cache
+from repro.core.parameters import PAPER_TABLE_I
+from repro.errors import ParameterError
+from repro.stats import (VARIABLE_PARAMS, ParameterDistribution,
+                         fit_surrogate, monte_carlo)
+from repro.stats.surrogate import _design, _multi_indices
+from repro.units import PS
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+DIST = ParameterDistribution(
+    PAPER_TABLE_I, {name: 0.08 for name in VARIABLE_PARAMS})
+DELTAS = (-20.0 * PS, 0.0, 20.0 * PS)
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache_state(monkeypatch):
+    """Every test starts unconfigured and without the env override."""
+    monkeypatch.delenv(cache.ENV_VAR, raising=False)
+    cache.unconfigure()
+    yield
+    cache.unconfigure()
+
+
+class TestDesign:
+    def test_oversampled_and_deterministic(self):
+        for k, degree in ((2, 2), (6, 3)):
+            basis = len(_multi_indices(k, degree))
+            design = _design(k, degree)
+            assert design.shape == (int(1.5 * basis), k)
+            assert np.array_equal(design, _design(k, degree))
+
+    def test_sign_symmetric_nodes(self):
+        design = _design(3, 2)
+        assert np.allclose(np.unique(design),
+                           -np.unique(design)[::-1])
+
+
+class TestAccuracy:
+    def test_moments_within_tolerance_at_20x(self):
+        """The headline acceptance, at the benchmark's workload."""
+        reference = monte_carlo(DIST, DELTAS, samples=4000, seed=7)
+        surrogate = fit_surrogate(DIST, DELTAS, use_cache=False)
+        assert 4000 / surrogate.design_points >= 20.0
+        summary = surrogate.summarize(samples=4000, seed=7)
+        mean_err = np.max(np.abs(summary.mean - reference.mean)
+                          / reference.mean)
+        std_err = np.max(np.abs(summary.std - reference.std)
+                         / reference.std)
+        assert mean_err <= 0.01
+        assert std_err <= 0.01
+        assert summary.method == "surrogate"
+        assert summary.samples == surrogate.design_points
+
+    def test_analytic_moments_match_resampling(self):
+        surrogate = fit_surrogate(DIST, (0.0,), degree=2,
+                                  use_cache=False)
+        summary = surrogate.summarize(samples=60_000, seed=3)
+        assert np.allclose(surrogate.mean(), summary.mean,
+                           rtol=5e-3)
+        assert np.allclose(surrogate.std(), summary.std, rtol=5e-2)
+
+    def test_rising_direction_fits(self):
+        surrogate = fit_surrogate(DIST, (0.0, 10.0 * PS),
+                                  direction="rising", vn_init=0.35,
+                                  degree=2, use_cache=False)
+        assert np.isfinite(surrogate.mean()).all()
+        assert (surrogate.std() > 0.0).all()
+
+
+class TestCachePersistence:
+    def test_refit_hits_the_store(self, tmp_path):
+        from repro.stats.surrogate import _fit_counter
+        cache.configure(tmp_path)
+        misses, hits = (_fit_counter("miss").value,
+                        _fit_counter("hit").value)
+        first = fit_surrogate(DIST, DELTAS, degree=2)
+        assert _fit_counter("miss").value == misses + 1
+        second = fit_surrogate(DIST, DELTAS, degree=2)
+        assert _fit_counter("hit").value == hits + 1
+        assert second.coefficients.tobytes() \
+            == first.coefficients.tobytes()
+
+    def test_fit_inputs_key_the_store(self, tmp_path):
+        cache.configure(tmp_path)
+        fit_surrogate(DIST, DELTAS, degree=2)
+        entries = cache.get_store().info()["entries"]
+        fit_surrogate(DIST, DELTAS, degree=3)
+        assert cache.get_store().info()["entries"] == entries + 1
+
+    def test_second_process_pays_zero_evaluations(self, tmp_path):
+        """ISSUE acceptance: the cross-process fit is a cache hit."""
+        cache.configure(tmp_path)
+        local = fit_surrogate(DIST, DELTAS, degree=2)
+        script = (
+            "import json\n"
+            "import numpy as np\n"
+            "from repro.core.parameters import PAPER_TABLE_I\n"
+            "from repro.stats import (VARIABLE_PARAMS,\n"
+            "                         ParameterDistribution,\n"
+            "                         fit_surrogate)\n"
+            "from repro.stats.surrogate import _fit_counter\n"
+            "from repro.units import PS\n"
+            "dist = ParameterDistribution(\n"
+            "    PAPER_TABLE_I,\n"
+            "    {name: 0.08 for name in VARIABLE_PARAMS})\n"
+            "fit = fit_surrogate(dist, (-20.0 * PS, 0.0, 20.0 * PS),\n"
+            "                    degree=2)\n"
+            "print(json.dumps({\n"
+            "    'hits': _fit_counter('hit').value,\n"
+            "    'misses': _fit_counter('miss').value,\n"
+            "    'mean': [float(v) for v in fit.mean()]}))\n")
+        env = dict(os.environ, PYTHONPATH=SRC_DIR,
+                   REPRO_CACHE_DIR=str(tmp_path))
+        result = subprocess.run([sys.executable, "-c", script],
+                                capture_output=True, text=True,
+                                env=env, check=True, timeout=120)
+        payload = json.loads(result.stdout.strip().splitlines()[-1])
+        assert payload["hits"] == 1 and payload["misses"] == 0
+        assert payload["mean"] == [float(v) for v in local.mean()]
+
+
+class TestErrors:
+    @pytest.mark.parametrize("degree", [0, 6])
+    def test_degree_range(self, degree):
+        with pytest.raises(ParameterError, match="degree"):
+            fit_surrogate(DIST, (0.0,), degree=degree,
+                          use_cache=False)
+
+    def test_bad_direction(self):
+        with pytest.raises(ParameterError, match="direction"):
+            fit_surrogate(DIST, (0.0,), direction="up",
+                          use_cache=False)
+
+    def test_nan_deltas(self):
+        with pytest.raises(ParameterError, match="NaN"):
+            fit_surrogate(DIST, (float("nan"),), use_cache=False)

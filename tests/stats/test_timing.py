@@ -1,0 +1,92 @@
+"""Statistical STA: yield semantics and backend-invariant bytes.
+
+:func:`repro.stats.timing_yield` rides the array-native corner axis
+of ``sweep_corners``; these tests pin the vectorized sweep to the
+per-corner scalar loop byte-for-byte, and the yield fraction to its
+definition.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.core.parameters import PAPER_TABLE_I
+from repro.errors import ParameterError
+from repro.stats import ParameterDistribution, timing_yield
+from repro.units import PS
+
+DIST = ParameterDistribution(PAPER_TABLE_I,
+                             {"r1": 0.1, "co": 0.08})
+
+
+@pytest.fixture(scope="module")
+def tree_graph():
+    return Session().timing_graph("tree")
+
+
+class TestParity:
+    def test_vectorized_matches_scalar_loop(self, tree_graph):
+        fast = timing_yield(tree_graph, DIST, samples=24, seed=17,
+                            required=260.0 * PS)
+        slow = timing_yield(tree_graph, DIST, samples=24, seed=17,
+                            required=260.0 * PS, scalar=True)
+        assert fast.worst_arrival.tobytes() \
+            == slow.worst_arrival.tobytes()
+        assert fast.worst_slack.tobytes() \
+            == slow.worst_slack.tobytes()
+        assert fast.yield_fraction == slow.yield_fraction
+
+    def test_seed_reproducibility(self, tree_graph):
+        a = timing_yield(tree_graph, DIST, samples=16, seed=2,
+                         arrival_sigma=3.0 * PS)
+        b = timing_yield(tree_graph, DIST, samples=16, seed=2,
+                         arrival_sigma=3.0 * PS)
+        assert a.worst_arrival.tobytes() == b.worst_arrival.tobytes()
+        c = timing_yield(tree_graph, DIST, samples=16, seed=3,
+                         arrival_sigma=3.0 * PS)
+        assert a.worst_arrival.tobytes() != c.worst_arrival.tobytes()
+
+
+class TestYieldSemantics:
+    def test_unconstrained_yield_is_one(self, tree_graph):
+        outcome = timing_yield(tree_graph, DIST, samples=12, seed=1)
+        assert outcome.required is None
+        assert outcome.yield_fraction == 1.0
+        assert np.all(outcome.worst_slack == np.inf)
+
+    def test_impossible_requirement_fails_every_corner(
+            self, tree_graph):
+        outcome = timing_yield(tree_graph, DIST, samples=12, seed=1,
+                               required=0.0)
+        assert outcome.yield_fraction == 0.0
+
+    def test_generous_requirement_passes_every_corner(
+            self, tree_graph):
+        outcome = timing_yield(tree_graph, DIST, samples=12, seed=1,
+                               required=1.0)
+        assert outcome.yield_fraction == 1.0
+
+    def test_yield_is_the_slack_fraction(self, tree_graph):
+        outcome = timing_yield(tree_graph, DIST, samples=64, seed=8,
+                               required=260.0 * PS)
+        assert outcome.yield_fraction \
+            == np.mean(outcome.worst_slack >= 0.0)
+
+    def test_arrival_stats_are_reduced_moments(self, tree_graph):
+        outcome = timing_yield(tree_graph, DIST, samples=32, seed=4)
+        stats = outcome.arrival_stats()
+        assert stats["mean"] \
+            == pytest.approx(outcome.worst_arrival.mean())
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        assert stats["std"] > 0.0
+
+
+class TestErrors:
+    def test_sample_count(self, tree_graph):
+        with pytest.raises(ParameterError, match="at least one"):
+            timing_yield(tree_graph, DIST, samples=0)
+
+    def test_negative_jitter(self, tree_graph):
+        with pytest.raises(ParameterError, match="arrival_sigma"):
+            timing_yield(tree_graph, DIST, samples=4,
+                         arrival_sigma=-1.0)
