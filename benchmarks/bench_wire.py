@@ -1,0 +1,189 @@
+"""Wire-aware STA benchmarks: corner-sweep speedup through RC arcs.
+
+Produces ``BENCH_wire.json`` at the repository root: wall time of a
+1000-corner vectorized sweep against the scalar per-corner loop on
+the wired NOR fanout circuit (``tree_wire`` — two gates behind an
+RC fanout tree), tracked across PRs next to ``BENCH_sta.json``.
+
+Wire arcs are Δ-independent constants, so the sweep's cost is pure
+gate-model evaluation; the vectorized path must keep its >= 10x
+advantage with wire arcs interleaved in the graph.  A second record
+key times the analytic corner scaling of the reduced-order wire
+model (``scaled_delays``) against re-reducing the scaled tree per
+corner — the closed-form law that makes wire corners free.
+
+The module doubles as a CI smoke check::
+
+    python benchmarks/bench_wire.py --smoke
+
+runs a reduced sweep (no pytest needed) and exits non-zero if parity
+or the speedup machinery is broken.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.api import Session
+from repro.sta import demo_corners, sweep_corners, sweep_corners_scalar
+from repro.wire import (WireSegment, WireTree, reduce_tree,
+                        scaled_delays)
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from bench_common import repeat_median  # noqa: E402
+
+#: ISSUE acceptance: vectorized vs scalar on the full corner count.
+_SPEEDUP_FLOOR = 10.0
+#: Machine-readable record tracked across PRs.
+_JSON_PATH = pathlib.Path(__file__).parents[1] / "BENCH_wire.json"
+
+#: Full / smoke corner counts.
+FULL_CORNERS = 1000
+SMOKE_CORNERS = 96
+
+
+def measure_sweep(corners: int, seed: int = 0) -> dict:
+    """Time the vectorized wired sweep against the scalar loop.
+
+    Returns the ``BENCH_wire.json`` payload (seconds, speedup, and
+    the parity of the two results).
+    """
+    graph = Session().timing_graph("tree_wire")
+    params, arrivals = demo_corners(corners, list(graph.inputs),
+                                    seed=seed)
+    # Warm the engine's per-parameter-set caches: steady-state
+    # throughput is the quantity of interest.
+    sweep_corners(graph, params=params[:8],
+                  arrivals={key: values[:8]
+                            for key, values in arrivals.items()})
+
+    start = time.perf_counter()
+    fast = sweep_corners(graph, params=params, arrivals=arrivals)
+    vectorized_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    slow = sweep_corners_scalar(graph, params=params,
+                                arrivals=arrivals)
+    scalar_s = time.perf_counter() - start
+
+    parity = 0.0
+    for node, values in fast.arrivals.items():
+        other = slow.arrivals[node]
+        finite = np.isfinite(values) & np.isfinite(other)
+        if finite.any():
+            parity = max(parity, float(np.max(np.abs(
+                values[finite] - other[finite]))))
+
+    payload = {
+        "workload": "wire-aware STA corner sweep (NOR fanout behind "
+                    "an RC tree, 4 parameter variants x random "
+                    "arrivals)",
+        "corners": corners,
+        "vectorized_seconds": vectorized_s,
+        "scalar_seconds": scalar_s,
+        "speedup": scalar_s / vectorized_s,
+        "corners_per_second_vectorized": corners / vectorized_s,
+        "parity_s": parity,
+    }
+    payload.update(measure_scaling(corners, seed=seed))
+    return payload
+
+
+def measure_scaling(corners: int, seed: int = 0) -> dict:
+    """Closed-form ``scaled_delays`` vs per-corner re-reduction."""
+    tree = WireTree.fanout(branches=2, stem=1, segments=2,
+                           load=0.2e-15)
+    timing = reduce_tree(tree, model="two_pole")
+    rng = np.random.default_rng(seed)
+    r_scale = rng.uniform(0.8, 1.2, corners)
+    c_scale = rng.uniform(0.8, 1.2, corners)
+
+    start = time.perf_counter()
+    fast = scaled_delays(timing, r_scale, c_scale)
+    analytic_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    rows = []
+    for rs, cs in zip(r_scale, c_scale):
+        scaled = WireTree(
+            segments=tuple(
+                WireSegment(s.name, s.parent, s.resistance * rs,
+                            s.capacitance * cs, s.load * cs)
+                for s in tree.segments),
+            sinks=tree.sinks)
+        rows.append(reduce_tree(scaled, model="two_pole").delays())
+    reduce_s = time.perf_counter() - start
+
+    parity = float(np.max(np.abs(fast - np.asarray(rows))))
+    return {
+        "scaling_analytic_seconds": analytic_s,
+        "scaling_reduce_seconds": reduce_s,
+        "scaling_speedup": reduce_s / analytic_s,
+        "scaling_parity_s": parity,
+    }
+
+
+def test_wire_corner_sweep_speedup(benchmark):
+    """1000-corner wired sweep, vectorized vs scalar (>= 10x)."""
+    payload = benchmark.pedantic(
+        lambda: repeat_median(lambda: measure_sweep(FULL_CORNERS),
+                              "vectorized_seconds", repeats=3),
+        rounds=1, iterations=1)
+    _JSON_PATH.write_text(json.dumps(payload, indent=2,
+                                     sort_keys=True) + "\n")
+    benchmark.extra_info["speedup"] = round(payload["speedup"], 1)
+    assert payload["parity_s"] <= 1e-15
+    assert payload["scaling_parity_s"] <= 1e-15
+    assert payload["speedup"] >= _SPEEDUP_FLOOR
+
+
+def main(argv=None) -> int:
+    """Script entry point (CI smoke mode without pytest)."""
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"reduced sweep ({SMOKE_CORNERS} "
+                             "corners) for fast CI checks")
+    parser.add_argument("--corners", type=int, default=None,
+                        help="override the corner count")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timed runs; the median (by vectorized "
+                             "wall time) is recorded (default 1)")
+    args = parser.parse_args(argv)
+    corners = args.corners or (SMOKE_CORNERS if args.smoke
+                               else FULL_CORNERS)
+    payload = repeat_median(lambda: measure_sweep(corners),
+                            "vectorized_seconds",
+                            repeats=args.repeats)
+    _JSON_PATH.write_text(json.dumps(payload, indent=2,
+                                     sort_keys=True) + "\n")
+    print(f"{corners} wired corners: vectorized "
+          f"{payload['vectorized_seconds'] * 1e3:.1f} ms, scalar "
+          f"{payload['scalar_seconds'] * 1e3:.1f} ms, speedup "
+          f"{payload['speedup']:.1f}x, parity "
+          f"{payload['parity_s']:.2e} s; wire scaling "
+          f"{payload['scaling_speedup']:.0f}x")
+    print(f"wrote {_JSON_PATH}")
+    if payload["parity_s"] > 1e-15:
+        print("FAIL: vectorized/scalar parity broken",
+              file=sys.stderr)
+        return 1
+    if payload["scaling_parity_s"] > 1e-15:
+        print("FAIL: analytic wire scaling diverges from "
+              "re-reduction", file=sys.stderr)
+        return 1
+    floor = 2.0 if (args.smoke or corners < FULL_CORNERS) \
+        else _SPEEDUP_FLOOR
+    if payload["speedup"] < floor:
+        print(f"FAIL: speedup {payload['speedup']:.1f}x below "
+              f"{floor}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ CHECKS = [
     ("bench_multi_input.py", "BENCH_multi_input.json", "speedup",
      10.0, "x"),
     ("bench_sta.py", "BENCH_sta.json", "speedup", 10.0, "x"),
+    ("bench_wire.py", "BENCH_wire.json", "speedup", 10.0, "x"),
     ("bench_server.py", "BENCH_server.json", "rps", 400.0, " req/s"),
     ("bench_obs.py", "BENCH_obs.json", "enabled_ratio", 0.8, "x"),
     ("bench_stats.py", "BENCH_stats.json", "speedup", 50.0, "x"),

@@ -52,6 +52,7 @@ API_MODULES = [
     "repro.library",
     "repro.cache",
     "repro.sta",
+    "repro.wire",
     "repro.stats",
     "repro.spice",
     "repro.timing",
@@ -65,7 +66,8 @@ API_MODULES = [
 #: Modules whose public *methods* must also carry docstrings.
 STRICT_DOCSTRING_MODULES = {"repro", "repro.api", "repro.engine",
                             "repro.library", "repro.obs",
-                            "repro.sta", "repro.stats"}
+                            "repro.sta", "repro.stats",
+                            "repro.wire"}
 
 #: Site navigation: (section, [(source page, title), ...]).
 NAV: list[tuple[str, list[tuple[str, str]]]] = [
@@ -81,6 +83,7 @@ NAV: list[tuple[str, list[tuple[str, str]]]] = [
         ("performance.md", "Performance"),
         ("library.md", "Library characterization"),
         ("sta.md", "Static timing analysis"),
+        ("interconnect.md", "Interconnect"),
         ("statistics.md", "Statistical delay"),
         ("multi_input.md", "n-input gates"),
     ]),
@@ -89,6 +92,7 @@ NAV: list[tuple[str, list[tuple[str, str]]]] = [
         ("tutorials/api.md", "Session API walkthrough"),
         ("tutorials/timing-accuracy.md", "Timing accuracy study"),
         ("tutorials/sta.md", "STA walkthrough"),
+        ("tutorials/interconnect.md", "Interconnect walkthrough"),
         ("tutorials/statistics.md", "Statistical delay walkthrough"),
         ("tutorials/multi-input.md", "n-input NOR walkthrough"),
     ]),

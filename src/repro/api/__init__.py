@@ -39,12 +39,12 @@ from .requests import (CharacterizeRequest, DelayRequest,
                        DescribeRequest, ExperimentRequest,
                        LibraryRequest, MultiInputRequest, Request,
                        StaRequest, StatsRequest, SweepRequest,
-                       VersionRequest)
+                       VersionRequest, WireRequest)
 from .results import (CharacterizeResult, DelayResult, DescribeResult,
                       ErrorResult, ExperimentResult,
                       LibraryInspectResult, MultiInputResult, Result,
                       StaRunResult, StatsResult, SweepResult,
-                      VersionResult)
+                      VersionResult, WireResult)
 from .serialization import (API_SCHEMA, API_SCHEMA_VERSION, ApiRecord,
                             check_schema, from_json, known_kinds)
 from .session import Session
@@ -81,6 +81,8 @@ __all__ = [
     "VersionRequest",
     "VersionResult",
     "WORKFLOW_DESCRIPTIONS",
+    "WireRequest",
+    "WireResult",
     "check_schema",
     "experiment_names",
     "from_json",

@@ -53,6 +53,8 @@ WORKFLOW_DESCRIPTIONS: dict[str, str] = {
     "stats": "statistical delay: vectorized Monte-Carlo, "
              "collocation surrogate, timing yield",
     "delay": "evaluate MIS delays at explicit input separations",
+    "wire": "reduce an RC wire tree to analytic delays (corner "
+            "sweeps, SPICE cross-validation)",
     "serve": "run the HTTP delay service (POST /v1/run + async "
              "batch jobs)",
     "metrics": "print Prometheus metrics (in-process, or scraped "

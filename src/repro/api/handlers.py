@@ -28,11 +28,12 @@ from .requests import (CharacterizeRequest, DelayRequest,
                        DescribeRequest, ExperimentRequest,
                        LibraryRequest, MultiInputRequest, Request,
                        StaRequest, StatsRequest, SweepRequest,
-                       VersionRequest)
+                       VersionRequest, WireRequest)
 from .results import (CharacterizeResult, DelayResult, DescribeResult,
                       ExperimentResult, LibraryInspectResult,
                       MultiInputResult, Result, StaRunResult,
-                      StatsResult, SweepResult, VersionResult)
+                      StatsResult, SweepResult, VersionResult,
+                      WireResult)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .session import Session
@@ -70,6 +71,7 @@ def _describe(session: "Session",
     entries["sta"] = WORKFLOW_DESCRIPTIONS["sta"]
     entries["stats"] = WORKFLOW_DESCRIPTIONS["stats"]
     entries["delay"] = WORKFLOW_DESCRIPTIONS["delay"]
+    entries["wire"] = WORKFLOW_DESCRIPTIONS["wire"]
     entries["metrics"] = WORKFLOW_DESCRIPTIONS["metrics"]
     entries["version"] = WORKFLOW_DESCRIPTIONS["version"]
     width = max(len(name) for name in entries)
@@ -482,13 +484,17 @@ def _stats(session: "Session", request: StatsRequest) -> StatsResult:
         outcome = timing_yield(
             graph, distribution, samples=request.samples,
             seed=request.seed, required=request.required,
-            arrival_sigma=request.arrival_sigma)
+            arrival_sigma=request.arrival_sigma,
+            per_instance=request.per_instance)
         summary = summarize(outcome.worst_arrival[:, None], [0.0],
                             method="yield",
                             percentiles=request.percentiles,
                             bins=request.bins)
+        variation = ("per-instance" if request.per_instance
+                     else "shared")
         lines = [f"statistical STA: circuit '{request.circuit}', "
-                 f"{request.samples} corners, seed {request.seed}"]
+                 f"{request.samples} corners ({variation} "
+                 f"variation), seed {request.seed}"]
         stats = outcome.arrival_stats()
         lines.append(f"  worst arrival: mean "
                      f"{to_ps(stats['mean']):.3f} ps, std "
@@ -576,6 +582,129 @@ def _stats(session: "Session", request: StatsRequest) -> StatsResult:
         text=_render_summary(summary, title))
 
 
+# ----------------------------------------------------------------------
+# wire
+# ----------------------------------------------------------------------
+
+def _wire_tree(request: WireRequest):
+    from ..wire import WireTree
+
+    if request.topology == "line":
+        return WireTree.line(segments=request.stages,
+                             resistance=request.resistance,
+                             capacitance=request.capacitance,
+                             load=request.sink_load)
+    if request.topology == "fanout":
+        return WireTree.fanout(branches=request.branches, stem=1,
+                               segments=request.stages,
+                               resistance=request.resistance,
+                               capacitance=request.capacitance,
+                               load=request.sink_load)
+    raise ParameterError(
+        f"unknown wire topology {request.topology!r}; choose "
+        "'line' or 'fanout'")
+
+
+def _wire_spice_delays(tree, model: str, delays) -> dict[str, float]:
+    """Transient ground truth: sink Vdd/2-crossing shifts, seconds.
+
+    Drives the lowered tree with an ideal-source edge matched to the
+    model's regime — near-step for ``two_pole`` (its moments match
+    the step response), a slow settled ramp for ``elmore`` (whose
+    mean-of-impulse-response delay is exact for settled ramps).
+    """
+    from ..spice.measure import crossing_after
+    from ..spice.netlist import Circuit
+    from ..spice.transient import transient_analysis
+    from ..spice.waveforms import EdgeTrain
+    from ..wire import lower_wire
+
+    worst = float(max(delays))
+    if model == "elmore":
+        edge_time = 50.0 * worst
+        shape = "linear"
+    else:
+        edge_time = worst / 20.0
+        shape = "raised-cosine"
+    t0 = 0.75 * edge_time
+    t_stop = t0 + edge_time + 20.0 * worst
+    circuit = Circuit("wire_validate")
+    circuit.voltage_source(
+        "Vin", "in", "0",
+        EdgeTrain([(t0, 1)], vdd=1.0, edge_time=edge_time,
+                  shape=shape))
+    nodes = lower_wire(circuit, tree, "in")
+    circuit.validate()
+    result = transient_analysis(circuit, t_stop)
+    return {sink: crossing_after(result, nodes[sink], 0.5, 0.0, 1)
+            - t0
+            for sink in tree.sinks}
+
+
+def _wire(session: "Session", request: WireRequest) -> WireResult:
+    from ..analysis.reporting import ascii_table
+    from ..wire import reduce_tree, scaled_delays
+
+    tree = _wire_tree(request)
+    timing = reduce_tree(tree, model=request.model)
+    delays = timing.delays()
+    slews = timing.slews()
+    elmore = np.asarray([timing.timing(sink).elmore
+                         for sink in tree.sinks])
+
+    measured: dict[str, float] | None = None
+    max_error = None
+    if request.validate:
+        measured = _wire_spice_delays(tree, request.model, delays)
+        max_error = float(max(
+            abs(measured[sink] - float(delay))
+            for sink, delay in zip(tree.sinks, delays)))
+
+    headers = ["sink", "Elmore [ps]", "delay [ps]", "slew [ps]"]
+    if measured is not None:
+        headers += ["spice [ps]", "error [fs]"]
+    rows = []
+    for j, sink in enumerate(tree.sinks):
+        row = [sink, f"{to_ps(elmore[j]):.3f}",
+               f"{to_ps(delays[j]):.3f}", f"{to_ps(slews[j]):.3f}"]
+        if measured is not None:
+            row += [f"{to_ps(measured[sink]):.3f}",
+                    f"{to_ps(abs(measured[sink] - delays[j])) * 1000.0:.2f}"]
+        rows.append(tuple(row))
+    lines = [ascii_table(
+        headers, rows,
+        title=f"wire '{request.topology}' ({len(tree.segments)} "
+              f"segments, {to_ps(tree.total_capacitance() * 1e3):.3f} fF "
+              f"total) via '{request.model}'")]
+
+    corner_min = corner_max = None
+    if request.corners > 0:
+        rng = np.random.default_rng(request.seed)
+        r_scale = rng.uniform(0.8, 1.2, request.corners)
+        c_scale = rng.uniform(0.8, 1.2, request.corners)
+        worst = scaled_delays(timing, r_scale, c_scale).max(axis=-1)
+        corner_min = float(worst.min())
+        corner_max = float(worst.max())
+        lines.append(
+            f"{request.corners} R/C corners (±20 %, seed "
+            f"{request.seed}): worst sink delay in "
+            f"[{to_ps(corner_min):.3f}, {to_ps(corner_max):.3f}] ps")
+    if max_error is not None:
+        lines.append(
+            f"transient cross-validation: max |model - spice| = "
+            f"{to_ps(max_error) * 1000.0:.2f} fs")
+    return WireResult(
+        topology=request.topology, model=request.model,
+        sinks=tuple(tree.sinks),
+        elmore=tuple(float(v) for v in elmore),
+        delays=tuple(float(v) for v in delays),
+        slews=tuple(float(v) for v in slews),
+        total_capacitance=float(tree.total_capacitance()),
+        corners=int(request.corners),
+        corner_delay_min=corner_min, corner_delay_max=corner_max,
+        max_error=max_error, text="\n".join(lines))
+
+
 #: Request type -> handler, consumed by :meth:`Session.run`.
 HANDLERS: dict[type[Request],
                Callable[["Session", Request], Result]] = {
@@ -589,4 +718,5 @@ HANDLERS: dict[type[Request],
     LibraryRequest: _library,
     StaRequest: _sta,
     StatsRequest: _stats,
+    WireRequest: _wire,
 }

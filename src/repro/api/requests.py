@@ -32,6 +32,7 @@ __all__ = [
     "StatsRequest",
     "SweepRequest",
     "VersionRequest",
+    "WireRequest",
 ]
 
 
@@ -305,6 +306,10 @@ class StatsRequest(Request):
     arrival_sigma : float
         Absolute σ of Gaussian input-arrival jitter, seconds
         (``yield``).
+    per_instance : bool
+        Draw an independent parameter sample per circuit instance
+        (local/uncorrelated process variation) instead of one shared
+        sample per corner (``yield``).
     """
 
     kind: ClassVar[str] = "stats"
@@ -324,3 +329,55 @@ class StatsRequest(Request):
     circuit: str = "tree"
     required: float | None = None
     arrival_sigma: float = 0.0
+    per_instance: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class WireRequest(Request):
+    """RC-interconnect reduction and validation (``repro wire``).
+
+    Builds a parametric :class:`~repro.wire.WireTree` (a uniform
+    line or a symmetric fanout), reduces it to analytic per-sink
+    delay/slew models, sweeps the reduction across R/C corner scale
+    factors, and optionally cross-validates the analytic model
+    against a lowered transient SPICE simulation of the same tree.
+
+    Parameters
+    ----------
+    topology : str
+        ``"line"`` (default) or ``"fanout"``.
+    stages : int
+        Segments per line, or per fanout branch.
+    branches : int
+        Branch count (``fanout`` only).
+    resistance : float
+        Per-segment resistance, ohms.
+    capacitance : float
+        Per-segment capacitance to ground, farads.
+    sink_load : float
+        Extra lumped load at each sink, farads (e.g. the receiving
+        gate's input capacitance).
+    model : str
+        Reduced-order model: ``"elmore"`` or ``"two_pole"``
+        (default).
+    corners : int
+        R/C corner scale-factor grid size of the vectorized sweep
+        (0 disables the sweep).
+    seed : int
+        Corner-sampling seed.
+    validate : bool
+        Also lower the tree to R/C devices and compare the analytic
+        sink delays against transient SPICE crossings.
+    """
+
+    kind: ClassVar[str] = "wire"
+    topology: str = "line"
+    stages: int = 3
+    branches: int = 2
+    resistance: float = 2e3
+    capacitance: float = 0.4e-15
+    sink_load: float = 0.0
+    model: str = "two_pole"
+    corners: int = 0
+    seed: int = 0
+    validate: bool = False

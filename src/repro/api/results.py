@@ -33,6 +33,7 @@ __all__ = [
     "StatsResult",
     "SweepResult",
     "VersionResult",
+    "WireResult",
 ]
 
 
@@ -405,6 +406,56 @@ class StatsResult(Result):
     histogram_counts: tuple[tuple[float, ...], ...] | None = None
     yield_fraction: float | None = None
     required: float | None = None
+    text: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class WireResult(Result):
+    """RC-interconnect reduction outcome (``repro wire``).
+
+    Parameters
+    ----------
+    topology : str
+        ``"line"`` or ``"fanout"``.
+    model : str
+        Reduced-order model used (``"elmore"`` / ``"two_pole"``).
+    sinks : tuple of str
+        Sink node names, in tree order.
+    elmore : tuple of float
+        Per-sink Elmore delay, seconds.
+    delays : tuple of float
+        Per-sink model 50 % delay, seconds.
+    slews : tuple of float
+        Per-sink 10–90 % output slew, seconds.
+    total_capacitance : float
+        Total tree capacitance (wire + sink loads), farads — the
+        load the driving gate prices through
+        :func:`repro.wire.loaded_params`.
+    corners : int
+        R/C corner count of the vectorized sweep (0 when skipped).
+    corner_delay_min, corner_delay_max : float, optional
+        Extremes of the worst-sink delay across the corner grid,
+        seconds (``None`` when the sweep was skipped).
+    max_error : float, optional
+        Largest |analytic − SPICE| sink-delay error of the
+        transient cross-validation, seconds (``None`` unless
+        ``validate`` was requested).
+    text : str
+        Rendered per-sink table / validation report.
+    """
+
+    kind: ClassVar[str] = "wire_result"
+    topology: str = "line"
+    model: str = "two_pole"
+    sinks: tuple[str, ...] = ()
+    elmore: tuple[float, ...] = ()
+    delays: tuple[float, ...] = ()
+    slews: tuple[float, ...] = ()
+    total_capacitance: float = 0.0
+    corners: int = 0
+    corner_delay_min: float | None = None
+    corner_delay_max: float | None = None
+    max_error: float | None = None
     text: str = ""
 
 

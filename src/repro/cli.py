@@ -19,6 +19,10 @@ workflow commands are:
 * ``repro sta`` runs the MIS-aware static timing analyzer over a
   built-in NOR circuit (report, JSON output, corner sweeps, and the
   STA-vs-event-simulation cross-validation);
+* ``repro wire`` reduces a parametric RC wire tree to analytic
+  per-sink delays (:mod:`repro.wire`), sweeps R/C corner scale
+  factors array-natively, and cross-validates against a transient
+  SPICE simulation of the lowered tree with ``--validate``;
 * ``repro stats`` runs the statistical delay workloads of
   :mod:`repro.stats`: vectorized Monte-Carlo delay sampling, the
   collocation surrogate, and Monte-Carlo timing yield — seeded, so
@@ -56,11 +60,11 @@ from .api import (CharacterizeRequest, DelayRequest, DescribeRequest,
                   ExperimentRequest, GATE_CHOICES, LibraryRequest,
                   MultiInputRequest, Request, Session, StaRequest,
                   StatsRequest, SweepRequest, TECHNOLOGIES,
-                  VersionRequest)
+                  VersionRequest, WireRequest)
 from .engine import DEFAULT_ENGINE, available_engines
 from .errors import ReproError
 from .obs import trace as obs_trace
-from .units import PS
+from .units import FF, PS
 
 __all__ = ["main", "build_parser"]
 
@@ -319,6 +323,12 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="PS",
                      help="Gaussian input-arrival jitter sigma in ps "
                           "for --method yield (default: 0)")
+    cmd.add_argument("--per-instance", action="store_true",
+                     dest="per_instance",
+                     help="draw an independent parameter sample per "
+                          "circuit instance for --method yield "
+                          "(uncorrelated local variation; default: "
+                          "one shared sample per corner)")
     cmd.add_argument("--engine", choices=available_engines(),
                      default=DEFAULT_ENGINE,
                      help="delay evaluation backend (results are "
@@ -355,6 +365,44 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--validate", action="store_true",
                      help="run the STA-vs-event-simulation "
                           "cross-validation instead of a report")
+
+    cmd = sub.add_parser("wire", help=WORKFLOW_DESCRIPTIONS["wire"])
+    _add_json_flag(cmd)
+    cmd.add_argument("--topology", choices=("line", "fanout"),
+                     default="line",
+                     help="wire tree shape (default: line)")
+    cmd.add_argument("--stages", type=_positive_int, default=3,
+                     help="segments per line / per fanout branch "
+                          "(default: 3)")
+    cmd.add_argument("--branches", type=_positive_int, default=2,
+                     help="fanout branch count (default: 2)")
+    cmd.add_argument("--resistance", type=float, default=2.0,
+                     metavar="KOHM",
+                     help="per-segment resistance in kΩ "
+                          "(default: 2)")
+    cmd.add_argument("--capacitance", type=float, default=0.4,
+                     metavar="FF",
+                     help="per-segment capacitance in fF "
+                          "(default: 0.4)")
+    cmd.add_argument("--sink-load", type=float, default=0.0,
+                     metavar="FF",
+                     help="extra lumped load per sink in fF, e.g. "
+                          "the receiver's input capacitance "
+                          "(default: 0)")
+    cmd.add_argument("--model", choices=("elmore", "two_pole"),
+                     default="two_pole",
+                     help="reduced-order delay model "
+                          "(default: two_pole)")
+    cmd.add_argument("--corners", type=_positive_int, default=None,
+                     metavar="N",
+                     help="also sweep N random R/C corner scale "
+                          "factors through the vectorized reduction")
+    cmd.add_argument("--seed", type=int, default=0,
+                     help="corner-sampling seed (default: 0)")
+    cmd.add_argument("--validate", action="store_true",
+                     help="lower the tree to R/C devices and "
+                          "cross-validate the analytic delays "
+                          "against transient SPICE")
     return parser
 
 
@@ -430,7 +478,8 @@ def request_from_args(args: argparse.Namespace) -> Request:
             circuit=args.circuit,
             required=(args.required * PS
                       if args.required is not None else None),
-            arrival_sigma=args.arrival_sigma * PS)
+            arrival_sigma=args.arrival_sigma * PS,
+            per_instance=args.per_instance)
     if command == "sta":
         required = (args.required * PS if args.required is not None
                     else None)
@@ -442,6 +491,17 @@ def request_from_args(args: argparse.Namespace) -> Request:
                           corners=args.corners,
                           seed=args.seed,
                           validate=args.validate)
+    if command == "wire":
+        return WireRequest(topology=args.topology,
+                           stages=args.stages,
+                           branches=args.branches,
+                           resistance=args.resistance * 1e3,
+                           capacitance=args.capacitance * FF,
+                           sink_load=args.sink_load * FF,
+                           model=args.model,
+                           corners=args.corners or 0,
+                           seed=args.seed,
+                           validate=args.validate)
     return ExperimentRequest(
         name=command,
         with_analog=getattr(args, "with_analog", False),

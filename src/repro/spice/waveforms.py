@@ -63,11 +63,24 @@ class Pwl(Waveform):
     def __init__(self, points: Sequence[tuple[float, float]]):
         if not points:
             raise ParameterError("PWL needs at least one point")
-        times = [p[0] for p in points]
+        times = [float(p[0]) for p in points]
+        values = [float(p[1]) for p in points]
+        # NaN compares False against everything, so the monotonicity
+        # check below would silently accept it — reject non-finite
+        # entries explicitly before ordering.
+        for index, (t, v) in enumerate(zip(times, values)):
+            if not math.isfinite(t):
+                raise ParameterError(
+                    f"PWL point {index}: time must be finite, "
+                    f"got {t}")
+            if not math.isfinite(v):
+                raise ParameterError(
+                    f"PWL point {index}: value must be finite, "
+                    f"got {v}")
         if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
             raise ParameterError("PWL times must be strictly increasing")
-        self.times = [float(t) for t in times]
-        self.values = [float(p[1]) for p in points]
+        self.times = times
+        self.values = values
 
     def __call__(self, t: float) -> float:
         times, values = self.times, self.values

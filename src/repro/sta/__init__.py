@@ -33,10 +33,11 @@ full event simulation is ``repro.analysis.experiments.experiment_sta``.
 from .analysis import (PathStep, StaResult, TimingPath, analyze,
                        input_arrival_nodes)
 from .arcs import (ArcDelayModel, EngineArcModel, FixedArcModel,
-                   TableArcModel)
-from .circuits import (STA_CIRCUITS, demo_corners, nor3_mixed,
-                       nor_chain, nor_tree, single_nor, single_nor3,
-                       sta_circuit)
+                   TableArcModel, WireArcModel)
+from .circuits import (STA_CIRCUITS, demo_corners, demo_wire_fanout,
+                       demo_wire_line, nor3_mixed, nor_chain,
+                       nor_chain_wire, nor_tree, nor_tree_wire,
+                       single_nor, single_nor3, sta_circuit)
 from .graph import (TimingArc, TimingGraph, TimingNode,
                     build_timing_graph, input_unateness)
 from .report import (render_report, render_sweep_summary,
@@ -57,14 +58,19 @@ __all__ = [
     "TimingGraph",
     "TimingNode",
     "TimingPath",
+    "WireArcModel",
     "analyze",
     "build_timing_graph",
     "demo_corners",
+    "demo_wire_fanout",
+    "demo_wire_line",
     "input_arrival_nodes",
     "input_unateness",
     "nor3_mixed",
     "nor_chain",
+    "nor_chain_wire",
     "nor_tree",
+    "nor_tree_wire",
     "render_report",
     "render_sweep_summary",
     "result_to_json",

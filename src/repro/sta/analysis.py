@@ -128,23 +128,34 @@ def _record_delta(record: _ArcRecord, corner: int = 0):
     return float(value)
 
 
-def _corner_groups(corner_params):
-    """Group corner lanes by parameter set, once per propagation.
-
-    ``corner_params`` is ``None`` (no re-targeting) or a sequence of
-    parameter sets, one per corner lane.  Returns ``None`` or a list
-    of ``(params, lane_index_array)`` pairs in first-appearance
-    order.  Hashing every lane per *arc* was the sweep's second
-    hottest path — the grouping depends only on the corner axis, so
-    every arc of a propagation shares this one pass.
-    """
-    if corner_params is None:
-        return None
+def _group_lanes(axis):
+    """Group one lane-indexed parameter axis by distinct set."""
     groups: dict[NorGateParameters, list[int]] = {}
-    for lane, params in enumerate(corner_params):
+    for lane, params in enumerate(axis):
         groups.setdefault(params, []).append(lane)
     return [(params, np.asarray(lanes))
             for params, lanes in groups.items()]
+
+
+def _corner_groups(corner_params):
+    """Group corner lanes by parameter set, once per propagation.
+
+    ``corner_params`` is ``None`` (no re-targeting), a sequence of
+    parameter sets one per corner lane (shared by every instance), or
+    a mapping ``{instance name: sequence}`` for *per-instance*
+    corners (independent process variation).  Returns ``None``, a
+    list of ``(params, lane_index_array)`` pairs in first-appearance
+    order, or a dict of such lists keyed by instance name.  Hashing
+    every lane per *arc* was the sweep's second hottest path — the
+    grouping depends only on the corner axis, so every arc of a
+    propagation shares this one pass.
+    """
+    if corner_params is None:
+        return None
+    if isinstance(corner_params, dict):
+        return {name: _group_lanes(axis)
+                for name, axis in corner_params.items()}
+    return _group_lanes(corner_params)
 
 
 def _grouped_delays(arc: TimingArc, deltas: np.ndarray,
@@ -155,9 +166,10 @@ def _grouped_delays(arc: TimingArc, deltas: np.ndarray,
     single-input arcs) or a ``(lanes, n−1)`` Δ-vector matrix
     (n-input arcs) — the matching model entry point is picked here.
     ``corner_groups`` is ``None`` (no re-targeting) or the
-    :func:`_corner_groups` precompute; lanes sharing a parameter set
-    are evaluated in a single model call.  NaN lanes (no crossing to
-    condition on) are left NaN.
+    :func:`_corner_groups` precompute — per-instance (dict) groupings
+    re-target each arc with its own instance's axis; lanes sharing a
+    parameter set are evaluated in a single model call.  NaN lanes
+    (no crossing to condition on) are left NaN.
     """
     direction = DIRECTION[arc.target.transition]
     if deltas.ndim == 2:
@@ -167,11 +179,13 @@ def _grouped_delays(arc: TimingArc, deltas: np.ndarray,
         valid = ~np.isnan(deltas)
         evaluate = arc.model.delays
     delays = np.full(valid.shape, math.nan)
-    if corner_groups is None or not arc.model.retargetable:
+    groups = (corner_groups.get(arc.instance)
+              if isinstance(corner_groups, dict) else corner_groups)
+    if groups is None or not arc.model.retargetable:
         if valid.any():
             delays[valid] = evaluate(direction, deltas[valid])
         return delays
-    for params, lanes in corner_groups:
+    for params, lanes in groups:
         index = lanes[valid[lanes]]
         if index.size:
             delays[index] = evaluate(direction, deltas[index],

@@ -37,12 +37,14 @@ from ..engine import delays_for_direction, get_engine
 from ..errors import ParameterError
 from ..library.tables import (GateDelayTable, VectorDelaySurface,
                               mis_gate_inputs)
+from ..obs.trace import span
 
 __all__ = [
     "ArcDelayModel",
     "EngineArcModel",
     "FixedArcModel",
     "TableArcModel",
+    "WireArcModel",
 ]
 
 #: Gate types with the paper's two-input MIS characterization.
@@ -410,3 +412,72 @@ class FixedArcModel:
     def __repr__(self) -> str:
         return (f"FixedArcModel(rise={self.delay_rise!r}, "
                 f"fall={self.delay_fall!r})")
+
+
+class WireArcModel:
+    """RC-interconnect arc: one sink of a reduced wire tree.
+
+    Wires are linear, so the arc is Δ-independent, positive-unate
+    (rise propagates as rise, fall as fall) and direction-symmetric —
+    a single delay serves both transitions.  The delay comes from the
+    reduced-order models of :mod:`repro.wire.model`
+    (:meth:`TimingCircuit.add_wire` builds these arcs), and the sink
+    slew rides along as reporting metadata.
+
+    Parameters
+    ----------
+    delay : float
+        Sink delay, seconds (finite, non-negative; any slew-derate
+        penalty already folded in).
+    slew : float, optional
+        10–90 % step-response slew at the sink, seconds.
+    sink : str, optional
+        Sink node name (span/report labeling).
+    model : str, optional
+        Reduced-order model the delay came from.
+    """
+
+    name = "wire"
+    retargetable = False
+
+    def __init__(self, delay: float, slew: float = 0.0,
+                 sink: str = "", model: str = "elmore"):
+        if not (math.isfinite(delay) and delay >= 0.0):
+            raise ParameterError("wire arc delay must be finite and "
+                                 "non-negative")
+        if not (math.isfinite(slew) and slew >= 0.0):
+            raise ParameterError("wire arc slew must be finite and "
+                                 "non-negative")
+        self.delay = float(delay)
+        self.slew = float(slew)
+        self.sink = sink
+        self.model = model
+
+    @classmethod
+    def from_instance(cls, instance) -> "WireArcModel":
+        """Build the arc from a
+        :class:`~repro.timing.circuit.WireInstance`."""
+        return cls(delay=instance.delay, slew=instance.slew,
+                   sink=instance.sink, model=instance.delay_model)
+
+    def delays(self, direction: str, deltas,
+               params: NorGateParameters | None = None) -> np.ndarray:
+        """The sink delay broadcast to the shape of *deltas*."""
+        if direction not in ("falling", "rising"):
+            raise ParameterError(f"direction must be 'falling' or "
+                                 f"'rising', got {direction!r}")
+        with span("sta.wire_arc", sink=self.sink,
+                  model=self.model, direction=direction):
+            return np.full(np.shape(np.asarray(deltas, dtype=float)),
+                           self.delay)
+
+    def delays_n(self, direction: str, deltas,
+                 params=None) -> np.ndarray:
+        """The sink delay broadcast to the Δ-matrix row shape."""
+        d = np.asarray(deltas, dtype=float)
+        return self.delays(direction, d[..., 0] if d.ndim else d,
+                           params)
+
+    def __repr__(self) -> str:
+        return (f"WireArcModel(sink={self.sink!r}, "
+                f"delay={self.delay!r}, model={self.model!r})")

@@ -14,6 +14,10 @@ simulation and STA read the exact same model.
   previous signal (``Δ = 0`` MIS points all the way down).
 * ``tree`` — a balanced NOR reduction tree over four inputs
   (``a`` … ``d``), mixing earlier/later references per level.
+* ``chain_wire`` / ``tree_wire`` — the wired variants: RC
+  interconnect (:class:`~repro.wire.WireTree`) between stages, with
+  the driving gates re-parameterized through
+  :func:`repro.wire.loaded_params` so they price the wire load.
 """
 
 from __future__ import annotations
@@ -27,9 +31,13 @@ from ..timing.channels.hybrid import HybridNorChannel
 from ..timing.channels.multi_input import GeneralizedNorChannel
 from ..timing.circuit import TimingCircuit
 from ..units import PS
+from ..wire.coupling import loaded_params
+from ..wire.tree import WireTree
 
 __all__ = ["STA_CIRCUITS", "sta_circuit", "single_nor", "nor_chain",
-           "nor_tree", "single_nor3", "nor3_mixed", "demo_corners"]
+           "nor_tree", "single_nor3", "nor3_mixed", "nor_chain_wire",
+           "nor_tree_wire", "demo_wire_line", "demo_wire_fanout",
+           "demo_corners"]
 
 
 def single_nor(params: NorGateParameters = PAPER_TABLE_I
@@ -120,6 +128,99 @@ def nor3_mixed(params: NorGateParameters = PAPER_TABLE_I
     return circuit
 
 
+def demo_wire_line(segments: int = 3) -> WireTree:
+    """The default inter-stage wire of ``chain_wire``: a 3-stage
+    2 kΩ / 0.4 fF-per-segment line (≈ 1.2 fF total — twice the
+    paper's intrinsic ``co``, a realistically heavy route)."""
+    return WireTree.line(segments=segments, resistance=2e3,
+                         capacitance=0.4e-15)
+
+
+def demo_wire_fanout() -> WireTree:
+    """The default fanout wire of ``tree_wire``: one stem segment
+    splitting into two 2-segment branches (same per-segment RC as
+    :func:`demo_wire_line`)."""
+    return WireTree.fanout(branches=2, stem=1, segments=2,
+                           resistance=2e3, capacitance=0.4e-15)
+
+
+def nor_chain_wire(params: NorGateParameters = PAPER_TABLE_I,
+                   stages: int = 2,
+                   tree: WireTree | None = None) -> TimingCircuit:
+    """The ``chain`` circuit with RC wire between the stages.
+
+    Stage *i* is a tied-input NOR (``Δ = 0`` MIS point) driving
+    ``o<i+1>``; every stage but the last feeds a copy of *tree*
+    whose sink signal ``m<i+1>`` drives the next stage.  Driving
+    gates carry :func:`repro.wire.loaded_params` so the hybrid model
+    prices the wire capacitance; the transistor-level counterpart is
+    :func:`repro.wire.spice.wired_nor_chain`.
+
+    Parameters
+    ----------
+    params : NorGateParameters, optional
+        Electrical parameters of every gate (before wire loading).
+    stages : int, optional
+        Number of NOR stages (default 2, at least 2).
+    tree : WireTree, optional
+        Inter-stage wire (default :func:`demo_wire_line`; must have
+        exactly one sink).
+    """
+    if stages < 2:
+        raise ParameterError("a wired chain needs at least 2 stages")
+    tree = tree if tree is not None else demo_wire_line()
+    if len(tree.sinks) != 1:
+        raise ParameterError("chain wires need exactly one sink")
+    driving = loaded_params(params, tree)
+    circuit = TimingCircuit(["a"])
+    previous = "a"
+    for index in range(stages):
+        last = index == stages - 1
+        output = "y" if last else f"o{index + 1}"
+        circuit.add_hybrid_nor(
+            f"g{index}", previous, previous, output,
+            HybridNorChannel(params if last else driving))
+        if not last:
+            wired = f"m{index + 1}"
+            circuit.add_wire(f"w{index + 1}", output, tree, wired)
+            previous = wired
+    return circuit
+
+
+def nor_tree_wire(params: NorGateParameters = PAPER_TABLE_I,
+                  tree: WireTree | None = None) -> TimingCircuit:
+    """A NOR2 driving a fanout wire into two tied-input receivers.
+
+    The driver NORs ``a`` and ``b`` into ``o`` (wire-loaded
+    parameters); the fanout *tree* taps ``o`` into sink signals
+    ``m1``/``m2``, each NORed with itself into endpoints
+    ``y1``/``y2``.  The transistor-level counterpart is
+    :func:`repro.wire.spice.wired_nor_tree`.
+
+    Parameters
+    ----------
+    params : NorGateParameters, optional
+        Electrical parameters of every gate (before wire loading).
+    tree : WireTree, optional
+        Fanout wire (default :func:`demo_wire_fanout`; must have
+        exactly two sinks).
+    """
+    tree = tree if tree is not None else demo_wire_fanout()
+    if len(tree.sinks) != 2:
+        raise ParameterError("tree_wire needs a two-sink fanout "
+                             "tree")
+    circuit = TimingCircuit(["a", "b"])
+    circuit.add_hybrid_nor("g0", "a", "b", "o",
+                           HybridNorChannel(loaded_params(params,
+                                                          tree)))
+    circuit.add_wire("w0", "o", tree, ("m1", "m2"))
+    circuit.add_hybrid_nor("r1", "m1", "m1", "y1",
+                           HybridNorChannel(params))
+    circuit.add_hybrid_nor("r2", "m2", "m2", "y2",
+                           HybridNorChannel(params))
+    return circuit
+
+
 #: Named circuit builders accepted by :func:`sta_circuit` and the
 #: CLI's ``repro sta --circuit`` flag.
 STA_CIRCUITS = {
@@ -128,6 +229,8 @@ STA_CIRCUITS = {
     "tree": nor_tree,
     "nor3": single_nor3,
     "nor3_mixed": nor3_mixed,
+    "chain_wire": nor_chain_wire,
+    "tree_wire": nor_tree_wire,
 }
 
 

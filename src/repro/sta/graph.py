@@ -28,6 +28,10 @@ Arc construction per instance kind:
   pairs, with a :class:`~repro.sta.arcs.TableArcModel` reading the
   characterized library surfaces (NAND swaps which transition is the
   parallel one, per the mirror duality).
+* :class:`~repro.timing.circuit.WireInstance` (one sink of an RC
+  wire tree) — a positive-unate, direction-symmetric arc pair
+  (rise→rise, fall→fall) carrying the reduced-order interconnect
+  delay as a :class:`~repro.sta.arcs.WireArcModel`.
 * any other :class:`GateInstance` — one arc per input transition
   sensitization, derived from the boolean function's unateness
   (binate functions like XOR get both polarities), with the
@@ -44,9 +48,10 @@ from ..errors import NetlistError
 from ..timing.channels.multi_input import GeneralizedNorChannel
 from ..timing.channels.table import TableDelayChannel
 from ..timing.circuit import (GateInstance, HybridInstance,
-                              MultiInputInstance, TimingCircuit)
+                              MultiInputInstance, TimingCircuit,
+                              WireInstance)
 from .arcs import (ArcDelayModel, EngineArcModel, FixedArcModel,
-                   TableArcModel)
+                   TableArcModel, WireArcModel)
 
 __all__ = ["TimingNode", "TimingArc", "TimingGraph",
            "build_timing_graph", "input_unateness"]
@@ -320,6 +325,22 @@ def _single_input_arcs(instance: GateInstance,
     return arcs
 
 
+def _wire_arcs(instance: WireInstance,
+               model: ArcDelayModel) -> list[TimingArc]:
+    """The positive-unate arc pair of one wire sink.
+
+    Linear RC interconnect never inverts: a rise propagates as a
+    rise and a fall as a fall, with the same (Δ-independent) delay.
+    """
+    signal = instance.inputs[0]
+    return [TimingArc(
+        instance=instance.name,
+        source=TimingNode(signal, transition),
+        target=TimingNode(instance.output, transition),
+        model=model,
+    ) for transition in TRANSITIONS]
+
+
 def build_timing_graph(circuit: TimingCircuit,
                        models: dict[str, ArcDelayModel] | None = None,
                        engine=None) -> TimingGraph:
@@ -377,6 +398,9 @@ def build_timing_graph(circuit: TimingCircuit,
                                   instance.output,
                                   getattr(model, "gate", "nor2"),
                                   model))
+        elif isinstance(instance, WireInstance):
+            model = override or WireArcModel.from_instance(instance)
+            arcs.extend(_wire_arcs(instance, model))
         else:
             gate_arcs = _single_input_arcs(
                 instance,

@@ -41,9 +41,10 @@ def _resolve_corner_axes(graph: TimingGraph, params, arrivals):
     """Broadcast the params / arrival axes to one corner count.
 
     Returns ``(count, corner_params, node_arrays)`` where
-    *corner_params* is ``None`` or a list with one parameter set per
-    corner, and *node_arrays* maps every input node to a ``(count,)``
-    arrival array.
+    *corner_params* is ``None``, a list with one parameter set per
+    corner, or — for per-instance variation — a dict of such lists
+    keyed by instance name, and *node_arrays* maps every input node
+    to a ``(count,)`` arrival array.
     """
     count: int | None = None
 
@@ -56,15 +57,27 @@ def _resolve_corner_axes(graph: TimingGraph, params, arrivals):
                 f"{what} axis has {n} corners, but another axis has "
                 f"{count}; axes must broadcast")
 
+    def as_axis(spec, what: str) -> list:
+        axis = [spec] if isinstance(spec, NorGateParameters) \
+            else list(spec)
+        if not axis:
+            raise ParameterError(f"{what} axis must not be empty")
+        merge(len(axis), what)
+        return axis
+
     corner_params = None
-    if params is not None:
-        if isinstance(params, NorGateParameters):
-            corner_params = [params]
-        else:
-            corner_params = list(params)
-        if not corner_params:
-            raise ParameterError("params axis must not be empty")
-        merge(len(corner_params), "params")
+    if isinstance(params, dict):
+        instances = {inst.name for inst in graph.circuit.instances}
+        unknown = set(params) - instances
+        if unknown:
+            raise ParameterError(
+                f"per-instance params given for unknown instance(s): "
+                f"{sorted(unknown)}; instances are "
+                f"{sorted(instances)}")
+        corner_params = {name: as_axis(spec, f"params[{name}]")
+                         for name, spec in params.items()}
+    elif params is not None:
+        corner_params = as_axis(params, "params")
 
     arrivals = dict(arrivals or {})
     unknown = set(arrivals) - set(graph.inputs)
@@ -105,7 +118,11 @@ def _resolve_corner_axes(graph: TimingGraph, params, arrivals):
             raise ParameterError(
                 f"arrival axis for {node} has {array.shape[0]} "
                 f"corners, expected {count}")
-    if corner_params is not None and len(corner_params) == 1:
+    if isinstance(corner_params, dict):
+        corner_params = {name: (axis * count if len(axis) == 1
+                                else axis)
+                         for name, axis in corner_params.items()}
+    elif corner_params is not None and len(corner_params) == 1:
         corner_params = corner_params * count
     return count, corner_params, node_arrays
 
@@ -206,10 +223,13 @@ def sweep_corners(graph: TimingGraph, params=None, arrivals=None,
         Lowered circuit.  Re-targetable (engine-backed) arcs are
         re-evaluated per distinct parameter set; table/fixed arcs
         keep their characterized delays.
-    params : NorGateParameters or sequence, optional
+    params : NorGateParameters, sequence, or mapping, optional
         The parameter-corner axis: one set per corner (a single set
-        broadcasts).  ``None`` keeps every arc on its built-in
-        parameters.
+        broadcasts).  A mapping ``{instance name: axis}`` re-targets
+        each listed instance with its *own* axis — independent
+        per-instance process variation (unlisted instances keep
+        their built-in parameters).  ``None`` keeps every arc on its
+        built-in parameters.
     arrivals : mapping, optional
         Input-arrival scenarios: ``{signal: spec}`` where *spec* is
         a scalar, a ``(rise, fall)`` *tuple* (whose entries may
@@ -262,8 +282,13 @@ def sweep_corners_scalar(graph: TimingGraph, params=None,
     for corner in range(count):
         spec = {node: np.asarray([array[corner]])
                 for node, array in node_arrays.items()}
-        lane_params = ([corner_params[corner]]
-                       if corner_params is not None else None)
+        if isinstance(corner_params, dict):
+            lane_params = {name: [axis[corner]]
+                           for name, axis in corner_params.items()}
+        elif corner_params is not None:
+            lane_params = [corner_params[corner]]
+        else:
+            lane_params = None
         arrival_arrays, _records = _propagate(
             graph, spec, mode, corner_params=lane_params,
             keep_records=False)

@@ -76,7 +76,7 @@ class TimingYield:
 def timing_yield(graph, distribution, *, samples: int,
                  seed: int = 0, required: "float | None" = None,
                  arrivals=None, arrival_sigma: float = 0.0,
-                 mode: str = "max",
+                 mode: str = "max", per_instance: bool = False,
                  scalar: bool = False) -> TimingYield:
     """Monte-Carlo arrival/slack distribution and timing yield.
 
@@ -109,6 +109,14 @@ def timing_yield(graph, distribution, *, samples: int,
         seconds (default 0.0, deterministic arrivals).
     mode : str, optional
         ``"max"`` (default) or ``"min"`` analysis.
+    per_instance : bool, optional
+        Draw an *independent* parameter sample per circuit instance
+        (local/uncorrelated process variation) instead of one shared
+        sample per corner (fully correlated, the default).  Instance
+        *k* of *n* consumes rows ``[k·samples, (k+1)·samples)`` of a
+        single ``samples × n`` block drawn with *seed*, so results
+        stay byte-identical across backends and are stable under
+        `scalar=True`.
     scalar : bool, optional
         Use the per-corner reference loop
         (:func:`repro.sta.sweep_corners_scalar`) instead of the
@@ -129,8 +137,21 @@ def timing_yield(graph, distribution, *, samples: int,
     if arrival_sigma < 0.0:
         raise ParameterError(
             f"arrival_sigma must be >= 0, got {arrival_sigma}")
-    block = distribution.sample_block(samples, seed)
-    params_axis = [parameters_at(block, i) for i in range(samples)]
+    if per_instance:
+        names = [inst.name for inst in graph.circuit.instances]
+        if names:
+            block = distribution.sample_block(
+                samples * len(names), seed)
+            params_axis = {
+                name: [parameters_at(block, k * samples + i)
+                       for i in range(samples)]
+                for k, name in enumerate(names)}
+        else:
+            params_axis = None
+    else:
+        block = distribution.sample_block(samples, seed)
+        params_axis = [parameters_at(block, i)
+                       for i in range(samples)]
 
     base = dict(arrivals or {})
     spec: dict = {}
@@ -144,6 +165,7 @@ def timing_yield(graph, distribution, *, samples: int,
 
     sweep_fn = sweep_corners_scalar if scalar else sweep_corners
     with _span("stats.sta", samples=int(samples), mode=mode,
+               per_instance=bool(per_instance),
                scalar=bool(scalar)):
         sweep = sweep_fn(graph, params=params_axis, arrivals=spec,
                          mode=mode, required=required)

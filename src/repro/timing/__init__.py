@@ -21,7 +21,9 @@ from .channels import (
     TableDelayChannel,
     WaveformChannel,
 )
-from .circuit import GateInstance, HybridInstance, TimingCircuit
+from .circuit import (GateInstance, HybridInstance,
+                      MultiInputInstance, TimingCircuit,
+                      WireInstance)
 from .digitize import digitize, digitize_result
 from .event_simulator import EventDrivenSimulator, simulate_events
 from .events import Event, EventQueue
@@ -47,6 +49,7 @@ __all__ = [
     "HybridInstance",
     "HybridNorChannel",
     "InertialDelayChannel",
+    "MultiInputInstance",
     "PAPER_CONFIGS",
     "PowerReport",
     "PureDelayChannel",
@@ -56,6 +59,7 @@ __all__ = [
     "TimingCircuit",
     "WaveformChannel",
     "WaveformConfig",
+    "WireInstance",
     "deviation_area",
     "digitize",
     "digitize_result",

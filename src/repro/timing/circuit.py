@@ -14,19 +14,22 @@ trace is computed before its consumers run (:mod:`.simulator`).
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 import networkx as nx
 
 from ..errors import NetlistError
+from ..wire.model import WireTiming, reduce_tree
+from ..wire.tree import WireTree
 from .channels.base import SingleInputChannel
 from .channels.hybrid import HybridNorChannel
 from .channels.multi_input import GeneralizedNorChannel
+from .channels.pure import PureDelayChannel
 from .channels.table import TableDelayChannel
 from .gates import gate_function
 
 __all__ = ["GateInstance", "HybridInstance", "MultiInputInstance",
-           "TimingCircuit"]
+           "WireInstance", "TimingCircuit"]
 
 #: Channel types usable as fused MIS elements: they consume all input
 #: traces directly via ``simulate(*traces)`` and report their boolean
@@ -85,6 +88,61 @@ class MultiInputInstance:
     channel: GeneralizedNorChannel | TableDelayChannel
 
 
+@dataclasses.dataclass(frozen=True)
+class WireInstance:
+    """One sink of an RC wire tree as a circuit element.
+
+    A wire is logically an identity buffer with a direction-symmetric
+    delay (linear RC): the element forwards its input trace shifted
+    by the reduced-order wire delay of its sink.  A multi-sink tree
+    becomes one :class:`WireInstance` per sink, all sharing the same
+    :class:`~repro.wire.tree.WireTree` (see
+    :meth:`TimingCircuit.add_wire`).
+
+    Attributes
+    ----------
+    name : str
+        Instance name (``<wire>.<sink>`` for multi-sink trees).
+    inputs : tuple of str
+        The single driving signal (the tree root's net).
+    output : str
+        The signal this sink drives.
+    sink : str
+        Sink node name inside the tree.
+    tree : WireTree
+        The shared RC tree.
+    delay_model : str
+        Reduced-order model the delay came from (``"elmore"`` or
+        ``"two_pole"``).
+    delay : float
+        Effective arc/channel delay, seconds (slew derate included).
+    slew : float
+        10–90 % step-response slew at the sink, seconds.
+    channel : PureDelayChannel
+        Symmetric pure-delay channel used by the event/trace
+        simulators, carrying exactly :attr:`delay`.
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    output: str
+    sink: str
+    tree: WireTree
+    delay_model: str
+    delay: float
+    slew: float
+    channel: PureDelayChannel
+
+    @property
+    def function(self) -> Callable[..., int]:
+        """Identity boolean function (wires don't invert)."""
+        return _wire_identity
+
+
+def _wire_identity(value: int) -> int:
+    return value
+
+
 class TimingCircuit:
     """A feed-forward circuit of channels and gates.
 
@@ -97,9 +155,11 @@ class TimingCircuit:
         if len(set(self.inputs)) != len(self.inputs):
             raise NetlistError("duplicate primary input names")
         self.instances: list[GateInstance | HybridInstance
-                             | MultiInputInstance] = []
+                             | MultiInputInstance
+                             | WireInstance] = []
         self._drivers: dict[str, GateInstance | HybridInstance
-                            | MultiInputInstance] = {}
+                            | MultiInputInstance
+                            | WireInstance] = {}
 
     # ------------------------------------------------------------------
 
@@ -200,6 +260,87 @@ class TimingCircuit:
         """Add a two-input hybrid NOR element."""
         return self.add_mis_gate(name, input_a, input_b, output,
                                  channel)
+
+    def add_wire(self, name: str, input_signal: str, tree: WireTree,
+                 outputs: "str | Sequence[str] | Mapping[str, str]",
+                 delay_model: str = "elmore",
+                 slew_derate: float = 0.0,
+                 ) -> list[WireInstance]:
+        """Attach an RC wire tree between *input_signal* and sinks.
+
+        The tree is reduced once (:func:`repro.wire.model.reduce_tree`)
+        and becomes one :class:`WireInstance` per sink — the STA graph
+        grows a wire arc per sink, and the event/trace simulators see
+        a pure-delay identity buffer, so both stay in exact agreement.
+
+        Parameters
+        ----------
+        name : str
+            Wire name; multi-sink instances are ``<name>.<sink>``.
+        input_signal : str
+            The signal driving the tree root (the gate output net).
+            Remember to build the *driving* gate with
+            :func:`repro.wire.loaded_params` so it prices the wire's
+            capacitance.
+        tree : WireTree
+            The RC tree.
+        outputs : str, sequence, or mapping
+            Signal name(s) the sinks drive: a single name (one-sink
+            trees), a sequence aligned with ``tree.sinks``, or a
+            mapping ``{sink: signal}`` covering every sink.
+        delay_model : str, optional
+            ``"elmore"`` (default — the slow-edge crossing shift,
+            exact in the regime gate-driven wires sit in) or
+            ``"two_pole"`` (the step-response 50 % crossing).
+        slew_derate : float, optional
+            Fraction of the sink slew added to the arc delay as a
+            first-order receiver-degradation penalty (default 0).
+
+        Returns
+        -------
+        list of WireInstance
+            The created instances, in ``tree.sinks`` order.
+        """
+        if isinstance(outputs, str):
+            outputs = (outputs,)
+        if isinstance(outputs, Mapping):
+            missing = set(tree.sinks) - set(outputs)
+            extra = set(outputs) - set(tree.sinks)
+            if missing or extra:
+                raise NetlistError(
+                    f"wire {name!r}: outputs must map exactly the "
+                    f"sinks {tree.sinks}; missing {sorted(missing)}, "
+                    f"unknown {sorted(extra)}")
+            signal_for = dict(outputs)
+        else:
+            outputs = tuple(outputs)
+            if len(outputs) != len(tree.sinks):
+                raise NetlistError(
+                    f"wire {name!r}: {len(tree.sinks)} sink(s) but "
+                    f"{len(outputs)} output signal(s)")
+            signal_for = dict(zip(tree.sinks, outputs))
+        if not slew_derate >= 0.0:
+            raise NetlistError(
+                f"wire {name!r}: slew_derate must be non-negative")
+        timing: WireTiming = reduce_tree(tree, model=delay_model)
+        instances = []
+        for sink_timing in timing.sinks:
+            sink = sink_timing.sink
+            delay = sink_timing.delay + slew_derate * sink_timing.slew
+            instance = WireInstance(
+                name=name if len(tree.sinks) == 1
+                else f"{name}.{sink}",
+                inputs=(input_signal,),
+                output=signal_for[sink],
+                sink=sink,
+                tree=tree,
+                delay_model=delay_model,
+                delay=delay,
+                slew=sink_timing.slew,
+                channel=PureDelayChannel(delay, label=f"wire:{sink}"))
+            self._register(instance)
+            instances.append(instance)
+        return instances
 
     # ------------------------------------------------------------------
 

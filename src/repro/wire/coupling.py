@@ -1,0 +1,69 @@
+"""Gate–wire coupling: effective load and slew degradation.
+
+Two first-order effects connect a wire tree to the gates around it:
+
+*Driver loading.*  The driving gate no longer sees its bare output
+capacitance ``co`` but ``co`` plus the total wire capacitance plus
+every receiver load tapped on the tree (the *total-capacitance*
+effective load — unshielded, which is conservative for resistive
+wires but exact in the slow-edge regime the hybrid model operates
+in).  :func:`loaded_params` folds that into a
+:class:`~repro.core.parameters.NorGateParameters` so the existing
+hybrid delay model prices the wire without modification.
+
+*Receiver slew degradation.*  The wire low-pass filters the edge, so
+the receiver sees a slower input than the driver produced.  The
+reduced-order models report the added 10–90 % transition time per
+sink (:class:`~repro.wire.model.SinkTiming.slew`); a first-order
+arrival penalty ``derate · slew`` can be folded into the wire arc
+delay (see :meth:`TimingCircuit.add_wire`), which keeps STA and
+event simulation in exact agreement while still letting studies
+price slew pessimism.
+"""
+
+from __future__ import annotations
+
+from ..core.parameters import NorGateParameters
+from .tree import WireTree
+
+__all__ = ["loaded_params", "effective_load", "degraded_slew"]
+
+
+def effective_load(params: NorGateParameters,
+                   tree: WireTree) -> float:
+    """Effective output capacitance the driver sees, farads:
+    the gate's own ``co`` plus the tree's total capacitance
+    (wire segments and sink loads)."""
+    return params.co + tree.total_capacitance()
+
+
+def loaded_params(params: NorGateParameters,
+                  tree: WireTree) -> NorGateParameters:
+    """Gate parameters with the wire folded into the output load.
+
+    Parameters
+    ----------
+    params : NorGateParameters
+        The driving gate's bare parameters (``co`` is the intrinsic
+        output capacitance).
+    tree : WireTree
+        The wire hanging off the gate's output.
+
+    Returns
+    -------
+    NorGateParameters
+        A copy with ``co`` replaced by :func:`effective_load` —
+        usable anywhere the bare parameters are (hybrid channels,
+        corner axes, characterization).
+    """
+    return params.replace(co=effective_load(params, tree))
+
+
+def degraded_slew(input_slew: float, wire_slew: float) -> float:
+    """Receiver input transition time after the wire, seconds.
+
+    The standard root-sum-square composition of the driver's output
+    transition with the wire's own 10–90 % step rise — exact when
+    both stages are single-pole, a good first-order rule otherwise.
+    """
+    return float((input_slew ** 2 + wire_slew ** 2) ** 0.5)

@@ -1,0 +1,211 @@
+"""Lower wire trees into SPICE netlists and build wired circuits.
+
+The validation anchor of the subsystem: a :class:`WireTree` is exact
+circuit structure, so lowering it into ``Resistor``/``Capacitor``
+devices of :mod:`repro.spice.netlist` and running the MNA transient
+solver gives ground truth the reduced-order models must match.  Two
+wired benchmark circuits mirror the STA circuits of
+:mod:`repro.sta.circuits`:
+
+* :func:`wired_nor_chain` — a tied-input NOR2 chain (the repo's
+  inverter idiom) with a wire line between stages, the
+  ``chain_wire`` STA circuit;
+* :func:`wired_nor_tree` — a NOR2 driving a fanout tree into two
+  tied-input NOR2 receivers, the ``tree_wire`` STA circuit.
+
+Both stampers reuse the exact transistor/capacitor topology of
+:func:`repro.spice.technology.build_nor2`, only with per-instance
+name prefixes so several cells share one netlist and supply.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ParameterError
+from ..spice.netlist import Circuit
+from ..spice.technology import TechnologyCard
+from ..spice.waveforms import Waveform
+from .tree import WireTree
+
+__all__ = ["lower_wire", "stamp_nor2", "wired_nor_chain",
+           "wired_nor_tree", "nor2_input_capacitance", "WiredCircuit"]
+
+
+def lower_wire(circuit: Circuit, tree: WireTree, input_node: str,
+               prefix: str = "w") -> dict[str, str]:
+    """Stamp a wire tree into a netlist as R/C devices.
+
+    Parameters
+    ----------
+    circuit : Circuit
+        Netlist under construction.
+    tree : WireTree
+        The RC tree to lower.
+    input_node : str
+        Existing circuit node driving the tree's root.
+    prefix : str, optional
+        Device/node name prefix (must be unique per lowered tree).
+
+    Returns
+    -------
+    dict
+        Tree node name -> circuit node name (the root maps to
+        *input_node*); use it to probe sink waveforms.
+    """
+    nodes = {tree.root: input_node}
+    for segment in tree.segments:
+        node = f"{prefix}_{segment.name}"
+        nodes[segment.name] = node
+        circuit.resistor(f"R{prefix}_{segment.name}",
+                         nodes[segment.parent], node,
+                         segment.resistance)
+        shunt = segment.capacitance + segment.load
+        if shunt > 0.0:
+            circuit.capacitor(f"C{prefix}_{segment.name}", node, "0",
+                              shunt)
+    return nodes
+
+
+def stamp_nor2(circuit: Circuit, tech: TechnologyCard, prefix: str,
+               node_a: str, node_b: str, node_out: str,
+               output_load: float | None = None) -> None:
+    """Stamp one NOR2 cell with prefixed device/internal names.
+
+    Mirrors :func:`repro.spice.technology.build_nor2` exactly
+    (series pMOS stack with internal node, parallel nMOS pair,
+    gate-overlap and junction capacitances) but shares the enclosing
+    circuit's ``vdd``/ground rails so several cells compose.
+    """
+    if output_load is None:
+        output_load = tech.output_load
+    if output_load < 0.0:
+        raise ParameterError("output_load must be non-negative")
+    nmos, pmos = tech.nmos, tech.pmos
+    node_n = f"{prefix}_n"
+    circuit.mosfet(f"{prefix}T1", drain=node_n, gate=node_a,
+                   source="vdd", model=pmos)
+    circuit.mosfet(f"{prefix}T2", drain=node_out, gate=node_b,
+                   source=node_n, model=pmos)
+    circuit.mosfet(f"{prefix}T3", drain=node_out, gate=node_a,
+                   source="0", model=nmos)
+    circuit.mosfet(f"{prefix}T4", drain=node_out, gate=node_b,
+                   source="0", model=nmos)
+    circuit.capacitor(f"{prefix}Cgd1", node_a, node_n, pmos.cgd)
+    circuit.capacitor(f"{prefix}Cgs2", node_b, node_n, pmos.cgs)
+    circuit.capacitor(f"{prefix}Cgd2", node_b, node_out, pmos.cgd)
+    circuit.capacitor(f"{prefix}Cgd3", node_a, node_out, nmos.cgd)
+    circuit.capacitor(f"{prefix}Cgd4", node_b, node_out, nmos.cgd)
+    circuit.capacitor(f"{prefix}Cdb1", node_n, "vdd", pmos.cdb)
+    circuit.capacitor(f"{prefix}Csb2", node_n, "vdd", pmos.cdb)
+    circuit.capacitor(f"{prefix}Cdb2", node_out, "vdd", pmos.cdb)
+    circuit.capacitor(f"{prefix}Cdb3", node_out, "0", nmos.cdb)
+    circuit.capacitor(f"{prefix}Cdb4", node_out, "0", nmos.cdb)
+    circuit.capacitor(f"{prefix}Cn", node_n, "0", tech.cn_extra)
+    circuit.capacitor(f"{prefix}Co", node_out, "0", output_load)
+
+
+def nor2_input_capacitance(tech: TechnologyCard,
+                           tied: bool = True) -> float:
+    """Input capacitance one NOR2 receiver taps onto a wire, farads.
+
+    The explicit gate-overlap capacitors touching the input node(s)
+    in :func:`stamp_nor2`: with both pins tied to the wire sink
+    (``tied=True``) that is ``Cgd1 + Cgs2 + Cgd2 + Cgd3 + Cgd4``;
+    pin ``a`` alone sees ``Cgd1 + Cgd3``.  Used as the sink ``load``
+    when building the wire tree that models a wired netlist.
+    """
+    pmos, nmos = tech.pmos, tech.nmos
+    if tied:
+        return pmos.cgd + pmos.cgs + pmos.cgd + 2.0 * nmos.cgd
+    return pmos.cgd + nmos.cgd
+
+
+@dataclasses.dataclass(frozen=True)
+class WiredCircuit:
+    """A lowered wired benchmark circuit plus its probe points.
+
+    Attributes
+    ----------
+    circuit : Circuit
+        The complete netlist (validated).
+    stage_outputs : tuple of str
+        Gate output nodes in topological order.
+    sink_nodes : dict
+        Wire sink name -> circuit node, per lowered tree.
+    outputs : tuple of str
+        Final endpoint node(s).
+    """
+
+    circuit: Circuit
+    stage_outputs: tuple[str, ...]
+    sink_nodes: dict[str, str]
+    outputs: tuple[str, ...]
+
+
+def wired_nor_chain(tech: TechnologyCard, wave_in: Waveform | float,
+                    tree: WireTree, stages: int = 2,
+                    name: str = "wired_nor_chain") -> WiredCircuit:
+    """Tied-input NOR2 chain with a wire line between stages.
+
+    Stage ``i`` (prefix ``g<i>``) drives node ``o<i>``; every stage
+    but the last feeds a lowered copy of *tree* (prefix ``w<i>``)
+    whose single sink drives the next stage's tied inputs.  The
+    transistor-level counterpart of the ``chain_wire`` STA circuit.
+    """
+    if stages < 2:
+        raise ParameterError("a wired chain needs at least 2 stages")
+    if len(tree.sinks) != 1:
+        raise ParameterError("chain wires need exactly one sink")
+    circuit = Circuit(name)
+    circuit.voltage_source("Vdd", "vdd", "0", tech.vdd)
+    circuit.voltage_source("Va", "a", "0", wave_in)
+    stage_outputs = []
+    sink_nodes: dict[str, str] = {}
+    node_in = "a"
+    for index in range(stages):
+        node_out = f"o{index + 1}"
+        stamp_nor2(circuit, tech, f"g{index + 1}", node_in, node_in,
+                   node_out)
+        stage_outputs.append(node_out)
+        if index < stages - 1:
+            nodes = lower_wire(circuit, tree, node_out,
+                               prefix=f"w{index + 1}")
+            sink = nodes[tree.sinks[0]]
+            sink_nodes[f"w{index + 1}.{tree.sinks[0]}"] = sink
+            node_in = sink
+    circuit.validate()
+    return WiredCircuit(circuit=circuit,
+                        stage_outputs=tuple(stage_outputs),
+                        sink_nodes=sink_nodes,
+                        outputs=(stage_outputs[-1],))
+
+
+def wired_nor_tree(tech: TechnologyCard, wave_a: Waveform | float,
+                   wave_b: Waveform | float, tree: WireTree,
+                   name: str = "wired_nor_tree") -> WiredCircuit:
+    """NOR2 driving a fanout wire into tied-input NOR2 receivers.
+
+    The driver (prefix ``g0``) outputs on node ``o``; the tree is
+    lowered with prefix ``w``; every sink ``k`` drives receiver
+    ``r<k>`` (tied inputs) outputting on ``y<k>``.  The
+    transistor-level counterpart of the ``tree_wire`` STA circuit.
+    """
+    circuit = Circuit(name)
+    circuit.voltage_source("Vdd", "vdd", "0", tech.vdd)
+    circuit.voltage_source("Va", "a", "0", wave_a)
+    circuit.voltage_source("Vb", "b", "0", wave_b)
+    stamp_nor2(circuit, tech, "g0", "a", "b", "o")
+    nodes = lower_wire(circuit, tree, "o", prefix="w")
+    outputs = []
+    sink_nodes: dict[str, str] = {}
+    for index, sink in enumerate(tree.sinks):
+        sink_nodes[sink] = nodes[sink]
+        node_out = f"y{index + 1}"
+        stamp_nor2(circuit, tech, f"r{index + 1}", nodes[sink],
+                   nodes[sink], node_out)
+        outputs.append(node_out)
+    circuit.validate()
+    return WiredCircuit(circuit=circuit, stage_outputs=("o",),
+                        sink_nodes=sink_nodes,
+                        outputs=tuple(outputs))

@@ -288,7 +288,8 @@ class TestStatsParity:
                                seed=5, required=90.0 * PS)
         stats = outcome.arrival_stats()
         golden = "\n".join([
-            "statistical STA: circuit 'tree', 64 corners, seed 5",
+            "statistical STA: circuit 'tree', 64 corners "
+            "(shared variation), seed 5",
             f"  worst arrival: mean {to_ps(stats['mean']):.3f} ps, "
             f"std {to_ps(stats['std']):.4f} ps, range "
             f"[{to_ps(stats['min']):.3f}, "
@@ -410,6 +411,11 @@ class TestJsonMode:
         ["stats", "--delta", "0", "--samples", "64"],
         ["stats", "--method", "yield", "--samples", "32",
          "--required", "250"],
+        ["stats", "--method", "yield", "--samples", "32",
+         "--per-instance"],
+        ["wire", "--stages", "2", "--corners", "4"],
+        ["wire", "--topology", "fanout", "--model", "elmore",
+         "--validate"],
     ]
 
     @pytest.mark.parametrize("argv", FAST,

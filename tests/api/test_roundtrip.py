@@ -23,7 +23,8 @@ from repro.api import (API_SCHEMA, API_SCHEMA_VERSION, ApiRecord,
                        MultiInputResult, StaRequest, StaRunResult,
                        StatsRequest, StatsResult, SweepRequest,
                        SweepResult, VersionRequest,
-                       VersionResult, from_json, known_kinds)
+                       VersionResult, WireRequest, WireResult,
+                       from_json, known_kinds)
 from repro.errors import ParameterError
 
 finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
@@ -132,7 +133,7 @@ STRATEGIES = {
         percentiles=float_tuples, bins=counts,
         degree=st.integers(min_value=1, max_value=5),
         circuit=names, required=st.none() | maybe_inf,
-        arrival_sigma=finite),
+        arrival_sigma=finite, per_instance=st.booleans()),
     StatsResult: st.builds(
         StatsResult,
         method=st.sampled_from(["mc", "surrogate", "yield"]),
@@ -150,6 +151,22 @@ STRATEGIES = {
             float_tuples, max_size=3).map(tuple),
         yield_fraction=st.none() | finite,
         required=st.none() | maybe_inf, text=names),
+    WireRequest: st.builds(
+        WireRequest,
+        topology=st.sampled_from(["line", "fanout"]),
+        stages=counts, branches=counts,
+        resistance=finite, capacitance=finite, sink_load=finite,
+        model=st.sampled_from(["elmore", "two_pole"]),
+        corners=counts, seed=seeds, validate=st.booleans()),
+    WireResult: st.builds(
+        WireResult,
+        topology=names, model=names, sinks=name_tuples,
+        elmore=float_tuples, delays=float_tuples,
+        slews=float_tuples, total_capacitance=maybe_inf,
+        corners=counts,
+        corner_delay_min=st.none() | maybe_inf,
+        corner_delay_max=st.none() | maybe_inf,
+        max_error=st.none() | maybe_inf, text=names),
 }
 
 ALL_TYPES = sorted(STRATEGIES, key=lambda cls: cls.__name__)

@@ -14,7 +14,8 @@ from repro.api import (CharacterizeRequest, DelayRequest,
                        DescribeRequest, ExperimentRequest,
                        LibraryRequest, MultiInputRequest, Request,
                        Session, StaRequest, StatsRequest,
-                       SweepRequest, VersionRequest, from_json)
+                       SweepRequest, VersionRequest, WireRequest,
+                       from_json)
 
 #: (request, expected result envelope kind) for every request kind.
 CASES = [
@@ -31,6 +32,9 @@ CASES = [
     (StaRequest(circuit="tree", top=1), "sta_result"),
     (ExperimentRequest(name="multi_input"), "experiment_result"),
     (StatsRequest(deltas=(0.0,), samples=64, seed=3), "stats_result"),
+    (WireRequest(stages=2, corners=3), "wire_result"),
+    (WireRequest(topology="fanout", branches=2, stages=1,
+                 model="elmore", validate=True), "wire_result"),
 ]
 
 

@@ -1,0 +1,79 @@
+"""Transient-solver accuracy against the analytic RC step response.
+
+A single-pole RC low-pass driven by a PWL ramp has an exact closed
+form (ramp response during the edge, exponential settling after it),
+so the adaptive integrator of :mod:`repro.spice.transient` can be
+held to a hard numeric tolerance — the same solver settings the gate
+and wire cross-validations rely on.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spice.measure import crossing_after
+from repro.spice.netlist import Circuit
+from repro.spice.transient import transient_analysis
+from repro.spice.waveforms import Pwl
+
+R = 2e3
+C = 0.5e-15
+TAU = R * C
+T_RAMP = TAU / 2.0
+
+#: Asserted waveform tolerance: every accepted time point within
+#: 0.2 % of VDD of the closed form (the solver's reltol is 1e-4 of
+#: the 1 V scale; 20x headroom over accumulated LTE).
+V_TOL = 2e-3
+#: Asserted 50 %-crossing tolerance, relative to tau.
+T_TOL = 2e-3
+
+
+def analytic_rc(t: np.ndarray) -> np.ndarray:
+    """Exact unit-ramp-then-hold response of the RC low pass.
+
+    ``v' = (u - v) / tau`` with ``u(t) = t / t_ramp`` clamped to 1
+    and ``v(0) = 0``:  during the ramp
+    ``v = (t - tau + tau e^(-t/tau)) / t_ramp``; after it the
+    response settles exponentially from its ramp-end value.
+    """
+    t = np.asarray(t, dtype=float)
+    during = (t - TAU + TAU * np.exp(-t / TAU)) / T_RAMP
+    v_end = (T_RAMP - TAU + TAU * math.exp(-T_RAMP / TAU)) / T_RAMP
+    after = 1.0 + (v_end - 1.0) * np.exp(-(t - T_RAMP) / TAU)
+    return np.where(t <= T_RAMP, during, after)
+
+
+@pytest.fixture(scope="module")
+def result():
+    circuit = Circuit("rc_accuracy")
+    circuit.voltage_source("Vin", "in", "0",
+                           Pwl([(0.0, 0.0), (T_RAMP, 1.0)]))
+    circuit.resistor("R1", "in", "out", R)
+    circuit.capacitor("C1", "out", "0", C)
+    return transient_analysis(circuit, 10.0 * TAU)
+
+
+class TestRcStepAccuracy:
+    def test_waveform_matches_closed_form(self, result):
+        times = np.asarray(result.times)
+        simulated = result.voltage("out")
+        error = np.abs(simulated - analytic_rc(times))
+        assert float(error.max()) < V_TOL
+
+    def test_settles_to_the_rail(self, result):
+        assert result.value_at("out", 10.0 * TAU) == pytest.approx(
+            1.0, abs=V_TOL)
+
+    def test_crossing_time(self, result):
+        # Invert the closed form numerically for the 50 % crossing.
+        grid = np.linspace(0.0, 10.0 * TAU, 200001)
+        values = analytic_rc(grid)
+        exact = float(np.interp(0.5, values, grid))
+        measured = crossing_after(result, "out", 0.5, 0.0, 1)
+        assert measured == pytest.approx(exact, abs=T_TOL * TAU)
+
+    def test_monotone_rise(self, result):
+        simulated = result.voltage("out")
+        assert np.all(np.diff(simulated) > -1e-9)

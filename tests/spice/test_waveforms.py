@@ -47,6 +47,22 @@ class TestPwl:
         with pytest.raises(ParameterError):
             Pwl([(1.0, 0.0), (1.0, 1.0)])
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_non_finite_time_rejected(self, bad):
+        # Regression: NaN compares False in the monotonicity check,
+        # so a NaN time used to slip through and corrupt the
+        # integrator's breakpoint snapping.
+        with pytest.raises(ParameterError, match="time must be finite"):
+            Pwl([(0.0, 0.0), (bad, 1.0)])
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_non_finite_value_rejected(self, bad):
+        with pytest.raises(ParameterError,
+                           match="value must be finite"):
+            Pwl([(0.0, 0.0), (1.0, bad)])
+
     def test_single_point(self):
         wave = Pwl([(1.0, 0.7)])
         assert wave(0.0) == 0.7

@@ -81,6 +81,71 @@ class TestYieldSemantics:
         assert stats["std"] > 0.0
 
 
+class TestPerInstanceVariation:
+    """Independent per-instance draws: block-sliced, deterministic."""
+
+    def test_scalar_parity(self, tree_graph):
+        fast = timing_yield(tree_graph, DIST, samples=12, seed=5,
+                            per_instance=True)
+        slow = timing_yield(tree_graph, DIST, samples=12, seed=5,
+                            per_instance=True, scalar=True)
+        assert fast.worst_arrival.tobytes() \
+            == slow.worst_arrival.tobytes()
+
+    def test_differs_from_shared_variation(self, tree_graph):
+        shared = timing_yield(tree_graph, DIST, samples=16, seed=9)
+        per = timing_yield(tree_graph, DIST, samples=16, seed=9,
+                           per_instance=True)
+        assert shared.worst_arrival.tobytes() \
+            != per.worst_arrival.tobytes()
+
+    def test_seed_reproducibility(self, tree_graph):
+        a = timing_yield(tree_graph, DIST, samples=16, seed=2,
+                         per_instance=True)
+        b = timing_yield(tree_graph, DIST, samples=16, seed=2,
+                         per_instance=True)
+        assert a.worst_arrival.tobytes() == b.worst_arrival.tobytes()
+
+    def test_identical_across_engines(self):
+        """The block-slicing draw scheme fixes each instance's rows
+        up front, so every delay backend sees the same parameters
+        and must produce byte-identical arrivals."""
+        from repro.engine import available_engines
+        from repro.sta import build_timing_graph, sta_circuit
+
+        circuit = sta_circuit("tree")
+        outcomes = []
+        for name in available_engines():
+            graph = build_timing_graph(circuit, engine=name)
+            outcomes.append(timing_yield(
+                graph, DIST, samples=12, seed=11,
+                per_instance=True))
+        baseline = outcomes[0].worst_arrival.tobytes()
+        for outcome in outcomes[1:]:
+            assert outcome.worst_arrival.tobytes() == baseline
+
+    def test_api_passthrough(self):
+        from repro.api import StatsRequest
+
+        result = Session().run(StatsRequest(
+            method="yield", samples=16, seed=5, per_instance=True))
+        assert "(per-instance variation)" in result.text
+        shared = Session().run(StatsRequest(
+            method="yield", samples=16, seed=5))
+        assert "(shared variation)" in shared.text
+        assert result.maximum != shared.maximum
+
+    def test_narrows_the_worst_arrival_spread(self, tree_graph):
+        """Independent draws average out across the path, so the
+        per-instance worst-arrival std must sit below the fully
+        correlated (shared) one for the same distribution."""
+        shared = timing_yield(tree_graph, DIST, samples=256, seed=3)
+        per = timing_yield(tree_graph, DIST, samples=256, seed=3,
+                           per_instance=True)
+        assert per.arrival_stats()["std"] \
+            < shared.arrival_stats()["std"]
+
+
 class TestErrors:
     def test_sample_count(self, tree_graph):
         with pytest.raises(ParameterError, match="at least one"):
